@@ -1,0 +1,19 @@
+package fastvg
+
+import (
+	"github.com/fastvg/fastvg/internal/anchors"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/qflow"
+)
+
+// newDatasetInstrument wraps a pre-generated benchmark CSD in a dataset
+// replay instrument with the paper's dwell, for the benchmark harness.
+func newDatasetInstrument(data *grid.Grid, bm *qflow.Benchmark) (*device.DatasetInstrument, error) {
+	return device.NewDatasetInstrument(data, bm.Window, device.DefaultDwell)
+}
+
+// anchorsFind runs the anchor preprocessing with paper defaults.
+func anchorsFind(src anchors.Source, w, h int) (anchors.Result, error) {
+	return anchors.Find(src, w, h, anchors.DefaultConfig())
+}

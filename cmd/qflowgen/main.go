@@ -1,0 +1,28 @@
+// Command qflowgen materialises the synthetic qflow benchmark suite to disk:
+// suite.json (full provenance: device, sensor, noise parameters and seeds)
+// plus one PGM preview and one CSV per benchmark.
+//
+// Usage: qflowgen [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/fastvg/fastvg/internal/qflow"
+)
+
+func main() {
+	outDir := flag.String("out", "qflow_data", "output directory")
+	flag.Parse()
+	suite, err := qflow.Suite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := qflow.Materialize(*outDir, suite); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmarks to %s/ (suite.json + per-benchmark .pgm/.csv)\n",
+		len(suite), *outDir)
+}

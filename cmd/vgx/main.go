@@ -1,0 +1,139 @@
+// Command vgx runs a virtual gate extraction — fast (the paper's method) or
+// baseline (full CSD + Hough) — on either a benchmark from the synthetic
+// qflow suite or a freshly simulated device, and prints the result.
+//
+// Examples:
+//
+//	vgx -csd 6                 # fast extraction on benchmark CSD 6
+//	vgx -csd 6 -method baseline
+//	vgx -sim -steep -9 -shallow -0.1 -noise 0.02
+//	vgx -csd 10 -probemap probes.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	fastvg "github.com/fastvg/fastvg"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/evalx"
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+func main() {
+	var (
+		csdIdx   = flag.Int("csd", 0, "benchmark CSD index (1-12); 0 = use -sim")
+		method   = flag.String("method", "fast", "extraction method: fast, baseline, rays or adaptive")
+		sim      = flag.Bool("sim", false, "extract from a freshly simulated device")
+		steep    = flag.Float64("steep", -8, "simulated steep-line slope")
+		shallow  = flag.Float64("shallow", -0.12, "simulated shallow-line slope")
+		noiseAmp = flag.Float64("noise", 0.01, "simulated white-noise sigma")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		pixels   = flag.Int("pixels", 100, "simulated window resolution")
+		probeMap = flag.String("probemap", "", "write the probe map PNG to this path (benchmark runs only)")
+	)
+	flag.Parse()
+
+	switch {
+	case *csdIdx != 0:
+		runBenchmark(*csdIdx, *method, *probeMap)
+	case *sim:
+		runSim(*method, *steep, *shallow, *noiseAmp, *seed, *pixels)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runBenchmark(idx int, method, probeMap string) {
+	b, err := evalx.ByIndex(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := b.Instrument()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s (%dx%d), ground truth: steep %.3f shallow %.4f\n",
+		b.Name, b.Size, b.Size, b.Truth.SteepSlope, b.Truth.ShallowSlope)
+	ext, err := runMethod(method, inst, b.Window)
+	if err != nil {
+		log.Fatalf("extraction failed: %v", err)
+	}
+	report(ext, b.Size*b.Size)
+	ok, se, he := evalx.CheckSlopes(ext.SteepSlope, ext.ShallowSlope, b.Truth, evalx.DefaultAngleTolDeg)
+	fmt.Printf("vs ground truth: Δsteep %.2f°, Δshallow %.2f° -> %s\n", se, he, passFail(ok))
+	if probeMap != "" {
+		writeProbeMap(inst, b.Size, probeMap)
+	}
+}
+
+func runSim(method string, steep, shallow, noiseAmp float64, seed uint64, pixels int) {
+	inst, truth, err := fastvg.NewDoubleDotSim(fastvg.DoubleDotSimOptions{
+		SteepSlope:   steep,
+		ShallowSlope: shallow,
+		Pixels:       pixels,
+		Noise:        fastvg.NoiseParams{WhiteSigma: noiseAmp, PinkAmp: noiseAmp / 2},
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated device, ground truth: steep %.3f shallow %.4f\n",
+		truth.SteepSlope, truth.ShallowSlope)
+	ext, err := runMethod(method, inst, inst.Window())
+	if err != nil {
+		log.Fatalf("extraction failed: %v", err)
+	}
+	report(ext, pixels*pixels)
+}
+
+// runMethod dispatches to the selected extraction pipeline.
+func runMethod(method string, inst fastvg.Instrument, win fastvg.Window) (*fastvg.Extraction, error) {
+	switch method {
+	case "fast":
+		return fastvg.Extract(inst, win, fastvg.Options{})
+	case "baseline":
+		return fastvg.ExtractBaseline(inst, win, fastvg.BaselineOptions{})
+	case "rays":
+		return fastvg.ExtractRays(inst, win, fastvg.RayOptions{})
+	case "adaptive":
+		return fastvg.ExtractAdaptive(inst, win, fastvg.AdaptiveOptions{})
+	default:
+		log.Fatalf("unknown method %q", method)
+		return nil, nil
+	}
+}
+
+func report(ext *fastvg.Extraction, totalPixels int) {
+	fmt.Printf("extracted:  steep %.3f  shallow %.4f\n", ext.SteepSlope, ext.ShallowSlope)
+	fmt.Printf("matrix:     [1 %.4f; %.4f 1]\n", ext.Matrix.A12(), ext.Matrix.A21())
+	fmt.Printf("triple pt:  (%.2f mV, %.2f mV)\n", ext.TripleV1, ext.TripleV2)
+	fmt.Printf("probes:     %d / %d (%.2f%%), experiment time %s\n",
+		ext.Probes, totalPixels, 100*float64(ext.Probes)/float64(totalPixels), ext.ExperimentTime)
+}
+
+func writeProbeMap(inst fastvg.Instrument, size int, path string) {
+	di, ok := inst.(*device.DatasetInstrument)
+	if !ok {
+		log.Printf("probe map only available for benchmark runs")
+		return
+	}
+	g := grid.New(size, size)
+	for _, p := range di.ProbeMap() {
+		g.Set(p.X, p.Y, 1)
+	}
+	if err := g.WritePNGFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probe map written to %s\n", path)
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "Success"
+	}
+	return "Fail"
+}

@@ -1,0 +1,83 @@
+// Noisestudy: success rate of the fast extraction and the Hough baseline as
+// a function of measurement noise amplitude — the robustness dimension
+// behind the paper's benchmarks 1, 2 and 7.
+//
+//	go run ./examples/noisestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	fastvg "github.com/fastvg/fastvg"
+)
+
+const trialsPerLevel = 8
+
+func main() {
+	fmt.Println("Success rate vs white-noise amplitude (8 device realisations per level)")
+	fmt.Println("noise σ is in units of the sensor peak height; transition steps are ~0.2")
+	fmt.Println()
+	fmt.Printf("%-10s %-12s %-12s %-12s %-14s\n", "sigma", "fast", "baseline", "rays", "fast probes")
+
+	for _, sigma := range []float64{0.005, 0.02, 0.05, 0.08, 0.12, 0.18} {
+		fastOK, baseOK, raysOK, probeSum, probeRuns := 0, 0, 0, 0, 0
+		for trial := 0; trial < trialsPerLevel; trial++ {
+			seed := uint64(1000*sigma) + uint64(trial)
+			opts := fastvg.DoubleDotSimOptions{
+				// Vary the geometry a little per trial, like device-to-device
+				// variation in a real dataset.
+				SteepSlope:   -6 - 0.5*float64(trial%5),
+				ShallowSlope: -0.10 - 0.02*float64(trial%4),
+				Noise:        fastvg.NoiseParams{WhiteSigma: sigma, PinkAmp: sigma / 2},
+				Seed:         seed,
+			}
+			instA, truth, err := fastvg.NewDoubleDotSim(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res, err := fastvg.Extract(instA, instA.Window(), fastvg.Options{}); err == nil {
+				if within(res.SteepSlope, truth.SteepSlope) && within(res.ShallowSlope, truth.ShallowSlope) {
+					fastOK++
+				}
+				probeSum += res.Probes
+				probeRuns++
+			}
+			instB, _, err := fastvg.NewDoubleDotSim(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res, err := fastvg.ExtractBaseline(instB, instB.Window(), fastvg.BaselineOptions{}); err == nil {
+				if within(res.SteepSlope, truth.SteepSlope) && within(res.ShallowSlope, truth.ShallowSlope) {
+					baseOK++
+				}
+			}
+			instC, _, err := fastvg.NewDoubleDotSim(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res, err := fastvg.ExtractRays(instC, instC.Window(), fastvg.RayOptions{}); err == nil {
+				if within(res.SteepSlope, truth.SteepSlope) && within(res.ShallowSlope, truth.ShallowSlope) {
+					raysOK++
+				}
+			}
+		}
+		avgProbes := 0
+		if probeRuns > 0 {
+			avgProbes = probeSum / probeRuns
+		}
+		fmt.Printf("%-10.3f %2d/%-9d %2d/%-9d %2d/%-9d %-14d\n",
+			sigma, fastOK, trialsPerLevel, baseOK, trialsPerLevel, raysOK, trialsPerLevel, avgProbes)
+	}
+	fmt.Println("\nAll methods degrade at high noise (the paper's CSDs 1-2 regime). The")
+	fmt.Println("baseline's full-diagram averaging survives longest; the fast method")
+	fmt.Println("needs ~10x fewer probes wherever it works; single-pass rays need the")
+	fmt.Println("lowest noise (lab use pairs them with signal averaging).")
+}
+
+// within checks a slope against truth with the 3.5° angular tolerance used
+// throughout the evaluation.
+func within(got, want float64) bool {
+	return math.Abs(math.Atan(got)-math.Atan(want))*180/math.Pi <= 3.5
+}

@@ -1,0 +1,211 @@
+package fastvg
+
+import (
+	"testing"
+)
+
+func TestExtractRaysOnSimulatedDevice(t *testing.T) {
+	inst, truth, err := NewDoubleDotSim(DoubleDotSimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractRays(inst, inst.Window(), RayOptions{})
+	if err != nil {
+		t.Fatalf("ExtractRays: %v", err)
+	}
+	if e := angleErrDeg(res.SteepSlope, truth.SteepSlope); e > 3.5 {
+		t.Errorf("steep %v vs %v (Δ%.2f°)", res.SteepSlope, truth.SteepSlope, e)
+	}
+	if e := angleErrDeg(res.ShallowSlope, truth.ShallowSlope); e > 3.5 {
+		t.Errorf("shallow %v vs %v (Δ%.2f°)", res.ShallowSlope, truth.ShallowSlope, e)
+	}
+	if res.Probes <= 0 || res.Probes >= 10000 {
+		t.Errorf("ray probes = %d", res.Probes)
+	}
+}
+
+func TestMethodsProbeOrdering(t *testing.T) {
+	// The three sparse methods and the baseline should order as
+	// fast < rays < baseline on probes for the same device.
+	counts := map[string]int{}
+	for _, m := range []string{"fast", "rays", "baseline"} {
+		inst, _, err := NewDoubleDotSim(DoubleDotSimOptions{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ext *Extraction
+		switch m {
+		case "fast":
+			ext, err = Extract(inst, inst.Window(), Options{})
+		case "rays":
+			ext, err = ExtractRays(inst, inst.Window(), RayOptions{})
+		case "baseline":
+			ext, err = ExtractBaseline(inst, inst.Window(), BaselineOptions{})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		counts[m] = ext.Probes
+	}
+	// Both sparse methods must be far below the full raster. (On clean
+	// devices rays can probe even fewer points than the sweeps — they have
+	// no fixed mask-band cost — at the price of noise robustness; see
+	// TestRaysDegradeUnderNoiseBeforeFast.)
+	if counts["fast"] >= counts["baseline"]/4 {
+		t.Errorf("fast probes %d not ≪ baseline %d", counts["fast"], counts["baseline"])
+	}
+	if counts["rays"] >= counts["baseline"]/4 {
+		t.Errorf("ray probes %d not ≪ baseline %d", counts["rays"], counts["baseline"])
+	}
+}
+
+func TestRaysDegradeUnderNoiseBeforeFast(t *testing.T) {
+	// At a noise level the sweeps+filter pipeline still handles, the ray
+	// method's single-pass drop detector starts failing: count successes
+	// over several realisations.
+	const trials = 6
+	const sigma = 0.03
+	fastOK, raysOK := 0, 0
+	for i := 0; i < trials; i++ {
+		opts := DoubleDotSimOptions{
+			Noise: NoiseParams{WhiteSigma: sigma, PinkAmp: sigma / 2},
+			Seed:  uint64(100 + i),
+		}
+		instA, truth, err := NewDoubleDotSim(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err := Extract(instA, instA.Window(), Options{}); err == nil {
+			if angleErrDeg(res.SteepSlope, truth.SteepSlope) <= 3.5 &&
+				angleErrDeg(res.ShallowSlope, truth.ShallowSlope) <= 3.5 {
+				fastOK++
+			}
+		}
+		instB, _, err := NewDoubleDotSim(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err := ExtractRays(instB, instB.Window(), RayOptions{}); err == nil {
+			if angleErrDeg(res.SteepSlope, truth.SteepSlope) <= 3.5 &&
+				angleErrDeg(res.ShallowSlope, truth.ShallowSlope) <= 3.5 {
+				raysOK++
+			}
+		}
+	}
+	if fastOK < raysOK {
+		t.Errorf("fast %d/%d vs rays %d/%d at σ=%v: expected fast ≥ rays", fastOK, trials, raysOK, trials, sigma)
+	}
+	if fastOK < trials-1 {
+		t.Errorf("fast method succeeded only %d/%d at σ=0.03 (step SNR ≈ 7)", fastOK, trials)
+	}
+}
+
+func TestExtractAdaptiveFacade(t *testing.T) {
+	inst, truth, err := NewDoubleDotSim(DoubleDotSimOptions{Pixels: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractAdaptive(inst, inst.Window(), AdaptiveOptions{})
+	if err != nil {
+		t.Fatalf("ExtractAdaptive: %v", err)
+	}
+	if e := angleErrDeg(res.SteepSlope, truth.SteepSlope); e > 3.5 {
+		t.Errorf("adaptive steep off by %.2f°", e)
+	}
+	if res.Probes <= 0 || res.Probes > 2500 {
+		t.Errorf("adaptive probes = %d of 40000", res.Probes)
+	}
+}
+
+func TestFindWindowFacade(t *testing.T) {
+	// A device whose lines sit at unknown position inside a broad range.
+	inst, truth, err := NewDoubleDotSim(DoubleDotSimOptions{
+		Pixels: 240, SpanMV: 120, CrossXFrac: 0.25, CrossYFrac: 0.23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := FindWindow(inst, 0, 120, 0, 120, 100)
+	if err != nil {
+		t.Fatalf("FindWindow: %v", err)
+	}
+	if ws.Probes <= 0 || ws.Probes > 1100 {
+		t.Errorf("window search probes = %d", ws.Probes)
+	}
+	// Extraction inside the proposed window recovers the device slopes.
+	// Use a fresh instrument with pixel pitch matched to the new window.
+	inst2, _, err := NewDoubleDotSim(DoubleDotSimOptions{
+		Pixels: 240, SpanMV: 120, CrossXFrac: 0.25, CrossYFrac: 0.23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2.QuantV1 = ws.Window.StepV1()
+	inst2.QuantV2 = ws.Window.StepV2()
+	ext, err := Extract(inst2, ws.Window, Options{})
+	if err != nil {
+		t.Fatalf("extraction in proposed window: %v", err)
+	}
+	if e := angleErrDeg(ext.SteepSlope, truth.SteepSlope); e > 3.5 {
+		t.Errorf("steep slope off by %.2f° in proposed window", e)
+	}
+}
+
+func TestExtractionStateAt(t *testing.T) {
+	inst, _, err := NewDoubleDotSim(DoubleDotSimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extract(inst, inst.Window(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2, ok := res.StateAt(inst.Window(), 5, 5)
+	if !ok {
+		t.Fatal("StateAt unavailable on fast extraction")
+	}
+	if n1 != 0 || n2 != 0 {
+		t.Errorf("origin region classified as (%d,%d)", n1, n2)
+	}
+	// Baseline extractions have no Detail.
+	instB, _, err := NewDoubleDotSim(DoubleDotSimOptions{Pixels: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := ExtractBaseline(instB, instB.Window(), BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := resB.StateAt(instB.Window(), 5, 5); ok {
+		t.Error("StateAt should be unavailable for baseline results")
+	}
+}
+
+func TestVerifyMatrixOnDevice(t *testing.T) {
+	inst, _, err := NewDoubleDotSim(DoubleDotSimOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Extract(inst, inst.Window(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := VerifyMatrix(inst, inst.Window(), ext, VerifyOptions{})
+	if err != nil {
+		t.Fatalf("VerifyMatrix: %v", err)
+	}
+	if !ver.OK {
+		t.Errorf("extracted matrix failed on-device verification: shifts %.3f / %.3f mV",
+			ver.SteepShift, ver.ShallowShift)
+	}
+	if ver.Probes <= 0 || ver.Probes > 1500 {
+		t.Errorf("verification probes = %d", ver.Probes)
+	}
+	// A deliberately uncompensated matrix must fail the same check.
+	bad := *ext
+	bad.Matrix = Matrix2{{1, 0}, {0, 1}}
+	ver2, err := VerifyMatrix(inst, inst.Window(), &bad, VerifyOptions{})
+	if err == nil && ver2.OK {
+		t.Error("identity matrix passed on-device verification")
+	}
+}

@@ -1,0 +1,138 @@
+package fastvg
+
+// Failure-injection tests: device instability (charge jumps), strong
+// telegraph noise and sensor drift injected mid-measurement. The pipelines
+// must either still produce accurate matrices (mild faults) or fail with a
+// sentinel error (severe faults) — never panic and never silently return a
+// non-physical matrix.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestExtractionSurvivesMildChargeJumps(t *testing.T) {
+	// One-quarter-step jumps every ~20 s of virtual time: a fast extraction
+	// (~50 s of dwell) sees a couple of them.
+	ok := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		inst, truth, err := NewDoubleDotSim(DoubleDotSimOptions{
+			Noise: NoiseParams{WhiteSigma: 0.01, JumpAmp: 0.05, JumpInterval: 20},
+			Seed:  uint64(500 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Extract(inst, inst.Window(), Options{})
+		if err != nil {
+			continue
+		}
+		if angleErrDeg(res.SteepSlope, truth.SteepSlope) <= 3.5 &&
+			angleErrDeg(res.ShallowSlope, truth.ShallowSlope) <= 3.5 {
+			ok++
+		}
+	}
+	if ok < trials-1 {
+		t.Errorf("survived only %d/%d mild charge-jump runs", ok, trials)
+	}
+}
+
+func TestExtractionGracefulUnderSevereFaults(t *testing.T) {
+	// Full-step jumps every 3 s plus strong telegraph noise: extraction may
+	// fail, but only with a sentinel error, and any returned matrix must be
+	// physical.
+	for i := 0; i < 5; i++ {
+		inst, _, err := NewDoubleDotSim(DoubleDotSimOptions{
+			Noise: NoiseParams{
+				WhiteSigma: 0.05,
+				RTNAmp:     0.3, RTNRate: 0.5,
+				JumpAmp: 0.25, JumpInterval: 3,
+			},
+			Seed: uint64(600 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Extract(inst, inst.Window(), Options{})
+		if err != nil {
+			if !errors.Is(err, ErrAnchors) && !errors.Is(err, ErrFit) && !errors.Is(err, ErrNonPhysical) {
+				t.Errorf("seed %d: non-sentinel error %v", 600+i, err)
+			}
+			continue
+		}
+		if !(res.SteepSlope < -1) || !(res.ShallowSlope > -1 && res.ShallowSlope < 0) {
+			t.Errorf("seed %d: non-physical matrix returned without error: steep=%v shallow=%v",
+				600+i, res.SteepSlope, res.ShallowSlope)
+		}
+	}
+}
+
+func TestBaselineGracefulUnderSevereFaults(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		inst, _, err := NewDoubleDotSim(DoubleDotSimOptions{
+			Pixels: 64,
+			Noise: NoiseParams{
+				WhiteSigma: 0.08,
+				RTNAmp:     0.35, RTNRate: 0.3,
+			},
+			Seed: uint64(700 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ExtractBaseline(inst, inst.Window(), BaselineOptions{})
+		if err != nil {
+			if !errors.Is(err, ErrNoLine) && !errors.Is(err, ErrBaselineNonPhysical) {
+				t.Errorf("seed %d: non-sentinel baseline error %v", 700+i, err)
+			}
+			continue
+		}
+		if !(res.SteepSlope < -1) || !(res.ShallowSlope > -1 && res.ShallowSlope < 0) {
+			t.Errorf("seed %d: baseline returned non-physical matrix", 700+i)
+		}
+	}
+}
+
+func TestDriftDuringLongAcquisition(t *testing.T) {
+	// Slow sensor drift over the ~8 min a full 100×100 raster takes: the
+	// baseline's acquisition integrates the drift as a background ramp,
+	// which Canny's derivative stage removes — it should still succeed.
+	inst, truth, err := NewDoubleDotSim(DoubleDotSimOptions{
+		Noise: NoiseParams{WhiteSigma: 0.01, DriftLinear: 0.0002}, // +0.1 over 500 s
+		Seed:  42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractBaseline(inst, inst.Window(), BaselineOptions{})
+	if err != nil {
+		t.Fatalf("baseline under drift: %v", err)
+	}
+	if e := angleErrDeg(res.SteepSlope, truth.SteepSlope); e > 3.5 {
+		t.Errorf("drifted baseline steep off by %.2f°", e)
+	}
+	if res.ExperimentTime < 8*time.Minute {
+		t.Errorf("full raster virtual time = %v, want > 8 min", res.ExperimentTime)
+	}
+}
+
+func TestFastExtractionUnderDrift(t *testing.T) {
+	// The fast extraction finishes in ~1 min of dwell, so the same drift
+	// moves the baseline far less during its measurement.
+	inst, truth, err := NewDoubleDotSim(DoubleDotSimOptions{
+		Noise: NoiseParams{WhiteSigma: 0.01, DriftLinear: 0.0002},
+		Seed:  42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Extract(inst, inst.Window(), Options{})
+	if err != nil {
+		t.Fatalf("fast extraction under drift: %v", err)
+	}
+	if e := angleErrDeg(res.SteepSlope, truth.SteepSlope); e > 3.5 {
+		t.Errorf("drifted fast steep off by %.2f°", e)
+	}
+}

@@ -1,0 +1,218 @@
+package anchors
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// synthSource mirrors the CSD structure: tilted bright background with a
+// step down across the steep line (through (xa, 0), slope mSteep) and across
+// the shallow line (through (0, yb), slope mShallow).
+type synthSource struct {
+	xa, yb           float64
+	mSteep, mShallow float64
+	probes           map[grid.Point]bool
+}
+
+func newSynth(xa, yb float64) *synthSource {
+	return &synthSource{xa: xa, yb: yb, mSteep: -8, mShallow: -0.12, probes: map[grid.Point]bool{}}
+}
+
+func (s *synthSource) Current(x, y int) float64 {
+	s.probes[grid.Point{X: x, Y: y}] = true
+	fx, fy := float64(x), float64(y)
+	c := 2.0 + 0.004*(fx+fy)
+	if fx > s.xa+fy/s.mSteep {
+		c -= 0.8
+	}
+	if fy > s.yb+s.mShallow*fx {
+		c -= 0.8
+	}
+	return c
+}
+
+func TestFindLocatesAnchorsOnLines(t *testing.T) {
+	s := newSynth(45, 40)
+	res, err := Find(s, 64, 64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom anchor should sit within a couple of pixels of the steep line's
+	// bottom crossing (x ≈ 45 at y ≈ 1).
+	if math.Abs(float64(res.Bottom.X)-45) > 3 {
+		t.Errorf("bottom anchor at %v, steep line crosses bottom at x≈45", res.Bottom)
+	}
+	if res.Bottom.Y != 1 {
+		t.Errorf("bottom anchor y = %d, want 1 (band centre)", res.Bottom.Y)
+	}
+	if math.Abs(float64(res.Left.Y)-40) > 3 {
+		t.Errorf("left anchor at %v, shallow line crosses left edge at y≈40", res.Left)
+	}
+	if res.Left.X != 1 {
+		t.Errorf("left anchor x = %d, want 1", res.Left.X)
+	}
+}
+
+func TestFindVariousGeometries(t *testing.T) {
+	for _, tc := range []struct{ xa, yb float64 }{
+		{35, 50}, {50, 35}, {40, 40}, {52, 52},
+	} {
+		s := newSynth(tc.xa, tc.yb)
+		res, err := Find(s, 64, 64, DefaultConfig())
+		if err != nil {
+			t.Errorf("geometry %+v: %v", tc, err)
+			continue
+		}
+		if math.Abs(float64(res.Bottom.X)-tc.xa) > 4 {
+			t.Errorf("geometry %+v: bottom anchor %v", tc, res.Bottom)
+		}
+		if math.Abs(float64(res.Left.Y)-tc.yb) > 4 {
+			t.Errorf("geometry %+v: left anchor %v", tc, res.Left)
+		}
+	}
+}
+
+func TestFindLargerWindow(t *testing.T) {
+	s := newSynth(140, 130)
+	res, err := Find(s, 200, 200, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Bottom.X)-140) > 6 {
+		t.Errorf("bottom anchor %v, want x≈140", res.Bottom)
+	}
+	if math.Abs(float64(res.Left.Y)-130) > 6 {
+		t.Errorf("left anchor %v, want y≈130", res.Left)
+	}
+}
+
+func TestFindRejectsTinyWindow(t *testing.T) {
+	s := newSynth(5, 5)
+	if _, err := Find(s, 8, 8, DefaultConfig()); err == nil {
+		t.Error("accepted 8x8 window")
+	}
+}
+
+func TestDiagonalProbeCount(t *testing.T) {
+	s := newSynth(45, 40)
+	res, err := Find(s, 64, 64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DiagonalProbes) != 10 {
+		t.Errorf("%d diagonal probes, want 10", len(res.DiagonalProbes))
+	}
+	first := res.DiagonalProbes[0]
+	last := res.DiagonalProbes[9]
+	if first.X != 0 || first.Y != 0 || last.X != 63 || last.Y != 63 {
+		t.Errorf("diagonal spans %v..%v, want corner to corner", first, last)
+	}
+}
+
+func TestProbeFootprintIsBands(t *testing.T) {
+	// The mask sweeps only touch the 3-pixel bottom and left bands (plus the
+	// diagonal): unique probes ≈ 3·(w-start) + 3·(h-start) + 10.
+	s := newSynth(45, 40)
+	res, err := Find(s, 100, 100, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := len(s.probes)
+	upper := 3*(100-10) + 3*(100-10) + 10 + 16
+	_ = res
+	if unique > upper {
+		t.Errorf("unique probes = %d, want ≤ %d", unique, upper)
+	}
+	for p := range s.probes {
+		onDiag := math.Abs(float64(p.X-p.Y)) < 2
+		if p.Y > 2 && p.X > 2 && !onDiag {
+			t.Fatalf("probe %v outside bands and diagonal", p)
+		}
+	}
+}
+
+func TestStartRespectsMinFrac(t *testing.T) {
+	// With a dark lower-left (brightest diagonal point at the origin), the
+	// sweep must still start at 10% of the extent.
+	s := newSynth(45, 40)
+	res, err := Find(s, 100, 100, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartX < 10 || res.StartY < 10 {
+		t.Errorf("start = (%d,%d), want ≥ (10,10)", res.StartX, res.StartY)
+	}
+}
+
+func TestBrightestStartUsedWhenFarther(t *testing.T) {
+	// Background rises along the diagonal and drops after the lines, so the
+	// brightest diagonal probe sits just inside the (0,0) corner region;
+	// with lines far out it exceeds 10%.
+	s := newSynth(52, 52)
+	res, err := Find(s, 64, 64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartX <= 7 {
+		t.Errorf("StartX = %d, want > 10%% because brightest point is farther", res.StartX)
+	}
+	if res.Brightest.X < 30 {
+		t.Errorf("brightest diagonal probe at %v, want inside the bright region near the lines", res.Brightest)
+	}
+}
+
+func TestGaussianWeightingSuppressesFarPeaks(t *testing.T) {
+	scores := []float64{0, 0, 0, 5, 0, 0, 0, 0, 0, 6} // far peak slightly higher
+	applyGaussianAt(scores, 3, 0.15)
+	if argmax(scores) != 3 {
+		t.Errorf("Gaussian weighting kept far peak: weighted scores %v", scores)
+	}
+}
+
+func TestApplyGaussianHandlesNegativeScores(t *testing.T) {
+	scores := []float64{-10, -5, -20}
+	applyGaussianAt(scores, 1, 0.3)
+	for i, v := range scores {
+		if v < 0 {
+			t.Errorf("weighted score %d = %v, want non-negative", i, v)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.DiagonalPoints != 10 || c.MinStartFrac != 0.10 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestMaskShapesMatchPaper(t *testing.T) {
+	// Spot-check the transcribed masks against the paper's matrices.
+	if MaskX[0][0] != 1 || MaskX[0][4] != -4 || MaskX[2][0] != 4 || MaskX[2][2] != 3 {
+		t.Error("MaskX transcription wrong")
+	}
+	if MaskY[0][2] != -4 || MaskY[2][0] != 3 || MaskY[4][0] != 4 || MaskY[4][2] != 1 {
+		t.Error("MaskY transcription wrong")
+	}
+	// Both masks are zero-sum, so they reject constant backgrounds.
+	var sx, sy float64
+	for _, row := range MaskX {
+		for _, v := range row {
+			sx += v
+		}
+	}
+	for _, row := range MaskY {
+		for _, v := range row {
+			sy += v
+		}
+	}
+	if sx != 0 {
+		t.Errorf("MaskX sum = %v (not zero-sum; constant background leaks)", sx)
+	}
+	if sy != 0 {
+		t.Errorf("MaskY sum = %v", sy)
+	}
+}

@@ -1,0 +1,159 @@
+// Package autotune implements the step upstream of virtual gate extraction:
+// locating a scan window that frames the few-electron charge transition
+// lines the way the paper's cropped CSDs do (steep line crossing the bottom
+// edge and shallow line crossing the left edge at ~65% of the extent, triple
+// point inside).
+//
+// FindWindow coarse-rasters a broad voltage range, marks the pixels whose
+// positively tilted feature gradient stands out from the noise floor,
+// isolates the lowest-voltage (first-electron) transition cluster, and
+// proposes a window around it. The cost is resolution² probes — at the
+// default 32×32, roughly one tenth of a single full-resolution CSD.
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoTransitions: no gradient structure stood out from the noise.
+	ErrNoTransitions = errors.New("autotune: no charge transitions found in the search range")
+)
+
+// Config tunes the search; the zero value uses the defaults below.
+type Config struct {
+	Resolution    int     // coarse raster resolution per axis; default 32
+	GradientSigma float64 // detection threshold in noise-σ units; default 8
+	ClusterFrac   float64 // first-electron cluster depth as a fraction of the (v1+v2) spread; default 0.35
+	CrossFrac     float64 // target edge-crossing fraction of the proposed window; default 0.65
+	SpanScale     float64 // proposed span as a multiple of the cluster extent; default 1.9
+}
+
+func (c *Config) fillDefaults() {
+	if c.Resolution == 0 {
+		c.Resolution = 32
+	}
+	if c.GradientSigma == 0 {
+		c.GradientSigma = 8
+	}
+	if c.ClusterFrac == 0 {
+		c.ClusterFrac = 0.35
+	}
+	if c.CrossFrac == 0 {
+		c.CrossFrac = 0.65
+	}
+	if c.SpanScale == 0 {
+		c.SpanScale = 1.9
+	}
+}
+
+// Result reports the proposed window and the evidence behind it.
+type Result struct {
+	Window     csd.Window   // proposed scan window (square, Pixels unset by caller choice)
+	Candidates []grid.Point // coarse pixels with significant gradient
+	Cluster    []grid.Point // the first-electron subset used for the proposal
+	Coarse     *grid.Grid   // the coarse raster (diagnostics)
+}
+
+// FindWindow searches [v1Min, v1Max] × [v2Min, v2Max] for the first-electron
+// transition region and proposes a pixels×pixels scan window framing it.
+func FindWindow(src csd.CurrentGetter, v1Min, v1Max, v2Min, v2Max float64, pixels int, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if pixels < 16 {
+		return nil, fmt.Errorf("autotune: output resolution %d too small", pixels)
+	}
+	coarseWin := csd.Window{
+		V1Min: v1Min, V1Max: v1Max,
+		V2Min: v2Min, V2Max: v2Max,
+		Cols: cfg.Resolution, Rows: cfg.Resolution,
+	}
+	if err := coarseWin.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := csd.Acquire(src, coarseWin)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Coarse: g}
+
+	// Feature-gradient map (Algorithm 2's positively tilted gradient).
+	grad := grid.New(g.W, g.H)
+	grad.Apply(func(x, y int, _ float64) float64 {
+		c := g.At(x, y)
+		return (c - g.AtClamped(x+1, y)) + (c - g.AtClamped(x+1, y+1))
+	})
+
+	// Noise floor: the median absolute gradient is dominated by flat-region
+	// pixels; transitions must stand well above it.
+	abs := make([]float64, 0, g.W*g.H)
+	for _, v := range grad.Data() {
+		abs = append(abs, math.Abs(v))
+	}
+	sort.Float64s(abs)
+	floor := abs[len(abs)/2]
+	thresh := cfg.GradientSigma * math.Max(floor, 1e-12)
+	if maxAbs := abs[len(abs)-1]; maxAbs < thresh {
+		return res, fmt.Errorf("%w: max gradient %.3g below threshold %.3g", ErrNoTransitions, maxAbs, thresh)
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if grad.At(x, y) > thresh {
+				res.Candidates = append(res.Candidates, grid.Point{X: x, Y: y})
+			}
+		}
+	}
+	if len(res.Candidates) < 4 {
+		return res, fmt.Errorf("%w: only %d candidate pixels", ErrNoTransitions, len(res.Candidates))
+	}
+
+	// Keep the lowest-voltage cluster: the first-electron lines. Later
+	// electron additions repeat at higher (v1+v2).
+	minSum := math.Inf(1)
+	maxSum := math.Inf(-1)
+	for _, p := range res.Candidates {
+		s := float64(p.X + p.Y)
+		minSum = math.Min(minSum, s)
+		maxSum = math.Max(maxSum, s)
+	}
+	depth := cfg.ClusterFrac * math.Max(maxSum-minSum, 1)
+	for _, p := range res.Candidates {
+		if float64(p.X+p.Y) <= minSum+depth {
+			res.Cluster = append(res.Cluster, p)
+		}
+	}
+
+	// Bounding box of the cluster in voltage space.
+	loX, hiX := math.Inf(1), math.Inf(-1)
+	loY, hiY := math.Inf(1), math.Inf(-1)
+	for _, p := range res.Cluster {
+		v1 := coarseWin.V1At(p.X)
+		v2 := coarseWin.V2At(p.Y)
+		loX = math.Min(loX, v1)
+		hiX = math.Max(hiX, v1)
+		loY = math.Min(loY, v2)
+		hiY = math.Max(hiY, v2)
+	}
+	extent := math.Max(hiX-loX, hiY-loY)
+	extent = math.Max(extent, 2*coarseWin.StepV1()) // at least a few coarse pixels
+	span := cfg.SpanScale * extent
+
+	// Place the window so the cluster centre (the line band) sits at the
+	// target crossing fraction from the window origin.
+	cx := (loX + hiX) / 2
+	cy := (loY + hiY) / 2
+	res.Window = csd.Window{
+		V1Min: cx - cfg.CrossFrac*span,
+		V2Min: cy - cfg.CrossFrac*span,
+		Cols:  pixels, Rows: pixels,
+	}
+	res.Window.V1Max = res.Window.V1Min + span
+	res.Window.V2Max = res.Window.V2Min + span
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package autotune
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/core"
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+// broadDevice builds a simulated double dot whose first-electron lines cross
+// the axes near 30 mV, with the second-electron lines ~50 mV beyond — so a
+// broad scan sees both and the finder must isolate the first set.
+func broadDevice(t *testing.T) *device.DoubleDot {
+	t.Helper()
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   -8,
+		ShallowSlope: -0.12,
+		SteepPoint:   [2]float64{30, 0},
+		ShallowPoint: [2]float64{0, 28},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &device.DoubleDot{Phys: phys, Sens: sensor.DefaultDoubleDot(0.47, 0.45, 240)}
+}
+
+func TestFindWindowFramesFirstLines(t *testing.T) {
+	dev := broadDevice(t)
+	inst := device.NewSimInstrument(dev, device.DefaultDwell, 0.5, 0.5)
+	res, err := FindWindow(inst, 0, 120, 0, 120, 100, Config{})
+	if err != nil {
+		t.Fatalf("FindWindow: %v", err)
+	}
+	w := res.Window
+	// The first-electron steep line must cross the proposed window's bottom
+	// edge between 40% and 90% of its width.
+	steep := dev.Phys.SteepLine()
+	xFrac := (steep.V1At(w.V2Min) - w.V1Min) / (w.V1Max - w.V1Min)
+	if xFrac < 0.4 || xFrac > 0.9 {
+		t.Errorf("steep line crosses bottom edge at fraction %.2f of window [%v,%v]",
+			xFrac, w.V1Min, w.V1Max)
+	}
+	shallow := dev.Phys.ShallowLine()
+	yFrac := (shallow.V2At(w.V1Min) - w.V2Min) / (w.V2Max - w.V2Min)
+	if yFrac < 0.4 || yFrac > 0.9 {
+		t.Errorf("shallow line crosses left edge at fraction %.2f", yFrac)
+	}
+	// The triple point must be inside.
+	v1t, v2t, err := dev.Phys.TriplePoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1t < w.V1Min || v1t > w.V1Max || v2t < w.V2Min || v2t > w.V2Max {
+		t.Errorf("triple point (%v,%v) outside proposed window", v1t, v2t)
+	}
+}
+
+func TestFindWindowThenExtract(t *testing.T) {
+	// The full upstream-downstream flow: find the window on a broad range,
+	// then run the fast extraction inside it.
+	dev := broadDevice(t)
+	finder := device.NewSimInstrument(dev, device.DefaultDwell, 0.5, 0.5)
+	res, err := FindWindow(finder, 0, 120, 0, 120, 100, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := res.Window
+	inst := device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2())
+	ext, err := core.Extract(csd.PixelSource{Src: inst, Win: win}, win, core.Config{})
+	if err != nil {
+		t.Fatalf("extraction inside proposed window: %v", err)
+	}
+	if e := math.Abs(math.Atan(ext.SteepSlope)-math.Atan(-8)) * 180 / math.Pi; e > 3.5 {
+		t.Errorf("steep slope %v (Δ%.2f°)", ext.SteepSlope, e)
+	}
+	if e := math.Abs(math.Atan(ext.ShallowSlope)-math.Atan(-0.12)) * 180 / math.Pi; e > 3.5 {
+		t.Errorf("shallow slope %v (Δ%.2f°)", ext.ShallowSlope, e)
+	}
+}
+
+func TestFindWindowCost(t *testing.T) {
+	dev := broadDevice(t)
+	inst := device.NewSimInstrument(dev, device.DefaultDwell, 0.5, 0.5)
+	if _, err := FindWindow(inst, 0, 120, 0, 120, 100, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if probes := inst.Stats().UniqueProbes; probes > 33*33 {
+		t.Errorf("window search probed %d points, want ≤ %d", probes, 33*33)
+	}
+}
+
+type flatGetter struct{}
+
+func (flatGetter) GetCurrent(v1, v2 float64) float64 { return 1 }
+
+func TestFindWindowNoTransitions(t *testing.T) {
+	_, err := FindWindow(flatGetter{}, 0, 100, 0, 100, 100, Config{})
+	if !errors.Is(err, ErrNoTransitions) {
+		t.Errorf("err = %v, want ErrNoTransitions", err)
+	}
+}
+
+func TestFindWindowValidation(t *testing.T) {
+	if _, err := FindWindow(flatGetter{}, 0, 100, 0, 100, 8, Config{}); err == nil {
+		t.Error("accepted tiny output resolution")
+	}
+	if _, err := FindWindow(flatGetter{}, 100, 0, 0, 100, 64, Config{}); err == nil {
+		t.Error("accepted inverted voltage range")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.Resolution != 32 || c.CrossFrac != 0.65 || c.SpanScale != 1.9 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

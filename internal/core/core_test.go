@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+// synthSource is the analytic clean CSD used across algorithm tests.
+type synthSource struct {
+	xa, yb           float64
+	mSteep, mShallow float64
+}
+
+func (s synthSource) Current(x, y int) float64 {
+	fx, fy := float64(x), float64(y)
+	c := 2.0 + 0.004*(fx+fy)
+	if fx > s.xa+fy/s.mSteep {
+		c -= 0.8
+	}
+	if fy > s.yb+s.mShallow*fx {
+		c -= 0.8
+	}
+	return c
+}
+
+func squareWin(n int) csd.Window { return csd.NewSquareWindow(0, 0, float64(n), n) }
+
+func TestExtractCleanSynthetic(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	res, err := Extract(s, squareWin(64), Config{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if e := angleErr(res.SteepSlope, -8); e > 3 {
+		t.Errorf("steep slope %v, want -8 (Δ%.2f°)", res.SteepSlope, e)
+	}
+	if e := angleErr(res.ShallowSlope, -0.12); e > 3 {
+		t.Errorf("shallow slope %v, want -0.12 (Δ%.2f°)", res.ShallowSlope, e)
+	}
+	// Knee should land near the true intersection (~(40.1, 35.2)).
+	if math.Abs(res.Knee.X-40) > 4 || math.Abs(res.Knee.Y-35) > 4 {
+		t.Errorf("knee %v, want near (40, 35)", res.Knee)
+	}
+	if res.Matrix.A12() <= 0 || res.Matrix.A21() <= 0 {
+		t.Errorf("matrix off-diagonals %v, %v should be positive", res.Matrix.A12(), res.Matrix.A21())
+	}
+}
+
+func angleErr(got, want float64) float64 {
+	return math.Abs(math.Atan(got)-math.Atan(want)) * 180 / math.Pi
+}
+
+func TestExtractVariousGeometries(t *testing.T) {
+	cases := []synthSource{
+		{xa: 40, yb: 48, mSteep: -5, mShallow: -0.2},
+		{xa: 50, yb: 38, mSteep: -11, mShallow: -0.08},
+		{xa: 44, yb: 44, mSteep: -7, mShallow: -0.15},
+	}
+	for _, s := range cases {
+		res, err := Extract(s, squareWin(64), Config{})
+		if err != nil {
+			t.Errorf("geometry %+v: %v", s, err)
+			continue
+		}
+		if e := angleErr(res.SteepSlope, s.mSteep); e > 3.5 {
+			t.Errorf("geometry %+v: steep %v (Δ%.2f°)", s, res.SteepSlope, e)
+		}
+		if e := angleErr(res.ShallowSlope, s.mShallow); e > 3.5 {
+			t.Errorf("geometry %+v: shallow %v (Δ%.2f°)", s, res.ShallowSlope, e)
+		}
+	}
+}
+
+func TestExtractOnSimulatedDevice(t *testing.T) {
+	// Full integration: physics + sensor + instrument + window.
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   -7.5,
+		ShallowSlope: -0.13,
+		SteepPoint:   [2]float64{33, 0},
+		ShallowPoint: [2]float64{0, 31},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &device.DoubleDot{Phys: phys, Sens: sensor.DefaultDoubleDot(0.47, 0.45, 100)}
+	win := csd.NewSquareWindow(0, 0, 50, 100)
+	inst := device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2())
+	res, err := Extract(csd.PixelSource{Src: inst, Win: win}, win, Config{})
+	if err != nil {
+		t.Fatalf("Extract on simulated device: %v", err)
+	}
+	if e := angleErr(res.SteepSlope, -7.5); e > 3.5 {
+		t.Errorf("steep %v (Δ%.2f°)", res.SteepSlope, e)
+	}
+	if e := angleErr(res.ShallowSlope, -0.13); e > 3.5 {
+		t.Errorf("shallow %v (Δ%.2f°)", res.ShallowSlope, e)
+	}
+	// The fast method must probe far fewer points than the full raster.
+	if probes := inst.Stats().UniqueProbes; probes > 2500 {
+		t.Errorf("probed %d points, expected ≪ 10000", probes)
+	}
+}
+
+func TestExtractFailsOnFlatData(t *testing.T) {
+	flat := synthSource{xa: 1e9, yb: 1e9, mSteep: -8, mShallow: -0.12} // lines out of window
+	_, err := Extract(flat, squareWin(64), Config{})
+	if err == nil {
+		t.Fatal("extraction on featureless data succeeded")
+	}
+}
+
+func TestExtractRejectsBadWindow(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	if _, err := Extract(s, csd.Window{}, Config{}); err == nil {
+		t.Error("accepted invalid window")
+	}
+}
+
+func TestExtractTooSmallWindow(t *testing.T) {
+	s := synthSource{xa: 5, yb: 5, mSteep: -8, mShallow: -0.12}
+	_, err := Extract(s, squareWin(10), Config{})
+	if !errors.Is(err, ErrAnchors) {
+		t.Errorf("err = %v, want ErrAnchors", err)
+	}
+}
+
+func TestAblationRowSweepOnly(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	res, err := Extract(s, squareWin(64), Config{RowSweepOnly: true})
+	if err != nil {
+		t.Fatalf("row-only extraction failed on clean data: %v", err)
+	}
+	if len(res.ColTrace.Chosen) != 0 {
+		t.Error("column sweep ran despite RowSweepOnly")
+	}
+}
+
+func TestAblationNoShrinkProbesMore(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	resShrink, err := Extract(s, squareWin(64), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNo, err := Extract(s, squareWin(64), Config{NoShrink: true})
+	if err != nil {
+		t.Fatalf("no-shrink extraction failed: %v", err)
+	}
+	if len(resNo.RowTrace.Probed) <= len(resShrink.RowTrace.Probed) {
+		t.Errorf("no-shrink probed %d ≤ shrink %d; ablation ineffective",
+			len(resNo.RowTrace.Probed), len(resShrink.RowTrace.Probed))
+	}
+}
+
+func TestAblationNoFilterKeepsAllPoints(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	res, err := Extract(s, squareWin(64), Config{DisableFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(res.RawPoints) {
+		t.Errorf("filter disabled but %d != %d points", len(res.Points), len(res.RawPoints))
+	}
+}
+
+func TestTriplePointVoltage(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	win := csd.NewSquareWindow(100, 200, 64, 64) // 1 mV per pixel, offset origin
+	res, err := Extract(s, win, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := res.TriplePointVoltage(win)
+	if v1 < 100 || v1 > 164 || v2 < 200 || v2 > 264 {
+		t.Errorf("triple point voltage (%v, %v) outside window", v1, v2)
+	}
+}
+
+func TestResultSlopesConsistentWithMatrix(t *testing.T) {
+	s := synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+	res, err := Extract(s, squareWin(64), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Matrix.A12()-(-1/res.SteepSlope)) > 1e-12 {
+		t.Error("A12 inconsistent with steep slope")
+	}
+	if math.Abs(res.Matrix.A21()-(-res.ShallowSlope)) > 1e-12 {
+		t.Error("A21 inconsistent with shallow slope")
+	}
+}

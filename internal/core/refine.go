@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/fitting"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// refineSlopes replaces the anchored-fit slopes with robust per-branch
+// Theil–Sen estimates over the filtered transition points.
+//
+// The paper computes the slopes from the fitted knee and the *initial anchor
+// points* (Section 4.3.3), which makes the result sensitive to anchor
+// placement error — under noise a ±2 px anchor offset tilts the steep slope
+// by ~2°. Refinement assigns each filtered point to its nearer branch of the
+// fitted polyline and fits each branch independently: the steep branch as
+// x = f(y) (well-conditioned near vertical), the shallow branch as y = f(x),
+// both with Theil–Sen's ~29% outlier tolerance. The knee moves to the
+// refined lines' intersection. If refinement is degenerate or non-physical
+// the anchored-fit result is kept, so it can only help.
+func refineSlopes(res *Result, win csd.Window, cfg Config) {
+	model := res.Fit.Model
+	var steepPts, shallowPts []fitting.Vec2
+	for _, p := range res.Points {
+		v := fitting.Vec2{X: float64(p.X), Y: float64(p.Y)}
+		if distToSegment(v, model.A, model.K) <= distToSegment(v, model.B, model.K) {
+			steepPts = append(steepPts, v)
+		} else {
+			shallowPts = append(shallowPts, v)
+		}
+	}
+	if len(steepPts) < 5 || len(shallowPts) < 5 {
+		return
+	}
+	// Steep branch: x = c1 + d1·y.
+	swapped := make([]fitting.Vec2, len(steepPts))
+	for i, p := range steepPts {
+		swapped[i] = fitting.Vec2{X: p.Y, Y: p.X}
+	}
+	c1, d1, err1 := fitting.TheilSen(swapped)
+	// Shallow branch: y = c2 + d2·x.
+	c2, d2, err2 := fitting.TheilSen(shallowPts)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	var steepPx float64
+	if d1 == 0 {
+		steepPx = math.Inf(-1)
+	} else {
+		steepPx = 1 / d1
+	}
+	shallowPx := d2
+	steepV := win.PixelSlopeToVoltage(steepPx)
+	shallowV := win.PixelSlopeToVoltage(shallowPx)
+	if !(steepV < -1) || !(shallowV > -1 && shallowV < 0) {
+		return // keep the anchored fit
+	}
+	m, err := virtualgate.FromSlopes(steepV, shallowV)
+	if err != nil {
+		return
+	}
+	// Knee: intersection of x = c1 + d1·y and y = c2 + d2·x.
+	den := 1 - d1*d2
+	if math.Abs(den) > 1e-9 {
+		kx := (c1 + d1*c2) / den
+		ky := c2 + d2*kx
+		if kx >= -cfg.KneeMargin && kx <= float64(win.Cols)+cfg.KneeMargin &&
+			ky >= -cfg.KneeMargin && ky <= float64(win.Rows)+cfg.KneeMargin {
+			res.Knee = fitting.Vec2{X: kx, Y: ky}
+		}
+	}
+	res.SteepSlopePx = steepPx
+	res.ShallowSlopePx = shallowPx
+	res.SteepSlope = steepV
+	res.ShallowSlope = shallowV
+	res.Matrix = m
+	res.Refined = true
+}
+
+// distToSegment is the Euclidean distance from q to segment ab.
+func distToSegment(q, a, b fitting.Vec2) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	l2 := abx*abx + aby*aby
+	if l2 == 0 {
+		return math.Hypot(q.X-a.X, q.Y-a.Y)
+	}
+	t := ((q.X-a.X)*abx + (q.Y-a.Y)*aby) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return math.Hypot(q.X-(a.X+t*abx), q.Y-(a.Y+t*aby))
+}

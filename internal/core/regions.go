@@ -1,0 +1,29 @@
+package core
+
+import "github.com/fastvg/fastvg/internal/csd"
+
+// ChargeState is the (N1, N2) occupation label of a CSD region.
+type ChargeState struct {
+	N1, N2 int
+}
+
+// StateAt classifies a gate-voltage point into one of the four low-occupation
+// charge regions using the extracted transition lines: N1 = 1 right of the
+// steep line, N2 = 1 above the shallow line. Near the lines (within the
+// measurement granularity) the label is the extracted best guess; exact
+// degeneracy-point behaviour needs the full physics model.
+func (r *Result) StateAt(win csd.Window, v1, v2 float64) ChargeState {
+	// Work in pixel coordinates, where the fit lives.
+	x := (v1 - win.V1Min) / win.StepV1()
+	y := (v2 - win.V2Min) / win.StepV2()
+	var s ChargeState
+	// Steep line through the knee with the steep slope: right of it → N1=1.
+	if x > r.Knee.X+(y-r.Knee.Y)/r.SteepSlopePx {
+		s.N1 = 1
+	}
+	// Shallow line through the knee: above it → N2=1.
+	if y > r.Knee.Y+r.ShallowSlopePx*(x-r.Knee.X) {
+		s.N2 = 1
+	}
+	return s
+}

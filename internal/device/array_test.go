@@ -1,0 +1,101 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+func testArrayDevice(t *testing.T, n int) *ArrayDevice {
+	t.Helper()
+	phys, err := physics.UniformChain(n, 4, 0.3, 0.08, 0.12, 0.3, -2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens := sensor.Params{
+		Base: 0.05, PeakAmp: 1, PeakPos: 1.6, PeakWidth: 1,
+		Kappa:  make([]float64, n),
+		Lambda: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		sens.Kappa[i] = 0.002
+		sens.Lambda[i] = 0.3
+	}
+	return &ArrayDevice{Phys: phys, Sens: sens}
+}
+
+func TestMultiInstrumentAccounting(t *testing.T) {
+	dev := testArrayDevice(t, 4)
+	inst := NewMultiInstrument(dev, DefaultDwell, 1)
+	v := []float64{10, 10, 10, 10}
+	inst.GetCurrentN(v)
+	inst.GetCurrentN(v) // memoised
+	v[0] = 20
+	inst.GetCurrentN(v)
+	s := inst.Stats()
+	if s.UniqueProbes != 2 || s.RawCalls != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Virtual != 2*DefaultDwell {
+		t.Errorf("virtual = %v", s.Virtual)
+	}
+}
+
+func TestMultiInstrumentQuantisationKey(t *testing.T) {
+	dev := testArrayDevice(t, 3)
+	inst := NewMultiInstrument(dev, time.Millisecond, 1)
+	a := inst.GetCurrentN([]float64{10.1, 20.2, 30.3})
+	b := inst.GetCurrentN([]float64{10.9, 20.8, 30.7}) // same 1 mV cells
+	if a != b {
+		t.Error("same-cell probe not memoised")
+	}
+	c := inst.GetCurrentN([]float64{11.1, 20.2, 30.3})
+	_ = c
+	if got := inst.Stats().UniqueProbes; got != 2 {
+		t.Errorf("unique probes = %d, want 2", got)
+	}
+}
+
+func TestPairViewRoutesVoltages(t *testing.T) {
+	dev := testArrayDevice(t, 4)
+	inst := NewMultiInstrument(dev, 0, 0)
+	base := []float64{1, 2, 3, 4}
+	pv, err := NewPairView(inst, 1, 2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pv.GetCurrent(50, 60)
+	want := dev.CurrentAt([]float64{1, 50, 60, 4}, 0)
+	if got != want {
+		t.Errorf("pair view current = %v, want %v", got, want)
+	}
+	// Base must not be mutated.
+	if base[1] != 2 || base[2] != 3 {
+		t.Errorf("base mutated: %v", base)
+	}
+}
+
+func TestPairViewValidation(t *testing.T) {
+	dev := testArrayDevice(t, 3)
+	inst := NewMultiInstrument(dev, 0, 0)
+	if _, err := NewPairView(inst, 0, 0, []float64{0, 0, 0}); err == nil {
+		t.Error("accepted identical gates")
+	}
+	if _, err := NewPairView(inst, 0, 5, []float64{0, 0, 0}); err == nil {
+		t.Error("accepted out-of-range gate")
+	}
+	if _, err := NewPairView(inst, 0, 1, []float64{0}); err == nil {
+		t.Error("accepted short base vector")
+	}
+}
+
+func TestArrayCurrentDropsWhenDotLoads(t *testing.T) {
+	dev := testArrayDevice(t, 4)
+	lo := dev.CurrentAt([]float64{10, 10, 10, 10}, 0)
+	hi := dev.CurrentAt([]float64{10, 80, 10, 10}, 0) // loads dot 1
+	if hi >= lo {
+		t.Errorf("current did not drop when dot loaded: %v -> %v", lo, hi)
+	}
+}

@@ -1,0 +1,201 @@
+// Package device ties the physics, sensor and noise models into simulated
+// measurement instruments.
+//
+// An Instrument implements the paper's Algorithm 1 (getCurrent): set the
+// plunger voltages, wait the dwell time, read the charge-sensor current. The
+// dwell wait — typically 50 ms on charge-sensed devices — dominates the
+// paper's runtimes, so the simulated instruments charge it on a virtual
+// clock and expose the totals through Stats. Temporal noise processes are
+// sampled at the virtual time of each measurement, so noise correlations
+// follow the probing schedule just as they do on hardware.
+//
+// Instruments memoise measured configurations: re-requesting a voltage
+// configuration returns the recorded value without a new dwell, matching the
+// paper's accounting where "number of points probed" counts distinct
+// configurations.
+package device
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+// DefaultDwell is the paper's per-point dwell time (Section 5.1).
+const DefaultDwell = 50 * time.Millisecond
+
+// Stats accounts for an instrument's experimental cost.
+type Stats struct {
+	UniqueProbes int           // distinct voltage configurations measured (paper's "points probed")
+	RawCalls     int           // total getCurrent invocations, cache hits included
+	Virtual      time.Duration // dwell time accumulated on the virtual clock
+}
+
+// Instrument measures the charge-sensor current at a two-gate voltage
+// configuration.
+type Instrument interface {
+	GetCurrent(v1, v2 float64) float64
+}
+
+// Accountant is implemented by instruments that track experimental cost.
+type Accountant interface {
+	Stats() Stats
+	ResetStats()
+}
+
+// DoubleDot is a simulated two-plunger, two-dot device with a charge sensor.
+type DoubleDot struct {
+	Phys  *physics.DoubleDot
+	Sens  sensor.Params
+	Noise noise.Process // optional; sampled at the virtual measurement time
+}
+
+// CurrentAt returns the sensor current at (v1, v2) measured at virtual time
+// t (seconds).
+func (d *DoubleDot) CurrentAt(v1, v2, t float64) float64 {
+	n1, n2 := d.Phys.GroundState(v1, v2)
+	i := d.Sens.Current([]float64{v1, v2}, []int{n1, n2})
+	if d.Noise != nil {
+		i += d.Noise.Sample(t)
+	}
+	return i
+}
+
+// SimInstrument drives a DoubleDot with dwell-time accounting and
+// memoisation on a voltage quantisation grid (normally the scan window's
+// pixel pitch δ).
+type SimInstrument struct {
+	Dev              *DoubleDot
+	Dwell            time.Duration
+	QuantV1, QuantV2 float64 // memoisation granularity (mV); 0 disables memoisation
+
+	memo  map[[2]int64]float64
+	stats Stats
+}
+
+// NewSimInstrument returns an instrument over dev with the given dwell and
+// memoisation pitch.
+func NewSimInstrument(dev *DoubleDot, dwell time.Duration, quantV1, quantV2 float64) *SimInstrument {
+	return &SimInstrument{
+		Dev: dev, Dwell: dwell,
+		QuantV1: quantV1, QuantV2: quantV2,
+		memo: make(map[[2]int64]float64),
+	}
+}
+
+func quantKey(v, q float64) int64 {
+	if q <= 0 {
+		return 0
+	}
+	return int64(math.Floor(v / q))
+}
+
+// GetCurrent implements Instrument.
+func (s *SimInstrument) GetCurrent(v1, v2 float64) float64 {
+	s.stats.RawCalls++
+	memoised := s.QuantV1 > 0 && s.QuantV2 > 0
+	var key [2]int64
+	if memoised {
+		key = [2]int64{quantKey(v1, s.QuantV1), quantKey(v2, s.QuantV2)}
+		if v, ok := s.memo[key]; ok {
+			return v
+		}
+	}
+	s.stats.UniqueProbes++
+	s.stats.Virtual += s.Dwell
+	v := s.Dev.CurrentAt(v1, v2, s.stats.Virtual.Seconds())
+	if memoised {
+		s.memo[key] = v
+	}
+	return v
+}
+
+// Stats implements Accountant.
+func (s *SimInstrument) Stats() Stats { return s.stats }
+
+// ResetStats clears the accounting and the memoisation cache.
+func (s *SimInstrument) ResetStats() {
+	s.stats = Stats{}
+	s.memo = make(map[[2]int64]float64)
+}
+
+// DatasetInstrument replays a pre-acquired CSD, the paper's evaluation
+// setup: "when the proposed algorithm needs to obtain a data point … it will
+// call a simulated getCurrent function … [which] will return a current from
+// a CSD in the dataset". Voltages outside the window clamp to the nearest
+// edge pixel.
+type DatasetInstrument struct {
+	Data  *grid.Grid
+	Win   csd.Window
+	Dwell time.Duration
+
+	probed []bool
+	stats  Stats
+}
+
+// NewDatasetInstrument wraps a recorded CSD grid and its scan window.
+func NewDatasetInstrument(data *grid.Grid, win csd.Window, dwell time.Duration) (*DatasetInstrument, error) {
+	if data == nil {
+		return nil, errors.New("device: nil dataset grid")
+	}
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	if data.W != win.Cols || data.H != win.Rows {
+		return nil, errors.New("device: dataset grid size does not match window")
+	}
+	return &DatasetInstrument{
+		Data: data, Win: win, Dwell: dwell,
+		probed: make([]bool, data.W*data.H),
+	}, nil
+}
+
+// GetCurrent implements Instrument.
+func (d *DatasetInstrument) GetCurrent(v1, v2 float64) float64 {
+	d.stats.RawCalls++
+	x, y := d.Win.XOf(v1), d.Win.YOf(v2)
+	idx := y*d.Data.W + x
+	if !d.probed[idx] {
+		d.probed[idx] = true
+		d.stats.UniqueProbes++
+		d.stats.Virtual += d.Dwell
+	}
+	return d.Data.At(x, y)
+}
+
+// Probed reports whether pixel (x, y) has been measured.
+func (d *DatasetInstrument) Probed(x, y int) bool {
+	if x < 0 || x >= d.Data.W || y < 0 || y >= d.Data.H {
+		return false
+	}
+	return d.probed[y*d.Data.W+x]
+}
+
+// ProbeMap returns the set of probed pixels, the data behind the paper's
+// Figure 7.
+func (d *DatasetInstrument) ProbeMap() []grid.Point {
+	var pts []grid.Point
+	for y := 0; y < d.Data.H; y++ {
+		for x := 0; x < d.Data.W; x++ {
+			if d.probed[y*d.Data.W+x] {
+				pts = append(pts, grid.Point{X: x, Y: y})
+			}
+		}
+	}
+	return pts
+}
+
+// Stats implements Accountant.
+func (d *DatasetInstrument) Stats() Stats { return d.stats }
+
+// ResetStats clears accounting and the probed map.
+func (d *DatasetInstrument) ResetStats() {
+	d.stats = Stats{}
+	d.probed = make([]bool, d.Data.W*d.Data.H)
+}

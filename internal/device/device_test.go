@@ -1,0 +1,176 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+func testDoubleDot(t *testing.T) *DoubleDot {
+	t.Helper()
+	p, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   -8,
+		ShallowSlope: -0.12,
+		SteepPoint:   [2]float64{70, 0},
+		ShallowPoint: [2]float64{0, 65},
+		EC1:          4, EC2: 4, ECm: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &DoubleDot{Phys: p, Sens: sensor.DefaultDoubleDot(0.3, 0.3, 200)}
+}
+
+func TestCurrentDropsAcrossSteepLine(t *testing.T) {
+	d := testDoubleDot(t)
+	v2 := 10.0
+	v1 := d.Phys.SteepLine().V1At(v2)
+	before := d.CurrentAt(v1-1, v2, 0)
+	after := d.CurrentAt(v1+1, v2, 0)
+	if after >= before {
+		t.Errorf("current across steep line: %v -> %v, want a drop", before, after)
+	}
+}
+
+func TestSimInstrumentDwellAccounting(t *testing.T) {
+	d := testDoubleDot(t)
+	inst := NewSimInstrument(d, DefaultDwell, 1, 1)
+	inst.GetCurrent(10, 10)
+	inst.GetCurrent(20, 10)
+	s := inst.Stats()
+	if s.UniqueProbes != 2 || s.RawCalls != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Virtual != 100*time.Millisecond {
+		t.Errorf("virtual time = %v, want 100ms", s.Virtual)
+	}
+}
+
+func TestSimInstrumentMemoisation(t *testing.T) {
+	d := testDoubleDot(t)
+	inst := NewSimInstrument(d, DefaultDwell, 1, 1)
+	a := inst.GetCurrent(10.2, 10.7)
+	b := inst.GetCurrent(10.4, 10.9) // same 1 mV pixel
+	if a != b {
+		t.Errorf("memoised re-probe returned %v, first %v", b, a)
+	}
+	s := inst.Stats()
+	if s.UniqueProbes != 1 {
+		t.Errorf("unique probes = %d, want 1", s.UniqueProbes)
+	}
+	if s.RawCalls != 2 {
+		t.Errorf("raw calls = %d, want 2", s.RawCalls)
+	}
+}
+
+func TestSimInstrumentNoMemoWithoutQuant(t *testing.T) {
+	d := testDoubleDot(t)
+	d.Noise = noise.NewWhite(0.1, 1)
+	inst := NewSimInstrument(d, DefaultDwell, 0, 0)
+	a := inst.GetCurrent(10, 10)
+	b := inst.GetCurrent(10, 10)
+	if a == b {
+		t.Error("unmemoised noisy re-probe returned identical value (suspicious)")
+	}
+	if got := inst.Stats().UniqueProbes; got != 2 {
+		t.Errorf("unique probes = %d, want 2", got)
+	}
+}
+
+func TestSimInstrumentResetStats(t *testing.T) {
+	d := testDoubleDot(t)
+	inst := NewSimInstrument(d, DefaultDwell, 1, 1)
+	inst.GetCurrent(5, 5)
+	inst.ResetStats()
+	if s := inst.Stats(); s.UniqueProbes != 0 || s.Virtual != 0 || s.RawCalls != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestNoiseSampledAtVirtualTime(t *testing.T) {
+	d := testDoubleDot(t)
+	d.Noise = &noise.Drift{Linear: 1} // +1 nA per virtual second
+	inst := NewSimInstrument(d, time.Second, 1, 1)
+	a := inst.GetCurrent(10, 10) // t = 1 s
+	b := inst.GetCurrent(50, 10) // t = 2 s; same (0,0) charge region
+	driftDiff := (b - a) - (d.CurrentAt(50, 10, 0) - d.CurrentAt(10, 10, 0))
+	if math.Abs(driftDiff-1.0) > 1e-9 {
+		t.Errorf("drift between consecutive probes = %v, want 1.0", driftDiff)
+	}
+}
+
+func TestDatasetInstrument(t *testing.T) {
+	g := grid.New(4, 4)
+	g.Apply(func(x, y int, _ float64) float64 { return float64(x + 10*y) })
+	w := csd.NewSquareWindow(0, 0, 4, 4) // δ = 1 mV
+	inst, err := NewDatasetInstrument(g, w, DefaultDwell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.GetCurrent(w.V1At(2), w.V2At(3)); got != 32 {
+		t.Errorf("dataset read = %v, want 32", got)
+	}
+	inst.GetCurrent(w.V1At(2), w.V2At(3)) // repeat: no new dwell
+	s := inst.Stats()
+	if s.UniqueProbes != 1 || s.RawCalls != 2 || s.Virtual != DefaultDwell {
+		t.Errorf("stats = %+v", s)
+	}
+	if !inst.Probed(2, 3) || inst.Probed(0, 0) {
+		t.Error("probed map wrong")
+	}
+	if pm := inst.ProbeMap(); len(pm) != 1 || pm[0] != (grid.Point{X: 2, Y: 3}) {
+		t.Errorf("probe map = %v", pm)
+	}
+}
+
+func TestDatasetInstrumentClampsOutside(t *testing.T) {
+	g := grid.New(3, 3)
+	g.Set(2, 2, 7)
+	w := csd.NewSquareWindow(0, 0, 3, 3)
+	inst, err := NewDatasetInstrument(g, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.GetCurrent(100, 100); got != 7 {
+		t.Errorf("clamped read = %v, want 7", got)
+	}
+}
+
+func TestDatasetInstrumentValidation(t *testing.T) {
+	g := grid.New(3, 3)
+	if _, err := NewDatasetInstrument(nil, csd.NewSquareWindow(0, 0, 3, 3), 0); err == nil {
+		t.Error("accepted nil grid")
+	}
+	if _, err := NewDatasetInstrument(g, csd.NewSquareWindow(0, 0, 4, 4), 0); err == nil {
+		t.Error("accepted size mismatch")
+	}
+}
+
+func TestAcquireThroughSimInstrument(t *testing.T) {
+	d := testDoubleDot(t)
+	w := csd.NewSquareWindow(0, 0, 100, 32)
+	inst := NewSimInstrument(d, DefaultDwell, w.StepV1(), w.StepV2())
+	g, err := csd.Acquire(inst, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.Stats()
+	if s.UniqueProbes != 32*32 {
+		t.Errorf("full raster probed %d unique points, want 1024", s.UniqueProbes)
+	}
+	if s.Virtual != 1024*DefaultDwell {
+		t.Errorf("virtual time = %v, want %v", s.Virtual, 1024*DefaultDwell)
+	}
+	// The acquired CSD must show four distinct charge regions: compare
+	// currents at representative corners.
+	lo, hi := g.MinMax()
+	if hi-lo <= 0 {
+		t.Error("acquired CSD is flat")
+	}
+}

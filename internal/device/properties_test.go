@@ -1,0 +1,105 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+// TestVirtualClockMonotonic: the virtual clock never goes backwards, for any
+// probing sequence.
+func TestVirtualClockMonotonic(t *testing.T) {
+	d := testDoubleDot(t)
+	d.Noise = noise.NewWhite(0.05, 3)
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		inst := NewSimInstrument(d, 10*time.Millisecond, 1, 1)
+		prev := time.Duration(0)
+		for i := 0; i < 200; i++ {
+			inst.GetCurrent(float64(rng.Intn(100)), float64(rng.Intn(100)))
+			now := inst.Stats().Virtual
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoHitNeverChangesValue: repeated probes of a memoised configuration
+// return the first recorded value regardless of noise, like replaying a
+// recorded dataset.
+func TestMemoHitNeverChangesValue(t *testing.T) {
+	d := testDoubleDot(t)
+	d.Noise = noise.NewWhite(0.2, 7)
+	inst := NewSimInstrument(d, time.Millisecond, 0.5, 0.5)
+	f := func(xRaw, yRaw uint8) bool {
+		v1 := float64(xRaw) / 4
+		v2 := float64(yRaw) / 4
+		first := inst.GetCurrent(v1, v2)
+		for i := 0; i < 3; i++ {
+			if inst.GetCurrent(v1, v2) != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniqueProbesNeverExceedRawCalls across random probing.
+func TestUniqueProbesNeverExceedRawCalls(t *testing.T) {
+	d := testDoubleDot(t)
+	inst := NewSimInstrument(d, time.Millisecond, 1, 1)
+	rng := xrand.New(11)
+	for i := 0; i < 500; i++ {
+		inst.GetCurrent(float64(rng.Intn(40)), float64(rng.Intn(40)))
+		s := inst.Stats()
+		if s.UniqueProbes > s.RawCalls {
+			t.Fatalf("unique %d > raw %d", s.UniqueProbes, s.RawCalls)
+		}
+		if s.Virtual != time.Duration(s.UniqueProbes)*inst.Dwell {
+			t.Fatalf("virtual %v != unique %d × dwell", s.Virtual, s.UniqueProbes)
+		}
+	}
+	// 40×40 distinct cells max.
+	if s := inst.Stats(); s.UniqueProbes > 1600 {
+		t.Errorf("unique probes %d exceed the quantisation grid", s.UniqueProbes)
+	}
+}
+
+// TestDatasetInstrumentProbeMapMatchesStats on arbitrary probe sequences.
+func TestDatasetInstrumentProbeMapMatchesStats(t *testing.T) {
+	g := gridOfSize(16)
+	w := csd.NewSquareWindow(0, 0, 16, 16)
+	f := func(raw []uint8) bool {
+		inst, err := NewDatasetInstrument(g, w, time.Millisecond)
+		if err != nil {
+			return false
+		}
+		for i := 0; i+1 < len(raw); i += 2 {
+			inst.GetCurrent(float64(raw[i]%16)+0.5, float64(raw[i+1]%16)+0.5)
+		}
+		return len(inst.ProbeMap()) == inst.Stats().UniqueProbes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gridOfSize(n int) *grid.Grid {
+	g := grid.New(n, n)
+	g.Apply(func(x, y int, _ float64) float64 { return float64(x + y*n) })
+	return g
+}

@@ -1,0 +1,79 @@
+package evalx
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastvg/fastvg/internal/baseline"
+	"github.com/fastvg/fastvg/internal/core"
+	"github.com/fastvg/fastvg/internal/qflow"
+)
+
+// RunTable1Parallel runs both methods on every benchmark concurrently, one
+// goroutine per (benchmark, method) pair, bounded by maxWorkers (0 means
+// one worker per pair). Results are returned in benchmark order, identical
+// to RunTable1 — each pair owns its instrument, so runs are independent and
+// deterministic.
+func RunTable1Parallel(fastCfg core.Config, baseCfg baseline.Config, maxWorkers int) ([]Table1Row, error) {
+	suite, err := qflow.Suite()
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		idx  int
+		fast bool
+	}
+	jobs := make([]job, 0, 2*len(suite))
+	for i := range suite {
+		jobs = append(jobs, job{idx: i, fast: true}, job{idx: i, fast: false})
+	}
+	if maxWorkers <= 0 || maxWorkers > len(jobs) {
+		maxWorkers = len(jobs)
+	}
+
+	rows := make([]Table1Row, len(suite))
+	for i, b := range suite {
+		rows[i].Benchmark = b
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobCh := make(chan job)
+	for w := 0; w < maxWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				b := suite[j.idx]
+				var rr *RunResult
+				var err error
+				if j.fast {
+					rr, err = RunFast(b, fastCfg)
+				} else {
+					rr, err = RunBaseline(b, baseCfg)
+				}
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("evalx: benchmark %d: %w", b.Index, err)
+				}
+				if j.fast {
+					rows[j.idx].Fast = rr
+				} else {
+					rows[j.idx].Baseline = rr
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}

@@ -1,0 +1,143 @@
+// Package fitting provides the numerical optimisation used by the extraction
+// pipelines: ordinary and robust line fits, a Nelder–Mead simplex, a
+// Levenberg–Marquardt least-squares solver with numeric Jacobian (the
+// stand-in for SciPy's curve_fit), and the paper's 2-piece-wise linear model
+// whose free parameter is the knee — the transition lines' intersection.
+package fitting
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Vec2 is a 2-D point.
+type Vec2 struct {
+	X, Y float64
+}
+
+// LinearFit returns (intercept a, slope b) of the least-squares line
+// y = a + b·x through the points.
+func LinearFit(pts []Vec2) (a, b float64, err error) {
+	if len(pts) < 2 {
+		return 0, 0, errors.New("fitting: need at least 2 points")
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(pts))
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-30 {
+		return 0, 0, errors.New("fitting: degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b, nil
+}
+
+// TheilSen returns a robust (intercept, slope) estimate: the median of all
+// pairwise slopes and the median of the per-point intercepts. It tolerates
+// up to ~29% outliers, which is what the sweeps' erroneous points demand.
+func TheilSen(pts []Vec2) (a, b float64, err error) {
+	if len(pts) < 2 {
+		return 0, 0, errors.New("fitting: need at least 2 points")
+	}
+	var slopes []float64
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			dx := pts[j].X - pts[i].X
+			if dx == 0 {
+				continue
+			}
+			slopes = append(slopes, (pts[j].Y-pts[i].Y)/dx)
+		}
+	}
+	if len(slopes) == 0 {
+		return 0, 0, errors.New("fitting: all points share one x value")
+	}
+	b = median(slopes)
+	inters := make([]float64, len(pts))
+	for i, p := range pts {
+		inters[i] = p.Y - b*p.X
+	}
+	a = median(inters)
+	return a, b, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	// Averaged as halves so two huge same-sign middles cannot overflow.
+	return 0.5*s[n/2-1] + 0.5*s[n/2]
+}
+
+// ParamLine is a line in point-direction form, robust to vertical slopes.
+type ParamLine struct {
+	P0  Vec2 // a point on the line (the centroid, for fitted lines)
+	Dir Vec2 // unit direction
+}
+
+// Slope returns dy/dx (±Inf for vertical lines).
+func (l ParamLine) Slope() float64 {
+	if l.Dir.X == 0 {
+		return math.Inf(1)
+	}
+	return l.Dir.Y / l.Dir.X
+}
+
+// Dist returns the perpendicular distance from q to the line.
+func (l ParamLine) Dist(q Vec2) float64 {
+	// |cross(q - P0, Dir)| with Dir unit length.
+	return math.Abs((q.X-l.P0.X)*l.Dir.Y - (q.Y-l.P0.Y)*l.Dir.X)
+}
+
+// TLSLine fits a line by total least squares (perpendicular residuals) via
+// the principal direction of the point cloud; unlike y=f(x) regression it is
+// well-conditioned for the near-vertical steep transition line.
+func TLSLine(pts []Vec2) (ParamLine, error) {
+	if len(pts) < 2 {
+		return ParamLine{}, errors.New("fitting: need at least 2 points")
+	}
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(pts))
+	cx /= n
+	cy /= n
+	var sxx, sxy, syy float64
+	for _, p := range pts {
+		dx, dy := p.X-cx, p.Y-cy
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 && syy == 0 {
+		return ParamLine{}, errors.New("fitting: coincident points")
+	}
+	// Principal eigenvector of [[sxx, sxy], [sxy, syy]].
+	tr := sxx + syy
+	det := sxx*syy - sxy*sxy
+	lambda := tr/2 + math.Sqrt(math.Max(tr*tr/4-det, 0))
+	var dir Vec2
+	if math.Abs(sxy) > 1e-30 {
+		dir = Vec2{X: lambda - syy, Y: sxy}
+	} else if sxx >= syy {
+		dir = Vec2{X: 1, Y: 0}
+	} else {
+		dir = Vec2{X: 0, Y: 1}
+	}
+	norm := math.Hypot(dir.X, dir.Y)
+	dir.X /= norm
+	dir.Y /= norm
+	return ParamLine{P0: Vec2{cx, cy}, Dir: dir}, nil
+}

@@ -1,0 +1,260 @@
+package fitting
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// NMOptions configures the Nelder–Mead simplex search.
+type NMOptions struct {
+	MaxIter int     // default 400·dim
+	Tol     float64 // simplex size / value-spread tolerance, default 1e-9
+	Step    float64 // initial simplex edge, default 1 (per coordinate)
+}
+
+// NelderMead minimises f starting from x0 and returns the best point and
+// value. It is derivative-free and serves as the fallback optimiser when
+// Levenberg–Marquardt stalls on the piecewise model's kinked residuals.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NMOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, errors.New("fitting: empty start point")
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 400 * n
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.Step == 0 {
+		opt.Step = 1
+	}
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			x[i-1] += opt.Step
+		}
+		simplex[i] = vertex{x: x, v: f(x)}
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		if simplex[n].v-simplex[0].v < opt.Tol {
+			break
+		}
+		// Centroid of all but worst.
+		cen := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := range cen {
+				cen[j] += simplex[i].x[j]
+			}
+		}
+		for j := range cen {
+			cen[j] /= float64(n)
+		}
+		worst := simplex[n]
+		refl := make([]float64, n)
+		for j := range refl {
+			refl[j] = cen[j] + alpha*(cen[j]-worst.x[j])
+		}
+		fr := f(refl)
+		switch {
+		case fr < simplex[0].v:
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = cen[j] + gamma*(refl[j]-cen[j])
+			}
+			if fe := f(exp); fe < fr {
+				simplex[n] = vertex{exp, fe}
+			} else {
+				simplex[n] = vertex{refl, fr}
+			}
+		case fr < simplex[n-1].v:
+			simplex[n] = vertex{refl, fr}
+		default:
+			con := make([]float64, n)
+			for j := range con {
+				con[j] = cen[j] + rho*(worst.x[j]-cen[j])
+			}
+			if fc := f(con); fc < worst.v {
+				simplex[n] = vertex{con, fc}
+			} else {
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x, simplex[0].v, nil
+}
+
+// LMOptions configures Levenberg–Marquardt.
+type LMOptions struct {
+	MaxIter  int     // default 100
+	Tol      float64 // relative cost-improvement tolerance, default 1e-10
+	InitMu   float64 // initial damping, default 1e-3
+	JacobEps float64 // finite-difference step, default 1e-6
+}
+
+// LevMar minimises ½·Σ r(x)² over x with a numeric-Jacobian
+// Levenberg–Marquardt iteration and returns the solution. It is this
+// repository's replacement for SciPy's curve_fit (Section 4.3.3).
+func LevMar(residuals func([]float64) []float64, x0 []float64, opt LMOptions) ([]float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, errors.New("fitting: empty start point")
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 100
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.InitMu == 0 {
+		opt.InitMu = 1e-3
+	}
+	if opt.JacobEps == 0 {
+		opt.JacobEps = 1e-6
+	}
+	x := append([]float64(nil), x0...)
+	r := residuals(x)
+	m := len(r)
+	if m == 0 {
+		return nil, errors.New("fitting: no residuals")
+	}
+	cost := dot(r, r)
+	mu := opt.InitMu
+	jac := make([][]float64, m)
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		// Numeric Jacobian, forward differences.
+		for j := 0; j < n; j++ {
+			h := opt.JacobEps * math.Max(1, math.Abs(x[j]))
+			xp := append([]float64(nil), x...)
+			xp[j] += h
+			rp := residuals(xp)
+			if len(rp) != m {
+				return nil, errors.New("fitting: residual dimension changed")
+			}
+			for i := 0; i < m; i++ {
+				jac[i][j] = (rp[i] - r[i]) / h
+			}
+		}
+		// Normal equations: (JᵀJ + μ·diag(JᵀJ))·δ = -Jᵀr.
+		jtj := make([][]float64, n)
+		jtr := make([]float64, n)
+		for a := 0; a < n; a++ {
+			jtj[a] = make([]float64, n)
+			for b := 0; b < n; b++ {
+				var s float64
+				for i := 0; i < m; i++ {
+					s += jac[i][a] * jac[i][b]
+				}
+				jtj[a][b] = s
+			}
+			var s float64
+			for i := 0; i < m; i++ {
+				s += jac[i][a] * r[i]
+			}
+			jtr[a] = -s
+		}
+		improved := false
+		for tries := 0; tries < 30; tries++ {
+			lhs := make([][]float64, n)
+			for a := 0; a < n; a++ {
+				lhs[a] = append([]float64(nil), jtj[a]...)
+				lhs[a][a] += mu * math.Max(jtj[a][a], 1e-12)
+			}
+			delta, err := solveDense(lhs, jtr)
+			if err != nil {
+				mu *= 10
+				continue
+			}
+			xNew := make([]float64, n)
+			for j := range xNew {
+				xNew[j] = x[j] + delta[j]
+			}
+			rNew := residuals(xNew)
+			cNew := dot(rNew, rNew)
+			if cNew < cost {
+				relImp := (cost - cNew) / math.Max(cost, 1e-300)
+				x, r, cost = xNew, rNew, cNew
+				mu = math.Max(mu/3, 1e-12)
+				improved = true
+				if relImp < opt.Tol {
+					return x, nil
+				}
+				break
+			}
+			mu *= 10
+			if mu > 1e12 {
+				return x, nil // damped out: converged to the best found
+			}
+		}
+		if !improved {
+			return x, nil
+		}
+	}
+	return x, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// solveDense solves A·x = b by Gaussian elimination with partial pivoting.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for rIdx := col + 1; rIdx < n; rIdx++ {
+			if math.Abs(m[rIdx][col]) > math.Abs(m[piv][col]) {
+				piv = rIdx
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, errors.New("fitting: singular system")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for rIdx := col + 1; rIdx < n; rIdx++ {
+			f := m[rIdx][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[rIdx][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,309 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// stepGrid returns a grid that is 0 left of column c and 1 from column c on.
+func stepGrid(w, h, c int) *grid.Grid {
+	g := grid.New(w, h)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if x >= c {
+			return 1
+		}
+		return 0
+	})
+	return g
+}
+
+// lineGrid returns a grid with value 1 below the line y = y0 + m·x and 0
+// above, producing an edge along the line.
+func lineGrid(w, h int, y0, m float64) *grid.Grid {
+	g := grid.New(w, h)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if float64(y) < y0+m*float64(x) {
+			return 1
+		}
+		return 0
+	})
+	return g
+}
+
+func TestGaussianKernelNormalised(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2.5} {
+		k := GaussianKernel1D(sigma)
+		var sum float64
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("sigma %v: kernel sum = %v", sigma, sum)
+		}
+		if len(k)%2 == 0 {
+			t.Errorf("sigma %v: even kernel length %d", sigma, len(k))
+		}
+	}
+	if k := GaussianKernel1D(0); len(k) != 1 || k[0] != 1 {
+		t.Errorf("zero-sigma kernel = %v, want identity", k)
+	}
+}
+
+func TestGaussianBlurPreservesMeanAndSmooths(t *testing.T) {
+	g := grid.New(32, 32)
+	g.Set(16, 16, 100)
+	b := GaussianBlur(g, 1.5)
+	if math.Abs(b.Mean()-g.Mean()) > 1e-9 {
+		t.Errorf("blur changed mean: %v -> %v", g.Mean(), b.Mean())
+	}
+	if b.At(16, 16) >= 100 {
+		t.Error("blur did not spread the impulse")
+	}
+	if b.At(16, 16) <= b.At(10, 10) {
+		t.Error("blur centre not above background")
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	g := stepGrid(8, 8, 4)
+	id := NewKernel(3, 3, []float64{0, 0, 0, 0, 1, 0, 0, 0, 0})
+	if !Convolve(g, id).Equal(g) {
+		t.Error("identity kernel changed the grid")
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even kernel accepted")
+		}
+	}()
+	NewKernel(2, 2, make([]float64, 4))
+}
+
+func TestSobelOnVerticalEdge(t *testing.T) {
+	g := stepGrid(16, 16, 8)
+	gx, gy := Sobel(g)
+	if gx.At(8, 8) <= 0 {
+		t.Errorf("gx at rising vertical edge = %v, want > 0", gx.At(8, 8))
+	}
+	if math.Abs(gy.At(8, 8)) > 1e-9 {
+		t.Errorf("gy on vertical edge = %v, want 0", gy.At(8, 8))
+	}
+}
+
+func TestSobelOnHorizontalEdge(t *testing.T) {
+	g := grid.New(16, 16)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if y >= 8 {
+			return 1
+		}
+		return 0
+	})
+	gx, gy := Sobel(g)
+	if gy.At(8, 8) <= 0 {
+		t.Errorf("gy at rising horizontal edge = %v, want > 0", gy.At(8, 8))
+	}
+	if math.Abs(gx.At(8, 8)) > 1e-9 {
+		t.Errorf("gx on horizontal edge = %v, want 0", gx.At(8, 8))
+	}
+}
+
+func TestCannyFindsStepEdge(t *testing.T) {
+	g := stepGrid(32, 32, 16)
+	edges := Canny(g, DefaultCannyConfig())
+	found := 0
+	for y := 2; y < 30; y++ {
+		for x := 14; x <= 18; x++ {
+			if edges.At(x, y) == 1 {
+				found++
+				break
+			}
+		}
+	}
+	if found < 24 {
+		t.Errorf("Canny found the edge on only %d/28 rows", found)
+	}
+	// No spurious edges far from the step.
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 8; x++ {
+			if edges.At(x, y) == 1 {
+				t.Fatalf("spurious edge at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestCannyEdgesAreThin(t *testing.T) {
+	g := stepGrid(32, 32, 16)
+	edges := Canny(g, DefaultCannyConfig())
+	for y := 4; y < 28; y++ {
+		count := 0
+		for x := 0; x < 32; x++ {
+			if edges.At(x, y) == 1 {
+				count++
+			}
+		}
+		if count > 2 {
+			t.Fatalf("row %d has %d edge pixels; non-max suppression failed", y, count)
+		}
+	}
+}
+
+func TestCannyIgnoresFaintEdgeNextToStrongOne(t *testing.T) {
+	// A faint second step at 3% of the strong step's contrast must be
+	// dropped by ratio-based thresholds — the CSD 7 failure mode.
+	g := grid.New(64, 64)
+	g.Apply(func(x, y int, _ float64) float64 {
+		v := 0.0
+		if x >= 20 {
+			v += 1.0
+		}
+		if x >= 44 {
+			v += 0.03
+		}
+		return v
+	})
+	edges := Canny(g, DefaultCannyConfig())
+	faint := 0
+	for y := 0; y < 64; y++ {
+		for x := 42; x <= 46; x++ {
+			if edges.At(x, y) == 1 {
+				faint++
+			}
+		}
+	}
+	if faint > 3 {
+		t.Errorf("faint edge produced %d pixels; ratio thresholds should drop it", faint)
+	}
+}
+
+func TestEdgePoints(t *testing.T) {
+	g := grid.New(4, 4)
+	g.Set(1, 2, 1)
+	g.Set(3, 0, 1)
+	pts := EdgePoints(g)
+	if len(pts) != 2 {
+		t.Fatalf("EdgePoints = %v", pts)
+	}
+}
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	g := grid.New(10, 10)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if (x+y*10)%2 == 0 {
+			return 1
+		}
+		return 9
+	})
+	th := Otsu(g)
+	if th <= 1 || th >= 9 {
+		t.Errorf("Otsu threshold = %v, want between the modes", th)
+	}
+	flat := grid.New(4, 4)
+	flat.Fill(3)
+	if th := Otsu(flat); th != 3 {
+		t.Errorf("Otsu on constant grid = %v, want 3", th)
+	}
+}
+
+func TestHoughRecoversKnownLine(t *testing.T) {
+	for _, m := range []float64{-8, -2, -0.5, -0.12} {
+		y0 := 40.0
+		g := lineGrid(64, 64, y0, m)
+		edges := Canny(g, DefaultCannyConfig())
+		acc := Hough(edges, DefaultHoughConfig())
+		peaks := acc.Peaks(1, 10, 2, 2)
+		if len(peaks) == 0 {
+			t.Fatalf("m=%v: no Hough peak", m)
+		}
+		got := peaks[0].Slope()
+		// Compare in angle space: steep slopes have huge absolute errors for
+		// tiny angular ones.
+		gotAng := math.Atan(got)
+		wantAng := math.Atan(m)
+		if math.Abs(gotAng-wantAng) > 3*math.Pi/180 {
+			t.Errorf("m=%v: recovered slope %v (Δangle %.2f°)", m, got,
+				math.Abs(gotAng-wantAng)*180/math.Pi)
+		}
+	}
+}
+
+func TestHoughTwoLines(t *testing.T) {
+	// Compose a steep and a shallow edge, as in a CSD.
+	g := grid.New(80, 80)
+	g.Apply(func(x, y int, _ float64) float64 {
+		v := 0.0
+		if float64(y) < -6*(float64(x)-60) { // steep line x≈60
+			v += 1
+		}
+		if float64(y) < 55-0.15*float64(x) { // shallow line y≈55
+			v += 1
+		}
+		return v
+	})
+	edges := Canny(g, DefaultCannyConfig())
+	peaks := Hough(edges, DefaultHoughConfig()).Peaks(4, 15, 5, 8)
+	var foundSteep, foundShallow bool
+	for _, p := range peaks {
+		s := p.Slope()
+		if s < -1.5 {
+			foundSteep = true
+		}
+		if s > -1 && s < -0.02 {
+			foundShallow = true
+		}
+	}
+	if !foundSteep || !foundShallow {
+		t.Errorf("peaks %v: steep found=%v shallow found=%v", peaks, foundSteep, foundShallow)
+	}
+}
+
+func TestHoughLineGeometry(t *testing.T) {
+	l := HoughLine{Rho: 10, Theta: math.Pi / 2} // horizontal line y = 10
+	if s := l.Slope(); math.Abs(s) > 1e-9 {
+		t.Errorf("horizontal slope = %v", s)
+	}
+	if y := l.YAt(55); math.Abs(y-10) > 1e-9 {
+		t.Errorf("YAt = %v, want 10", y)
+	}
+	if d := l.Dist(3, 12); math.Abs(d-2) > 1e-9 {
+		t.Errorf("Dist = %v, want 2", d)
+	}
+	v := HoughLine{Rho: 5, Theta: 0} // vertical line x = 5
+	if !math.IsInf(v.Slope(), 1) {
+		t.Errorf("vertical slope = %v", v.Slope())
+	}
+	if x := v.XAt(100); math.Abs(x-5) > 1e-9 {
+		t.Errorf("XAt = %v, want 5", x)
+	}
+}
+
+func TestPeaksSuppression(t *testing.T) {
+	g := lineGrid(64, 64, 40, -0.3)
+	edges := Canny(g, DefaultCannyConfig())
+	peaks := Hough(edges, DefaultHoughConfig()).Peaks(5, 10, 3, 5)
+	if len(peaks) == 0 {
+		t.Fatal("no peaks")
+	}
+	// All surviving peaks must be separated in (θ, ρ).
+	for i := 0; i < len(peaks); i++ {
+		for j := i + 1; j < len(peaks); j++ {
+			dTheta := math.Abs(peaks[i].Theta - peaks[j].Theta)
+			dRho := math.Abs(peaks[i].Rho - peaks[j].Rho)
+			if dTheta <= 3*math.Pi/180 && dRho <= 5 {
+				t.Errorf("peaks %d and %d not suppressed: dθ=%v dρ=%v", i, j, dTheta, dRho)
+			}
+		}
+	}
+}
+
+func TestPeaksRespectsMinVotes(t *testing.T) {
+	g := grid.New(16, 16) // empty
+	acc := Hough(g, DefaultHoughConfig())
+	if peaks := acc.Peaks(5, 1, 1, 1); len(peaks) != 0 {
+		t.Errorf("empty edge map produced peaks %v", peaks)
+	}
+}

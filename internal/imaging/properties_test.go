@@ -1,0 +1,182 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+// TestBlurSeparabilityEquivalence checks the separable Gaussian blur equals
+// a direct 2-D convolution with the outer-product kernel.
+func TestBlurSeparabilityEquivalence(t *testing.T) {
+	rng := xrand.New(1)
+	g := grid.New(24, 20)
+	g.Apply(func(x, y int, _ float64) float64 { return rng.Float64() })
+
+	sigma := 1.1
+	k1 := GaussianKernel1D(sigma)
+	n := len(k1)
+	weights := make([]float64, n*n)
+	for yy := 0; yy < n; yy++ {
+		for xx := 0; xx < n; xx++ {
+			weights[yy*n+xx] = k1[xx] * k1[yy]
+		}
+	}
+	direct := Convolve(g, NewKernel(n, n, weights))
+	separable := GaussianBlur(g, sigma)
+
+	// Interior pixels must agree exactly (border handling differs: the
+	// separable pass clamps per-axis).
+	r := n / 2
+	for y := r; y < g.H-r; y++ {
+		for x := r; x < g.W-r; x++ {
+			if d := math.Abs(direct.At(x, y) - separable.At(x, y)); d > 1e-12 {
+				t.Fatalf("separable blur differs at (%d,%d) by %v", x, y, d)
+			}
+		}
+	}
+}
+
+// TestSobelAntisymmetry: flipping the image horizontally negates gx on the
+// mirrored pixel (up to border effects).
+func TestSobelAntisymmetry(t *testing.T) {
+	rng := xrand.New(2)
+	g := grid.New(16, 16)
+	g.Apply(func(x, y int, _ float64) float64 { return rng.Float64() })
+	flipped := grid.New(16, 16)
+	flipped.Apply(func(x, y int, _ float64) float64 { return g.At(15-x, y) })
+
+	gx, _ := Sobel(g)
+	fx, _ := Sobel(flipped)
+	for y := 1; y < 15; y++ {
+		for x := 1; x < 15; x++ {
+			if d := math.Abs(gx.At(x, y) + fx.At(15-x, y)); d > 1e-12 {
+				t.Fatalf("gx not antisymmetric at (%d,%d): %v vs %v", x, y, gx.At(x, y), fx.At(15-x, y))
+			}
+		}
+	}
+}
+
+// TestGradientMagnitudeNonNegative holds for arbitrary inputs.
+func TestGradientMagnitudeNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := grid.New(8, 8)
+		g.Apply(func(x, y int, _ float64) float64 { return rng.NormFloat64() })
+		gx, gy := Sobel(g)
+		mag := GradientMagnitude(gx, gy)
+		lo, _ := mag.MinMax()
+		return lo >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCannyOutputBinary: the edge map contains only 0 and 1.
+func TestCannyOutputBinary(t *testing.T) {
+	rng := xrand.New(3)
+	g := grid.New(32, 32)
+	g.Apply(func(x, y int, _ float64) float64 {
+		v := 0.0
+		if x >= 16 {
+			v = 1
+		}
+		return v + 0.05*rng.NormFloat64()
+	})
+	edges := Canny(g, DefaultCannyConfig())
+	for _, v := range edges.Data() {
+		if v != 0 && v != 1 {
+			t.Fatalf("edge map value %v", v)
+		}
+	}
+}
+
+// TestHoughVoteCount: a single edge pixel votes once per θ bin.
+func TestHoughVoteCount(t *testing.T) {
+	g := grid.New(32, 32)
+	g.Set(10, 12, 1)
+	acc := Hough(g, DefaultHoughConfig())
+	total := 0
+	for tIdx := 0; tIdx < acc.nTheta; tIdx++ {
+		for r := 0; r < acc.nRho; r++ {
+			total += acc.VotesAt(tIdx, r)
+		}
+	}
+	if total != acc.nTheta {
+		t.Errorf("single pixel cast %d votes over %d θ bins", total, acc.nTheta)
+	}
+}
+
+// TestHoughCollinearPixelsShareBin: all pixels of an axis-aligned line land
+// in the same (θ, ρ) bin at θ=90° (horizontal line y = c).
+func TestHoughCollinearPixelsShareBin(t *testing.T) {
+	g := grid.New(64, 64)
+	for x := 5; x < 60; x++ {
+		g.Set(x, 20, 1)
+	}
+	acc := Hough(g, DefaultHoughConfig())
+	peaks := acc.Peaks(1, 10, 2, 2)
+	if len(peaks) == 0 {
+		t.Fatal("no peak for a horizontal line")
+	}
+	p := peaks[0]
+	if p.Votes < 55 {
+		t.Errorf("peak has %d votes, want all 55 pixels", p.Votes)
+	}
+	if math.Abs(p.Theta-math.Pi/2) > 2*math.Pi/180 {
+		t.Errorf("peak θ = %v, want π/2", p.Theta)
+	}
+	if math.Abs(p.Rho-20) > 1.5 {
+		t.Errorf("peak ρ = %v, want 20", p.Rho)
+	}
+}
+
+// TestOtsuInvariantToScaling: the threshold scales with the data.
+func TestOtsuInvariantToScaling(t *testing.T) {
+	g := grid.New(10, 10)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if (x+y)%2 == 0 {
+			return 2
+		}
+		return 8
+	})
+	t1 := Otsu(g)
+	scaled := g.Clone()
+	scaled.Apply(func(_, _ int, v float64) float64 { return 10 * v })
+	t2 := Otsu(scaled)
+	if math.Abs(t2-10*t1) > 0.5 {
+		t.Errorf("Otsu not scale-covariant: %v vs %v", t1, t2)
+	}
+}
+
+// TestNMSKeepsRidgeMaxima: after suppression, every surviving pixel is a
+// local max along its gradient direction by construction; weaker neighbours
+// along the perpendicular of a diagonal edge must be gone.
+func TestNMSKeepsRidgeMaxima(t *testing.T) {
+	g := grid.New(32, 32)
+	g.Apply(func(x, y int, _ float64) float64 {
+		if y > x {
+			return 1
+		}
+		return 0
+	})
+	edges := Canny(g, DefaultCannyConfig())
+	// Count edge pixels per anti-diagonal cross-section; the diagonal edge
+	// should be ~1-2 px wide everywhere.
+	for d := 10; d < 22; d++ {
+		count := 0
+		for o := -4; o <= 4; o++ {
+			x, y := d+o, d-o
+			if edges.In(x, y) && edges.At(x, y) == 1 {
+				count++
+			}
+		}
+		if count > 2 {
+			t.Fatalf("diagonal edge %d px wide at d=%d", count, d)
+		}
+	}
+}

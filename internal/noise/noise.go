@@ -1,0 +1,253 @@
+// Package noise models the measurement noise of a charge-sensed quantum dot
+// setup: white (thermal/amplifier) noise, 1/f charge noise built from a bath
+// of random-telegraph fluctuators, strong individual two-level fluctuators,
+// and slow sensor drift.
+//
+// Temporal processes are sampled on the instrument's virtual clock, so a
+// raster scan acquires the familiar horizontal striping of 1/f noise while a
+// sparse probing strategy (the paper's fast sweeps) sees time-correlated
+// offsets between probes — exactly the error structure the post-processing
+// filter of the paper is designed to survive.
+package noise
+
+import (
+	"math"
+
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+// Process is a time-dependent noise source. Sample must be called with
+// non-decreasing times; queries that move backwards return the value of the
+// current (most recently advanced) state rather than rewinding. This suits
+// the instruments in this repository, which memoise measurements and never
+// re-measure a configuration.
+type Process interface {
+	Sample(t float64) float64
+}
+
+// White is an i.i.d. Gaussian process with standard deviation Sigma.
+// It ignores the time argument.
+type White struct {
+	Sigma float64
+	rng   *xrand.Rand
+}
+
+// NewWhite returns a white-noise process with the given σ and seed.
+func NewWhite(sigma float64, seed uint64) *White {
+	return &White{Sigma: sigma, rng: xrand.New(seed)}
+}
+
+// Sample returns an independent Gaussian variate.
+func (w *White) Sample(float64) float64 {
+	if w.Sigma == 0 {
+		return 0
+	}
+	return w.Sigma * w.rng.NormFloat64()
+}
+
+// Fluctuator is a symmetric random-telegraph (two-level) fluctuator with
+// amplitude ±Amp/2 and mean switching rate Rate (switches per second in
+// virtual time). Switch times are exponentially distributed.
+type Fluctuator struct {
+	Amp  float64
+	Rate float64
+
+	rng        *xrand.Rand
+	state      float64 // +Amp/2 or -Amp/2
+	nextSwitch float64
+}
+
+// NewFluctuator returns a fluctuator with a random initial state.
+func NewFluctuator(amp, rate float64, seed uint64) *Fluctuator {
+	f := &Fluctuator{Amp: amp, Rate: rate, rng: xrand.New(seed)}
+	if f.rng.Float64() < 0.5 {
+		f.state = amp / 2
+	} else {
+		f.state = -amp / 2
+	}
+	f.nextSwitch = f.dwell()
+	return f
+}
+
+func (f *Fluctuator) dwell() float64 {
+	if f.Rate <= 0 {
+		return 1e300 // effectively never switches
+	}
+	return f.rng.ExpFloat64() / f.Rate
+}
+
+// Sample returns the fluctuator state at virtual time t, advancing through
+// any switches that occurred since the previous query.
+func (f *Fluctuator) Sample(t float64) float64 {
+	for t >= f.nextSwitch {
+		f.state = -f.state
+		f.nextSwitch += f.dwell()
+	}
+	return f.state
+}
+
+// PinkBath approximates 1/f noise as a sum of fluctuators with log-spaced
+// switching rates, the standard microscopic model of charge noise in
+// semiconductor devices. Amp is the total RMS amplitude.
+type PinkBath struct {
+	fluctuators []*Fluctuator
+}
+
+// NewPinkBath builds a bath of n fluctuators with rates log-spaced in
+// [fMin, fMax] Hz and total RMS amplitude amp.
+func NewPinkBath(amp float64, n int, fMin, fMax float64, seed uint64) *PinkBath {
+	if n <= 0 {
+		n = 1
+	}
+	b := &PinkBath{fluctuators: make([]*Fluctuator, n)}
+	perAmp := 2 * amp / math.Sqrt(float64(n)) // each contributes ±perAmp/2
+	for i := 0; i < n; i++ {
+		frac := 0.5
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		rate := fMin * math.Pow(fMax/fMin, frac)
+		b.fluctuators[i] = NewFluctuator(perAmp, rate, xrand.DeriveSeed(seed, i))
+	}
+	return b
+}
+
+// Sample sums the bath at virtual time t.
+func (b *PinkBath) Sample(t float64) float64 {
+	var s float64
+	for _, f := range b.fluctuators {
+		s += f.Sample(t)
+	}
+	return s
+}
+
+// Drift is a slow deterministic baseline drift: a linear ramp plus a
+// sinusoid, modelling thermal drift of the sensor operating point.
+type Drift struct {
+	Linear float64 // units per second
+	Amp    float64 // sinusoid amplitude
+	Period float64 // sinusoid period in seconds
+	Phase  float64
+}
+
+// Sample returns the drift offset at virtual time t.
+func (d *Drift) Sample(t float64) float64 {
+	v := d.Linear * t
+	if d.Amp != 0 && d.Period > 0 {
+		v += d.Amp * math.Sin(2*math.Pi*t/d.Period+d.Phase)
+	}
+	return v
+}
+
+// Composite sums a set of processes.
+type Composite struct {
+	Parts []Process
+}
+
+// Sample sums all parts at virtual time t.
+func (c *Composite) Sample(t float64) float64 {
+	var s float64
+	for _, p := range c.Parts {
+		s += p.Sample(t)
+	}
+	return s
+}
+
+// Params is a serialisable description of a complete noise model; the qflow
+// benchmark definitions embed one so the exact noise realisation of every
+// benchmark is reconstructible from its seed.
+type Params struct {
+	WhiteSigma float64 `json:"whiteSigma"`
+
+	PinkAmp  float64 `json:"pinkAmp"`
+	PinkN    int     `json:"pinkN"`
+	PinkFMin float64 `json:"pinkFMin"`
+	PinkFMax float64 `json:"pinkFMax"`
+
+	RTNAmp  float64 `json:"rtnAmp"`
+	RTNRate float64 `json:"rtnRate"`
+
+	DriftLinear float64 `json:"driftLinear"`
+	DriftAmp    float64 `json:"driftAmp"`
+	DriftPeriod float64 `json:"driftPeriod"`
+
+	JumpAmp      float64 `json:"jumpAmp"`      // charge-jump amplitude (σ per event)
+	JumpInterval float64 `json:"jumpInterval"` // mean seconds between jumps
+}
+
+// Build constructs the composite process described by p, deriving component
+// seeds from seed. A zero Params builds a silent (all-zero) model.
+func (p Params) Build(seed uint64) Process {
+	c := &Composite{}
+	if p.WhiteSigma > 0 {
+		c.Parts = append(c.Parts, NewWhite(p.WhiteSigma, xrand.DeriveSeed(seed, 101)))
+	}
+	if p.PinkAmp > 0 {
+		n, fMin, fMax := p.PinkN, p.PinkFMin, p.PinkFMax
+		if n == 0 {
+			n = 12
+		}
+		if fMin == 0 {
+			fMin = 0.01
+		}
+		if fMax == 0 {
+			fMax = 50
+		}
+		c.Parts = append(c.Parts, NewPinkBath(p.PinkAmp, n, fMin, fMax, xrand.DeriveSeed(seed, 102)))
+	}
+	if p.RTNAmp > 0 {
+		rate := p.RTNRate
+		if rate == 0 {
+			rate = 0.2
+		}
+		c.Parts = append(c.Parts, NewFluctuator(p.RTNAmp, rate, xrand.DeriveSeed(seed, 103)))
+	}
+	if p.DriftLinear != 0 || p.DriftAmp != 0 {
+		c.Parts = append(c.Parts, &Drift{Linear: p.DriftLinear, Amp: p.DriftAmp, Period: p.DriftPeriod})
+	}
+	if p.JumpAmp > 0 {
+		interval := p.JumpInterval
+		if interval == 0 {
+			interval = 60
+		}
+		c.Parts = append(c.Parts, NewJumps(p.JumpAmp, interval, xrand.DeriveSeed(seed, 104)))
+	}
+	return c
+}
+
+// Jumps models device instability: rare, abrupt and persistent shifts of
+// the sensor baseline (charge rearrangements in the host material). Jump
+// arrival is Poisson with MeanInterval seconds between events; each jump
+// offsets the baseline by a Gaussian amount with standard deviation Amp.
+type Jumps struct {
+	Amp          float64
+	MeanInterval float64
+
+	rng      *xrand.Rand
+	offset   float64
+	nextJump float64
+}
+
+// NewJumps returns a jump process with the given amplitude and mean
+// interval (seconds of virtual time).
+func NewJumps(amp, meanInterval float64, seed uint64) *Jumps {
+	j := &Jumps{Amp: amp, MeanInterval: meanInterval, rng: xrand.New(seed)}
+	j.nextJump = j.interval()
+	return j
+}
+
+func (j *Jumps) interval() float64 {
+	if j.MeanInterval <= 0 {
+		return 1e300
+	}
+	return j.rng.ExpFloat64() * j.MeanInterval
+}
+
+// Sample returns the accumulated offset at virtual time t.
+func (j *Jumps) Sample(t float64) float64 {
+	for t >= j.nextJump {
+		j.offset += j.Amp * j.rng.NormFloat64()
+		j.nextJump += j.interval()
+	}
+	return j.offset
+}

@@ -1,0 +1,264 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWhiteMoments(t *testing.T) {
+	w := NewWhite(0.5, 1)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := w.Sample(float64(i) * 0.05)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("white mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-0.5) > 0.01 {
+		t.Errorf("white std = %v, want ~0.5", std)
+	}
+}
+
+func TestWhiteZeroSigma(t *testing.T) {
+	w := NewWhite(0, 1)
+	for i := 0; i < 10; i++ {
+		if v := w.Sample(0); v != 0 {
+			t.Fatalf("zero-sigma white noise returned %v", v)
+		}
+	}
+}
+
+func TestFluctuatorTwoLevels(t *testing.T) {
+	f := NewFluctuator(1.0, 10, 2)
+	for i := 0; i < 10000; i++ {
+		v := f.Sample(float64(i) * 0.01)
+		if v != 0.5 && v != -0.5 {
+			t.Fatalf("fluctuator emitted %v, want ±0.5", v)
+		}
+	}
+}
+
+func TestFluctuatorSwitchRate(t *testing.T) {
+	f := NewFluctuator(1.0, 5, 3) // 5 switches/s on average
+	prev := f.Sample(0)
+	switches := 0
+	const total = 200.0 // seconds
+	const dt = 0.002
+	for ti := dt; ti <= total; ti += dt {
+		v := f.Sample(ti)
+		if v != prev {
+			switches++
+			prev = v
+		}
+	}
+	rate := float64(switches) / total
+	if rate < 3.5 || rate > 6.5 {
+		t.Errorf("observed switch rate %v, want ~5", rate)
+	}
+}
+
+func TestFluctuatorZeroRateNeverSwitches(t *testing.T) {
+	f := NewFluctuator(1.0, 0, 4)
+	first := f.Sample(0)
+	if v := f.Sample(1e12); v != first {
+		t.Fatalf("zero-rate fluctuator switched from %v to %v", first, v)
+	}
+}
+
+func TestFluctuatorMonotonicBackQuery(t *testing.T) {
+	f := NewFluctuator(1.0, 100, 5)
+	v1 := f.Sample(10)
+	// A query earlier than the last advance returns current state, no rewind.
+	v2 := f.Sample(1)
+	if v1 != v2 {
+		t.Fatalf("backwards query changed state: %v -> %v", v1, v2)
+	}
+}
+
+func TestPinkBathRMS(t *testing.T) {
+	amp := 0.3
+	b := NewPinkBath(amp, 16, 0.01, 100, 6)
+	var sumSq float64
+	const n = 40000
+	for i := 0; i < n; i++ {
+		v := b.Sample(float64(i) * 0.01)
+		sumSq += v * v
+	}
+	rms := math.Sqrt(sumSq / n)
+	if rms < amp*0.5 || rms > amp*2 {
+		t.Errorf("pink bath RMS = %v, want within [%v, %v]", rms, amp*0.5, amp*2)
+	}
+}
+
+func TestPinkBathLowFrequencyDominates(t *testing.T) {
+	// 1/f noise has more power at long timescales: the variance of means over
+	// long blocks should stay comparable to the overall variance (unlike white
+	// noise where it shrinks as 1/N).
+	b := NewPinkBath(0.3, 16, 0.01, 100, 7)
+	const blocks = 40
+	const per = 2000
+	var blockMeans []float64
+	var all []float64
+	tNow := 0.0
+	for i := 0; i < blocks; i++ {
+		var s float64
+		for j := 0; j < per; j++ {
+			v := b.Sample(tNow)
+			s += v
+			all = append(all, v)
+			tNow += 0.01
+		}
+		blockMeans = append(blockMeans, s/per)
+	}
+	varAll := variance(all)
+	varBlocks := variance(blockMeans)
+	if varAll == 0 {
+		t.Fatal("pink bath produced zero variance")
+	}
+	// White noise would give varBlocks/varAll ≈ 1/per = 5e-4.
+	if ratio := varBlocks / varAll; ratio < 0.01 {
+		t.Errorf("block-mean variance ratio = %v; spectrum looks white, not 1/f", ratio)
+	}
+}
+
+func variance(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		ss += (v - mean) * (v - mean)
+	}
+	return ss / float64(len(xs))
+}
+
+func TestDrift(t *testing.T) {
+	d := &Drift{Linear: 0.1}
+	if got := d.Sample(10); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("linear drift at t=10: %v, want 1.0", got)
+	}
+	ds := &Drift{Amp: 2, Period: 4}
+	if got := ds.Sample(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("sinusoid at quarter period: %v, want 2", got)
+	}
+	if got := ds.Sample(2); math.Abs(got) > 1e-9 {
+		t.Errorf("sinusoid at half period: %v, want 0", got)
+	}
+}
+
+func TestCompositeSums(t *testing.T) {
+	c := &Composite{Parts: []Process{
+		&Drift{Linear: 1},
+		&Drift{Linear: 2},
+	}}
+	if got := c.Sample(3); math.Abs(got-9) > 1e-12 {
+		t.Errorf("composite = %v, want 9", got)
+	}
+}
+
+func TestParamsBuildDeterministic(t *testing.T) {
+	p := Params{WhiteSigma: 0.1, PinkAmp: 0.05, RTNAmp: 0.2, DriftLinear: 0.001}
+	a := p.Build(99)
+	b := p.Build(99)
+	for i := 0; i < 1000; i++ {
+		ti := float64(i) * 0.05
+		if av, bv := a.Sample(ti), b.Sample(ti); av != bv {
+			t.Fatalf("same-seed models diverged at t=%v: %v != %v", ti, av, bv)
+		}
+	}
+}
+
+func TestParamsZeroIsSilent(t *testing.T) {
+	m := Params{}.Build(1)
+	for i := 0; i < 100; i++ {
+		if v := m.Sample(float64(i)); v != 0 {
+			t.Fatalf("zero params produced noise %v", v)
+		}
+	}
+}
+
+func TestParamsSeedChangesRealisation(t *testing.T) {
+	p := Params{WhiteSigma: 0.1}
+	a, b := p.Build(1), p.Build(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Sample(float64(i)) == b.Sample(float64(i)) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical samples", same)
+	}
+}
+
+func TestFluctuatorAmplitudeProperty(t *testing.T) {
+	f := func(seed uint64, ampRaw float64) bool {
+		amp := math.Abs(ampRaw)
+		if amp == 0 || math.IsInf(amp, 0) || math.IsNaN(amp) || amp > 1e100 {
+			return true
+		}
+		fl := NewFluctuator(amp, 1, seed)
+		v := fl.Sample(0)
+		return math.Abs(math.Abs(v)-amp/2) < amp*1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJumpsArePersistentSteps(t *testing.T) {
+	j := NewJumps(0.5, 10, 42)
+	prev := j.Sample(0)
+	changes := 0
+	var lastChange float64
+	for ti := 0.5; ti <= 300; ti += 0.5 {
+		v := j.Sample(ti)
+		if v != prev {
+			changes++
+			lastChange = ti
+			prev = v
+		}
+	}
+	if changes == 0 {
+		t.Fatal("no jumps over 30 mean intervals")
+	}
+	// Offsets persist between jumps: immediately after the last change the
+	// value stays constant until the next event.
+	v := j.Sample(lastChange)
+	if j.Sample(lastChange+0.01) != v {
+		t.Error("jump offset did not persist")
+	}
+	if changes > 60 {
+		t.Errorf("%d jumps over 300s at mean interval 10s (too many)", changes)
+	}
+}
+
+func TestJumpsZeroIntervalNeverFires(t *testing.T) {
+	j := NewJumps(1, 0, 1)
+	if v := j.Sample(1e12); v != 0 {
+		t.Errorf("jump process with disabled interval produced %v", v)
+	}
+}
+
+func TestParamsBuildWithJumps(t *testing.T) {
+	p := Params{JumpAmp: 0.3, JumpInterval: 5}
+	m := p.Build(7)
+	fired := false
+	for ti := 0.0; ti < 100; ti += 0.1 {
+		if m.Sample(ti) != 0 {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("built jump process never fired over 20 mean intervals")
+	}
+}

@@ -1,0 +1,197 @@
+package physics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Array is the constant-interaction model of a linear N-dot array with one
+// plunger gate per dot, the configuration of the paper's quadruple-dot
+// device (Figure 1) and of the n-dot chain extraction of Section 2.3.
+type Array struct {
+	N      int         `json:"n"`
+	EC     []float64   `json:"ec"`     // on-site charging energies, len N
+	ECm    []float64   `json:"ecm"`    // nearest-neighbour mutual energies, len N-1
+	Alpha  [][]float64 `json:"alpha"`  // lever arms [dot][gate], N×N
+	Offset []float64   `json:"offset"` // chemical potential offsets, len N
+	MaxN   int         `json:"maxN"`
+}
+
+// Validate checks dimensions and the parameter regime under which
+// GroundState's bounded search is exact.
+func (a *Array) Validate() error {
+	if a.N < 2 {
+		return errors.New("physics: array needs at least 2 dots")
+	}
+	if len(a.EC) != a.N || len(a.ECm) != a.N-1 || len(a.Alpha) != a.N || len(a.Offset) != a.N {
+		return errors.New("physics: array parameter lengths do not match N")
+	}
+	minEC := math.Inf(1)
+	for i, ec := range a.EC {
+		if ec <= 0 {
+			return fmt.Errorf("physics: EC[%d] must be positive", i)
+		}
+		if len(a.Alpha[i]) != a.N {
+			return fmt.Errorf("physics: Alpha[%d] has length %d, want %d", i, len(a.Alpha[i]), a.N)
+		}
+		if a.Alpha[i][i] <= 0 {
+			return fmt.Errorf("physics: Alpha[%d][%d] must be positive", i, i)
+		}
+		minEC = math.Min(minEC, ec)
+	}
+	for i, m := range a.ECm {
+		if m < 0 {
+			return fmt.Errorf("physics: ECm[%d] must be non-negative", i)
+		}
+		if m > minEC/3 {
+			return fmt.Errorf("physics: ECm[%d] = %v exceeds min(EC)/3 = %v; bounded ground-state search would not be exact", i, m, minEC/3)
+		}
+	}
+	if a.MaxN < 1 {
+		return errors.New("physics: MaxN must be at least 1")
+	}
+	return nil
+}
+
+// Mu returns the chemical potential of dot i at gate voltages v (len N).
+func (a *Array) Mu(i int, v []float64) float64 {
+	mu := a.Offset[i]
+	for g, vg := range v {
+		mu += a.Alpha[i][g] * vg
+	}
+	return mu
+}
+
+// Energy returns the constant-interaction energy of occupation vector n at
+// gate voltages v.
+func (a *Array) Energy(n []int, v []float64) float64 {
+	var u float64
+	for i := 0; i < a.N; i++ {
+		fi := float64(n[i])
+		u += 0.5*a.EC[i]*fi*(fi-1) - fi*a.Mu(i, v)
+	}
+	for i := 0; i < a.N-1; i++ {
+		u += a.ECm[i] * float64(n[i]) * float64(n[i+1])
+	}
+	return u
+}
+
+// GroundState returns the occupation vector minimising the energy. The
+// search enumerates, per dot, a ±2 window around the uncoupled optimum; the
+// Validate regime (ECm ≤ min(EC)/3, MaxN small) guarantees the true ground
+// state lies inside the window.
+func (a *Array) GroundState(v []float64) []int {
+	lo := make([]int, a.N)
+	hi := make([]int, a.N)
+	for i := 0; i < a.N; i++ {
+		star := int(math.Floor(a.Mu(i, v)/a.EC[i])) + 1
+		lo[i] = clampInt(star-2, 0, a.MaxN)
+		hi[i] = clampInt(star+2, 0, a.MaxN)
+	}
+	best := math.Inf(1)
+	cur := make([]int, a.N)
+	bestN := make([]int, a.N)
+	copy(cur, lo)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == a.N {
+			if u := a.Energy(cur, v); u < best {
+				best = u
+				copy(bestN, cur)
+			}
+			return
+		}
+		for n := lo[i]; n <= hi[i]; n++ {
+			cur[i] = n
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return bestN
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// PairLine returns dot `dot`'s n-th addition line in the plane of gates
+// (g1, g2), with every other gate held at the voltages in fixed (len N;
+// entries for g1 and g2 are ignored) and the other dots' occupations given
+// by others (len N; entry for `dot` ignored).
+func (a *Array) PairLine(dot, n int, others []int, g1, g2 int, fixed []float64) Line {
+	rhs := a.EC[dot] * float64(n-1)
+	if dot > 0 {
+		rhs += a.ECm[dot-1] * float64(others[dot-1])
+	}
+	if dot < a.N-1 {
+		rhs += a.ECm[dot] * float64(others[dot+1])
+	}
+	c := a.Offset[dot] - rhs
+	for g := 0; g < a.N; g++ {
+		if g == g1 || g == g2 {
+			continue
+		}
+		c += a.Alpha[dot][g] * fixed[g]
+	}
+	return Line{A: a.Alpha[dot][g1], B: a.Alpha[dot][g2], C: c}
+}
+
+// PairSlopes returns the ground-truth (steep, shallow) transition-line
+// slopes dV_{g2}/dV_{g1} for the adjacent pair of dots (i, i+1) scanned with
+// gates (i, i+1): the inputs to the pairwise virtualization matrix.
+func (a *Array) PairSlopes(i int) (steep, shallow float64) {
+	steep = -a.Alpha[i][i] / a.Alpha[i][i+1]
+	shallow = -a.Alpha[i+1][i] / a.Alpha[i+1][i+1]
+	return steep, shallow
+}
+
+// UniformChain builds a homogeneous N-dot array whose every adjacent pair
+// reproduces the given first-electron line geometry; crossAlpha sets the
+// nearest-neighbour lever-arm fraction (Alpha[i][i±1] = crossAlpha·Alpha[i][i])
+// and farFrac the next-nearest fraction (decaying geometrically beyond).
+func UniformChain(n int, ec, ecm, alphaOwn, crossFrac, farFrac float64, offset float64) (*Array, error) {
+	if n < 2 {
+		return nil, errors.New("physics: chain needs at least 2 dots")
+	}
+	a := &Array{
+		N:      n,
+		EC:     make([]float64, n),
+		ECm:    make([]float64, n-1),
+		Alpha:  make([][]float64, n),
+		Offset: make([]float64, n),
+		MaxN:   2,
+	}
+	for i := 0; i < n; i++ {
+		a.EC[i] = ec
+		a.Offset[i] = offset
+		a.Alpha[i] = make([]float64, n)
+		for g := 0; g < n; g++ {
+			d := g - i
+			if d < 0 {
+				d = -d
+			}
+			switch d {
+			case 0:
+				a.Alpha[i][g] = alphaOwn
+			case 1:
+				a.Alpha[i][g] = alphaOwn * crossFrac
+			default:
+				a.Alpha[i][g] = alphaOwn * crossFrac * math.Pow(farFrac, float64(d-1))
+			}
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		a.ECm[i] = ecm
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,158 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testChain(t *testing.T, n int) *Array {
+	t.Helper()
+	a, err := UniformChain(n, 4, 0.3, 0.08, 0.12, 0.3, -2.0)
+	if err != nil {
+		t.Fatalf("UniformChain: %v", err)
+	}
+	return a
+}
+
+func TestUniformChainValid(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		a := testChain(t, n)
+		if err := a.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestUniformChainRejectsTiny(t *testing.T) {
+	if _, err := UniformChain(1, 4, 0.3, 0.08, 0.12, 0.3, 0); err == nil {
+		t.Error("UniformChain accepted n=1")
+	}
+}
+
+func TestChainGroundStateAllEmptyAtLowVoltage(t *testing.T) {
+	a := testChain(t, 4)
+	v := []float64{0, 0, 0, 0}
+	for i, n := range a.GroundState(v) {
+		if n != 0 {
+			t.Errorf("dot %d occupied at zero voltage: n=%d", i, n)
+		}
+	}
+}
+
+func TestChainGroundStateFillsOwnDot(t *testing.T) {
+	a := testChain(t, 4)
+	// Raise only plunger 2 far enough to load exactly dot 2.
+	v := []float64{0, 0, 0, 0}
+	v[2] = 60
+	n := a.GroundState(v)
+	if n[2] != 1 {
+		t.Errorf("dot 2 occupation = %d, want 1 (state %v)", n[2], n)
+	}
+	for i := range n {
+		if i != 2 && n[i] != 0 {
+			t.Errorf("dot %d unexpectedly occupied: state %v", i, n)
+		}
+	}
+}
+
+func TestChainGroundStateMatchesBruteForce(t *testing.T) {
+	a := testChain(t, 3)
+	f := func(r1, r2, r3 float64) bool {
+		v := []float64{mod150(r1), mod150(r2), mod150(r3)}
+		got := a.GroundState(v)
+		// Exhaustive brute force over the full occupation cube.
+		best := math.Inf(1)
+		bestN := []int{0, 0, 0}
+		for x := 0; x <= a.MaxN; x++ {
+			for y := 0; y <= a.MaxN; y++ {
+				for z := 0; z <= a.MaxN; z++ {
+					n := []int{x, y, z}
+					if u := a.Energy(n, v); u < best {
+						best = u
+						bestN = n
+					}
+				}
+			}
+		}
+		return a.Energy(got, v) <= best+1e-12 && eqInts(got, bestN)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod150(x float64) float64 { return math.Mod(math.Abs(x), 150) }
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPairSlopesSigns(t *testing.T) {
+	a := testChain(t, 4)
+	for i := 0; i < 3; i++ {
+		steep, shallow := a.PairSlopes(i)
+		if steep >= -1 {
+			t.Errorf("pair %d steep slope %v not < -1", i, steep)
+		}
+		if shallow <= -1 || shallow >= 0 {
+			t.Errorf("pair %d shallow slope %v not in (-1, 0)", i, shallow)
+		}
+	}
+}
+
+func TestPairLineMatchesGroundState(t *testing.T) {
+	a := testChain(t, 3)
+	fixed := []float64{0, 0, 0}
+	line := a.PairLine(0, 1, []int{0, 0, 0}, 0, 1, fixed)
+	vg2 := 10.0
+	vg1 := line.V1At(vg2)
+	nBefore := a.GroundState([]float64{vg1 - 0.5, vg2, 0})
+	nAfter := a.GroundState([]float64{vg1 + 0.5, vg2, 0})
+	if nBefore[0] != 0 || nAfter[0] != 1 {
+		t.Errorf("dot 0 occupation around pair line: %d -> %d, want 0 -> 1", nBefore[0], nAfter[0])
+	}
+}
+
+func TestPairLineRespectsFixedGates(t *testing.T) {
+	a := testChain(t, 4)
+	others := []int{0, 0, 0, 0}
+	l0 := a.PairLine(1, 1, others, 1, 2, []float64{0, 0, 0, 0})
+	l1 := a.PairLine(1, 1, others, 1, 2, []float64{50, 0, 0, 0})
+	// Raising fixed gate 0 adds alpha[1][0]*50 to mu, shifting the line.
+	shift := l0.V1At(0) - l1.V1At(0)
+	want := a.Alpha[1][0] * 50 / a.Alpha[1][1]
+	if math.Abs(shift-want) > 1e-9 {
+		t.Errorf("fixed-gate shift = %v, want %v", shift, want)
+	}
+}
+
+func TestValidateRejectsStrongCoupling(t *testing.T) {
+	a := testChain(t, 3)
+	a.ECm[0] = a.EC[0] // violates ECm <= EC/3
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted ECm = EC")
+	}
+}
+
+func TestChainOccupationMonotone(t *testing.T) {
+	a := testChain(t, 4)
+	v := []float64{20, 20, 20, 20}
+	prev := -1
+	for x := 0.0; x <= 120; x += 2 {
+		v[1] = x
+		n := a.GroundState(v)
+		if n[1] < prev {
+			t.Fatalf("dot 1 occupation decreased while raising its plunger: %d -> %d at v=%v", prev, n[1], x)
+		}
+		prev = n[1]
+	}
+}

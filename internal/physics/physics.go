@@ -1,0 +1,238 @@
+// Package physics implements the constant-interaction model of gate-defined
+// quantum dot arrays (Hanson et al., Rev. Mod. Phys. 79, 1217 (2007); van der
+// Wiel et al., Rev. Mod. Phys. 75, 1 (2002)).
+//
+// The model assigns each charge configuration N = (N1..Nk) the electrostatic
+// energy
+//
+//	U(N, V) = Σ_i ½·EC_i·N_i(N_i−1) + Σ_{i<j} ECm_ij·N_i·N_j − Σ_i N_i·μ_i(V)
+//
+// with gate-controlled chemical potentials μ_i(V) = Σ_g α_ig·V_g + off_i.
+// The ground-state configuration at a gate-voltage point is the N minimising
+// U; the boundaries between ground-state regions are the charge-state
+// transition lines of the paper's charge stability diagrams. Because μ is
+// linear in V, every transition line is exactly a straight line whose slope
+// is a ratio of lever arms — this is the physics prior (negative slopes,
+// steep for the dot's own gate axis) that the paper's Section 4.2 relies on,
+// and it gives the benchmark suite analytic ground truth to score against.
+//
+// Units: energies in meV, voltages in mV, lever arms in meV/mV.
+package physics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Line is the locus a·V1 + b·V2 + c = 0 in the (V1, V2) plane.
+type Line struct {
+	A, B, C float64
+}
+
+// SlopeDV2DV1 returns the slope dV2/dV1 of the line. It is -Inf/+Inf for
+// vertical lines (B == 0).
+func (l Line) SlopeDV2DV1() float64 {
+	if l.B == 0 {
+		return math.Inf(-sign(l.A))
+	}
+	return -l.A / l.B
+}
+
+// V2At returns V2 on the line at the given V1. NaN for horizontal-degenerate
+// lines.
+func (l Line) V2At(v1 float64) float64 {
+	if l.B == 0 {
+		return math.NaN()
+	}
+	return -(l.A*v1 + l.C) / l.B
+}
+
+// V1At returns V1 on the line at the given V2.
+func (l Line) V1At(v2 float64) float64 {
+	if l.A == 0 {
+		return math.NaN()
+	}
+	return -(l.B*v2 + l.C) / l.A
+}
+
+// Eval returns a·v1 + b·v2 + c; its sign tells which side of the line the
+// point lies on.
+func (l Line) Eval(v1, v2 float64) float64 { return l.A*v1 + l.B*v2 + l.C }
+
+// Intersect returns the intersection point of two lines.
+func Intersect(l1, l2 Line) (v1, v2 float64, err error) {
+	det := l1.A*l2.B - l2.A*l1.B
+	if math.Abs(det) < 1e-30 {
+		return 0, 0, errors.New("physics: lines are parallel")
+	}
+	v1 = (l1.B*l2.C - l2.B*l1.C) / det
+	v2 = (l2.A*l1.C - l1.A*l2.C) / det
+	return v1, v2, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// DoubleDot holds the constant-interaction parameters of a double quantum
+// dot controlled by two plunger gates (P1, P2).
+//
+// Alpha[i][g] is the lever arm of gate g onto dot i. The diagonal entries
+// dominate (each plunger mostly addresses its own dot); the off-diagonal
+// entries are the cross-capacitance the virtual gate construction must
+// compensate.
+type DoubleDot struct {
+	EC     [2]float64    `json:"ec"`     // on-site charging energies (meV)
+	ECm    float64       `json:"ecm"`    // mutual charging energy (meV)
+	Alpha  [2][2]float64 `json:"alpha"`  // lever arms (meV/mV)
+	Offset [2]float64    `json:"offset"` // chemical potential offsets (meV)
+	MaxN   int           `json:"maxN"`   // electrons per dot to consider (≥1)
+}
+
+// Validate reports whether the parameters describe a physical device.
+func (p *DoubleDot) Validate() error {
+	for i := 0; i < 2; i++ {
+		if p.EC[i] <= 0 {
+			return fmt.Errorf("physics: EC[%d] = %v must be positive", i, p.EC[i])
+		}
+		for g := 0; g < 2; g++ {
+			if p.Alpha[i][g] < 0 {
+				return fmt.Errorf("physics: Alpha[%d][%d] = %v must be non-negative", i, g, p.Alpha[i][g])
+			}
+		}
+		if p.Alpha[i][i] == 0 {
+			return fmt.Errorf("physics: Alpha[%d][%d] must be positive", i, i)
+		}
+	}
+	if p.ECm < 0 {
+		return errors.New("physics: mutual charging energy must be non-negative")
+	}
+	if p.Alpha[0][0]*p.Alpha[1][1] <= p.Alpha[0][1]*p.Alpha[1][0] {
+		return errors.New("physics: lever-arm matrix must be diagonally dominant (det > 0)")
+	}
+	if p.MaxN < 1 {
+		return errors.New("physics: MaxN must be at least 1")
+	}
+	return nil
+}
+
+// Mu returns the chemical potential μ_i(V1, V2) of dot i (meV).
+func (p *DoubleDot) Mu(i int, v1, v2 float64) float64 {
+	return p.Alpha[i][0]*v1 + p.Alpha[i][1]*v2 + p.Offset[i]
+}
+
+// Energy returns the constant-interaction energy of configuration (n1, n2)
+// at gate voltages (v1, v2).
+func (p *DoubleDot) Energy(n1, n2 int, v1, v2 float64) float64 {
+	f1, f2 := float64(n1), float64(n2)
+	u := 0.5*p.EC[0]*f1*(f1-1) + 0.5*p.EC[1]*f2*(f2-1) + p.ECm*f1*f2
+	u -= f1 * p.Mu(0, v1, v2)
+	u -= f2 * p.Mu(1, v1, v2)
+	return u
+}
+
+// GroundState returns the occupation (n1, n2) minimising the energy at the
+// given gate voltages, searching 0..MaxN electrons per dot.
+func (p *DoubleDot) GroundState(v1, v2 float64) (n1, n2 int) {
+	best := math.Inf(1)
+	for a := 0; a <= p.MaxN; a++ {
+		for b := 0; b <= p.MaxN; b++ {
+			if u := p.Energy(a, b, v1, v2); u < best {
+				best, n1, n2 = u, a, b
+			}
+		}
+	}
+	return n1, n2
+}
+
+// AdditionLine returns the transition line on which dot `dot` (0 or 1) gains
+// its n-th electron (n ≥ 1) while the other dot holds `other` electrons:
+// the boundary between (…, n−1, …) and (…, n, …).
+func (p *DoubleDot) AdditionLine(dot, n, other int) Line {
+	// Boundary: EC_dot·(n−1) + ECm·other − μ_dot(V) = 0.
+	rhs := p.EC[dot]*float64(n-1) + p.ECm*float64(other)
+	return Line{
+		A: p.Alpha[dot][0],
+		B: p.Alpha[dot][1],
+		C: p.Offset[dot] - rhs,
+	}
+}
+
+// SteepLine is the (0,0)→(1,0) transition: dot 1 (index 0) gains its first
+// electron. With Alpha[0][0] ≫ Alpha[0][1] its slope dV2/dV1 is steeply
+// negative (near-vertical in a CSD with V1 on the horizontal axis).
+func (p *DoubleDot) SteepLine() Line { return p.AdditionLine(0, 1, 0) }
+
+// ShallowLine is the (0,0)→(0,1) transition: dot 2 gains its first electron.
+// Its slope is shallowly negative (near-horizontal).
+func (p *DoubleDot) ShallowLine() Line { return p.AdditionLine(1, 1, 0) }
+
+// TriplePoint returns the (V1, V2) intersection of the steep and shallow
+// first-electron lines (for ECm = 0 this is the (0,0)/(1,0)/(0,1)/(1,1)
+// quadruple point; with ECm > 0 the honeycomb vertex sits nearby).
+func (p *DoubleDot) TriplePoint() (v1, v2 float64, err error) {
+	return Intersect(p.SteepLine(), p.ShallowLine())
+}
+
+// Geometry describes a double-dot device by the observable geometry of its
+// first-electron transition lines instead of raw capacitances: the slopes of
+// the two lines and one point on each. FromGeometry solves for lever arms
+// and offsets that realise it, which is how the benchmark generator places
+// transition lines at chosen pixel positions.
+type Geometry struct {
+	SteepSlope   float64    // dV2/dV1 of the dot-1 line; must be < -1
+	ShallowSlope float64    // dV2/dV1 of the dot-2 line; must be in (-1, 0)
+	SteepPoint   [2]float64 // a (V1, V2) point on the steep line
+	ShallowPoint [2]float64 // a (V1, V2) point on the shallow line
+	EC1, EC2     float64    // charging energies (meV); control line spacing
+	ECm          float64    // mutual charging energy (meV)
+	AlphaOwn1    float64    // Alpha[0][0]; default 0.08 meV/mV
+	AlphaOwn2    float64    // Alpha[1][1]; default 0.08 meV/mV
+}
+
+// FromGeometry constructs DoubleDot parameters realising the requested line
+// geometry exactly.
+func FromGeometry(g Geometry) (*DoubleDot, error) {
+	if g.SteepSlope >= -1 {
+		return nil, fmt.Errorf("physics: steep slope %v must be < -1", g.SteepSlope)
+	}
+	if g.ShallowSlope <= -1 || g.ShallowSlope >= 0 {
+		return nil, fmt.Errorf("physics: shallow slope %v must be in (-1, 0)", g.ShallowSlope)
+	}
+	a00 := g.AlphaOwn1
+	if a00 == 0 {
+		a00 = 0.08
+	}
+	a11 := g.AlphaOwn2
+	if a11 == 0 {
+		a11 = 0.08
+	}
+	// slope = -alphaOwn/alphaCross along the dot's own line:
+	// steep line: a00·V1 + a01·V2 + c = 0 → dV2/dV1 = -a00/a01.
+	a01 := -a00 / g.SteepSlope
+	a10 := -a11 * g.ShallowSlope
+	p := &DoubleDot{
+		EC:    [2]float64{g.EC1, g.EC2},
+		ECm:   g.ECm,
+		Alpha: [2][2]float64{{a00, a01}, {a10, a11}},
+		MaxN:  3,
+	}
+	if p.EC[0] == 0 {
+		p.EC[0] = 4
+	}
+	if p.EC[1] == 0 {
+		p.EC[1] = 4
+	}
+	// Offsets place each first-electron line through its requested point:
+	// μ_dot(point) = 0.
+	p.Offset[0] = -(a00*g.SteepPoint[0] + a01*g.SteepPoint[1])
+	p.Offset[1] = -(a10*g.ShallowPoint[0] + a11*g.ShallowPoint[1])
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

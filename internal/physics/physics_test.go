@@ -1,0 +1,209 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testDevice(t *testing.T) *DoubleDot {
+	t.Helper()
+	p, err := FromGeometry(Geometry{
+		SteepSlope:   -8,
+		ShallowSlope: -0.12,
+		SteepPoint:   [2]float64{70, 0},
+		ShallowPoint: [2]float64{0, 65},
+		EC1:          4, EC2: 4, ECm: 0.3,
+	})
+	if err != nil {
+		t.Fatalf("FromGeometry: %v", err)
+	}
+	return p
+}
+
+func TestFromGeometryRealisesSlopes(t *testing.T) {
+	p := testDevice(t)
+	if got := p.SteepLine().SlopeDV2DV1(); math.Abs(got-(-8)) > 1e-9 {
+		t.Errorf("steep slope = %v, want -8", got)
+	}
+	if got := p.ShallowLine().SlopeDV2DV1(); math.Abs(got-(-0.12)) > 1e-9 {
+		t.Errorf("shallow slope = %v, want -0.12", got)
+	}
+}
+
+func TestFromGeometryRealisesPoints(t *testing.T) {
+	p := testDevice(t)
+	if got := p.SteepLine().Eval(70, 0); math.Abs(got) > 1e-9 {
+		t.Errorf("steep line misses (70, 0): eval = %v", got)
+	}
+	if got := p.ShallowLine().Eval(0, 65); math.Abs(got) > 1e-9 {
+		t.Errorf("shallow line misses (0, 65): eval = %v", got)
+	}
+}
+
+func TestFromGeometryRejectsBadSlopes(t *testing.T) {
+	cases := []Geometry{
+		{SteepSlope: -0.5, ShallowSlope: -0.1}, // steep not steep
+		{SteepSlope: -8, ShallowSlope: -2},     // shallow not shallow
+		{SteepSlope: -8, ShallowSlope: 0.1},    // shallow positive
+		{SteepSlope: 2, ShallowSlope: -0.1},    // steep positive
+	}
+	for i, g := range cases {
+		if _, err := FromGeometry(g); err == nil {
+			t.Errorf("case %d: FromGeometry accepted invalid geometry %+v", i, g)
+		}
+	}
+}
+
+func TestGroundStateRegions(t *testing.T) {
+	p := testDevice(t)
+	// Deep in the (0,0) corner.
+	if n1, n2 := p.GroundState(10, 10); n1 != 0 || n2 != 0 {
+		t.Errorf("GroundState(10,10) = (%d,%d), want (0,0)", n1, n2)
+	}
+	// Right of the steep line, below the shallow one: (1,0).
+	if n1, n2 := p.GroundState(80, 5); n1 != 1 || n2 != 0 {
+		t.Errorf("GroundState(80,5) = (%d,%d), want (1,0)", n1, n2)
+	}
+	// Above the shallow line, left of the steep one: (0,1).
+	if n1, n2 := p.GroundState(5, 80); n1 != 0 || n2 != 1 {
+		t.Errorf("GroundState(5,80) = (%d,%d), want (0,1)", n1, n2)
+	}
+}
+
+func TestGroundStateMonotoneInOwnGate(t *testing.T) {
+	// Raising a plunger voltage must never remove electrons from its dot
+	// (occupation is monotone non-decreasing), for any valid device.
+	p := testDevice(t)
+	f := func(v2Raw, stepRaw float64) bool {
+		v2 := math.Mod(math.Abs(v2Raw), 120)
+		prev := -1
+		for v1 := -20.0; v1 <= 150; v1 += 1.0 {
+			n1, _ := p.GroundState(v1, v2)
+			if n1 < prev {
+				return false
+			}
+			prev = n1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionHappensOnLine(t *testing.T) {
+	p := testDevice(t)
+	line := p.SteepLine()
+	// March across the steep line at fixed V2 and find the flip point.
+	v2 := 20.0
+	v1Cross := line.V1At(v2)
+	n1a, _ := p.GroundState(v1Cross-0.5, v2)
+	n1b, _ := p.GroundState(v1Cross+0.5, v2)
+	if n1a != 0 || n1b != 1 {
+		t.Errorf("occupation around steep line at V2=%v: %d -> %d, want 0 -> 1", v2, n1a, n1b)
+	}
+}
+
+func TestMutualCouplingShiftsSecondLine(t *testing.T) {
+	p := testDevice(t)
+	// With dot 2 occupied, dot 1's addition line shifts by ECm/alpha along V1.
+	l0 := p.AdditionLine(0, 1, 0)
+	l1 := p.AdditionLine(0, 1, 1)
+	v2 := 40.0
+	shift := l1.V1At(v2) - l0.V1At(v2)
+	want := p.ECm / p.Alpha[0][0]
+	if math.Abs(shift-want) > 1e-9 {
+		t.Errorf("honeycomb shift = %v, want %v", shift, want)
+	}
+}
+
+func TestTriplePoint(t *testing.T) {
+	p := testDevice(t)
+	v1, v2, err := p.TriplePoint()
+	if err != nil {
+		t.Fatalf("TriplePoint: %v", err)
+	}
+	if math.Abs(p.SteepLine().Eval(v1, v2)) > 1e-9 || math.Abs(p.ShallowLine().Eval(v1, v2)) > 1e-9 {
+		t.Errorf("triple point (%v,%v) not on both lines", v1, v2)
+	}
+}
+
+func TestIntersectParallel(t *testing.T) {
+	l := Line{A: 1, B: 2, C: 3}
+	if _, _, err := Intersect(l, Line{A: 2, B: 4, C: -1}); err == nil {
+		t.Error("Intersect accepted parallel lines")
+	}
+}
+
+func TestLineSlopeAndEval(t *testing.T) {
+	l := Line{A: 2, B: 1, C: -4} // V2 = 4 - 2·V1
+	if got := l.SlopeDV2DV1(); math.Abs(got-(-2)) > 1e-12 {
+		t.Errorf("slope = %v, want -2", got)
+	}
+	if got := l.V2At(1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("V2At(1) = %v, want 2", got)
+	}
+	if got := l.V1At(0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("V1At(0) = %v, want 2", got)
+	}
+	if l.Eval(1, 2) != 0 {
+		t.Errorf("Eval on line = %v, want 0", l.Eval(1, 2))
+	}
+}
+
+func TestVerticalLineSlope(t *testing.T) {
+	l := Line{A: 1, B: 0, C: -5}
+	if !math.IsInf(l.SlopeDV2DV1(), -1) {
+		t.Errorf("vertical line slope = %v, want -Inf", l.SlopeDV2DV1())
+	}
+	if !math.IsNaN(l.V2At(0)) {
+		t.Error("V2At on vertical line should be NaN")
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	p := testDevice(t)
+	bad := *p
+	bad.EC[0] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted negative EC")
+	}
+	bad = *p
+	bad.Alpha[0][0] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted zero own lever arm")
+	}
+	bad = *p
+	bad.MaxN = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted MaxN = 0")
+	}
+	bad = *p
+	bad.Alpha = [2][2]float64{{0.05, 0.1}, {0.1, 0.05}}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted non-dominant lever-arm matrix")
+	}
+}
+
+func TestEnergyGroundStateConsistency(t *testing.T) {
+	// The reported ground state must have energy ≤ every enumerated config.
+	p := testDevice(t)
+	f := func(aRaw, bRaw float64) bool {
+		v1 := math.Mod(math.Abs(aRaw), 150)
+		v2 := math.Mod(math.Abs(bRaw), 150)
+		g1, g2 := p.GroundState(v1, v2)
+		ug := p.Energy(g1, g2, v1, v2)
+		for a := 0; a <= p.MaxN; a++ {
+			for b := 0; b <= p.MaxN; b++ {
+				if p.Energy(a, b, v1, v2) < ug-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

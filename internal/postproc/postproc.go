@@ -1,0 +1,75 @@
+// Package postproc implements the erroneous-point filter of the paper's
+// Algorithm 3 (lines 1–4): from the union of row- and column-sweep points,
+// keep (a) the lowest point in each pixel column and (b) the leftmost point
+// in each pixel row, then join the two sets.
+//
+// The geometry behind it: erroneous row-sweep points appear above the true
+// shallow line (where the per-row segments grow long), so the accurate
+// column-sweep points below them win the per-column minimum; symmetrically
+// for erroneous column-sweep points to the right of the steep line.
+package postproc
+
+import (
+	"sort"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// Filter applies the two keep-rules and joins the results, deduplicated and
+// sorted by (x, y). The input is not modified.
+func Filter(points []grid.Point) []grid.Point {
+	if len(points) == 0 {
+		return nil
+	}
+	lowestPerX := make(map[int]int) // x → min y
+	leftmostPerY := make(map[int]int)
+	for _, p := range points {
+		if y, ok := lowestPerX[p.X]; !ok || p.Y < y {
+			lowestPerX[p.X] = p.Y
+		}
+		if x, ok := leftmostPerY[p.Y]; !ok || p.X < x {
+			leftmostPerY[p.Y] = p.X
+		}
+	}
+	keep := make(map[grid.Point]bool)
+	for _, p := range points {
+		if lowestPerX[p.X] == p.Y || leftmostPerY[p.Y] == p.X {
+			keep[p] = true
+		}
+	}
+	out := make([]grid.Point, 0, len(keep))
+	for p := range keep {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// FilterSets returns the two intermediate sets of Algorithm 3 (before the
+// join), for the paper's Figure 6 post-processing illustration.
+func FilterSets(points []grid.Point) (lowest, leftmost []grid.Point) {
+	lowestPerX := make(map[int]int)
+	leftmostPerY := make(map[int]int)
+	for _, p := range points {
+		if y, ok := lowestPerX[p.X]; !ok || p.Y < y {
+			lowestPerX[p.X] = p.Y
+		}
+		if x, ok := leftmostPerY[p.Y]; !ok || p.X < x {
+			leftmostPerY[p.Y] = p.X
+		}
+	}
+	for x, y := range lowestPerX {
+		lowest = append(lowest, grid.Point{X: x, Y: y})
+	}
+	for y, x := range leftmostPerY {
+		leftmost = append(leftmost, grid.Point{X: x, Y: y})
+	}
+	sort.Slice(lowest, func(i, j int) bool { return lowest[i].X < lowest[j].X })
+	sort.Slice(leftmost, func(i, j int) bool { return leftmost[i].Y < leftmost[j].Y })
+	return lowest, leftmost
+}

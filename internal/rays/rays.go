@@ -1,0 +1,328 @@
+// Package rays implements a ray-based virtual gate extraction, the
+// physics-informed alternative of the paper's related work (Ziegler et al.,
+// "Tuning arrays with rays", Phys. Rev. Applied 20, 034067 (2023)),
+// reimplemented on this repository's substrate as a second comparison point
+// for the fast method.
+//
+// The idea: from a point inside the (0,0) charge region, cast a fan of rays
+// toward the upper right and walk each one until the sensor current drops by
+// more than the local noise floor — a charge-state transition. The crossing
+// points are then split between the two transition lines and each set is fit
+// by total least squares. Compared with the paper's sweeps, rays probe the
+// interior of the (0,0) region on every cast (no shrinking-triangle reuse),
+// so they need more probes for the same line coverage.
+package rays
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/fitting"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// Source provides sensor current at integer pixel coordinates.
+type Source interface {
+	Current(x, y int) float64
+}
+
+// Sentinel errors.
+var (
+	// ErrNoOrigin: could not place the ray origin inside the (0,0) region.
+	ErrNoOrigin = errors.New("rays: could not locate a ray origin")
+	// ErrNoLine: too few transition crossings to establish both lines.
+	ErrNoLine = errors.New("rays: could not establish both transition lines")
+	// ErrNonPhysical: fitted lines violate the device-physics prior.
+	ErrNonPhysical = errors.New("rays: extracted lines violate the physics prior")
+)
+
+// Config tunes the method; the zero value uses the defaults below.
+type Config struct {
+	NumRays       int     // rays in the fan across (0°, 90°); default 24
+	OriginBackoff float64 // origin = backoff × brightest diagonal point; default 0.55
+	DropSigma     float64 // detection threshold in units of the per-ray noise σ; default 6
+	MinPerLine    int     // crossings required per line; default 4
+}
+
+func (c *Config) fillDefaults() {
+	if c.NumRays == 0 {
+		c.NumRays = 24
+	}
+	if c.OriginBackoff == 0 {
+		c.OriginBackoff = 0.55
+	}
+	if c.DropSigma == 0 {
+		c.DropSigma = 6
+	}
+	if c.MinPerLine == 0 {
+		c.MinPerLine = 4
+	}
+}
+
+// Result is a completed ray extraction.
+type Result struct {
+	Origin     grid.Point
+	Crossings  []fitting.Vec2 // transition points found by the rays
+	SteepSet   []fitting.Vec2 // final cluster assignment
+	ShallowSet []fitting.Vec2
+
+	SteepSlopePx   float64
+	ShallowSlopePx float64
+	SteepSlope     float64 // dV2/dV1
+	ShallowSlope   float64
+
+	Matrix virtualgate.Mat2
+}
+
+// Extract runs the ray method over the window through src.
+func Extract(src Source, win csd.Window, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := win.Cols, win.Rows
+	res := &Result{}
+
+	origin, err := findOrigin(src, w, h, cfg.OriginBackoff)
+	if err != nil {
+		return res, err
+	}
+	res.Origin = origin
+
+	// Fan of rays across the open upper-right quadrant, excluding the axes.
+	for i := 0; i < cfg.NumRays; i++ {
+		theta := math.Pi / 2 * (float64(i) + 0.5) / float64(cfg.NumRays)
+		if p, ok := castRay(src, origin, theta, w, h, cfg.DropSigma); ok {
+			res.Crossings = append(res.Crossings, p)
+		}
+	}
+	if len(res.Crossings) < 2*cfg.MinPerLine {
+		return res, fmt.Errorf("%w: only %d crossings", ErrNoLine, len(res.Crossings))
+	}
+
+	steep, shallow, err := splitAndFit(res.Crossings, cfg)
+	if err != nil {
+		return res, err
+	}
+	res.SteepSet, res.ShallowSet = steep.pts, shallow.pts
+	res.SteepSlopePx = steep.line.Slope()
+	res.ShallowSlopePx = shallow.line.Slope()
+	res.SteepSlope = win.PixelSlopeToVoltage(res.SteepSlopePx)
+	res.ShallowSlope = win.PixelSlopeToVoltage(res.ShallowSlopePx)
+	if !(res.SteepSlope < -1) || !(res.ShallowSlope > -1 && res.ShallowSlope < 0) {
+		return res, fmt.Errorf("%w: steep=%.3f shallow=%.3f", ErrNonPhysical, res.SteepSlope, res.ShallowSlope)
+	}
+	m, err := virtualgate.FromSlopes(res.SteepSlope, res.ShallowSlope)
+	if err != nil {
+		return res, fmt.Errorf("%w: %v", ErrNonPhysical, err)
+	}
+	res.Matrix = m
+	return res, nil
+}
+
+// findOrigin probes the window diagonal and backs off from the brightest
+// point toward the lower-left corner, which lands inside the (0,0) region on
+// sensor-flank devices.
+func findOrigin(src Source, w, h int, backoff float64) (grid.Point, error) {
+	const probes = 10
+	best := math.Inf(-1)
+	var bright grid.Point
+	for i := 0; i < probes; i++ {
+		x := int(math.Round(float64(i) * float64(w-1) / float64(probes-1)))
+		y := int(math.Round(float64(i) * float64(h-1) / float64(probes-1)))
+		if c := src.Current(x, y); c > best {
+			best = c
+			bright = grid.Point{X: x, Y: y}
+		}
+	}
+	o := grid.Point{
+		X: int(math.Round(float64(bright.X) * backoff)),
+		Y: int(math.Round(float64(bright.Y) * backoff)),
+	}
+	if o.X < 1 || o.Y < 1 || o.X >= w-2 || o.Y >= h-2 {
+		return grid.Point{}, fmt.Errorf("%w: origin %v out of window", ErrNoOrigin, o)
+	}
+	return o, nil
+}
+
+// castRay walks from origin at angle theta (radians from the +x axis),
+// probing one pixel per step, and returns the first point where the current
+// falls more than dropSigma noise units below its running maximum.
+func castRay(src Source, origin grid.Point, theta float64, w, h int, dropSigma float64) (fitting.Vec2, bool) {
+	dx, dy := math.Cos(theta), math.Sin(theta)
+	// Noise floor from the first samples along the ray (median absolute
+	// successive difference, scaled to σ).
+	const warmup = 8
+	var samples []float64
+	step := 0
+	for {
+		x := float64(origin.X) + float64(step)*dx
+		y := float64(origin.Y) + float64(step)*dy
+		xi, yi := int(math.Round(x)), int(math.Round(y))
+		if xi >= w || yi >= h {
+			return fitting.Vec2{}, false
+		}
+		samples = append(samples, src.Current(xi, yi))
+		if len(samples) >= warmup {
+			break
+		}
+		step++
+	}
+	sigma := successiveSigma(samples)
+	thresh := dropSigma * sigma
+	if minThresh := 1e-6; thresh < minThresh {
+		thresh = minThresh
+	}
+	// Walk outward against the running maximum (so a rising background
+	// cannot fire) and require the drop to persist for a second sample: a
+	// charge transition is a persistent step, a noise spike is not.
+	runMax := samples[0]
+	confirm := func(s int) (fitting.Vec2, bool) {
+		x := float64(origin.X) + float64(s+1)*dx
+		y := float64(origin.Y) + float64(s+1)*dy
+		xi, yi := int(math.Round(x)), int(math.Round(y))
+		if xi >= w || yi >= h {
+			return fitting.Vec2{}, false
+		}
+		if runMax-src.Current(xi, yi) > thresh {
+			cx := float64(origin.X) + (float64(s)-0.5)*dx
+			cy := float64(origin.Y) + (float64(s)-0.5)*dy
+			return fitting.Vec2{X: cx, Y: cy}, true
+		}
+		return fitting.Vec2{}, false
+	}
+	for i := 1; i < len(samples); i++ {
+		if runMax-samples[i] > thresh {
+			if p, ok := confirm(i); ok {
+				return p, true
+			}
+		}
+		runMax = math.Max(runMax, samples[i])
+	}
+	for step = warmup; ; step++ {
+		x := float64(origin.X) + float64(step)*dx
+		y := float64(origin.Y) + float64(step)*dy
+		xi, yi := int(math.Round(x)), int(math.Round(y))
+		if xi >= w || yi >= h {
+			return fitting.Vec2{}, false
+		}
+		v := src.Current(xi, yi)
+		if runMax-v > thresh {
+			if p, ok := confirm(step); ok {
+				return p, true
+			}
+		}
+		runMax = math.Max(runMax, v)
+	}
+}
+
+// successiveSigma estimates the noise σ from the median absolute SECOND
+// difference, which cancels the smooth background ramp along a ray so only
+// genuine fluctuations count. For white noise the second difference is
+// N(0, 6σ²), whose median absolute value is 0.6745·√6·σ ≈ 1.652·σ.
+func successiveSigma(xs []float64) float64 {
+	if len(xs) < 3 {
+		return 0
+	}
+	diffs := make([]float64, 0, len(xs)-2)
+	for i := 2; i < len(xs); i++ {
+		diffs = append(diffs, math.Abs(xs[i]-2*xs[i-1]+xs[i-2]))
+	}
+	sort.Float64s(diffs)
+	med := diffs[len(diffs)/2]
+	return med / 1.652
+}
+
+type fitSet struct {
+	pts  []fitting.Vec2
+	line fitting.ParamLine
+}
+
+// splitAndFit separates the crossings into the steep and shallow clusters.
+// Crossings arrive ordered by ray angle, so the fan hits the steep line
+// first and the shallow line after some changepoint; the split is found by
+// minimising the total TLS residual over all changepoints, then each cluster
+// is refit after trimming gross outliers (rays that latched onto the
+// honeycomb continuation lines near the triple point).
+func splitAndFit(crossings []fitting.Vec2, cfg Config) (steep, shallow fitSet, err error) {
+	n := len(crossings)
+	bestCost := math.Inf(1)
+	bestK := -1
+	for k := cfg.MinPerLine; k <= n-cfg.MinPerLine; k++ {
+		l1, err1 := fitting.TLSLine(crossings[:k])
+		l2, err2 := fitting.TLSLine(crossings[k:])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		var cost float64
+		for _, p := range crossings[:k] {
+			d := l1.Dist(p)
+			cost += d * d
+		}
+		for _, p := range crossings[k:] {
+			d := l2.Dist(p)
+			cost += d * d
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return steep, shallow, fmt.Errorf("%w: no valid changepoint over %d crossings", ErrNoLine, n)
+	}
+	steep.pts = append([]fitting.Vec2(nil), crossings[:bestK]...)
+	shallow.pts = append([]fitting.Vec2(nil), crossings[bestK:]...)
+	if steep.pts, steep.line, err = fitTrimmed(steep.pts, cfg.MinPerLine); err != nil {
+		return steep, shallow, err
+	}
+	if shallow.pts, shallow.line, err = fitTrimmed(shallow.pts, cfg.MinPerLine); err != nil {
+		return steep, shallow, err
+	}
+	return steep, shallow, nil
+}
+
+// fitTrimmed fits a TLS line and iteratively drops outliers: each round
+// removes points farther than max(2.5 px, 3×RMS) and refits, which peels
+// away false crossings (noise-triggered ray stops) sitting far from the
+// transition line.
+func fitTrimmed(pts []fitting.Vec2, minPts int) ([]fitting.Vec2, fitting.ParamLine, error) {
+	line, err := fitting.TLSLine(pts)
+	if err != nil {
+		return pts, line, fmt.Errorf("%w: %v", ErrNoLine, err)
+	}
+	kept := append([]fitting.Vec2(nil), pts...)
+	for round := 0; round < 3; round++ {
+		var ss float64
+		for _, p := range kept {
+			d := line.Dist(p)
+			ss += d * d
+		}
+		rms := math.Sqrt(ss / float64(len(kept)))
+		cut := math.Max(3*rms, 2.5)
+		next := kept[:0:0]
+		for _, p := range kept {
+			if line.Dist(p) <= cut {
+				next = append(next, p)
+			}
+		}
+		if len(next) < minPts {
+			return kept, line, fmt.Errorf("%w: only %d inliers after trimming", ErrNoLine, len(next))
+		}
+		done := len(next) == len(kept)
+		kept = next
+		refit, err := fitting.TLSLine(kept)
+		if err != nil {
+			return kept, line, nil // keep the previous fit
+		}
+		line = refit
+		if done {
+			break
+		}
+	}
+	return kept, line, nil
+}

@@ -1,0 +1,184 @@
+package rays
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+// synthSource is the shared analytic CSD with the standard two lines.
+type synthSource struct {
+	xa, yb           float64
+	mSteep, mShallow float64
+	probes           int
+}
+
+func (s *synthSource) Current(x, y int) float64 {
+	s.probes++
+	fx, fy := float64(x), float64(y)
+	c := 2.0 + 0.004*(fx+fy)
+	if fx > s.xa+fy/s.mSteep {
+		c -= 0.8
+	}
+	if fy > s.yb+s.mShallow*fx {
+		c -= 0.8
+	}
+	return c
+}
+
+func squareWin(n int) csd.Window { return csd.NewSquareWindow(0, 0, float64(n), n) }
+
+func angleErr(got, want float64) float64 {
+	return math.Abs(math.Atan(got)-math.Atan(want)) * 180 / math.Pi
+}
+
+func TestExtractClean(t *testing.T) {
+	s := &synthSource{xa: 66, yb: 62, mSteep: -8, mShallow: -0.12}
+	res, err := Extract(s, squareWin(100), Config{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if e := angleErr(res.SteepSlope, -8); e > 3.5 {
+		t.Errorf("steep %v (Δ%.2f°)", res.SteepSlope, e)
+	}
+	if e := angleErr(res.ShallowSlope, -0.12); e > 3.5 {
+		t.Errorf("shallow %v (Δ%.2f°)", res.ShallowSlope, e)
+	}
+	if len(res.Crossings) < 12 {
+		t.Errorf("only %d ray crossings", len(res.Crossings))
+	}
+}
+
+func TestExtractGeometries(t *testing.T) {
+	for _, tc := range []struct{ xa, yb, ms, mh float64 }{
+		{60, 68, -5.5, -0.2},
+		{72, 58, -10, -0.08},
+	} {
+		s := &synthSource{xa: tc.xa, yb: tc.yb, mSteep: tc.ms, mShallow: tc.mh}
+		res, err := Extract(s, squareWin(100), Config{})
+		if err != nil {
+			t.Errorf("geometry %+v: %v", tc, err)
+			continue
+		}
+		if e := angleErr(res.SteepSlope, tc.ms); e > 3.5 {
+			t.Errorf("geometry %+v: steep %v (Δ%.2f°)", tc, res.SteepSlope, e)
+		}
+		if e := angleErr(res.ShallowSlope, tc.mh); e > 3.5 {
+			t.Errorf("geometry %+v: shallow %v (Δ%.2f°)", tc, res.ShallowSlope, e)
+		}
+	}
+}
+
+func TestExtractOnSimulatedDevice(t *testing.T) {
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   -7.5,
+		ShallowSlope: -0.13,
+		SteepPoint:   [2]float64{33, 0},
+		ShallowPoint: [2]float64{0, 31},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &device.DoubleDot{Phys: phys, Sens: sensor.DefaultDoubleDot(0.47, 0.45, 100)}
+	win := csd.NewSquareWindow(0, 0, 50, 100)
+	inst := device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2())
+	res, err := Extract(csd.PixelSource{Src: inst, Win: win}, win, Config{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if e := angleErr(res.SteepSlope, -7.5); e > 3.5 {
+		t.Errorf("steep %v (Δ%.2f°)", res.SteepSlope, e)
+	}
+	// Rays probe more than the sweeps but still far less than a full CSD.
+	if probes := inst.Stats().UniqueProbes; probes > 5000 {
+		t.Errorf("rays probed %d of 10000", probes)
+	}
+}
+
+func TestFailsOnFeaturelessData(t *testing.T) {
+	s := &synthSource{xa: 1e9, yb: 1e9, mSteep: -8, mShallow: -0.12}
+	_, err := Extract(s, squareWin(100), Config{})
+	if err == nil {
+		t.Fatal("extraction succeeded without transition lines")
+	}
+	if !errors.Is(err, ErrNoLine) && !errors.Is(err, ErrNoOrigin) && !errors.Is(err, ErrNonPhysical) {
+		t.Errorf("error %v is not a sentinel", err)
+	}
+}
+
+func TestDetectsFaintLine(t *testing.T) {
+	// Unlike the Canny baseline's ratio thresholds, the per-ray σ-based drop
+	// detector works at any contrast on clean data.
+	s := &faintSource{synthSource{xa: 66, yb: 62, mSteep: -8, mShallow: -0.12}, 0.05}
+	res, err := Extract(s, squareWin(100), Config{})
+	if err != nil {
+		t.Fatalf("faint-line extraction failed: %v", err)
+	}
+	if e := angleErr(res.ShallowSlope, -0.12); e > 3.5 {
+		t.Errorf("faint shallow slope %v (Δ%.2f°)", res.ShallowSlope, e)
+	}
+}
+
+// faintSource scales the shallow line's contrast.
+type faintSource struct {
+	s     synthSource
+	faint float64
+}
+
+func (f *faintSource) Current(x, y int) float64 {
+	fx, fy := float64(x), float64(y)
+	c := 2.0 + 0.004*(fx+fy)
+	if fx > f.s.xa+fy/f.s.mSteep {
+		c -= 0.8
+	}
+	if fy > f.s.yb+f.s.mShallow*fx {
+		c -= 0.8 * f.faint
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := &synthSource{xa: 66, yb: 62, mSteep: -8, mShallow: -0.12}
+	if _, err := Extract(s, csd.Window{}, Config{}); err == nil {
+		t.Error("accepted invalid window")
+	}
+}
+
+func TestSuccessiveSigma(t *testing.T) {
+	flat := []float64{1, 1, 1, 1, 1}
+	if got := successiveSigma(flat); got != 0 {
+		t.Errorf("sigma of constant = %v", got)
+	}
+	if got := successiveSigma([]float64{0, 1}); got != 0 {
+		t.Errorf("sigma of two samples = %v", got)
+	}
+	// A linear ramp has zero second differences: the estimator must not
+	// mistake a smooth background for noise (this is what keeps faint lines
+	// detectable).
+	ramp := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	if got := successiveSigma(ramp); got > 1e-12 {
+		t.Errorf("sigma of linear ramp = %v, want 0", got)
+	}
+	// An alternating 0/1 sequence has |second difference| = 2 everywhere.
+	alt := []float64{0, 1, 0, 1, 0, 1, 0, 1}
+	if got := successiveSigma(alt); math.Abs(got-2/1.652) > 1e-9 {
+		t.Errorf("sigma of 0/1 alternation = %v, want %v", got, 2/1.652)
+	}
+}
+
+func TestOriginInsideZeroRegion(t *testing.T) {
+	s := &synthSource{xa: 66, yb: 62, mSteep: -8, mShallow: -0.12}
+	o, err := findOrigin(s, 100, 100, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(o.X) > s.xa || float64(o.Y) > s.yb {
+		t.Errorf("origin %v outside the (0,0) region", o)
+	}
+}

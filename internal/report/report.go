@@ -1,0 +1,143 @@
+// Package report renders evaluation results as plain-text, Markdown and CSV
+// tables, shared by cmd/table1 and the documentation pipeline.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented table with aligned text rendering.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable allocates a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells, long rows
+// are an error.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) > len(t.Header) {
+		return fmt.Errorf("report: row has %d cells, header has %d", len(cells), len(t.Header))
+	}
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// widths returns the rendered width of each column.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// WriteText renders the table with space-aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	ws := t.widths()
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", ws[i], c)
+			if i < len(cells)-1 {
+				b.WriteString("  ")
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range ws {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		escaped := make([]string, len(row))
+		for i, c := range row {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC 4180 CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Format names an output format accepted by Write.
+type Format string
+
+// Supported formats.
+const (
+	FormatText     Format = "text"
+	FormatMarkdown Format = "markdown"
+	FormatCSV      Format = "csv"
+)
+
+// Write renders the table in the requested format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatText, "":
+		return t.WriteText(w)
+	case FormatMarkdown:
+		return t.WriteMarkdown(w)
+	case FormatCSV:
+		return t.WriteCSV(w)
+	default:
+		return fmt.Errorf("report: unknown format %q", f)
+	}
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable("CSD", "Fast", "Speedup")
+	if err := tb.AddRow("3", "Success", "6.18x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("1", "Fail"); err != nil { // short row pads
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestAddRowRejectsLong(t *testing.T) {
+	tb := NewTable("a", "b")
+	if err := tb.AddRow("1", "2", "3"); err == nil {
+		t.Error("accepted over-long row")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample(t).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("text output has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "CSD") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "Success") {
+		t.Errorf("row line = %q", lines[2])
+	}
+	// Columns align: "Fast" starts at the same offset in header and rows.
+	hIdx := strings.Index(lines[0], "Fast")
+	rIdx := strings.Index(lines[2], "Success")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: header offset %d, row offset %d", hIdx, rIdx)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample(t).WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| CSD | Fast | Speedup |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| 3 | Success | 6.18x |") {
+		t.Errorf("markdown row missing:\n%s", out)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := NewTable("col")
+	if err := tb.AddRow("a|b"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `a\|b`) {
+		t.Errorf("pipe not escaped:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample(t).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "CSD,Fast,Speedup" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[2] != "1,Fail," {
+		t.Errorf("padded CSV row = %q", lines[2])
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	tb := sample(t)
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, ""} {
+		var buf bytes.Buffer
+		if err := tb.Write(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced no output", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tb.Write(&buf, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

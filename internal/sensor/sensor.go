@@ -1,0 +1,116 @@
+// Package sensor models the proximal charge sensor of a quantum dot device:
+// a single sensor dot operated on the flank of one of its Coulomb-blockade
+// conductance peaks.
+//
+// The sensor's effective gate charge q is shifted smoothly by the plunger
+// gates (direct cross-capacitance — this produces the bright background
+// gradient of measured CSDs) and discontinuously by each electron added to a
+// device dot (this produces the current step at every charge transition line
+// that the paper's feature gradient detects). The conductance is a Gaussian
+// peak in q, so the sign and size of a transition step depend on the local
+// operating point, as on real devices.
+package sensor
+
+import (
+	"errors"
+	"math"
+)
+
+// Params describes a charge sensor coupled to nGates plunger gates and
+// nDots device dots.
+type Params struct {
+	Base      float64 `json:"base"`      // baseline current (nA)
+	PeakAmp   float64 `json:"peakAmp"`   // Coulomb peak height (nA)
+	PeakPos   float64 `json:"peakPos"`   // peak centre in effective-charge units
+	PeakWidth float64 `json:"peakWidth"` // Gaussian σ of the peak
+
+	Kappa  []float64 `json:"kappa"`  // per-gate lever arm onto the sensor (charge units / mV)
+	Lambda []float64 `json:"lambda"` // per-dot charge shift per trapped electron
+
+	Tilt []float64 `json:"tilt"` // direct linear current crosstalk per gate (nA/mV)
+}
+
+// Validate checks dimensions and positivity.
+func (p *Params) Validate() error {
+	if p.PeakWidth <= 0 {
+		return errors.New("sensor: peak width must be positive")
+	}
+	if p.PeakAmp == 0 {
+		return errors.New("sensor: peak amplitude must be non-zero")
+	}
+	if len(p.Kappa) == 0 || len(p.Lambda) == 0 {
+		return errors.New("sensor: kappa and lambda must be non-empty")
+	}
+	if p.Tilt != nil && len(p.Tilt) != len(p.Kappa) {
+		return errors.New("sensor: tilt length must match kappa")
+	}
+	return nil
+}
+
+// EffectiveCharge returns the sensor's effective gate charge at gate
+// voltages v with dot occupations n.
+func (p *Params) EffectiveCharge(v []float64, n []int) float64 {
+	var q float64
+	for g, vg := range v {
+		if g < len(p.Kappa) {
+			q += p.Kappa[g] * vg
+		}
+	}
+	for i, ni := range n {
+		if i < len(p.Lambda) {
+			q -= p.Lambda[i] * float64(ni)
+		}
+	}
+	return q
+}
+
+// Current returns the noiseless sensor current at gate voltages v with dot
+// occupations n.
+func (p *Params) Current(v []float64, n []int) float64 {
+	q := p.EffectiveCharge(v, n)
+	d := (q - p.PeakPos) / p.PeakWidth
+	i := p.Base + p.PeakAmp*math.Exp(-0.5*d*d)
+	for g, vg := range v {
+		if p.Tilt != nil && g < len(p.Tilt) {
+			i += p.Tilt[g] * vg
+		}
+	}
+	return i
+}
+
+// StepSize returns the current change caused by adding one electron to dot
+// `dot` at gate voltages v, starting from occupations n — the contrast a
+// transition line has at that operating point. Negative values mean the
+// current drops when the electron loads (the common flank configuration).
+func (p *Params) StepSize(dot int, v []float64, n []int) float64 {
+	before := p.Current(v, n)
+	after := make([]int, len(n))
+	copy(after, n)
+	after[dot]++
+	return p.Current(v, after) - before
+}
+
+// DefaultDoubleDot returns a sensor tuned for a two-gate, two-dot device:
+// operated on the rising flank of its peak so that loading either dot drops
+// the current, with dot-dependent contrast lambda1, lambda2 (charge units).
+// windowSpan is the full (V1+V2) span of the scan window in mV, used to keep
+// the background sweep within one flank of the peak.
+//
+// The tuning keeps the few-electron (0,0) region the brightest part of the
+// window: the flank is steep enough (q sweeps ~1.5σ) and the occupation
+// shifts large enough that every electron added drops the current below the
+// pre-transition background — the property the anchor preprocessing's
+// "brightest point" heuristic (paper Section 4.4) relies on.
+func DefaultDoubleDot(lambda1, lambda2, windowSpan float64) Params {
+	width := 1.0
+	kappa := 1.5 * width / math.Max(windowSpan, 1)
+	return Params{
+		Base:      0.05,
+		PeakAmp:   1.0,
+		PeakPos:   1.7 * width, // window spans q in [0, ~1.5σ): rising flank
+		PeakWidth: width,
+		Kappa:     []float64{kappa, kappa},
+		Lambda:    []float64{lambda1, lambda2},
+		Tilt:      []float64{0, 0},
+	}
+}

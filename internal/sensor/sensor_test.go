@@ -1,0 +1,127 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := DefaultDoubleDot(0.3, 0.3, 100)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := good
+	bad.PeakWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero peak width")
+	}
+	bad = good
+	bad.PeakAmp = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero peak amplitude")
+	}
+	bad = good
+	bad.Kappa = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted empty kappa")
+	}
+	bad = good
+	bad.Tilt = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted mismatched tilt length")
+	}
+}
+
+func TestEffectiveCharge(t *testing.T) {
+	p := Params{
+		PeakAmp: 1, PeakWidth: 1,
+		Kappa:  []float64{0.01, 0.02},
+		Lambda: []float64{0.3, 0.4},
+	}
+	q := p.EffectiveCharge([]float64{100, 50}, []int{1, 2})
+	want := 0.01*100 + 0.02*50 - 0.3*1 - 0.4*2
+	if math.Abs(q-want) > 1e-12 {
+		t.Errorf("EffectiveCharge = %v, want %v", q, want)
+	}
+}
+
+func TestCurrentPeakShape(t *testing.T) {
+	p := Params{
+		Base: 0.1, PeakAmp: 2, PeakPos: 0.5, PeakWidth: 0.2,
+		Kappa:  []float64{1},
+		Lambda: []float64{0.1},
+	}
+	atPeak := p.Current([]float64{0.5}, []int{0})
+	if math.Abs(atPeak-2.1) > 1e-12 {
+		t.Errorf("current at peak = %v, want 2.1", atPeak)
+	}
+	farAway := p.Current([]float64{10}, []int{0})
+	if math.Abs(farAway-0.1) > 1e-6 {
+		t.Errorf("current far from peak = %v, want ~base 0.1", farAway)
+	}
+}
+
+func TestStepSizeNegativeOnRisingFlank(t *testing.T) {
+	// On the rising flank (q below the peak), trapping an electron lowers q
+	// further from the peak, so the current must drop.
+	p := DefaultDoubleDot(0.35, 0.35, 100)
+	step := p.StepSize(0, []float64{20, 20}, []int{0, 0})
+	if step >= 0 {
+		t.Errorf("step on rising flank = %v, want negative", step)
+	}
+}
+
+func TestStepSizeScalesWithLambda(t *testing.T) {
+	strong := DefaultDoubleDot(0.5, 0.5, 100)
+	weak := DefaultDoubleDot(0.05, 0.05, 100)
+	v := []float64{50, 50}
+	s := math.Abs(strong.StepSize(0, v, []int{0, 0}))
+	w := math.Abs(weak.StepSize(0, v, []int{0, 0}))
+	if s <= w {
+		t.Errorf("strong-coupling step %v not larger than weak %v", s, w)
+	}
+}
+
+func TestBackgroundMonotoneAcrossWindow(t *testing.T) {
+	// DefaultDoubleDot keeps the operating point on one flank across the
+	// window, so the zero-occupation background rises monotonically along
+	// the diagonal (the "brightest point" heuristic of Section 4.4 depends
+	// on a smooth bright background).
+	p := DefaultDoubleDot(0.3, 0.3, 200)
+	prev := math.Inf(-1)
+	for s := 0.0; s <= 100; s += 5 {
+		cur := p.Current([]float64{s, s}, []int{0, 0})
+		if cur < prev {
+			t.Fatalf("background not monotone at diagonal position %v: %v < %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTiltAddsLinearTerm(t *testing.T) {
+	p := DefaultDoubleDot(0.3, 0.3, 100)
+	p.Tilt = []float64{0.001, 0}
+	base := DefaultDoubleDot(0.3, 0.3, 100)
+	v := []float64{40, 10}
+	diff := p.Current(v, []int{0, 0}) - base.Current(v, []int{0, 0})
+	if math.Abs(diff-0.04) > 1e-12 {
+		t.Errorf("tilt contribution = %v, want 0.04", diff)
+	}
+}
+
+func TestStepSizePropertyMoreElectronsLowerCurrent(t *testing.T) {
+	// Anywhere on the rising flank, each additional electron must reduce the
+	// current relative to fewer electrons (monotone contrast).
+	p := DefaultDoubleDot(0.25, 0.25, 200) // span covers V1+V2 up to 200 mV
+	f := func(v1Raw, v2Raw float64) bool {
+		v := []float64{math.Mod(math.Abs(v1Raw), 100), math.Mod(math.Abs(v2Raw), 100)}
+		i0 := p.Current(v, []int{0, 0})
+		i1 := p.Current(v, []int{1, 0})
+		i2 := p.Current(v, []int{1, 1})
+		return i1 < i0 && i2 < i1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

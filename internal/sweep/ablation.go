@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// RowSweepNoShrink is the ablation of the triangle-shrinking update: the
+// moving anchor is NOT advanced to each found point, so every row probes the
+// full segment of the initial (static) triangle. It quantifies how much of
+// the paper's probe reduction comes from the dynamic shrinking of
+// Section 4.3.2.
+func RowSweepNoShrink(src Source, left, bottom grid.Point) (Trace, error) {
+	if left.Y <= bottom.Y || left.X >= bottom.X {
+		return Trace{}, errors.New("sweep: anchors do not form a valid triangle")
+	}
+	var tr Trace
+	for y := bottom.Y + 1; y <= left.Y-1; y++ {
+		lo, hi := rowSegment(left, bottom, y)
+		bestX, bestG := 0, math.Inf(-1)
+		for x := lo; x <= hi; x++ {
+			tr.Probed = append(tr.Probed, grid.Point{X: x, Y: y})
+			if g := FeatureGradient(src, x, y); g > bestG {
+				bestG = g
+				bestX = x
+			}
+		}
+		tr.Chosen = append(tr.Chosen, grid.Point{X: bestX, Y: y})
+	}
+	return tr, nil
+}
+
+// ColSweepNoShrink is the column-major no-shrinking ablation.
+func ColSweepNoShrink(src Source, left, bottom grid.Point) (Trace, error) {
+	if left.Y <= bottom.Y || left.X >= bottom.X {
+		return Trace{}, errors.New("sweep: anchors do not form a valid triangle")
+	}
+	var tr Trace
+	for x := left.X + 1; x <= bottom.X-1; x++ {
+		lo, hi := colSegment(bottom, left, x)
+		bestY, bestG := 0, math.Inf(-1)
+		for y := lo; y <= hi; y++ {
+			tr.Probed = append(tr.Probed, grid.Point{X: x, Y: y})
+			if g := FeatureGradient(src, x, y); g > bestG {
+				bestG = g
+				bestY = y
+			}
+		}
+		tr.Chosen = append(tr.Chosen, grid.Point{X: x, Y: bestY})
+	}
+	return tr, nil
+}

@@ -1,0 +1,141 @@
+// Package sweep implements the core search of the paper's Section 4.3: the
+// feature gradient (Algorithm 2) and the shrinking-triangle row-major and
+// column-major sweeps (Algorithm 3, lines 5–18) that locate charge-state
+// transition points while probing only a thin band around the lines.
+package sweep
+
+import (
+	"errors"
+	"math"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// Source provides sensor current at integer pixel coordinates. Probing one
+// pixel past the window edge is allowed (instruments extrapolate or clamp).
+type Source interface {
+	Current(x, y int) float64
+}
+
+// FeatureGradient is Algorithm 2: the positively tilted gradient
+// (c − c_right) + (c − c_upperRight), evaluated with a one-pixel step. It is
+// large and positive when (x, y) sits just lower-left of a charge-state
+// transition line, because adding an electron drops the sensor current.
+func FeatureGradient(src Source, x, y int) float64 {
+	c := src.Current(x, y)
+	cRight := src.Current(x+1, y)
+	cUpperRight := src.Current(x+1, y+1)
+	return (c - cRight) + (c - cUpperRight)
+}
+
+// Trace records every probed candidate and every chosen transition point of
+// one sweep, for diagnostics and for regenerating the paper's Figures 5–7.
+type Trace struct {
+	Probed []grid.Point // points where the feature gradient was evaluated
+	Chosen []grid.Point // argmax point per row/column
+}
+
+// RowSweep walks rows bottom-to-top inside the triangle defined by the fixed
+// upper-left anchor (left) and a moving lower-right anchor that starts at
+// bottom (Algorithm 3 lines 8–12). At each row it probes the pixels whose
+// centres lie inside the current triangle, keeps the one with maximal
+// feature gradient as a transition point, and shrinks the triangle by moving
+// the lower anchor there.
+func RowSweep(src Source, left, bottom grid.Point) (Trace, error) {
+	if left.Y <= bottom.Y || left.X >= bottom.X {
+		return Trace{}, errors.New("sweep: anchors do not form a valid triangle")
+	}
+	var tr Trace
+	moving := bottom
+	for y := bottom.Y + 1; y <= left.Y-1; y++ {
+		lo, hi := rowSegment(left, moving, y)
+		bestX, bestG := 0, math.Inf(-1)
+		for x := lo; x <= hi; x++ {
+			tr.Probed = append(tr.Probed, grid.Point{X: x, Y: y})
+			if g := FeatureGradient(src, x, y); g > bestG {
+				bestG = g
+				bestX = x
+			}
+		}
+		moving = grid.Point{X: bestX, Y: y}
+		tr.Chosen = append(tr.Chosen, moving)
+	}
+	return tr, nil
+}
+
+// rowSegment returns the inclusive pixel range [lo, hi] of row y inside the
+// triangle with vertices left, (moving.X, left.Y) and moving. The left edge
+// is the hypotenuse from left down to moving; the right edge is x = moving.X.
+// If no pixel centre falls inside, the moving anchor's column is probed so
+// the anchor path stays connected.
+func rowSegment(left, moving grid.Point, y int) (lo, hi int) {
+	hi = moving.X
+	denom := float64(left.Y - moving.Y)
+	xHyp := float64(left.X) + float64(moving.X-left.X)*float64(left.Y-y)/denom
+	lo = int(math.Ceil(xHyp))
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ColSweep walks columns left-to-right inside the triangle defined by the
+// fixed lower-right anchor (bottom) and a moving upper-left anchor that
+// starts at left (Algorithm 3 lines 13–18).
+func ColSweep(src Source, left, bottom grid.Point) (Trace, error) {
+	if left.Y <= bottom.Y || left.X >= bottom.X {
+		return Trace{}, errors.New("sweep: anchors do not form a valid triangle")
+	}
+	var tr Trace
+	moving := left
+	for x := left.X + 1; x <= bottom.X-1; x++ {
+		lo, hi := colSegment(bottom, moving, x)
+		bestY, bestG := 0, math.Inf(-1)
+		for y := lo; y <= hi; y++ {
+			tr.Probed = append(tr.Probed, grid.Point{X: x, Y: y})
+			if g := FeatureGradient(src, x, y); g > bestG {
+				bestG = g
+				bestY = y
+			}
+		}
+		moving = grid.Point{X: x, Y: bestY}
+		tr.Chosen = append(tr.Chosen, moving)
+	}
+	return tr, nil
+}
+
+// colSegment returns the inclusive pixel range [lo, hi] of column x inside
+// the triangle with vertices moving, (bottom.X, moving.Y) and bottom. The
+// lower edge is the hypotenuse from moving down to bottom; the upper edge is
+// y = moving.Y.
+func colSegment(bottom, moving grid.Point, x int) (lo, hi int) {
+	hi = moving.Y
+	denom := float64(bottom.X - moving.X)
+	yHyp := float64(moving.Y) + float64(bottom.Y-moving.Y)*float64(x-moving.X)/denom
+	lo = int(math.Ceil(yHyp))
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Sweeps runs both sweeps (Algorithm 3 lines 5–18) and returns the combined
+// transition points (row-sweep points first), plus both traces.
+func Sweeps(src Source, left, bottom grid.Point) (points []grid.Point, row, col Trace, err error) {
+	row, err = RowSweep(src, left, bottom)
+	if err != nil {
+		return nil, Trace{}, Trace{}, err
+	}
+	col, err = ColSweep(src, left, bottom)
+	if err != nil {
+		return nil, Trace{}, Trace{}, err
+	}
+	points = append(append([]grid.Point{}, row.Chosen...), col.Chosen...)
+	return points, row, col, nil
+}

@@ -1,0 +1,226 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// synthSource is an analytic CSD: bright background with a small positive
+// tilt, a 0.8 step down across the steep line (through (xa, 0), slope
+// mSteep) and another across the shallow line (through (0, yb), slope
+// mShallow).
+type synthSource struct {
+	xa, yb           float64
+	mSteep, mShallow float64
+}
+
+func (s synthSource) Current(x, y int) float64 {
+	fx, fy := float64(x), float64(y)
+	c := 2.0 + 0.003*(fx+fy)
+	if fx > s.xa+fy/s.mSteep { // right of the steep line
+		c -= 0.8
+	}
+	if fy > s.yb+s.mShallow*fx { // above the shallow line
+		c -= 0.8
+	}
+	return c
+}
+
+func (s synthSource) steepXAt(y float64) float64   { return s.xa + y/s.mSteep }
+func (s synthSource) shallowYAt(x float64) float64 { return s.yb + s.mShallow*x }
+
+func defaultSynth() synthSource {
+	return synthSource{xa: 45, yb: 40, mSteep: -8, mShallow: -0.12}
+}
+
+func anchorsFor(s synthSource) (left, bottom grid.Point) {
+	return grid.Point{X: 1, Y: int(math.Round(s.shallowYAt(1)))},
+		grid.Point{X: int(math.Round(s.steepXAt(1))), Y: 1}
+}
+
+func TestFeatureGradientFiresAtSteepLine(t *testing.T) {
+	s := defaultSynth()
+	y := 10
+	xLine := int(math.Floor(s.steepXAt(float64(y))))
+	atLine := FeatureGradient(s, xLine, y)
+	away := FeatureGradient(s, xLine-5, y)
+	if atLine <= away {
+		t.Errorf("gradient at line %v not above background %v", atLine, away)
+	}
+	if atLine < 0.8 {
+		t.Errorf("gradient at line = %v, want ≥ one step of 0.8", atLine)
+	}
+}
+
+func TestFeatureGradientFiresAtShallowLine(t *testing.T) {
+	s := defaultSynth()
+	x := 10
+	yLine := int(math.Floor(s.shallowYAt(float64(x))))
+	atLine := FeatureGradient(s, x, yLine)
+	away := FeatureGradient(s, x, yLine-5)
+	if atLine <= away {
+		t.Errorf("gradient at shallow line %v not above background %v", atLine, away)
+	}
+}
+
+func TestRowSweepTracksSteepLine(t *testing.T) {
+	s := defaultSynth()
+	left, bottom := anchorsFor(s)
+	tr, err := RowSweep(s, left, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knee is where the lines intersect.
+	kneeY := s.shallowYAt(s.steepXAt(0)) // approximate; lines nearly axis-aligned
+	for _, p := range tr.Chosen {
+		if float64(p.Y) > kneeY-3 {
+			continue // above the knee the row sweep is unreliable by design
+		}
+		want := s.steepXAt(float64(p.Y))
+		if math.Abs(float64(p.X)-want) > 1.5 {
+			t.Errorf("row %d: chosen x = %d, steep line at %.1f", p.Y, p.X, want)
+		}
+	}
+	if len(tr.Chosen) != left.Y-1-bottom.Y {
+		t.Errorf("chose %d points, want %d", len(tr.Chosen), left.Y-1-bottom.Y)
+	}
+}
+
+func TestColSweepTracksShallowLine(t *testing.T) {
+	s := defaultSynth()
+	left, bottom := anchorsFor(s)
+	tr, err := ColSweep(s, left, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kneeX := s.steepXAt(s.yb)
+	for _, p := range tr.Chosen {
+		if float64(p.X) > kneeX-3 {
+			continue
+		}
+		want := s.shallowYAt(float64(p.X))
+		if math.Abs(float64(p.Y)-want) > 1.5 {
+			t.Errorf("col %d: chosen y = %d, shallow line at %.1f", p.X, p.Y, want)
+		}
+	}
+}
+
+func TestTriangleShrinkingKeepsSegmentsSmall(t *testing.T) {
+	// On clean data the moving anchor hugs the line, so each row probes only
+	// a handful of pixels: far fewer than the full triangle would contain.
+	s := defaultSynth()
+	left, bottom := anchorsFor(s)
+	tr, err := RowSweep(s, left, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := left.Y - 1 - bottom.Y
+	if avg := float64(len(tr.Probed)) / float64(rows); avg > 6 {
+		t.Errorf("average probes per row = %v, triangle shrinking ineffective", avg)
+	}
+}
+
+func TestSweepsCombined(t *testing.T) {
+	s := defaultSynth()
+	left, bottom := anchorsFor(s)
+	pts, row, col, err := Sweeps(s, left, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(row.Chosen)+len(col.Chosen) {
+		t.Errorf("combined %d points, traces have %d+%d", len(pts), len(row.Chosen), len(col.Chosen))
+	}
+}
+
+func TestSweepRejectsBadAnchors(t *testing.T) {
+	s := defaultSynth()
+	if _, err := RowSweep(s, grid.Point{X: 1, Y: 5}, grid.Point{X: 40, Y: 10}); err == nil {
+		t.Error("RowSweep accepted left anchor below bottom anchor")
+	}
+	if _, err := ColSweep(s, grid.Point{X: 50, Y: 40}, grid.Point{X: 10, Y: 1}); err == nil {
+		t.Error("ColSweep accepted left anchor right of bottom anchor")
+	}
+	if _, _, _, err := Sweeps(s, grid.Point{X: 5, Y: 5}, grid.Point{X: 5, Y: 5}); err == nil {
+		t.Error("Sweeps accepted coincident anchors")
+	}
+}
+
+func TestRowSegmentGeometry(t *testing.T) {
+	left := grid.Point{X: 0, Y: 20}
+	moving := grid.Point{X: 30, Y: 10}
+	// Just above the moving anchor the segment hugs its column.
+	lo, hi := rowSegment(left, moving, 11)
+	if hi != 30 {
+		t.Errorf("hi = %d, want 30", hi)
+	}
+	if lo < 26 || lo > 30 {
+		t.Errorf("lo = %d, want near 27 (hypotenuse)", lo)
+	}
+	// Near the fixed anchor the segment approaches its column.
+	lo19, _ := rowSegment(left, moving, 19)
+	if lo19 > 4 {
+		t.Errorf("lo at row 19 = %d, want near hypotenuse ≈ 3", lo19)
+	}
+	// lo never exceeds hi even in degenerate geometry.
+	lo2, hi2 := rowSegment(grid.Point{X: 29, Y: 20}, moving, 19)
+	if lo2 > hi2 {
+		t.Errorf("lo %d > hi %d", lo2, hi2)
+	}
+}
+
+func TestColSegmentGeometry(t *testing.T) {
+	bottom := grid.Point{X: 40, Y: 0}
+	moving := grid.Point{X: 5, Y: 30}
+	lo, hi := colSegment(bottom, moving, 6)
+	if hi != 30 {
+		t.Errorf("hi = %d, want 30", hi)
+	}
+	if lo < 26 || lo > 30 {
+		t.Errorf("lo = %d, want just below 30", lo)
+	}
+}
+
+func TestSweepWithNoiseStillFindsMostPoints(t *testing.T) {
+	s := defaultSynth()
+	noisy := noisySource{s: s}
+	left, bottom := anchorsFor(s)
+	tr, err := RowSweep(noisy, left, bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	total := 0
+	kneeY := s.shallowYAt(s.steepXAt(0))
+	for _, p := range tr.Chosen {
+		if float64(p.Y) > kneeY-3 {
+			continue
+		}
+		total++
+		if math.Abs(float64(p.X)-s.steepXAt(float64(p.Y))) <= 2 {
+			good++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no points below knee")
+	}
+	if frac := float64(good) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of noisy sweep points near the line", frac*100)
+	}
+}
+
+// noisySource adds deterministic pseudo-noise (hash of coordinates) at 15%
+// of the step size.
+type noisySource struct {
+	s synthSource
+}
+
+func (n noisySource) Current(x, y int) float64 {
+	h := uint64(x)*2654435761 ^ uint64(y)*40503
+	h ^= h >> 13
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	u := float64(h%10000)/10000 - 0.5
+	return n.s.Current(x, y) + 0.12*2*u
+}

@@ -1,0 +1,104 @@
+package virtualgate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Chain composes the pairwise virtualization matrices of an n-dot linear
+// array (Section 2.3: "n−1 sequentially executed extraction processes") into
+// one N×N virtualization matrix with unit diagonal and tridiagonal
+// compensation terms.
+type Chain struct {
+	N   int
+	A12 []float64 // per-pair dot-i compensation, len N-1
+	A21 []float64 // per-pair dot-(i+1) compensation, len N-1
+}
+
+// NewChain allocates an identity chain for n dots.
+func NewChain(n int) (*Chain, error) {
+	if n < 2 {
+		return nil, errors.New("virtualgate: chain needs at least 2 dots")
+	}
+	return &Chain{N: n, A12: make([]float64, n-1), A21: make([]float64, n-1)}, nil
+}
+
+// SetPair records the extracted pair matrix for adjacent dots (i, i+1).
+func (c *Chain) SetPair(i int, m Mat2) error {
+	if i < 0 || i >= c.N-1 {
+		return fmt.Errorf("virtualgate: pair index %d out of range", i)
+	}
+	c.A12[i] = m.A12()
+	c.A21[i] = m.A21()
+	return nil
+}
+
+// Matrix returns the dense N×N virtualization matrix.
+func (c *Chain) Matrix() [][]float64 {
+	m := make([][]float64, c.N)
+	for i := range m {
+		m[i] = make([]float64, c.N)
+		m[i][i] = 1
+	}
+	for i := 0; i < c.N-1; i++ {
+		m[i][i+1] = c.A12[i]
+		m[i+1][i] = c.A21[i]
+	}
+	return m
+}
+
+// Apply maps physical gate voltages to virtual gate voltages.
+func (c *Chain) Apply(v []float64) ([]float64, error) {
+	if len(v) != c.N {
+		return nil, errors.New("virtualgate: voltage vector length mismatch")
+	}
+	m := c.Matrix()
+	out := make([]float64, c.N)
+	for i := range m {
+		for j, mij := range m[i] {
+			out[i] += mij * v[j]
+		}
+	}
+	return out, nil
+}
+
+// Solve maps virtual gate voltages back to physical voltages by solving
+// M·v = u with Gaussian elimination (partial pivoting).
+func (c *Chain) Solve(u []float64) ([]float64, error) {
+	if len(u) != c.N {
+		return nil, errors.New("virtualgate: voltage vector length mismatch")
+	}
+	n := c.N
+	m := c.Matrix()
+	for i := range m {
+		m[i] = append(m[i], u[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-15 {
+			return nil, errors.New("virtualgate: singular chain matrix")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for cc := col; cc <= n; cc++ {
+				m[r][cc] -= f * m[col][cc]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,154 @@
+package virtualgate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/fastvg/fastvg/internal/csd"
+)
+
+// VerifyConfig tunes on-device verification.
+type VerifyConfig struct {
+	// AlongFracs are the positions along each transition line (as fractions
+	// of the distance from the window edge to the triple point) at which the
+	// line is re-located; default {0.25, 0.5, 0.75}. Staying below/left of
+	// the triple point keeps the probe paths out of the honeycomb interdot
+	// strip, where crossing the line only transfers an electron between dots
+	// and barely moves the sensor.
+	AlongFracs []float64
+	// ScanFrac is the half-width of each crossing scan as a fraction of the
+	// window span; default 0.15.
+	ScanFrac float64
+	// MaxShiftFrac is the allowed drift of a line's measured position across
+	// the AlongFracs, as a fraction of the window span; default 0.02.
+	MaxShiftFrac float64
+}
+
+func (c *VerifyConfig) fillDefaults() {
+	if len(c.AlongFracs) == 0 {
+		c.AlongFracs = []float64{0.25, 0.5, 0.75}
+	}
+	if c.ScanFrac == 0 {
+		c.ScanFrac = 0.15
+	}
+	if c.MaxShiftFrac == 0 {
+		c.MaxShiftFrac = 0.02
+	}
+}
+
+// VerifyResult reports the measured line positions under virtual-gate
+// stepping.
+type VerifyResult struct {
+	// SteepPositions[i] is the steep line's measured V'1 crossing with the
+	// orthogonal virtual gate at AlongFracs[i]; a correct matrix keeps them
+	// equal.
+	SteepPositions []float64
+	// ShallowPositions mirrors for the shallow line (V'2 crossings).
+	ShallowPositions []float64
+	// SteepShift and ShallowShift are the max-min spreads, in millivolts.
+	SteepShift   float64
+	ShallowShift float64
+	// Probes spent on verification.
+	Probes int
+	// OK reports whether both shifts stay within tolerance.
+	OK bool
+}
+
+// ErrVerify is returned when the lines cannot be re-located during
+// verification.
+var ErrVerify = errors.New("virtualgate: verification could not re-locate the transition lines")
+
+// Verify checks a virtualization matrix on the device itself — the
+// measurement equivalent of the paper's manual inspection of the warped
+// diagram. (kneeV1, kneeV2) is the transition-line intersection the
+// extraction located (core.Result.TriplePointVoltage). For each line,
+// Verify steps the *other* dot's virtual gate to several positions between
+// the window edge and the knee and re-locates the line with a short 1-D
+// scan in virtual coordinates: under a correct matrix the measured crossing
+// does not move. The cost is a handful of line scans (≪ one CSD).
+func Verify(src csd.CurrentGetter, win csd.Window, m Mat2, kneeV1, kneeV2 float64, cfg VerifyConfig) (*VerifyResult, error) {
+	cfg.fillDefaults()
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	res := &VerifyResult{}
+	span1 := win.V1Max - win.V1Min
+	span2 := win.V2Max - win.V2Min
+	ku1, ku2 := m.Apply(kneeV1, kneeV2)
+	// Virtual coordinates of the window's lower-left corner, for the spans
+	// from edge to knee.
+	eu1, eu2 := m.Apply(win.V1Min, win.V2Min)
+
+	// Steep line: scan V'1 across the knee's u1 at several u2 below the knee.
+	for _, f := range cfg.AlongFracs {
+		u2 := eu2 + f*(ku2-eu2)
+		pos, probes, ok := scanDrop(src, win, inv, true, u2,
+			ku1-cfg.ScanFrac*span1, ku1+cfg.ScanFrac*span1, win.StepV1())
+		res.Probes += probes
+		if !ok {
+			return res, fmt.Errorf("%w: steep line not found at fraction %.2f", ErrVerify, f)
+		}
+		res.SteepPositions = append(res.SteepPositions, pos)
+	}
+	// Shallow line: scan V'2 across the knee's u2 at several u1 left of the knee.
+	for _, f := range cfg.AlongFracs {
+		u1 := eu1 + f*(ku1-eu1)
+		pos, probes, ok := scanDrop(src, win, inv, false, u1,
+			ku2-cfg.ScanFrac*span2, ku2+cfg.ScanFrac*span2, win.StepV2())
+		res.Probes += probes
+		if !ok {
+			return res, fmt.Errorf("%w: shallow line not found at fraction %.2f", ErrVerify, f)
+		}
+		res.ShallowPositions = append(res.ShallowPositions, pos)
+	}
+	res.SteepShift = spread(res.SteepPositions)
+	res.ShallowShift = spread(res.ShallowPositions)
+	res.OK = res.SteepShift <= cfg.MaxShiftFrac*span1 && res.ShallowShift <= cfg.MaxShiftFrac*span2
+	return res, nil
+}
+
+// scanDrop walks one virtual axis from lo to hi (step pitch) holding the
+// other virtual coordinate fixed, and returns the position of the largest
+// single-step current drop — the transition crossing.
+func scanDrop(src csd.CurrentGetter, win csd.Window, inv Mat2, alongU1 bool, fixed, lo, hi, pitch float64) (pos float64, probes int, ok bool) {
+	prev := math.NaN()
+	bestDrop := 0.0
+	var bestPos float64
+	for u := lo; u <= hi; u += pitch {
+		var v1, v2 float64
+		if alongU1 {
+			v1, v2 = inv.Apply(u, fixed)
+		} else {
+			v1, v2 = inv.Apply(fixed, u)
+		}
+		// Stay inside the window (the device is only recorded there).
+		if v1 < win.V1Min || v1 > win.V1Max || v2 < win.V2Min || v2 > win.V2Max {
+			prev = math.NaN()
+			continue
+		}
+		c := src.GetCurrent(v1, v2)
+		probes++
+		if !math.IsNaN(prev) {
+			if drop := prev - c; drop > bestDrop {
+				bestDrop = drop
+				bestPos = u - pitch/2
+			}
+		}
+		prev = c
+	}
+	if bestDrop <= 0 {
+		return 0, probes, false
+	}
+	return bestPos, probes, true
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}

@@ -1,0 +1,115 @@
+package virtualgate
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+func verifyDevice(t *testing.T) (*device.SimInstrument, csd.Window, float64, float64, [2]float64) {
+	t.Helper()
+	steep, shallow := -8.0, -0.12
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   steep,
+		ShallowSlope: shallow,
+		SteepPoint:   [2]float64{33, 0},
+		ShallowPoint: [2]float64{0, 31},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1t, v2t, err := phys.TriplePoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &device.DoubleDot{Phys: phys, Sens: sensor.DefaultDoubleDot(0.47, 0.45, 100)}
+	win := csd.NewSquareWindow(0, 0, 50, 100)
+	return device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2()), win, steep, shallow, [2]float64{v1t, v2t}
+}
+
+func TestVerifyAcceptsCorrectMatrix(t *testing.T) {
+	inst, win, steep, shallow, knee := verifyDevice(t)
+	m, err := FromSlopes(steep, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(inst, win, m, knee[0], knee[1], VerifyConfig{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.OK {
+		t.Errorf("correct matrix rejected: steep shift %.3f mV, shallow shift %.3f mV",
+			res.SteepShift, res.ShallowShift)
+	}
+	if res.Probes <= 0 || res.Probes > 1200 {
+		t.Errorf("verification probes = %d, want a few line scans", res.Probes)
+	}
+	if len(res.SteepPositions) != 3 || len(res.ShallowPositions) != 3 {
+		t.Errorf("positions = %d/%d, want 3/3", len(res.SteepPositions), len(res.ShallowPositions))
+	}
+}
+
+func TestVerifyRejectsIdentityMatrix(t *testing.T) {
+	// Without compensation the lines move under virtual stepping exactly by
+	// the cross-coupling — verification must flag it.
+	inst, win, _, _, knee := verifyDevice(t)
+	res, err := Verify(inst, win, Identity(), knee[0], knee[1], VerifyConfig{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if res.OK {
+		t.Errorf("identity matrix accepted: steep shift %.3f, shallow shift %.3f",
+			res.SteepShift, res.ShallowShift)
+	}
+	// The steep line's apparent shift under ±15% V2 stepping should be about
+	// |ΔV2|·|1/mSteep| = 15 mV · 0.125 ≈ 1.9 mV.
+	if res.SteepShift < 0.8 {
+		t.Errorf("uncompensated steep shift = %.3f mV, expected ≈ 1.9 mV", res.SteepShift)
+	}
+}
+
+func TestVerifyRejectsWrongSignMatrix(t *testing.T) {
+	inst, win, steep, shallow, knee := verifyDevice(t)
+	m, err := FromSlopes(steep, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-compensating makes the lines move the other way. Rejection may
+	// come as OK=false (lines drift) or as ErrVerify (the badly warped scan
+	// paths cannot re-locate a line at all).
+	m[0][1] *= 2.5
+	m[1][0] *= 2.5
+	res, err := Verify(inst, win, m, knee[0], knee[1], VerifyConfig{})
+	if err == nil && res.OK {
+		t.Error("over-compensated matrix accepted")
+	}
+	if err != nil && !errors.Is(err, ErrVerify) {
+		t.Errorf("unexpected error type: %v", err)
+	}
+}
+
+func TestVerifyErrorsWithoutLines(t *testing.T) {
+	flat := flatGetter{}
+	win := csd.NewSquareWindow(0, 0, 50, 100)
+	_, err := Verify(flat, win, Identity(), 30, 28, VerifyConfig{})
+	if !errors.Is(err, ErrVerify) {
+		t.Errorf("err = %v, want ErrVerify", err)
+	}
+}
+
+type flatGetter struct{}
+
+func (flatGetter) GetCurrent(v1, v2 float64) float64 { return 1 }
+
+func TestVerifySingularMatrix(t *testing.T) {
+	inst, win, _, _, knee := verifyDevice(t)
+	var m Mat2
+	if _, err := Verify(inst, win, m, knee[0], knee[1], VerifyConfig{}); err == nil {
+		t.Error("accepted singular matrix")
+	}
+}

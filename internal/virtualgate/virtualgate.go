@@ -1,0 +1,143 @@
+// Package virtualgate constructs and manipulates virtualization matrices —
+// the linear recombinations of physical plunger-gate voltages that give each
+// quantum dot an orthogonal ("one-to-one") control knob (Section 2.3 of the
+// paper).
+//
+// For a double dot the matrix is
+//
+//	⎡V'1⎤   ⎡ 1   a12⎤ ⎡V1⎤
+//	⎣V'2⎦ = ⎣a21   1 ⎦ ⎣V2⎦
+//
+// chosen so that each dot's own transition line becomes a level set of its
+// virtual gate: a12 = −1/mSteep and a21 = −mShallow, where mSteep is the
+// dV2/dV1 slope of dot 1's (steep) transition line and mShallow of dot 2's
+// (shallow) line. (The paper's Section 2.3 text transposes the two
+// assignments relative to its own Figure 3; see DESIGN.md §5.)
+package virtualgate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+// Mat2 is a general 2×2 real matrix acting on (V1, V2) column vectors.
+type Mat2 [2][2]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat2 { return Mat2{{1, 0}, {0, 1}} }
+
+// FromSlopes builds the virtualization matrix from measured transition-line
+// slopes (dV2/dV1). steep must be < -1 and shallow in (-1, 0) — the physics
+// prior of Section 4.2.
+func FromSlopes(steep, shallow float64) (Mat2, error) {
+	if !(steep < -1) { // NaN fails too; -Inf (perfectly vertical) gives a12 = 0
+		return Mat2{}, fmt.Errorf("virtualgate: steep slope %v must be < -1", steep)
+	}
+	if !(shallow > -1 && shallow < 0) {
+		return Mat2{}, fmt.Errorf("virtualgate: shallow slope %v must be in (-1, 0)", shallow)
+	}
+	return Mat2{
+		{1, -1 / steep},
+		{-shallow, 1},
+	}, nil
+}
+
+// Apply maps physical voltages to virtual voltages.
+func (m Mat2) Apply(v1, v2 float64) (float64, float64) {
+	return m[0][0]*v1 + m[0][1]*v2, m[1][0]*v1 + m[1][1]*v2
+}
+
+// Det returns the determinant.
+func (m Mat2) Det() float64 { return m[0][0]*m[1][1] - m[0][1]*m[1][0] }
+
+// Inverse returns the inverse matrix (virtual → physical voltages).
+func (m Mat2) Inverse() (Mat2, error) {
+	d := m.Det()
+	if math.Abs(d) < 1e-15 {
+		return Mat2{}, errors.New("virtualgate: singular matrix")
+	}
+	return Mat2{
+		{m[1][1] / d, -m[0][1] / d},
+		{-m[1][0] / d, m[0][0] / d},
+	}, nil
+}
+
+// Mul returns m·o.
+func (m Mat2) Mul(o Mat2) Mat2 {
+	var r Mat2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = m[i][0]*o[0][j] + m[i][1]*o[1][j]
+		}
+	}
+	return r
+}
+
+// A12 returns the dot-1 compensation coefficient.
+func (m Mat2) A12() float64 { return m[0][1] }
+
+// A21 returns the dot-2 compensation coefficient.
+func (m Mat2) A21() float64 { return m[1][0] }
+
+// transformDirection maps a direction vector through the matrix.
+func (m Mat2) transformDirection(dx, dy float64) (float64, float64) {
+	return m[0][0]*dx + m[0][1]*dy, m[1][0]*dx + m[1][1]*dy
+}
+
+// OrthogonalityError measures how well the matrix virtualizes a device whose
+// true line slopes are steepTrue and shallowTrue: the angular deviation (in
+// degrees) of the transformed steep line from vertical and of the
+// transformed shallow line from horizontal. A perfect matrix returns (0, 0);
+// the paper's manual inspection of the warped CSD is exactly this check.
+func (m Mat2) OrthogonalityError(steepTrue, shallowTrue float64) (steepDeg, shallowDeg float64) {
+	// Direction of a line with slope s is (1, s); steep lines use (1/s, 1)
+	// to stay finite.
+	sx, sy := m.transformDirection(1/steepTrue, 1)
+	steepDeg = math.Abs(math.Atan2(sx, sy)) * 180 / math.Pi // angle from vertical
+	hx, hy := m.transformDirection(1, shallowTrue)
+	shallowDeg = math.Abs(math.Atan2(hy, hx)) * 180 / math.Pi // angle from horizontal
+	if steepDeg > 90 {
+		steepDeg = 180 - steepDeg
+	}
+	if shallowDeg > 90 {
+		shallowDeg = 180 - shallowDeg
+	}
+	return steepDeg, shallowDeg
+}
+
+// Warp resamples a CSD grid into virtual-gate coordinates (the paper's
+// Figure 3 right panel): output pixel (x', y') shows the input at
+// M⁻¹·(x', y'). The output covers the image of the input rectangle and has
+// the same pixel pitch.
+func Warp(g *grid.Grid, m Mat2) (*grid.Grid, error) {
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	// Transform the corners to find the output bounds.
+	xMin, yMin := math.Inf(1), math.Inf(1)
+	xMax, yMax := math.Inf(-1), math.Inf(-1)
+	for _, c := range [][2]float64{{0, 0}, {float64(g.W - 1), 0}, {0, float64(g.H - 1)}, {float64(g.W - 1), float64(g.H - 1)}} {
+		x, y := m.Apply(c[0], c[1])
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+		yMin = math.Min(yMin, y)
+		yMax = math.Max(yMax, y)
+	}
+	w := int(math.Ceil(xMax-xMin)) + 1
+	h := int(math.Ceil(yMax-yMin)) + 1
+	if w < 1 || h < 1 || w > 16*g.W || h > 16*g.H {
+		return nil, fmt.Errorf("virtualgate: warp output size %dx%d out of range", w, h)
+	}
+	out := grid.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx, sy := inv.Apply(float64(x)+xMin, float64(y)+yMin)
+			out.Set(x, y, g.BilinearAt(sx, sy))
+		}
+	}
+	return out, nil
+}

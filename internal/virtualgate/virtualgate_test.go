@@ -1,0 +1,230 @@
+package virtualgate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fastvg/fastvg/internal/grid"
+)
+
+func TestFromSlopes(t *testing.T) {
+	m, err := FromSlopes(-8, -0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A12()-0.125) > 1e-12 {
+		t.Errorf("a12 = %v, want 0.125", m.A12())
+	}
+	if math.Abs(m.A21()-0.12) > 1e-12 {
+		t.Errorf("a21 = %v, want 0.12", m.A21())
+	}
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Error("diagonal not unit")
+	}
+}
+
+func TestFromSlopesRejectsNonPhysical(t *testing.T) {
+	cases := [][2]float64{
+		{-0.5, -0.1}, // steep not steep
+		{-8, -1.5},   // shallow too steep
+		{-8, 0.2},    // shallow positive
+		{8, -0.1},    // steep positive
+		{math.NaN(), -0.1},
+	}
+	for _, c := range cases {
+		if _, err := FromSlopes(c[0], c[1]); err == nil {
+			t.Errorf("FromSlopes(%v, %v) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestPerfectMatrixOrthogonalises(t *testing.T) {
+	steep, shallow := -7.3, -0.21
+	m, err := FromSlopes(steep, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sErr, hErr := m.OrthogonalityError(steep, shallow)
+	if sErr > 1e-9 || hErr > 1e-9 {
+		t.Errorf("orthogonality error of exact matrix = (%v, %v)", sErr, hErr)
+	}
+}
+
+func TestWrongMatrixHasOrthogonalityError(t *testing.T) {
+	m, err := FromSlopes(-3, -0.4) // built for the wrong slopes
+	if err != nil {
+		t.Fatal(err)
+	}
+	sErr, hErr := m.OrthogonalityError(-8, -0.1)
+	if sErr < 1 || hErr < 1 {
+		t.Errorf("mismat: orthogonality error = (%v, %v), want both > 1°", sErr, hErr)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	f := func(steepRaw, shallowRaw, v1, v2 float64) bool {
+		steep := -1.5 - math.Mod(math.Abs(steepRaw), 15)
+		shallow := -math.Mod(math.Abs(shallowRaw), 0.9)
+		if shallow == 0 {
+			shallow = -0.1
+		}
+		if math.Abs(v1) > 1e6 || math.Abs(v2) > 1e6 || math.IsNaN(v1) || math.IsNaN(v2) {
+			return true
+		}
+		m, err := FromSlopes(steep, shallow)
+		if err != nil {
+			return false
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		u1, u2 := m.Apply(v1, v2)
+		b1, b2 := inv.Apply(u1, u2)
+		return math.Abs(b1-v1) < 1e-6*(1+math.Abs(v1)) && math.Abs(b2-v2) < 1e-6*(1+math.Abs(v2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m, _ := FromSlopes(-5, -0.2)
+	if got := m.Mul(Identity()); got != m {
+		t.Errorf("m·I = %v, want %v", got, m)
+	}
+	inv, _ := m.Inverse()
+	p := m.Mul(inv)
+	if math.Abs(p[0][0]-1) > 1e-12 || math.Abs(p[0][1]) > 1e-12 ||
+		math.Abs(p[1][0]) > 1e-12 || math.Abs(p[1][1]-1) > 1e-12 {
+		t.Errorf("m·m⁻¹ = %v, want identity", p)
+	}
+}
+
+func TestSingularInverse(t *testing.T) {
+	var m Mat2 // zero matrix
+	if _, err := m.Inverse(); err == nil {
+		t.Error("inverted singular matrix")
+	}
+}
+
+func TestWarpStraightensLines(t *testing.T) {
+	// Build a CSD-like image whose steep line (slope -6 through x=40 at y=0)
+	// separates dark from bright; warp with the exact matrix; check the line
+	// image is vertical: the boundary column must be identical at the bottom
+	// and top of the warped image.
+	steep, shallow := -6.0, -0.15
+	g := grid.New(64, 64)
+	g.Apply(func(x, y int, _ float64) float64 {
+		v := 1.0
+		if float64(y) > steep*(float64(x)-40) { // right of steep line
+			v -= 0.5
+		}
+		if float64(y) > 50+shallow*float64(x) { // above shallow line
+			v -= 0.3
+		}
+		return v
+	})
+	m, err := FromSlopes(steep, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Warp(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findBoundary := func(y int) int {
+		for x := 1; x < w.W; x++ {
+			if w.At(x, y) < w.At(0, y)-0.25 {
+				return x
+			}
+		}
+		return -1
+	}
+	bLo := findBoundary(2)
+	bHi := findBoundary(w.H / 3)
+	if bLo < 0 || bHi < 0 {
+		t.Fatal("warped boundary not found")
+	}
+	if d := bLo - bHi; d < -1 || d > 1 {
+		t.Errorf("warped steep boundary drifts: x=%d at bottom vs x=%d above", bLo, bHi)
+	}
+}
+
+func TestWarpSingular(t *testing.T) {
+	var m Mat2
+	if _, err := Warp(grid.New(4, 4), m); err == nil {
+		t.Error("warped with singular matrix")
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	c, err := NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m, err := FromSlopes(-8, -0.1*float64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetPair(i, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := c.Matrix()
+	if m[0][0] != 1 || m[3][3] != 1 {
+		t.Error("diagonal not unit")
+	}
+	if math.Abs(m[0][1]-0.125) > 1e-12 {
+		t.Errorf("m[0][1] = %v", m[0][1])
+	}
+	if math.Abs(m[1][0]-0.1) > 1e-12 {
+		t.Errorf("m[1][0] = %v", m[1][0])
+	}
+	if m[0][2] != 0 || m[2][0] != 0 {
+		t.Error("chain matrix not tridiagonal")
+	}
+}
+
+func TestChainApplySolveRoundTrip(t *testing.T) {
+	c, _ := NewChain(5)
+	for i := 0; i < 4; i++ {
+		m, _ := FromSlopes(-6-float64(i), -0.1-0.02*float64(i))
+		if err := c.SetPair(i, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := []float64{10, 20, 30, 40, 50}
+	u, err := c.Apply(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Solve(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if math.Abs(back[i]-v[i]) > 1e-9 {
+			t.Errorf("round trip v[%d] = %v, want %v", i, back[i], v[i])
+		}
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := NewChain(1); err == nil {
+		t.Error("accepted 1-dot chain")
+	}
+	c, _ := NewChain(3)
+	m, _ := FromSlopes(-5, -0.2)
+	if err := c.SetPair(5, m); err == nil {
+		t.Error("accepted out-of-range pair")
+	}
+	if _, err := c.Apply([]float64{1, 2}); err == nil {
+		t.Error("accepted short vector")
+	}
+	if _, err := c.Solve([]float64{1, 2}); err == nil {
+		t.Error("accepted short vector in Solve")
+	}
+}

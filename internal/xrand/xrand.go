@@ -1,0 +1,164 @@
+// Package xrand provides a small, deterministic pseudo-random toolkit used by
+// every stochastic component in this repository.
+//
+// The benchmark suite must reproduce byte-identical charge stability diagrams
+// on every run and on every Go release, so we do not rely on math/rand's
+// unspecified stream-splitting behaviour. Instead we implement
+// splitmix64 (for seeding and stream derivation) and xoshiro256** (for the
+// main stream), together with the handful of variates the device and noise
+// models need: uniform, Gaussian, exponential and Poisson.
+package xrand
+
+import "math"
+
+// splitmix64 advances a 64-bit state and returns the next output. It is used
+// to expand a single user seed into the four words of xoshiro256** state and
+// to derive independent child seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Rand struct {
+	s [4]uint64
+
+	// cached second Gaussian variate from the polar method
+	gaussReady bool
+	gaussValue float64
+}
+
+// New returns a generator seeded from seed via splitmix64. Two generators
+// built from the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// DeriveSeed deterministically derives the i-th child seed from a parent
+// seed. Children with distinct indices get independent streams, which lets a
+// benchmark definition own one seed while its noise components each get their
+// own generator.
+func DeriveSeed(parent uint64, i int) uint64 {
+	sm := parent ^ (0x6a09e667f3bcc909 * uint64(i+1))
+	return splitmix64(&sm)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard Gaussian variate using the Marsaglia polar
+// method. Pairs are generated together and the second is cached.
+func (r *Rand) NormFloat64() float64 {
+	if r.gaussReady {
+		r.gaussReady = false
+		return r.gaussValue
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gaussValue = v * f
+		r.gaussReady = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean. Knuth's product
+// method is used for small means and a Gaussian approximation (rounded and
+// clamped at zero) for large ones; the crossover keeps the product method's
+// cost bounded.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,215 @@
+package fastvg
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// NoiseParams is the serialisable description of a measurement-noise model:
+// white (σ), 1/f (amplitude), random-telegraph (amplitude, rate) and drift.
+type NoiseParams = noise.Params
+
+// GroundTruth carries the analytic line slopes of a simulated device so that
+// extractions can be scored without manual inspection.
+type GroundTruth struct {
+	SteepSlope   float64
+	ShallowSlope float64
+}
+
+// DoubleDotSimOptions configures NewDoubleDotSim. The zero value gives a
+// clean 100×100, 50 mV window with paper-typical line geometry.
+type DoubleDotSimOptions struct {
+	SteepSlope   float64 // dV2/dV1 of dot 1's line; default -8
+	ShallowSlope float64 // dV2/dV1 of dot 2's line; default -0.12
+	CrossXFrac   float64 // steep line's bottom-edge crossing as window fraction; default 0.68
+	CrossYFrac   float64 // shallow line's left-edge crossing; default 0.63
+	Pixels       int     // window resolution; default 100
+	SpanMV       float64 // window span in mV; default Pixels/2 (δ = 0.5 mV)
+
+	Lambda1, Lambda2 float64 // sensor contrast per dot; default 0.47 / 0.45
+
+	Noise NoiseParams // zero = noiseless
+	Seed  uint64      // noise realisation seed
+}
+
+// SimInstrument is a simulated double-dot measurement instrument; it
+// implements Instrument and tracks probe statistics.
+type SimInstrument struct {
+	*device.SimInstrument
+	win Window
+}
+
+// Window returns the scan window the simulator was built for.
+func (s *SimInstrument) Window() Window { return s.win }
+
+// NewDoubleDotSim builds a simulated double-dot device with a charge sensor
+// and returns an instrument over it, plus the device's analytic ground
+// truth. The instrument charges the paper's 50 ms dwell per new probe on a
+// virtual clock and memoises re-probed pixels.
+func NewDoubleDotSim(opts DoubleDotSimOptions) (*SimInstrument, GroundTruth, error) {
+	if opts.SteepSlope == 0 {
+		opts.SteepSlope = -8
+	}
+	if opts.ShallowSlope == 0 {
+		opts.ShallowSlope = -0.12
+	}
+	if opts.CrossXFrac == 0 {
+		opts.CrossXFrac = 0.68
+	}
+	if opts.CrossYFrac == 0 {
+		opts.CrossYFrac = 0.63
+	}
+	if opts.Pixels == 0 {
+		opts.Pixels = 100
+	}
+	if opts.SpanMV == 0 {
+		opts.SpanMV = float64(opts.Pixels) / 2
+	}
+	if opts.Lambda1 == 0 {
+		opts.Lambda1 = 0.47
+	}
+	if opts.Lambda2 == 0 {
+		opts.Lambda2 = 0.45
+	}
+	truth := GroundTruth{SteepSlope: opts.SteepSlope, ShallowSlope: opts.ShallowSlope}
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   opts.SteepSlope,
+		ShallowSlope: opts.ShallowSlope,
+		SteepPoint:   [2]float64{opts.CrossXFrac * opts.SpanMV, 0},
+		ShallowPoint: [2]float64{0, opts.CrossYFrac * opts.SpanMV},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		return nil, truth, fmt.Errorf("fastvg: %w", err)
+	}
+	dev := &device.DoubleDot{
+		Phys:  phys,
+		Sens:  sensor.DefaultDoubleDot(opts.Lambda1, opts.Lambda2, 2*opts.SpanMV),
+		Noise: opts.Noise.Build(opts.Seed),
+	}
+	win := NewWindow(0, 0, opts.SpanMV, opts.Pixels)
+	inst := device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2())
+	return &SimInstrument{SimInstrument: inst, win: win}, truth, nil
+}
+
+// ChainSimOptions configures NewChainSim; the zero value gives a clean
+// 4-dot chain.
+type ChainSimOptions struct {
+	Dots      int     // number of dots/plungers; default 4
+	CrossFrac float64 // nearest-neighbour lever-arm fraction; default 0.12
+	Noise     NoiseParams
+	Seed      uint64
+}
+
+// ChainSim is a simulated N-dot linear array with one shared charge sensor.
+type ChainSim struct {
+	Inst *device.MultiInstrument
+	Phys *physics.Array
+
+	spanMV float64 // recommended pair scan span
+}
+
+// NewChainSim builds a homogeneous N-dot chain device. Ground-truth pair
+// slopes are available via PairTruth; RecommendedWindow returns a pair scan
+// window that frames the first-electron lines the way the paper's cropped
+// CSDs do.
+func NewChainSim(opts ChainSimOptions) (*ChainSim, error) {
+	if opts.Dots == 0 {
+		opts.Dots = 4
+	}
+	if opts.Dots < 2 {
+		return nil, errors.New("fastvg: chain needs at least 2 dots")
+	}
+	if opts.CrossFrac == 0 {
+		opts.CrossFrac = 0.12
+	}
+	const alphaOwn, offset = 0.08, -2.0
+	phys, err := physics.UniformChain(opts.Dots, 4, 0.3, alphaOwn, opts.CrossFrac, 0.3, offset)
+	if err != nil {
+		return nil, err
+	}
+	// The first-electron line crosses its own-gate axis at -offset/alphaOwn;
+	// frame it at ~65% of the window so the triple point sits inside and the
+	// (0,0) region stays the brightest part (the anchor heuristics\' regime).
+	crossing := -offset / alphaOwn
+	span := crossing / 0.65
+	n := opts.Dots
+	sens := sensor.Params{
+		Base: 0.05, PeakAmp: 1, PeakPos: 1.7, PeakWidth: 1,
+		Kappa:  make([]float64, n),
+		Lambda: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		// The background flank is driven mainly by the scanned pair: q sweeps
+		// ~1.5 peak widths across one pair window.
+		sens.Kappa[i] = 1.5 / (2 * span)
+		sens.Lambda[i] = 0.46
+	}
+	dev := &device.ArrayDevice{Phys: phys, Sens: sens, Noise: opts.Noise.Build(opts.Seed)}
+	return &ChainSim{
+		Inst:   device.NewMultiInstrument(dev, device.DefaultDwell, span/128),
+		Phys:   phys,
+		spanMV: span,
+	}, nil
+}
+
+// RecommendedWindow returns the pair scan window NewChainSim tuned the
+// sensor for, at the given pixel resolution.
+func (c *ChainSim) RecommendedWindow(pixels int) Window {
+	return NewWindow(0, 0, c.spanMV, pixels)
+}
+
+// PairTruth returns the analytic (steep, shallow) slopes of the (i, i+1)
+// gate pair.
+func (c *ChainSim) PairTruth(i int) (steep, shallow float64) {
+	return c.Phys.PairSlopes(i)
+}
+
+// PairInstrument exposes gates (i, i+1) as a two-gate Instrument with every
+// other gate held at base (len = number of dots).
+func (c *ChainSim) PairInstrument(i int, base []float64) (Instrument, error) {
+	return device.NewPairView(c.Inst, i, i+1, base)
+}
+
+// Chain composes pairwise extractions into an N×N virtualization.
+type Chain = virtualgate.Chain
+
+// NewChain allocates an identity chain virtualization for n dots.
+func NewChain(n int) (*Chain, error) { return virtualgate.NewChain(n) }
+
+// ExtractChain performs the paper's n-dot procedure (Section 2.3): one pair
+// extraction per adjacent plunger pair, composed into a chain
+// virtualization. windows[i] is the scan window for pair (i, i+1); base is
+// the operating point for the gates not being scanned.
+func ExtractChain(sim *ChainSim, windows []Window, base []float64, opts Options) (*Chain, []*Extraction, error) {
+	n := sim.Phys.N
+	if len(windows) != n-1 {
+		return nil, nil, fmt.Errorf("fastvg: need %d windows, got %d", n-1, len(windows))
+	}
+	chain, err := NewChain(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	exts := make([]*Extraction, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		pi, err := sim.PairInstrument(i, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		ext, err := Extract(pi, windows[i], opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fastvg: pair (%d,%d): %w", i, i+1, err)
+		}
+		if err := chain.SetPair(i, ext.Matrix); err != nil {
+			return nil, nil, err
+		}
+		exts = append(exts, ext)
+	}
+	return chain, exts, nil
+}
