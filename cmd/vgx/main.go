@@ -8,6 +8,7 @@
 //	vgx -csd 6 -method baseline
 //	vgx -sim -steep -9 -shallow -0.1 -noise 0.02
 //	vgx -csd 10 -probemap probes.png
+//	vgx -sim -probemap probes.png   # probe maps work for sim runs too
 package main
 
 import (
@@ -17,7 +18,6 @@ import (
 	"os"
 
 	fastvg "github.com/fastvg/fastvg"
-	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/evalx"
 	"github.com/fastvg/fastvg/internal/grid"
 )
@@ -32,7 +32,7 @@ func main() {
 		noiseAmp = flag.Float64("noise", 0.01, "simulated white-noise sigma")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		pixels   = flag.Int("pixels", 100, "simulated window resolution")
-		probeMap = flag.String("probemap", "", "write the probe map PNG to this path (benchmark runs only)")
+		probeMap = flag.String("probemap", "", "write the probe map PNG to this path (benchmark and sim runs)")
 	)
 	flag.Parse()
 
@@ -40,7 +40,7 @@ func main() {
 	case *csdIdx != 0:
 		runBenchmark(*csdIdx, *method, *probeMap)
 	case *sim:
-		runSim(*method, *steep, *shallow, *noiseAmp, *seed, *pixels)
+		runSim(*method, *steep, *shallow, *noiseAmp, *seed, *pixels, *probeMap)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -70,7 +70,7 @@ func runBenchmark(idx int, method, probeMap string) {
 	}
 }
 
-func runSim(method string, steep, shallow, noiseAmp float64, seed uint64, pixels int) {
+func runSim(method string, steep, shallow, noiseAmp float64, seed uint64, pixels int, probeMap string) {
 	inst, truth, err := fastvg.NewDoubleDotSim(fastvg.DoubleDotSimOptions{
 		SteepSlope:   steep,
 		ShallowSlope: shallow,
@@ -83,11 +83,17 @@ func runSim(method string, steep, shallow, noiseAmp float64, seed uint64, pixels
 	}
 	fmt.Printf("simulated device, ground truth: steep %.3f shallow %.4f\n",
 		truth.SteepSlope, truth.ShallowSlope)
-	ext, err := runMethod(method, inst, inst.Window())
+	// The sim substitutes defaults for zero options, so size everything off
+	// the window it actually built rather than the raw -pixels flag.
+	win := inst.Window()
+	ext, err := runMethod(method, inst, win)
 	if err != nil {
 		log.Fatalf("extraction failed: %v", err)
 	}
-	report(ext, pixels*pixels)
+	report(ext, win.Cols*win.Rows)
+	if probeMap != "" {
+		writeProbeMap(inst, win.Cols, probeMap)
+	}
 }
 
 // runMethod dispatches to the selected extraction pipeline.
@@ -115,14 +121,20 @@ func report(ext *fastvg.Extraction, totalPixels int) {
 		ext.Probes, totalPixels, 100*float64(ext.Probes)/float64(totalPixels), ext.ExperimentTime)
 }
 
+// probeMapper is satisfied by both benchmark replay instruments
+// (*device.DatasetInstrument) and live sims (*fastvg.SimInstrument).
+type probeMapper interface {
+	ProbeMap() []grid.Point
+}
+
 func writeProbeMap(inst fastvg.Instrument, size int, path string) {
-	di, ok := inst.(*device.DatasetInstrument)
+	pm, ok := inst.(probeMapper)
 	if !ok {
-		log.Printf("probe map only available for benchmark runs")
+		log.Printf("probe map not available for this instrument")
 		return
 	}
 	g := grid.New(size, size)
-	for _, p := range di.ProbeMap() {
+	for _, p := range pm.ProbeMap() {
 		g.Set(p.X, p.Y, 1)
 	}
 	if err := g.WritePNGFile(path); err != nil {

@@ -1,0 +1,64 @@
+// Command vgxd is the virtual gate extraction daemon: it serves the
+// extraction service's JSON API over HTTP, scheduling jobs on a bounded
+// worker pool and deduplicating identical requests through the result cache.
+//
+//	vgxd -addr :8080 -workers 8 -cache 2048
+//
+// Quickstart against a running daemon:
+//
+//	curl -s localhost:8080/v1/benchmarks
+//	curl -s -X POST localhost:8080/v1/batch -d '{"table1":true}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"fast","benchmark":6}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fastvg "github.com/fastvg/fastvg"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "extraction worker-pool slots (0 = one per CPU)")
+		cache   = flag.Int("cache", 1024, "result-cache capacity in entries")
+	)
+	flag.Parse()
+
+	svc, err := fastvg.NewService(fastvg.ServiceConfig{Workers: *workers, CacheSize: *cache})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           fastvg.ServiceHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("vgxd: serving extraction API on %s", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("vgxd: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,27 @@
 //	fmt.Println(res.Matrix, res.Probes, res.ExperimentTime)
 //	_ = truth
 //
+// # Serving extractions
+//
+// Beyond single library calls, the package ships an extraction service
+// (internal/service, re-exported here as Service) for workloads where
+// extractions arrive as traffic: a typed job model over every pipeline
+// (fast, baseline, rays, adaptive, windowfind, verify), a bounded
+// worker-pool scheduler with per-job contexts and deterministic batch
+// ordering, a deduplicating LRU result cache keyed by canonical request
+// hashes — identical submissions cost zero re-extraction and concurrent
+// identical submissions coalesce onto one run — and a session registry
+// owning many live instruments concurrently.
+//
+//	svc, _ := fastvg.NewService(fastvg.ServiceConfig{Workers: 8})
+//	res, _ := fastvg.RunJob(ctx, svc, fastvg.JobRequest{Kind: fastvg.JobFast, Benchmark: 6})
+//	items := svc.Batch(ctx, fastvg.Table1Requests()) // the paper's Table 1
+//
+// Command vgxd serves the same service over a JSON HTTP API (submit, batch,
+// status, sessions, stats); see README.md for endpoints and a curl
+// quickstart, and examples/serving for a self-contained client.
+//
 // See examples/ for runnable programs: a quick start, quadruple-dot chain
-// virtualization, a noise-robustness study and a dwell-budget comparison.
+// virtualization, a noise-robustness study, a dwell-budget comparison and
+// the serving demo.
 package fastvg

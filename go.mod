@@ -1,0 +1,3 @@
+module github.com/fastvg/fastvg
+
+go 1.24

@@ -22,10 +22,14 @@ type AdaptiveConfig struct {
 	CoarseFactor int
 }
 
+// DefaultCoarseFactor is the coarse-pass subsampling substituted for a zero
+// AdaptiveConfig.CoarseFactor.
+const DefaultCoarseFactor = 4
+
 func (c *AdaptiveConfig) fillDefaults() {
 	c.Config.fillDefaults()
 	if c.CoarseFactor == 0 {
-		c.CoarseFactor = 4
+		c.CoarseFactor = DefaultCoarseFactor
 	}
 }
 

@@ -18,6 +18,7 @@ package device
 import (
 	"errors"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/csd"
@@ -114,6 +115,25 @@ func (s *SimInstrument) GetCurrent(v1, v2 float64) float64 {
 		s.memo[key] = v
 	}
 	return v
+}
+
+// ProbedCells returns the quantisation cells measured so far, sorted by
+// (v2 cell, v1 cell). With the memoisation pitch set to a scan window's
+// pixel pitch — as NewDoubleDotSim and DoubleDotSpec.Build configure it —
+// each cell is a window pixel, so this is the sim counterpart of
+// DatasetInstrument.ProbeMap. Empty when memoisation is disabled.
+func (s *SimInstrument) ProbedCells() [][2]int64 {
+	cells := make([][2]int64, 0, len(s.memo))
+	for k := range s.memo {
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i][1] != cells[j][1] {
+			return cells[i][1] < cells[j][1]
+		}
+		return cells[i][0] < cells[j][0]
+	})
+	return cells
 }
 
 // Stats implements Accountant.

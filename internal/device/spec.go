@@ -1,0 +1,93 @@
+// Serialisable device specifications. A DoubleDotSpec is the declarative,
+// JSON-encodable form of a simulated double-dot instrument: the root
+// package's NewDoubleDotSim and the extraction service's job requests and
+// session registry all build instruments from the same spec, so a device
+// described over the wire is byte-identical to one built in-process.
+package device
+
+import (
+	"fmt"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/physics"
+	"github.com/fastvg/fastvg/internal/sensor"
+)
+
+// DoubleDotSpec describes a simulated double-dot device and its scan window.
+// The zero value (after FillDefaults) is a clean 100×100, 50 mV window with
+// paper-typical line geometry. Given equal specs, Build returns devices with
+// identical noise realisations: the spec plus the probing schedule fully
+// determines every measured current.
+type DoubleDotSpec struct {
+	SteepSlope   float64 `json:"steepSlope,omitempty"`   // dV2/dV1 of dot 1's line; default -8
+	ShallowSlope float64 `json:"shallowSlope,omitempty"` // dV2/dV1 of dot 2's line; default -0.12
+	CrossXFrac   float64 `json:"crossXFrac,omitempty"`   // steep line's bottom-edge crossing, window fraction; default 0.68
+	CrossYFrac   float64 `json:"crossYFrac,omitempty"`   // shallow line's left-edge crossing; default 0.63
+	Pixels       int     `json:"pixels,omitempty"`       // window resolution; default 100
+	SpanMV       float64 `json:"spanMV,omitempty"`       // window span in mV; default Pixels/2 (δ = 0.5 mV)
+
+	Lambda1 float64 `json:"lambda1,omitempty"` // sensor contrast of dot 1; default 0.47
+	Lambda2 float64 `json:"lambda2,omitempty"` // sensor contrast of dot 2; default 0.45
+
+	Noise noise.Params `json:"noise,omitzero"` // zero = noiseless
+	Seed  uint64       `json:"seed,omitempty"` // noise realisation seed
+}
+
+// FillDefaults replaces zero fields with the documented defaults.
+func (s *DoubleDotSpec) FillDefaults() {
+	if s.SteepSlope == 0 {
+		s.SteepSlope = -8
+	}
+	if s.ShallowSlope == 0 {
+		s.ShallowSlope = -0.12
+	}
+	if s.CrossXFrac == 0 {
+		s.CrossXFrac = 0.68
+	}
+	if s.CrossYFrac == 0 {
+		s.CrossYFrac = 0.63
+	}
+	if s.Pixels <= 0 {
+		s.Pixels = 100
+	}
+	if s.SpanMV <= 0 {
+		s.SpanMV = float64(s.Pixels) / 2
+	}
+	if s.Lambda1 == 0 {
+		s.Lambda1 = 0.47
+	}
+	if s.Lambda2 == 0 {
+		s.Lambda2 = 0.45
+	}
+}
+
+// Window returns the scan window the spec describes. Call after FillDefaults.
+func (s DoubleDotSpec) Window() csd.Window {
+	return csd.NewSquareWindow(0, 0, s.SpanMV, s.Pixels)
+}
+
+// Build fills defaults and constructs the simulated instrument: a DoubleDot
+// device under a SimInstrument with the paper's 50 ms dwell, memoised at the
+// window's pixel pitch.
+func (s *DoubleDotSpec) Build() (*SimInstrument, csd.Window, error) {
+	s.FillDefaults()
+	phys, err := physics.FromGeometry(physics.Geometry{
+		SteepSlope:   s.SteepSlope,
+		ShallowSlope: s.ShallowSlope,
+		SteepPoint:   [2]float64{s.CrossXFrac * s.SpanMV, 0},
+		ShallowPoint: [2]float64{0, s.CrossYFrac * s.SpanMV},
+		EC1:          4, EC2: 4, ECm: 0.25,
+	})
+	if err != nil {
+		return nil, csd.Window{}, fmt.Errorf("device: %w", err)
+	}
+	dev := &DoubleDot{
+		Phys:  phys,
+		Sens:  sensor.DefaultDoubleDot(s.Lambda1, s.Lambda2, 2*s.SpanMV),
+		Noise: s.Noise.Build(s.Seed),
+	}
+	win := s.Window()
+	inst := NewSimInstrument(dev, DefaultDwell, win.StepV1(), win.StepV2())
+	return inst, win, nil
+}

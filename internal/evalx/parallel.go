@@ -1,19 +1,21 @@
 package evalx
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"github.com/fastvg/fastvg/internal/baseline"
 	"github.com/fastvg/fastvg/internal/core"
 	"github.com/fastvg/fastvg/internal/qflow"
+	"github.com/fastvg/fastvg/internal/sched"
 )
 
-// RunTable1Parallel runs both methods on every benchmark concurrently, one
-// goroutine per (benchmark, method) pair, bounded by maxWorkers (0 means
-// one worker per pair). Results are returned in benchmark order, identical
-// to RunTable1 — each pair owns its instrument, so runs are independent and
-// deterministic.
+// RunTable1Parallel runs both methods on every benchmark concurrently on a
+// bounded sched.Pool, one job per (benchmark, method) pair; maxWorkers <= 0
+// means one worker per pair. Each pair owns its instrument and writes only
+// its own row slot, so results are identical to RunTable1 regardless of
+// scheduling; on failure the lowest-indexed job's error is returned, the
+// same one the sequential runner would surface first.
 func RunTable1Parallel(fastCfg core.Config, baseCfg baseline.Config, maxWorkers int) ([]Table1Row, error) {
 	suite, err := qflow.Suite()
 	if err != nil {
@@ -35,45 +37,29 @@ func RunTable1Parallel(fastCfg core.Config, baseCfg baseline.Config, maxWorkers 
 	for i, b := range suite {
 		rows[i].Benchmark = b
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	jobCh := make(chan job)
-	for w := 0; w < maxWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				b := suite[j.idx]
-				var rr *RunResult
-				var err error
-				if j.fast {
-					rr, err = RunFast(b, fastCfg)
-				} else {
-					rr, err = RunBaseline(b, baseCfg)
-				}
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("evalx: benchmark %d: %w", b.Index, err)
-				}
-				if j.fast {
-					rows[j.idx].Fast = rr
-				} else {
-					rows[j.idx].Baseline = rr
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	pool := sched.New(maxWorkers)
+	err = pool.Map(context.Background(), len(jobs), func(_ context.Context, i int) error {
+		j := jobs[i]
+		b := suite[j.idx]
+		var rr *RunResult
+		var err error
+		if j.fast {
+			rr, err = RunFast(b, fastCfg)
+		} else {
+			rr, err = RunBaseline(b, baseCfg)
+		}
+		if err != nil {
+			return fmt.Errorf("evalx: benchmark %d: %w", b.Index, err)
+		}
+		if j.fast {
+			rows[j.idx].Fast = rr
+		} else {
+			rows[j.idx].Baseline = rr
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

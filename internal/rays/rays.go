@@ -40,23 +40,29 @@ var (
 	ErrNonPhysical = errors.New("rays: extracted lines violate the physics prior")
 )
 
+// Package defaults, substituted for zero Config fields.
+const (
+	DefaultNumRays   = 24
+	DefaultDropSigma = 6.0
+)
+
 // Config tunes the method; the zero value uses the defaults below.
 type Config struct {
-	NumRays       int     // rays in the fan across (0°, 90°); default 24
+	NumRays       int     // rays in the fan across (0°, 90°); default DefaultNumRays
 	OriginBackoff float64 // origin = backoff × brightest diagonal point; default 0.55
-	DropSigma     float64 // detection threshold in units of the per-ray noise σ; default 6
+	DropSigma     float64 // detection threshold in units of the per-ray noise σ; default DefaultDropSigma
 	MinPerLine    int     // crossings required per line; default 4
 }
 
 func (c *Config) fillDefaults() {
 	if c.NumRays == 0 {
-		c.NumRays = 24
+		c.NumRays = DefaultNumRays
 	}
 	if c.OriginBackoff == 0 {
 		c.OriginBackoff = 0.55
 	}
 	if c.DropSigma == 0 {
-		c.DropSigma = 6
+		c.DropSigma = DefaultDropSigma
 	}
 	if c.MinPerLine == 0 {
 		c.MinPerLine = 4

@@ -1,0 +1,141 @@
+// Package sched provides the bounded worker-pool scheduler shared by the
+// extraction service (internal/service) and the evaluation harness
+// (internal/evalx). It generalises the ad-hoc goroutine fan-out the harness
+// used to carry: a fixed number of slots gates how many jobs run at once,
+// every job gets its own cancellable context, and Map gives deterministic
+// result ordering by construction — job i writes slot i, so outcomes never
+// depend on scheduling order.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of a pool's accounting.
+type Stats struct {
+	Workers   int   `json:"workers"`   // slot count
+	Running   int   `json:"running"`   // jobs currently holding a slot
+	Submitted int64 `json:"submitted"` // jobs ever handed to the pool
+	Completed int64 `json:"completed"` // jobs that ran to completion (any outcome)
+	Failed    int64 `json:"failed"`    // completed jobs that returned an error
+	Cancelled int64 `json:"cancelled"` // jobs cancelled before acquiring a slot
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; use New.
+// Slots are a semaphore, not resident goroutines: an idle pool costs nothing,
+// and any number of jobs may be queued while only Workers run.
+type Pool struct {
+	sem chan struct{}
+
+	running   atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+}
+
+// New returns a pool with the given number of slots; workers <= 0 means
+// one slot per available CPU.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's slot count.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:   cap(p.sem),
+		Running:   int(p.running.Load()),
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+		Failed:    p.failed.Load(),
+		Cancelled: p.cancelled.Load(),
+	}
+}
+
+// Task is one scheduled unit of work. Wait blocks until it settles; Cancel
+// aborts it if it has not yet acquired a slot (a job already running is
+// allowed to finish — extractions on a physical instrument cannot be torn
+// down mid-measurement).
+type Task struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	value any
+	err   error
+}
+
+// Submit schedules fn on the pool. fn receives a context derived from ctx
+// that is additionally cancelled by Task.Cancel. Submit never blocks; the
+// job waits for a free slot in its own goroutine.
+func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)) *Task {
+	p.submitted.Add(1)
+	jctx, cancel := context.WithCancel(ctx)
+	t := &Task{done: make(chan struct{}), cancel: cancel}
+	go func() {
+		defer close(t.done)
+		defer cancel()
+		select {
+		case p.sem <- struct{}{}:
+		case <-jctx.Done():
+			t.err = context.Cause(jctx)
+			p.cancelled.Add(1)
+			return
+		}
+		p.running.Add(1)
+		defer func() {
+			p.running.Add(-1)
+			<-p.sem
+		}()
+		t.value, t.err = fn(jctx)
+		p.completed.Add(1)
+		if t.err != nil {
+			p.failed.Add(1)
+		}
+	}()
+	return t
+}
+
+// Cancel aborts the task if it is still waiting for a slot and cancels the
+// job context either way.
+func (t *Task) Cancel() { t.cancel() }
+
+// Wait blocks until the task settles and returns its outcome.
+func (t *Task) Wait() (any, error) {
+	<-t.done
+	return t.value, t.err
+}
+
+// Done returns a channel closed when the task settles.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Map runs fn(ctx, i) for every i in [0, n) on the pool and waits for all of
+// them. Each invocation owns index i exclusively, so writing results[i]
+// inside fn is race-free and the assembled output is deterministic regardless
+// of scheduling. If any invocations fail, Map returns the error of the
+// lowest index — the same error a sequential loop would have surfaced first.
+func (p *Pool) Map(ctx context.Context, n int, fn func(context.Context, int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	tasks := make([]*Task, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = p.Submit(ctx, func(jctx context.Context) (any, error) {
+			return nil, fn(jctx, i)
+		})
+	}
+	var first error
+	for _, t := range tasks {
+		if _, err := t.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapDeterministicOrder checks Map assembles results by index, not by
+// completion order, under heavy worker contention.
+func TestMapDeterministicOrder(t *testing.T) {
+	const n = 64
+	pool := New(4)
+	out := make([]int, n)
+	err := pool.Map(context.Background(), n, func(_ context.Context, i int) error {
+		// Later indices finish first, so completion order is roughly the
+		// reverse of submission order.
+		time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapBounded checks no more than Workers jobs hold slots at once.
+func TestMapBounded(t *testing.T) {
+	const workers = 3
+	pool := New(workers)
+	var running, peak atomic.Int64
+	err := pool.Map(context.Background(), 24, func(context.Context, int) error {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		running.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+	st := pool.Stats()
+	if st.Submitted != 24 || st.Completed != 24 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 24 submitted/completed", st)
+	}
+}
+
+// TestMapLowestIndexError checks Map reports the error a sequential loop
+// would have surfaced first, regardless of completion order.
+func TestMapLowestIndexError(t *testing.T) {
+	pool := New(8)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := pool.Map(context.Background(), 10, func(_ context.Context, i int) error {
+		switch i {
+		case 2:
+			time.Sleep(5 * time.Millisecond) // finishes after index 7's error
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+// TestCancelQueued checks a task cancelled before acquiring a slot settles
+// with context.Canceled and never runs.
+func TestCancelQueued(t *testing.T) {
+	pool := New(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := pool.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	// Only submit the victim once the blocker provably holds the single
+	// slot; otherwise the two tasks race for it and the victim may run.
+	<-started
+	ran := false
+	queued := pool.Submit(context.Background(), func(context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	queued.Cancel()
+	if _, err := queued.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled task ran")
+	}
+	if st := pool.Stats(); st.Cancelled != 1 {
+		t.Fatalf("cancelled count = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestSubmitValue checks values round-trip through Task.Wait.
+func TestSubmitValue(t *testing.T) {
+	pool := New(2)
+	task := pool.Submit(context.Background(), func(context.Context) (any, error) {
+		return "ok", nil
+	})
+	v, err := task.Wait()
+	if err != nil || v != "ok" {
+		t.Fatalf("Wait = (%v, %v), want (ok, nil)", v, err)
+	}
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/fastvg/fastvg/internal/device"
+)
+
+// Handler returns the service's HTTP API, the surface cmd/vgxd serves:
+//
+//	POST   /v1/jobs            submit one Request; returns the job view
+//	GET    /v1/jobs            list jobs in submission order
+//	GET    /v1/jobs/{id}       job status (result embedded once done)
+//	DELETE /v1/jobs/{id}       cancel a queued job
+//	POST   /v1/batch           {"requests":[...]} or {"table1":true}; synchronous
+//	GET    /v1/benchmarks      the qflow suite listing
+//	POST   /v1/sessions        open a live sim session from a device spec
+//	GET    /v1/sessions        list open sessions
+//	DELETE /v1/sessions/{id}   close a session
+//	GET    /v1/stats           cache / scheduler / job / session accounting
+//	GET    /healthz            liveness
+//
+// All bodies and responses are JSON.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decode(w, r, &req) {
+			return
+		}
+		jv, err := s.Submit(r.Context(), req)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		reply(w, http.StatusAccepted, jv)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		jv, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		reply(w, http.StatusOK, jv)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Cancel(r.PathValue("id")) {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{"cancelled": true})
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Requests []Request `json:"requests"`
+			Table1   bool      `json:"table1"`
+		}
+		if !decode(w, r, &body) {
+			return
+		}
+		reqs := body.Requests
+		if body.Table1 {
+			reqs = append(reqs, Table1Requests()...)
+		}
+		if len(reqs) == 0 {
+			fail(w, http.StatusBadRequest, errors.New("empty batch: set requests or table1"))
+			return
+		}
+		items := s.Batch(r.Context(), reqs)
+		reply(w, http.StatusOK, map[string]any{"items": items})
+	})
+
+	mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]any{"benchmarks": s.BenchmarkList()})
+	})
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Spec device.DoubleDotSpec `json:"spec"`
+		}
+		if !decode(w, r, &body) {
+			return
+		}
+		sess, err := s.reg.OpenSim(body.Spec)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		reply(w, http.StatusCreated, sess.Info())
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]any{"sessions": s.reg.Sessions()})
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.reg.CloseSession(r.PathValue("id")) {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{"closed": true})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		reply(w, http.StatusOK, map[string]any{
+			"cache":     st.Cache,
+			"hitRate":   st.Cache.HitRate(),
+			"scheduler": st.Scheduler,
+			"jobs":      st.Jobs,
+			"sessions":  st.Sessions,
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]any{"ok": true})
+	})
+
+	return mux
+}
+
+// decode parses a JSON body, rejecting unknown fields so client typos
+// surface as 400s instead of silently-defaulted jobs.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, err error) {
+	reply(w, code, map[string]any{"error": err.Error()})
+}

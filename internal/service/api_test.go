@@ -1,0 +1,279 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/device"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(Config{Workers: 2, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+// doJSON posts (or gets) JSON and decodes the response into out.
+func doJSON(t *testing.T, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var raw bytes.Buffer
+		_, _ = raw.ReadFrom(resp.Body)
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantCode, raw.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAPISubmitAndPoll drives the async endpoints end to end.
+func TestAPISubmitAndPoll(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	var jv JobView
+	doJSON(t, "POST", srv.URL+"/v1/jobs",
+		Request{Kind: KindFast, Sim: smallSim(10)}, http.StatusAccepted, &jv)
+	if jv.ID == "" {
+		t.Fatalf("no job id in %+v", jv)
+	}
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		doJSON(t, "GET", srv.URL+"/v1/jobs/"+jv.ID, nil, http.StatusOK, &jv)
+		if jv.Status == StatusDone || jv.Status == StatusFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", jv.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if jv.Status != StatusDone || jv.Result == nil || !jv.Result.Success {
+		t.Fatalf("final job view = %+v", jv)
+	}
+
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	doJSON(t, "GET", srv.URL+"/v1/jobs", nil, http.StatusOK, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != jv.ID {
+		t.Fatalf("job list = %+v", list.Jobs)
+	}
+}
+
+// TestAPIBatchAndStats checks the batch endpoint deduplicates identical
+// requests and the stats endpoint reports it.
+func TestAPIBatchAndStats(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	req := Request{Kind: KindFast, Sim: smallSim(11)}
+	var batch struct {
+		Items []BatchItem `json:"items"`
+	}
+	body := map[string]any{"requests": []Request{req, req, req, req}}
+	doJSON(t, "POST", srv.URL+"/v1/batch", body, http.StatusOK, &batch)
+	if len(batch.Items) != 4 {
+		t.Fatalf("batch returned %d items, want 4", len(batch.Items))
+	}
+	fresh := 0
+	for i, item := range batch.Items {
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d = %+v", i, item)
+		}
+		if !item.Result.Cached {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Fatalf("%d extractions ran for 4 identical requests, want 1", fresh)
+	}
+
+	var stats struct {
+		Cache   CacheStats `json:"cache"`
+		HitRate float64    `json:"hitRate"`
+	}
+	doJSON(t, "GET", srv.URL+"/v1/stats", nil, http.StatusOK, &stats)
+	if stats.Cache.Misses != 1 || stats.Cache.Hits+stats.Cache.Coalesced != 3 {
+		t.Fatalf("cache stats = %+v, want 1 miss and 3 served", stats.Cache)
+	}
+	if stats.HitRate != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", stats.HitRate)
+	}
+}
+
+// TestAPISessions exercises the session endpoints and a session-targeted job.
+func TestAPISessions(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	var info SessionInfo
+	doJSON(t, "POST", srv.URL+"/v1/sessions",
+		map[string]any{"spec": smallSim(12)}, http.StatusCreated, &info)
+	if info.ID == "" {
+		t.Fatalf("no session id in %+v", info)
+	}
+
+	var batch struct {
+		Items []BatchItem `json:"items"`
+	}
+	doJSON(t, "POST", srv.URL+"/v1/batch",
+		map[string]any{"requests": []Request{{Kind: KindFast, Session: info.ID}}},
+		http.StatusOK, &batch)
+	if batch.Items[0].Error != "" || batch.Items[0].Result == nil {
+		t.Fatalf("session job = %+v", batch.Items[0])
+	}
+	if batch.Items[0].Result.Cached {
+		t.Fatal("session job must not be cached")
+	}
+
+	var list struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	doJSON(t, "GET", srv.URL+"/v1/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 1 || list.Sessions[0].Jobs != 1 {
+		t.Fatalf("session list = %+v", list.Sessions)
+	}
+
+	doJSON(t, "DELETE", srv.URL+"/v1/sessions/"+info.ID, nil, http.StatusOK, nil)
+	doJSON(t, "DELETE", srv.URL+"/v1/sessions/"+info.ID, nil, http.StatusNotFound, nil)
+}
+
+// TestAPIBenchmarksAndHealth checks the static endpoints.
+func TestAPIBenchmarksAndHealth(t *testing.T) {
+	_, srv := newTestServer(t)
+	var bl struct {
+		Benchmarks []BenchmarkInfo `json:"benchmarks"`
+	}
+	doJSON(t, "GET", srv.URL+"/v1/benchmarks", nil, http.StatusOK, &bl)
+	if len(bl.Benchmarks) != SuiteSize {
+		t.Fatalf("listed %d benchmarks, want %d", len(bl.Benchmarks), SuiteSize)
+	}
+	for i, b := range bl.Benchmarks {
+		if b.Index != i+1 || b.Size == 0 {
+			t.Fatalf("benchmark %d = %+v", i, b)
+		}
+	}
+	doJSON(t, "GET", srv.URL+"/healthz", nil, http.StatusOK, nil)
+}
+
+// TestAPIErrors checks malformed requests surface as 4xx JSON errors.
+func TestAPIErrors(t *testing.T) {
+	_, srv := newTestServer(t)
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{"POST", "/v1/jobs", Request{Kind: "hough", Benchmark: 1}, http.StatusBadRequest},
+		{"POST", "/v1/jobs", map[string]any{"kind": "fast", "nonsense": true}, http.StatusBadRequest},
+		{"POST", "/v1/batch", map[string]any{}, http.StatusBadRequest},
+		{"GET", "/v1/jobs/job-999999", nil, http.StatusNotFound},
+		{"DELETE", "/v1/jobs/job-999999", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var errBody struct {
+			Error string `json:"error"`
+		}
+		doJSON(t, tc.method, srv.URL+tc.path, tc.body, tc.want, &errBody)
+		if errBody.Error == "" {
+			t.Errorf("%s %s: no error message in body", tc.method, tc.path)
+		}
+	}
+}
+
+// TestAPIBatchTable1Flag checks the one-call Table 1 batch shape (12
+// benchmarks × 2 methods). Result correctness against evalx is covered by
+// TestBatchTable1MatchesEvalx; here the concern is the HTTP contract.
+func TestAPIBatchTable1Flag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 batch over HTTP")
+	}
+	_, srv := newTestServer(t)
+	var batch struct {
+		Items []BatchItem `json:"items"`
+	}
+	doJSON(t, "POST", srv.URL+"/v1/batch", map[string]any{"table1": true}, http.StatusOK, &batch)
+	if len(batch.Items) != 2*SuiteSize {
+		t.Fatalf("table1 batch returned %d items, want %d", len(batch.Items), 2*SuiteSize)
+	}
+	for i, item := range batch.Items {
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d = %+v", i, item)
+		}
+	}
+	var n int
+	for _, item := range batch.Items {
+		if item.Result.Kind == KindFast {
+			n++
+		}
+	}
+	if n != SuiteSize {
+		t.Fatalf("%d fast results, want %d", n, SuiteSize)
+	}
+}
+
+// TestAPIJobCancel checks DELETE on a queued job cancels it. A one-worker
+// service with a slow job in the slot guarantees the second job is queued.
+func TestAPIJobCancel(t *testing.T) {
+	svc, err := New(Config{Workers: 1, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Occupy the only worker slot with a real extraction (a full 200×200
+	// baseline raster takes long enough for the cancel to land first).
+	var first JobView
+	doJSON(t, "POST", srv.URL+"/v1/jobs",
+		Request{Kind: KindBaseline, Sim: &device.DoubleDotSpec{Pixels: 200, Seed: 99}},
+		http.StatusAccepted, &first)
+
+	var queued JobView
+	doJSON(t, "POST", srv.URL+"/v1/jobs",
+		Request{Kind: KindFast, Sim: smallSim(13)}, http.StatusAccepted, &queued)
+	doJSON(t, "DELETE", srv.URL+"/v1/jobs/"+queued.ID, nil, http.StatusOK, nil)
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		doJSON(t, "GET", srv.URL+"/v1/jobs/"+queued.ID, nil, http.StatusOK, &queued)
+		if queued.Status == StatusCancelled || queued.Status == StatusDone || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The cancel raced the worker slot: either it won (cancelled) or the
+	// slot freed first (done). Both are valid; stuck/failed is not.
+	if queued.Status != StatusCancelled && queued.Status != StatusDone {
+		t.Fatalf("queued job = %+v, want cancelled or done", queued)
+	}
+}

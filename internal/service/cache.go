@@ -1,0 +1,168 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// CacheStats is a snapshot of the result cache's accounting.
+type CacheStats struct {
+	Capacity  int   `json:"capacity"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`      // served from a completed entry
+	Misses    int64 `json:"misses"`    // executed the extraction
+	Coalesced int64 `json:"coalesced"` // attached to an identical in-flight job
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate returns the fraction of lookups served without running an
+// extraction (hits and coalesced joins over all lookups).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// flight is one in-progress computation other callers can attach to.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// resultCache is an LRU of completed job results keyed by canonical request
+// hash, with single-flight coalescing: concurrent lookups of the same key
+// while the first is still extracting wait for that one execution instead of
+// starting their own. Errors are not cached — a failed extraction re-runs on
+// the next request.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the result for key, running fn at most once across all
+// concurrent callers. The bool reports whether the result was served without
+// invoking fn (cache hit or coalesced join). The returned Result is shared
+// and must be treated as immutable.
+//
+// A caller's own ctx only abandons its wait. If a flight fails because its
+// owner was cancelled, the work itself is still wanted by everyone else
+// attached to it, so a waiter re-drives it under its own context instead of
+// inheriting the stranger's cancellation.
+func (c *resultCache) Do(ctx context.Context, key string, fn func() (*Result, error)) (*Result, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			// Joins that end up not being served (abandoned wait, owner
+			// cancelled and re-driven, flight error) un-count themselves so
+			// one logical lookup never contributes twice to the hit rate.
+			uncount := func() {
+				c.mu.Lock()
+				c.stats.Coalesced--
+				c.mu.Unlock()
+			}
+			select {
+			case <-fl.done:
+				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					uncount()
+					continue // owner cancelled, not the work: re-drive
+				}
+				if fl.err != nil {
+					uncount()
+					return nil, false, fl.err
+				}
+				return fl.res, true, nil
+			case <-ctx.Done():
+				uncount()
+				return nil, false, context.Cause(ctx)
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		fl.res, fl.err = fn()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err == nil {
+			c.insert(key, fl.res)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return fl.res, false, fl.err
+	}
+}
+
+// Get returns the cached result for key without computing anything.
+func (c *resultCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// insert adds a completed result, evicting from the LRU tail. Caller holds mu.
+func (c *resultCache) insert(key string, res *Result) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Capacity = c.capacity
+	s.Entries = c.ll.Len()
+	return s
+}

@@ -1,0 +1,318 @@
+// Package service is the extraction server core: a typed job model over
+// every pipeline the repository implements, a deduplicating result cache
+// keyed by canonical request hashes, a session registry owning live
+// instruments, and a bounded scheduler (internal/sched) executing jobs
+// concurrently. cmd/vgxd serves it over HTTP; the root package re-exports it
+// as the Service façade.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/fastvg/fastvg/internal/anchors"
+	"github.com/fastvg/fastvg/internal/core"
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/rays"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// Kind names an extraction pipeline.
+type Kind string
+
+// The schedulable pipelines.
+const (
+	KindFast       Kind = "fast"       // the paper's method (core.Extract)
+	KindBaseline   Kind = "baseline"   // full CSD + Canny + Hough
+	KindRays       Kind = "rays"       // ray-casting comparison method
+	KindAdaptive   Kind = "adaptive"   // coarse-to-fine fast extraction
+	KindWindowFind Kind = "windowfind" // scan-window search (autotune)
+	KindVerify     Kind = "verify"     // fast extraction + on-device matrix check
+)
+
+// Kinds lists every valid job kind.
+func Kinds() []Kind {
+	return []Kind{KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify}
+}
+
+func (k Kind) valid() bool {
+	switch k {
+	case KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify:
+		return true
+	}
+	return false
+}
+
+// FastOptions mirrors the root package's Options for fast and adaptive jobs.
+type FastOptions struct {
+	DiagonalProbes int     `json:"diagonalProbes,omitempty"` // default 10
+	GaussSigmaFrac float64 `json:"gaussSigmaFrac,omitempty"` // default 0.25
+	DisableFilter  bool    `json:"disableFilter,omitempty"`
+	RowSweepOnly   bool    `json:"rowSweepOnly,omitempty"`
+	NoShrink       bool    `json:"noShrink,omitempty"`
+	CoarseFactor   int     `json:"coarseFactor,omitempty"` // adaptive jobs only; default 4
+}
+
+// BaselineOptions mirrors the root package's BaselineOptions.
+type BaselineOptions struct {
+	CannySigma     float64 `json:"cannySigma,omitempty"`
+	CannyHighRatio float64 `json:"cannyHighRatio,omitempty"`
+	NoRefine       bool    `json:"noRefine,omitempty"`
+}
+
+// RayOptions mirrors the root package's RayOptions.
+type RayOptions struct {
+	NumRays   int     `json:"numRays,omitempty"`   // default 24
+	DropSigma float64 `json:"dropSigma,omitempty"` // default 6
+}
+
+// WindowFindOptions bounds a windowfind job's coarse search.
+type WindowFindOptions struct {
+	V1Min  float64 `json:"v1Min"`
+	V1Max  float64 `json:"v1Max"`
+	V2Min  float64 `json:"v2Min"`
+	V2Max  float64 `json:"v2Max"`
+	Pixels int     `json:"pixels,omitempty"` // proposed window resolution; default 100
+}
+
+// VerifyOptions tunes a verify job's on-device matrix check.
+type VerifyOptions struct {
+	MaxShiftFrac float64 `json:"maxShiftFrac,omitempty"` // default 0.02
+}
+
+// Request describes one extraction job. Exactly one target must be set:
+// Benchmark (a 1-based qflow suite index), Sim (a fresh simulated device
+// built from the spec), or Session (a live instrument in the registry).
+// Benchmark and Sim jobs are deterministic in the request alone, so their
+// results are cacheable; Session jobs run against stateful hardware-like
+// instruments and always execute.
+type Request struct {
+	Kind      Kind                  `json:"kind"`
+	Benchmark int                   `json:"benchmark,omitempty"`
+	Sim       *device.DoubleDotSpec `json:"sim,omitempty"`
+	Session   string                `json:"session,omitempty"`
+
+	Fast       *FastOptions       `json:"fast,omitempty"`
+	Baseline   *BaselineOptions   `json:"baseline,omitempty"`
+	Rays       *RayOptions        `json:"rays,omitempty"`
+	WindowFind *WindowFindOptions `json:"windowFind,omitempty"`
+	Verify     *VerifyOptions     `json:"verify,omitempty"`
+}
+
+// SuiteSize is the qflow benchmark count (Table 1's 12 CSDs).
+const SuiteSize = 12
+
+// Validation errors.
+var (
+	ErrBadKind   = errors.New("service: unknown job kind")
+	ErrBadTarget = errors.New("service: request needs exactly one of benchmark, sim or session")
+)
+
+// Validate checks the request is well-formed without touching the registry
+// (session existence is checked at execution time).
+func (r Request) Validate() error {
+	if !r.Kind.valid() {
+		return fmt.Errorf("%w %q", ErrBadKind, r.Kind)
+	}
+	targets := 0
+	if r.Benchmark != 0 {
+		targets++
+		if r.Benchmark < 1 || r.Benchmark > SuiteSize {
+			return fmt.Errorf("service: benchmark index %d out of range 1..%d", r.Benchmark, SuiteSize)
+		}
+	}
+	if r.Sim != nil {
+		targets++
+	}
+	if r.Session != "" {
+		targets++
+	}
+	if targets != 1 {
+		return ErrBadTarget
+	}
+	if r.Kind == KindWindowFind {
+		if r.Benchmark != 0 {
+			return errors.New("service: windowfind needs a sim or session target (benchmark windows are known)")
+		}
+		if r.WindowFind == nil {
+			return errors.New("service: windowfind needs windowFind search bounds")
+		}
+		w := csd.Window{
+			V1Min: r.WindowFind.V1Min, V1Max: r.WindowFind.V1Max,
+			V2Min: r.WindowFind.V2Min, V2Max: r.WindowFind.V2Max,
+			Cols: 2, Rows: 2, // bounds check only
+		}
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("service: windowfind bounds: %w", err)
+		}
+	}
+	return nil
+}
+
+// Normalized returns a copy with defaults made explicit and options
+// irrelevant to the kind dropped, so every request that means the same
+// extraction has one canonical form — and therefore one hash. This is what
+// makes the result cache deduplicate "equivalent" submissions, not just
+// byte-identical ones.
+func (r Request) Normalized() (Request, error) {
+	if err := r.Validate(); err != nil {
+		return Request{}, err
+	}
+	n := Request{
+		Kind:      r.Kind,
+		Benchmark: r.Benchmark,
+		Session:   r.Session,
+	}
+	if r.Sim != nil {
+		spec := *r.Sim
+		spec.FillDefaults()
+		n.Sim = &spec
+	}
+	// Defaults come from the packages that own them, so canonical hashes
+	// can never drift from what the pipelines actually run.
+	anchorDefaults := anchors.DefaultConfig()
+	fast := func() *FastOptions {
+		f := FastOptions{}
+		if r.Fast != nil {
+			f = *r.Fast
+		}
+		if f.DiagonalProbes == 0 {
+			f.DiagonalProbes = anchorDefaults.DiagonalPoints
+		}
+		if f.GaussSigmaFrac == 0 {
+			f.GaussSigmaFrac = anchorDefaults.GaussSigmaFrac
+		}
+		return &f
+	}
+	switch r.Kind {
+	case KindFast:
+		n.Fast = fast()
+		n.Fast.CoarseFactor = 0
+	case KindAdaptive:
+		n.Fast = fast()
+		if n.Fast.CoarseFactor == 0 {
+			n.Fast.CoarseFactor = core.DefaultCoarseFactor
+		}
+	case KindBaseline:
+		b := BaselineOptions{}
+		if r.Baseline != nil {
+			b = *r.Baseline
+		}
+		n.Baseline = &b
+	case KindRays:
+		ro := RayOptions{}
+		if r.Rays != nil {
+			ro = *r.Rays
+		}
+		if ro.NumRays == 0 {
+			ro.NumRays = rays.DefaultNumRays
+		}
+		if ro.DropSigma == 0 {
+			ro.DropSigma = rays.DefaultDropSigma
+		}
+		n.Rays = &ro
+	case KindWindowFind:
+		wf := *r.WindowFind
+		if wf.Pixels == 0 {
+			wf.Pixels = 100
+		}
+		n.WindowFind = &wf
+	case KindVerify:
+		n.Fast = fast()
+		n.Fast.CoarseFactor = 0
+		v := VerifyOptions{MaxShiftFrac: virtualgate.DefaultMaxShiftFrac}
+		if r.Verify != nil && r.Verify.MaxShiftFrac != 0 {
+			v.MaxShiftFrac = r.Verify.MaxShiftFrac
+		}
+		n.Verify = &v
+	}
+	return n, nil
+}
+
+// Cacheable reports whether the request's result is a pure function of the
+// request itself. Session jobs depend on (and advance) live instrument
+// state, so they bypass the result cache.
+func (r Request) Cacheable() bool { return r.Session == "" }
+
+// Canonical returns the canonical JSON encoding of the normalized request.
+// encoding/json emits struct fields in declaration order, so the encoding is
+// deterministic; normalization makes it unique per extraction semantics.
+func (r Request) Canonical() ([]byte, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Hash returns the canonical request hash (hex SHA-256 prefix) used as the
+// result-cache and deduplication key.
+func (r Request) Hash() (string, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return hashNormalized(n)
+}
+
+// hashNormalized hashes a request that is already in canonical form, saving
+// the serving path a second normalization (Normalized is idempotent, so
+// this equals Hash on the original request).
+func hashNormalized(n Request) (string, error) {
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// VerifyReport is the verify-job extension of a Result.
+type VerifyReport struct {
+	OK           bool    `json:"ok"`
+	SteepShift   float64 `json:"steepShift"`   // mV of steep-line drift under virtual stepping
+	ShallowShift float64 `json:"shallowShift"` // mV of shallow-line drift
+}
+
+// Result is the serialisable outcome of a job. Cached results are immutable;
+// the service stamps the per-retrieval Cached flag on a copy.
+type Result struct {
+	Kind      Kind   `json:"kind"`
+	Benchmark int    `json:"benchmark,omitempty"`
+	Session   string `json:"session,omitempty"`
+	Hash      string `json:"hash"`
+	Cached    bool   `json:"cached"`
+
+	// Error records an extraction-pipeline failure (e.g. the Hough baseline
+	// finding only one line). Pipeline failures are deterministic in the
+	// request — the instruments replay identically — so they are results,
+	// not transport errors, and repeat submissions hit the cache like any
+	// other outcome. Probe/time accounting below is still valid.
+	Error string `json:"error,omitempty"`
+
+	SteepSlope   float64 `json:"steepSlope,omitempty"`
+	ShallowSlope float64 `json:"shallowSlope,omitempty"`
+	A12          float64 `json:"a12,omitempty"` // virtualization matrix off-diagonals
+	A21          float64 `json:"a21,omitempty"`
+	TripleV1     float64 `json:"tripleV1,omitempty"` // fitted line intersection, mV
+	TripleV2     float64 `json:"tripleV2,omitempty"`
+
+	Probes      int     `json:"probes"`             // distinct configurations measured
+	ProbePct    float64 `json:"probePct,omitempty"` // of the window's pixels
+	ExperimentS float64 `json:"experimentS"`        // dwell time on the virtual clock, seconds
+	ComputeS    float64 `json:"computeS"`           // wall-clock algorithm time, seconds
+
+	// Scored is true when analytic ground truth was available (benchmark and
+	// sim targets); Success then reports the paper's accuracy criterion.
+	Scored        bool    `json:"scored"`
+	Success       bool    `json:"success"`
+	SteepErrDeg   float64 `json:"steepErrDeg,omitempty"`
+	ShallowErrDeg float64 `json:"shallowErrDeg,omitempty"`
+
+	Window *csd.Window   `json:"window,omitempty"` // windowfind proposal
+	Verify *VerifyReport `json:"verify,omitempty"` // verify-job check
+}

@@ -1,0 +1,556 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/autotune"
+	"github.com/fastvg/fastvg/internal/baseline"
+	"github.com/fastvg/fastvg/internal/core"
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/evalx"
+	"github.com/fastvg/fastvg/internal/imaging"
+	"github.com/fastvg/fastvg/internal/qflow"
+	"github.com/fastvg/fastvg/internal/rays"
+	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// Config tunes a Service; the zero value is production-reasonable.
+type Config struct {
+	Workers    int // extraction worker-pool slots; default one per CPU
+	CacheSize  int // result-cache capacity in entries; default 1024
+	JobHistory int // max retained finished async job records; default 4096
+}
+
+// Service is the extraction server core: it schedules jobs on a bounded
+// worker pool, deduplicates identical work through the result cache, and
+// owns instruments through the registry.
+type Service struct {
+	pool       *sched.Pool
+	cache      *resultCache
+	reg        *Registry
+	jobHistory int
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID int
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
+)
+
+// job is the service's internal record of an async submission.
+type job struct {
+	id       string
+	req      Request
+	hash     string
+	cancel   context.CancelFunc
+	finished chan struct{} // closed after the final status is recorded
+
+	mu     sync.Mutex
+	status JobStatus
+	result *Result
+	errMsg string
+}
+
+// terminal reports whether the job reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled
+}
+
+// JobView is a serialisable job snapshot.
+type JobView struct {
+	ID     string    `json:"id"`
+	Hash   string    `json:"hash"`
+	Status JobStatus `json:"status"`
+	Kind   Kind      `json:"kind"`
+	Error  string    `json:"error,omitempty"`
+	Result *Result   `json:"result,omitempty"`
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:     j.id,
+		Hash:   j.hash,
+		Status: j.status,
+		Kind:   j.req.Kind,
+		Error:  j.errMsg,
+		Result: j.result,
+	}
+}
+
+// Stats aggregates the service's accounting.
+type Stats struct {
+	Cache     CacheStats     `json:"cache"`
+	Scheduler sched.Stats    `json:"scheduler"`
+	Jobs      map[string]int `json:"jobs"`     // job count per status
+	Sessions  int            `json:"sessions"` // open sessions
+}
+
+// New builds a Service. The registry loads the benchmark suite definitions;
+// no CSDs are generated until jobs need them.
+func New(cfg Config) (*Service, error) {
+	reg, err := NewRegistry()
+	if err != nil {
+		return nil, err
+	}
+	history := cfg.JobHistory
+	if history <= 0 {
+		history = 4096
+	}
+	return &Service{
+		pool:       sched.New(cfg.Workers),
+		cache:      newResultCache(cfg.CacheSize),
+		reg:        reg,
+		jobHistory: history,
+		jobs:       make(map[string]*job),
+	}, nil
+}
+
+// Registry exposes the instrument registry (sessions, benchmarks).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Stats returns a snapshot of cache, scheduler and job accounting.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	counts := make(map[string]int)
+	for _, j := range s.jobs {
+		counts[string(j.view().Status)]++
+	}
+	s.mu.Unlock()
+	return Stats{
+		Cache:     s.cache.Stats(),
+		Scheduler: s.pool.Stats(),
+		Jobs:      counts,
+		Sessions:  s.reg.SessionCount(),
+	}
+}
+
+// Run executes one request synchronously through the cache and worker pool
+// and returns its result. Identical concurrent Runs coalesce onto one
+// extraction.
+func (s *Service) Run(ctx context.Context, req Request) (*Result, error) {
+	nreq, err := req.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := hashNormalized(nreq)
+	if err != nil {
+		return nil, err
+	}
+	return s.execute(ctx, nreq, hash, nil)
+}
+
+// execute runs a normalized request: through the cache for cacheable
+// targets, directly otherwise; the actual extraction always runs inside a
+// worker-pool slot. Worker slots are held only while an extraction runs —
+// cache-hit and coalesced callers never occupy one, so waiting on another
+// caller's flight can never starve the flight of the slot it needs.
+// onStart, if non-nil, fires when the extraction itself begins (it does not
+// fire for cache hits or coalesced joins).
+func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStart func()) (*Result, error) {
+	runPooled := func() (*Result, error) {
+		v, err := s.pool.Submit(ctx, func(jctx context.Context) (any, error) {
+			if onStart != nil {
+				onStart()
+			}
+			return s.runJob(jctx, nreq, hash)
+		}).Wait()
+		if err != nil {
+			return nil, err
+		}
+		return v.(*Result), nil
+	}
+	if !nreq.Cacheable() {
+		return runPooled()
+	}
+	res, served, err := s.cache.Do(ctx, hash, runPooled)
+	if err != nil {
+		return nil, err
+	}
+	if served {
+		// Stamp the retrieval-specific flag on a copy; the cached value is
+		// shared across callers and must stay immutable.
+		c := *res
+		c.Cached = true
+		return &c, nil
+	}
+	return res, nil
+}
+
+// Submit schedules a request asynchronously and returns a job view
+// immediately; poll Job or block on Wait for the outcome.
+func (s *Service) Submit(ctx context.Context, req Request) (JobView, error) {
+	nreq, err := req.Normalized()
+	if err != nil {
+		return JobView{}, err
+	}
+	hash, err := hashNormalized(nreq)
+	if err != nil {
+		return JobView{}, err
+	}
+	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	j := &job{req: nreq, hash: hash, status: StatusQueued, cancel: cancel,
+		finished: make(chan struct{})}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	// Snapshot before the goroutine races ahead: callers always see the job
+	// as submitted, even if a tiny extraction finishes immediately.
+	view := j.view()
+	go func() {
+		res, err := s.execute(jctx, nreq, hash, func() {
+			j.mu.Lock()
+			j.status = StatusRunning
+			j.mu.Unlock()
+		})
+		j.mu.Lock()
+		switch {
+		case errors.Is(err, context.Canceled):
+			j.status = StatusCancelled
+			j.errMsg = err.Error()
+		case err != nil:
+			j.status = StatusFailed
+			j.errMsg = err.Error()
+		default:
+			j.status = StatusDone
+			j.result = res
+		}
+		j.mu.Unlock()
+		close(j.finished)
+		s.pruneJobs()
+	}()
+	return view, nil
+}
+
+// pruneJobs drops the oldest finished job records once the history exceeds
+// its cap, so a long-running daemon's job table stays bounded (the result
+// cache keeps serving pruned jobs' outcomes by hash). Unfinished jobs are
+// never pruned.
+func (s *Service) pruneJobs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	excess := len(s.order) - s.jobHistory
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns a snapshot of an async job.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.view())
+	}
+	return out
+}
+
+// Wait blocks until job id settles or ctx is done.
+func (s *Service) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.finished:
+		return j.view(), nil
+	case <-ctx.Done():
+		return JobView{}, context.Cause(ctx)
+	}
+}
+
+// Cancel aborts a queued job; a job already extracting finishes (the result
+// still lands in the cache for future requests). Reports whether the job
+// exists.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// BatchItem is one outcome of a Batch call; exactly one of Result and Error
+// is set.
+type BatchItem struct {
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Batch executes requests concurrently on the worker pool and returns
+// outcomes in request order — deterministic regardless of scheduling.
+// Identical requests within (or across) batches are served once and
+// deduplicated through the cache.
+func (s *Service) Batch(ctx context.Context, reqs []Request) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			res, err := s.Run(ctx, req)
+			if err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			out[i].Result = res
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}
+
+// Table1Requests builds the paper's full evaluation as a batch: every suite
+// benchmark under both the fast method and the Hough baseline, fast first,
+// in benchmark order.
+func Table1Requests() []Request {
+	reqs := make([]Request, 0, 2*SuiteSize)
+	for idx := 1; idx <= SuiteSize; idx++ {
+		reqs = append(reqs,
+			Request{Kind: KindFast, Benchmark: idx},
+			Request{Kind: KindBaseline, Benchmark: idx},
+		)
+	}
+	return reqs
+}
+
+// runJob executes one normalized request against its instrument. It is the
+// only place extraction pipelines are invoked.
+func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind:      nreq.Kind,
+		Benchmark: nreq.Benchmark,
+		Session:   nreq.Session,
+		Hash:      hash,
+	}
+	switch {
+	case nreq.Benchmark != 0:
+		inst, b, err := s.reg.Benchmark(nreq.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.runPipelines(nreq, inst, b.Window, &b.Truth, res); err != nil {
+			return nil, err
+		}
+	case nreq.Sim != nil:
+		inst, win, err := nreq.Sim.Build()
+		if err != nil {
+			return nil, err
+		}
+		truth := qflow.Truth{SteepSlope: nreq.Sim.SteepSlope, ShallowSlope: nreq.Sim.ShallowSlope}
+		if err := s.runPipelines(nreq, inst, win, &truth, res); err != nil {
+			return nil, err
+		}
+	default:
+		sess, ok := s.reg.Session(nreq.Session)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown session %q", nreq.Session)
+		}
+		truth := qflow.Truth{SteepSlope: sess.spec.SteepSlope, ShallowSlope: sess.spec.ShallowSlope}
+		err := sess.withInstrument(func(inst *device.SimInstrument, win csd.Window) error {
+			return s.runPipelines(nreq, inst, win, &truth, res)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// accountant unifies the instruments' cost tracking.
+type accountant interface {
+	device.Instrument
+	Stats() device.Stats
+}
+
+// runPipelines dispatches the request kind onto inst and fills res. truth,
+// when non-nil, enables ground-truth scoring.
+func (s *Service) runPipelines(nreq Request, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
+	before := inst.Stats()
+	src := csd.PixelSource{Src: inst, Win: win}
+	t0 := time.Now()
+	var err error
+	var steep, shallow float64
+	var matrix *virtualgate.Mat2
+	switch nreq.Kind {
+	case KindFast, KindAdaptive, KindVerify:
+		cfg := coreConfig(nreq.Fast)
+		var cr *core.Result
+		if nreq.Kind == KindAdaptive {
+			var ar *core.AdaptiveResult
+			ar, err = core.ExtractAdaptive(src, win, core.AdaptiveConfig{Config: cfg, CoarseFactor: nreq.Fast.CoarseFactor})
+			if ar != nil {
+				cr = ar.Fine
+			}
+		} else {
+			cr, err = core.Extract(src, win, cfg)
+		}
+		if err == nil {
+			steep, shallow = cr.SteepSlope, cr.ShallowSlope
+			matrix = &cr.Matrix
+			res.TripleV1, res.TripleV2 = cr.TriplePointVoltage(win)
+			if nreq.Kind == KindVerify {
+				var vr *virtualgate.VerifyResult
+				vr, err = virtualgate.Verify(inst, win, cr.Matrix, res.TripleV1, res.TripleV2,
+					virtualgate.VerifyConfig{MaxShiftFrac: nreq.Verify.MaxShiftFrac})
+				if err == nil {
+					res.Verify = &VerifyReport{OK: vr.OK, SteepShift: vr.SteepShift, ShallowShift: vr.ShallowShift}
+				}
+			}
+		}
+	case KindBaseline:
+		var br *baseline.Result
+		br, err = baseline.Extract(inst, win, baselineConfig(nreq.Baseline))
+		if err == nil {
+			steep, shallow = br.SteepSlope, br.ShallowSlope
+			matrix = &br.Matrix
+			res.TripleV1 = win.V1Min + (br.Knee.X+0.5)*win.StepV1()
+			res.TripleV2 = win.V2Min + (br.Knee.Y+0.5)*win.StepV2()
+		}
+	case KindRays:
+		var rr *rays.Result
+		rr, err = rays.Extract(src, win, rays.Config{NumRays: nreq.Rays.NumRays, DropSigma: nreq.Rays.DropSigma})
+		if err == nil {
+			steep, shallow = rr.SteepSlope, rr.ShallowSlope
+			matrix = &rr.Matrix
+		}
+	case KindWindowFind:
+		wf := nreq.WindowFind
+		var ar *autotune.Result
+		ar, err = autotune.FindWindow(inst, wf.V1Min, wf.V1Max, wf.V2Min, wf.V2Max, wf.Pixels, autotune.Config{})
+		if err == nil {
+			w := ar.Window
+			res.Window = &w
+		}
+	default:
+		return fmt.Errorf("%w %q", ErrBadKind, nreq.Kind)
+	}
+	res.ComputeS = time.Since(t0).Seconds()
+	after := inst.Stats()
+	res.Probes = after.UniqueProbes - before.UniqueProbes
+	res.ExperimentS = (after.Virtual - before.Virtual).Seconds()
+	if total := win.Cols * win.Rows; total > 0 {
+		res.ProbePct = 100 * float64(res.Probes) / float64(total)
+	}
+	if err != nil {
+		// A pipeline failure is a deterministic outcome of the request, not
+		// a service fault: record it on the result (with the probes it cost)
+		// so repeats are served from cache instead of re-failing slowly.
+		res.Error = err.Error()
+		return nil
+	}
+	if matrix != nil {
+		res.SteepSlope, res.ShallowSlope = steep, shallow
+		res.A12, res.A21 = matrix.A12(), matrix.A21()
+		if truth != nil && nreq.Kind != KindWindowFind {
+			res.Scored = true
+			res.Success, res.SteepErrDeg, res.ShallowErrDeg =
+				evalx.CheckSlopes(steep, shallow, *truth, evalx.DefaultAngleTolDeg)
+		}
+	}
+	return nil
+}
+
+func coreConfig(f *FastOptions) core.Config {
+	cfg := core.Config{
+		DisableFilter: f.DisableFilter,
+		RowSweepOnly:  f.RowSweepOnly,
+		NoShrink:      f.NoShrink,
+	}
+	cfg.Anchors.DiagonalPoints = f.DiagonalProbes
+	cfg.Anchors.GaussSigmaFrac = f.GaussSigmaFrac
+	return cfg
+}
+
+func baselineConfig(b *BaselineOptions) baseline.Config {
+	cfg := baseline.Config{NoRefine: b.NoRefine}
+	if b.CannySigma != 0 || b.CannyHighRatio != 0 {
+		cfg.Canny = imaging.DefaultCannyConfig()
+		if b.CannySigma != 0 {
+			cfg.Canny.Sigma = b.CannySigma
+		}
+		if b.CannyHighRatio != 0 {
+			cfg.Canny.HighRatio = b.CannyHighRatio
+		}
+	}
+	return cfg
+}
+
+// BenchmarkInfo is a serialisable suite entry for the listing endpoint.
+type BenchmarkInfo struct {
+	Index int         `json:"index"`
+	Name  string      `json:"name"`
+	Size  int         `json:"size"`
+	Truth qflow.Truth `json:"truth"`
+}
+
+// BenchmarkList returns the suite in index order.
+func (s *Service) BenchmarkList() []BenchmarkInfo {
+	suite := s.reg.Suite()
+	out := make([]BenchmarkInfo, 0, len(suite))
+	for _, b := range suite {
+		out = append(out, BenchmarkInfo{Index: b.Index, Name: b.Name, Size: b.Size, Truth: b.Truth})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

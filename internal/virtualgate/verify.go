@@ -21,9 +21,14 @@ type VerifyConfig struct {
 	// window span; default 0.15.
 	ScanFrac float64
 	// MaxShiftFrac is the allowed drift of a line's measured position across
-	// the AlongFracs, as a fraction of the window span; default 0.02.
+	// the AlongFracs, as a fraction of the window span; default
+	// DefaultMaxShiftFrac.
 	MaxShiftFrac float64
 }
+
+// DefaultMaxShiftFrac is the drift tolerance substituted for a zero
+// VerifyConfig.MaxShiftFrac.
+const DefaultMaxShiftFrac = 0.02
 
 func (c *VerifyConfig) fillDefaults() {
 	if len(c.AlongFracs) == 0 {
@@ -33,7 +38,7 @@ func (c *VerifyConfig) fillDefaults() {
 		c.ScanFrac = 0.15
 	}
 	if c.MaxShiftFrac == 0 {
-		c.MaxShiftFrac = 0.02
+		c.MaxShiftFrac = DefaultMaxShiftFrac
 	}
 }
 

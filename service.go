@@ -1,0 +1,67 @@
+package fastvg
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/fastvg/fastvg/internal/service"
+)
+
+// This file is the façade over the extraction service subsystem
+// (internal/service): a concurrent job scheduler, a deduplicating result
+// cache and a session registry behind one Service value, served over HTTP by
+// cmd/vgxd. Use it when extractions arrive as traffic — many scenarios, many
+// repeats, many devices — rather than as single library calls.
+
+// Service schedules extraction jobs on a bounded worker pool, deduplicates
+// identical requests through a hash-keyed LRU result cache (concurrent
+// identical submissions coalesce onto one extraction), and owns benchmark
+// and simulated-device instruments through its registry.
+type Service = service.Service
+
+// ServiceConfig tunes NewService; the zero value uses one worker per CPU and
+// a 1024-entry result cache.
+type ServiceConfig = service.Config
+
+// JobRequest describes one extraction job: a pipeline kind plus exactly one
+// target (benchmark index, sim device spec, or open session ID).
+type JobRequest = service.Request
+
+// JobResult is the serialisable outcome of a job.
+type JobResult = service.Result
+
+// JobView is a snapshot of an asynchronously submitted job.
+type JobView = service.JobView
+
+// JobKind names an extraction pipeline.
+type JobKind = service.Kind
+
+// The schedulable pipeline kinds.
+const (
+	JobFast       = service.KindFast
+	JobBaseline   = service.KindBaseline
+	JobRays       = service.KindRays
+	JobAdaptive   = service.KindAdaptive
+	JobWindowFind = service.KindWindowFind
+	JobVerify     = service.KindVerify
+)
+
+// ServiceStats aggregates cache, scheduler, job and session accounting.
+type ServiceStats = service.Stats
+
+// NewService builds an extraction service.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// ServiceHandler returns the service's JSON HTTP API (the surface cmd/vgxd
+// serves), mountable into any http.Server.
+func ServiceHandler(s *Service) http.Handler { return s.Handler() }
+
+// Table1Requests builds the paper's full evaluation — all 12 benchmarks
+// under both methods — as one batch for Service.Batch.
+func Table1Requests() []JobRequest { return service.Table1Requests() }
+
+// RunJob executes one request synchronously through the service's cache and
+// worker pool.
+func RunJob(ctx context.Context, s *Service, req JobRequest) (*JobResult, error) {
+	return s.Run(ctx, req)
+}

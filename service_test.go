@@ -1,0 +1,85 @@
+package fastvg_test
+
+import (
+	"context"
+	"testing"
+
+	fastvg "github.com/fastvg/fastvg"
+)
+
+// TestServiceFacade checks the root-package service façade wires the
+// subsystem correctly: run a job, repeat it, observe the dedup.
+func TestServiceFacade(t *testing.T) {
+	svc, err := fastvg.NewService(fastvg.ServiceConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := fastvg.JobRequest{
+		Kind: fastvg.JobFast,
+		Sim:  &fastvg.SimSpec{Pixels: 64, Seed: 42},
+	}
+	res, err := fastvg.RunJob(context.Background(), svc, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" || !res.Success {
+		t.Fatalf("clean sim job should succeed, got %+v", res)
+	}
+
+	// The same extraction through the library path must agree exactly.
+	inst, _, err := fastvg.NewDoubleDotSim(fastvg.DoubleDotSimOptions{Pixels: 64, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := fastvg.Extract(inst, inst.Window(), fastvg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.SteepSlope != res.SteepSlope || ext.ShallowSlope != res.ShallowSlope || ext.Probes != res.Probes {
+		t.Fatalf("service result (%v, %v, %d probes) != library result (%v, %v, %d probes)",
+			res.SteepSlope, res.ShallowSlope, res.Probes,
+			ext.SteepSlope, ext.ShallowSlope, ext.Probes)
+	}
+
+	again, err := fastvg.RunJob(context.Background(), svc, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("identical repeat should be served from the result cache")
+	}
+	if len(fastvg.Table1Requests()) != 24 {
+		t.Fatalf("Table1Requests = %d, want 24", len(fastvg.Table1Requests()))
+	}
+}
+
+// TestSimProbeMap checks live sims expose the probe map (the vgx -sim
+// -probemap path).
+func TestSimProbeMap(t *testing.T) {
+	inst, _, err := fastvg.NewDoubleDotSim(fastvg.DoubleDotSimOptions{Pixels: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.ProbeMap(); len(got) != 0 {
+		t.Fatalf("fresh sim has %d probed pixels, want 0", len(got))
+	}
+	ext, err := fastvg.Extract(inst, inst.Window(), fastvg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := inst.ProbeMap()
+	if len(pm) == 0 {
+		t.Fatal("extraction left no probe map")
+	}
+	// The map can be slightly smaller than Probes (off-window probes are
+	// omitted) but must be the same order of coverage.
+	if len(pm) > ext.Probes || len(pm) < ext.Probes/2 {
+		t.Fatalf("probe map has %d pixels for %d probes", len(pm), ext.Probes)
+	}
+	win := inst.Window()
+	for _, p := range pm {
+		if p.X < 0 || p.X >= win.Cols || p.Y < 0 || p.Y >= win.Rows {
+			t.Fatalf("probe map pixel %v outside %dx%d window", p, win.Cols, win.Rows)
+		}
+	}
+}

@@ -38,6 +38,27 @@ type DoubleDotSimOptions struct {
 	Seed  uint64      // noise realisation seed
 }
 
+// SimSpec is the serialisable description of a simulated double-dot device;
+// it is the form the extraction service accepts in job requests, and
+// DoubleDotSimOptions converts to it one-to-one.
+type SimSpec = device.DoubleDotSpec
+
+// Spec returns the options as a serialisable device specification.
+func (o DoubleDotSimOptions) Spec() SimSpec {
+	return SimSpec{
+		SteepSlope:   o.SteepSlope,
+		ShallowSlope: o.ShallowSlope,
+		CrossXFrac:   o.CrossXFrac,
+		CrossYFrac:   o.CrossYFrac,
+		Pixels:       o.Pixels,
+		SpanMV:       o.SpanMV,
+		Lambda1:      o.Lambda1,
+		Lambda2:      o.Lambda2,
+		Noise:        o.Noise,
+		Seed:         o.Seed,
+	}
+}
+
 // SimInstrument is a simulated double-dot measurement instrument; it
 // implements Instrument and tracks probe statistics.
 type SimInstrument struct {
@@ -48,53 +69,33 @@ type SimInstrument struct {
 // Window returns the scan window the simulator was built for.
 func (s *SimInstrument) Window() Window { return s.win }
 
+// ProbeMap returns the window pixels measured so far, the sim counterpart of
+// a benchmark instrument's probe map (the paper's Figure 7 data). Probes the
+// pipelines took one pixel past the window edge are omitted.
+func (s *SimInstrument) ProbeMap() []Point {
+	cells := s.ProbedCells()
+	pts := make([]Point, 0, len(cells))
+	for _, c := range cells {
+		x, y := int(c[0]), int(c[1])
+		if x < 0 || x >= s.win.Cols || y < 0 || y >= s.win.Rows {
+			continue
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	return pts
+}
+
 // NewDoubleDotSim builds a simulated double-dot device with a charge sensor
 // and returns an instrument over it, plus the device's analytic ground
 // truth. The instrument charges the paper's 50 ms dwell per new probe on a
 // virtual clock and memoises re-probed pixels.
 func NewDoubleDotSim(opts DoubleDotSimOptions) (*SimInstrument, GroundTruth, error) {
-	if opts.SteepSlope == 0 {
-		opts.SteepSlope = -8
-	}
-	if opts.ShallowSlope == 0 {
-		opts.ShallowSlope = -0.12
-	}
-	if opts.CrossXFrac == 0 {
-		opts.CrossXFrac = 0.68
-	}
-	if opts.CrossYFrac == 0 {
-		opts.CrossYFrac = 0.63
-	}
-	if opts.Pixels == 0 {
-		opts.Pixels = 100
-	}
-	if opts.SpanMV == 0 {
-		opts.SpanMV = float64(opts.Pixels) / 2
-	}
-	if opts.Lambda1 == 0 {
-		opts.Lambda1 = 0.47
-	}
-	if opts.Lambda2 == 0 {
-		opts.Lambda2 = 0.45
-	}
-	truth := GroundTruth{SteepSlope: opts.SteepSlope, ShallowSlope: opts.ShallowSlope}
-	phys, err := physics.FromGeometry(physics.Geometry{
-		SteepSlope:   opts.SteepSlope,
-		ShallowSlope: opts.ShallowSlope,
-		SteepPoint:   [2]float64{opts.CrossXFrac * opts.SpanMV, 0},
-		ShallowPoint: [2]float64{0, opts.CrossYFrac * opts.SpanMV},
-		EC1:          4, EC2: 4, ECm: 0.25,
-	})
+	spec := opts.Spec()
+	inst, win, err := spec.Build()
+	truth := GroundTruth{SteepSlope: spec.SteepSlope, ShallowSlope: spec.ShallowSlope}
 	if err != nil {
 		return nil, truth, fmt.Errorf("fastvg: %w", err)
 	}
-	dev := &device.DoubleDot{
-		Phys:  phys,
-		Sens:  sensor.DefaultDoubleDot(opts.Lambda1, opts.Lambda2, 2*opts.SpanMV),
-		Noise: opts.Noise.Build(opts.Seed),
-	}
-	win := NewWindow(0, 0, opts.SpanMV, opts.Pixels)
-	inst := device.NewSimInstrument(dev, device.DefaultDwell, win.StepV1(), win.StepV2())
 	return &SimInstrument{SimInstrument: inst, win: win}, truth, nil
 }
 
