@@ -48,6 +48,31 @@
 // status, sessions, stats); see README.md for endpoints and a curl
 // quickstart, and examples/serving for a self-contained client.
 //
+// # Performance
+//
+// The probe hot path — one simulated getCurrent — is allocation-free in
+// steady state: ground states come from a precomputed energy table, the
+// sensor response from a fixed-arity fast path, and memoisation from flat
+// per-row buffers. Each fast path performs the generic path's
+// floating-point operations in the same order, so probing is bit-identical
+// to the pre-optimisation code; property tests enforce that parity.
+//
+// Instruments also implement BatchInstrument: CurrentRow serves a whole
+// scan row per call, ProbeMany an arbitrary probe list, and AcquireGrid a
+// full window, with the clock-free physics computed in parallel and the
+// temporal noise replayed serially on the virtual clock — a parallel
+// render is byte-identical to a scalar raster at any worker count. Full-CSD
+// consumers (the baseline method, benchmark generation, service jobs)
+// route through these automatically; SimInstrument.AcquireCSD exposes the
+// batched render directly.
+//
+// Benchmarks live in internal/device (BenchmarkProbeScalar and
+// BenchmarkProbeBatch must report 0 allocs/op, BenchmarkGridRender* track
+// full-window renders); scripts/bench.sh runs them and writes the
+// BENCH_probe.json trajectory, whose "before" block preserves the
+// pre-batch-path baseline. See README.md's Performance section for
+// representative numbers.
+//
 // See examples/ for runnable programs: a quick start, quadruple-dot chain
 // virtualization, a noise-robustness study, a dwell-budget comparison and
 // the serving demo.

@@ -25,6 +25,16 @@ type Source interface {
 	Current(x, y int) float64
 }
 
+// RowSource is an optional Source extension: pull a contiguous row segment
+// in one call (csd.PixelSource forwards it to the instrument's batched row
+// path). Find uses it for the mask sweeps' row segments; the probe order —
+// and therefore the noise realisation and probe accounting — is identical
+// either way.
+type RowSource interface {
+	Source
+	Row(y, x0 int, out []float64)
+}
+
 // MaskX is the paper's horizontal-sweep mask (printed top row first; 3 rows
 // × 5 columns). It responds maximally when a steep, negatively sloped
 // falling edge passes through its centre column.
@@ -130,14 +140,26 @@ func Find(src Source, w, h int, cfg Config) (Result, error) {
 	if nx < 1 {
 		return Result{}, errors.New("anchors: no room for horizontal mask sweep")
 	}
+	rs, _ := src.(RowSource)
+	rowSeg := func(y, x0 int, out []float64) {
+		if rs != nil {
+			rs.Row(y, x0, out)
+			return
+		}
+		for i := range out {
+			out[i] = src.Current(x0+i, y)
+		}
+	}
+	var segX [5]float64
 	res.ScoresX = make([]float64, nx)
 	for i := 0; i < nx; i++ {
 		x0 := minStartX + i
 		var s float64
 		for r := 0; r < 3; r++ {
 			yy := 2 - r // printed top row sits at the top of the band
+			rowSeg(yy, x0, segX[:])
 			for c := 0; c < 5; c++ {
-				s += MaskX[r][c] * src.Current(x0+c, yy)
+				s += MaskX[r][c] * segX[c]
 			}
 		}
 		res.ScoresX[i] = s
@@ -151,14 +173,16 @@ func Find(src Source, w, h int, cfg Config) (Result, error) {
 	if ny < 1 {
 		return Result{}, errors.New("anchors: no room for vertical mask sweep")
 	}
+	var segY [3]float64
 	res.ScoresY = make([]float64, ny)
 	for i := 0; i < ny; i++ {
 		y0 := minStartY + i
 		var s float64
 		for r := 0; r < 5; r++ {
 			yy := y0 + (4 - r)
+			rowSeg(yy, 0, segY[:])
 			for c := 0; c < 3; c++ {
-				s += MaskY[r][c] * src.Current(c, yy)
+				s += MaskY[r][c] * segY[c]
 			}
 		}
 		res.ScoresY[i] = s

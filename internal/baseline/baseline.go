@@ -41,6 +41,11 @@ type Config struct {
 	// pixels within RefineDist of it (default on, dist 2 px).
 	NoRefine   bool
 	RefineDist float64
+
+	// RenderWorkers budgets the full-CSD acquisition's parallel render:
+	// 0 = one worker per CPU, 1 = serial, n = n workers. The acquired grid
+	// is bit-identical at any setting — only wall-clock time changes.
+	RenderWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -85,9 +90,11 @@ type Result struct {
 }
 
 // Extract acquires the full CSD through src and runs the vision pipeline.
+// Acquisition pulls whole rows — and, on instruments supporting it,
+// parallel-rendered grids — through the batch contracts in internal/csd.
 func Extract(src csd.CurrentGetter, win csd.Window, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
-	g, err := csd.Acquire(src, win)
+	g, err := csd.AcquireParallel(src, win, cfg.RenderWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -95,8 +102,13 @@ func Extract(src csd.CurrentGetter, win csd.Window, cfg Config) (*Result, error)
 }
 
 // ExtractFromGrid runs the vision pipeline on an already-acquired CSD.
+// RenderWorkers budgets the Canny convolutions too, so RenderWorkers: 1
+// pins the whole pipeline to one goroutine.
 func ExtractFromGrid(g *grid.Grid, win csd.Window, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
+	if cfg.Canny.Workers == 0 {
+		cfg.Canny.Workers = cfg.RenderWorkers
+	}
 	res := &Result{CSD: g}
 	res.Edges = imaging.Canny(g.Normalized(), cfg.Canny)
 	acc := imaging.Hough(res.Edges, cfg.Hough)

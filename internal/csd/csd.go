@@ -101,14 +101,56 @@ type CurrentGetter interface {
 	GetCurrent(v1, v2 float64) float64
 }
 
+// RowGetter is implemented by instruments that serve a whole scan row in
+// one call, bit-identically to the equivalent GetCurrent sequence (same
+// currents, same accounting, same noise realisation). Acquisition routes
+// through it when available, replacing per-pixel interface dispatch with
+// one call per row.
+type RowGetter interface {
+	CurrentRow(v2 float64, v1s, out []float64)
+}
+
+// GridAcquirer is implemented by instruments that acquire a full scan
+// window in one batched call — optionally rendering rows in parallel —
+// bit-identically to the scalar raster. workers <= 0 means one per CPU;
+// implementations that cannot parallelise ignore it.
+type GridAcquirer interface {
+	AcquireGrid(w Window, workers int) (*grid.Grid, error)
+}
+
 // Acquire rasters the full window through src, bottom row first — the
 // complete-CSD acquisition the baseline method performs. Every pixel is
-// probed exactly once.
+// probed exactly once. Instruments implementing the batch contracts
+// (GridAcquirer, RowGetter) are served through them; the result is
+// bit-identical either way.
 func Acquire(src CurrentGetter, w Window) (*grid.Grid, error) {
+	return AcquireParallel(src, w, 1)
+}
+
+// AcquireParallel is Acquire with a worker budget for instruments whose
+// grid acquisition can render rows in parallel (workers <= 0 means one per
+// CPU). Acquisition through a stateful scalar instrument cannot fan out —
+// probe order fixes the noise realisation — so sources without the batch
+// contracts fall back to the serial raster regardless of workers.
+func AcquireParallel(src CurrentGetter, w Window, workers int) (*grid.Grid, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	if ga, ok := src.(GridAcquirer); ok {
+		return ga.AcquireGrid(w, workers)
+	}
 	g := grid.New(w.Cols, w.Rows)
+	if rg, ok := src.(RowGetter); ok {
+		v1s := make([]float64, w.Cols)
+		for x := range v1s {
+			v1s[x] = w.V1At(x)
+		}
+		data := g.Data()
+		for y := 0; y < w.Rows; y++ {
+			rg.CurrentRow(w.V2At(y), v1s, data[y*w.Cols:(y+1)*w.Cols])
+		}
+		return g, nil
+	}
 	for y := 0; y < w.Rows; y++ {
 		v2 := w.V2At(y)
 		for x := 0; x < w.Cols; x++ {
@@ -128,6 +170,25 @@ type PixelSource struct {
 // Current probes the pixel centred at column x, row y.
 func (p PixelSource) Current(x, y int) float64 {
 	return p.Src.GetCurrent(p.Win.V1At(x), p.Win.V2At(y))
+}
+
+// Row probes the len(out) pixels of row y starting at column x0 into out,
+// pulling the whole row through the instrument's RowGetter fast path when
+// it has one. Results are bit-identical to per-pixel Current calls in
+// column order.
+func (p PixelSource) Row(y, x0 int, out []float64) {
+	if rg, ok := p.Src.(RowGetter); ok {
+		v1s := make([]float64, len(out))
+		for i := range v1s {
+			v1s[i] = p.Win.V1At(x0 + i)
+		}
+		rg.CurrentRow(p.Win.V2At(y), v1s, out)
+		return
+	}
+	v2 := p.Win.V2At(y)
+	for i := range out {
+		out[i] = p.Src.GetCurrent(p.Win.V1At(x0+i), v2)
+	}
 }
 
 // GridSource adapts an in-memory grid to the pixel Source interface with

@@ -135,3 +135,65 @@ func TestGridSourceClamps(t *testing.T) {
 		t.Errorf("clamped read = %v, want 9", got)
 	}
 }
+
+// scalarSrc is a plain CurrentGetter; rowSrc adds the RowGetter fast path.
+type scalarSrc struct{ calls int }
+
+func (s *scalarSrc) GetCurrent(v1, v2 float64) float64 { s.calls++; return 1000*v1 + v2 }
+
+type rowSrc struct {
+	scalarSrc
+	rowCalls int
+}
+
+func (s *rowSrc) CurrentRow(v2 float64, v1s, out []float64) {
+	s.rowCalls++
+	for i, v1 := range v1s {
+		out[i] = 1000*v1 + v2
+	}
+}
+
+func TestAcquireRoutesThroughRowGetter(t *testing.T) {
+	w := NewSquareWindow(0, 0, 8, 8)
+	scalar := &scalarSrc{}
+	rowed := &rowSrc{}
+	want, err := Acquire(scalar, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Acquire(rowed, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("row-routed acquisition differs from scalar")
+	}
+	if rowed.rowCalls != w.Rows {
+		t.Fatalf("expected %d CurrentRow calls, got %d (scalar calls %d)",
+			w.Rows, rowed.rowCalls, rowed.calls)
+	}
+	if rowed.calls != 0 {
+		t.Fatalf("row-capable source still took %d scalar probes", rowed.calls)
+	}
+}
+
+func TestPixelSourceRowMatchesCurrent(t *testing.T) {
+	w := NewSquareWindow(0, 0, 8, 8)
+	for _, src := range []CurrentGetter{&scalarSrc{}, &rowSrc{}} {
+		ps := PixelSource{Src: src, Win: w}
+		out := make([]float64, 5)
+		for y := -1; y <= w.Rows; y++ { // one past the edge, like the sweeps
+			ps.Row(y, -1, out)
+			for i := range out {
+				if want := ps.Current(-1+i, y); out[i] != want {
+					t.Fatalf("%T row (%d,%d): %v != %v", src, -1+i, y, out[i], want)
+				}
+			}
+		}
+	}
+	rowed := &rowSrc{}
+	PixelSource{Src: rowed, Win: w}.Row(0, 0, make([]float64, 3))
+	if rowed.rowCalls != 1 || rowed.calls != 0 {
+		t.Fatalf("Row did not route through CurrentRow (row %d, scalar %d)", rowed.rowCalls, rowed.calls)
+	}
+}

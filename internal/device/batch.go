@@ -1,0 +1,370 @@
+// Batched probing: the zero-allocation row store behind SimInstrument's
+// memoisation, the BatchInstrument contract, and the full-grid acquisition
+// fast paths of both instrument kinds.
+//
+// The contract of every batch method is bit-for-bit parity with the scalar
+// path: probing a batch returns exactly the currents, Stats and noise
+// realisation that the equivalent sequence of GetCurrent calls would have
+// produced. Parallel grid renders keep that guarantee by splitting the work
+// into a pure, clock-free physics phase that fans out across internal/sched
+// workers and a serial replay phase that walks the raster in probe order,
+// charging the virtual clock and sampling noise at exactly the times the
+// scalar path would have used.
+package device
+
+import (
+	"context"
+	"runtime"
+	"sort"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/sched"
+)
+
+// BatchInstrument is the batched probing contract: a whole scan row or an
+// arbitrary probe list served in one call, bit-identically to the
+// equivalent GetCurrent sequence. Both simulated instrument kinds implement
+// it; csd.Acquire routes full-raster acquisition through it automatically.
+type BatchInstrument interface {
+	Instrument
+	// CurrentRow measures (v1s[i], v2) into out[i] for every i, in slice
+	// order. out must hold at least len(v1s) elements.
+	CurrentRow(v2 float64, v1s, out []float64)
+	// ProbeMany measures (v1s[i], v2s[i]) into out[i] for every i, in slice
+	// order. out must hold at least len(v1s) elements.
+	ProbeMany(v1s, v2s, out []float64)
+}
+
+// memoRows is the grid-aligned memoisation store: measured currents
+// bucketed by quantised-v2 row, each row a flat []float64 with a set mask.
+// It replaces the former map[[2]int64]float64 so that, once a row buffer
+// exists, a probe costs a cached row pointer and two slice indexes — no
+// hashing, no allocation.
+type memoRows struct {
+	rows    map[int64]*memoRow
+	lastKey int64
+	last    *memoRow
+	count   int // memoised cells across all rows
+}
+
+// memoRow is one quantised-v2 row: vals[i] holds the current of v1 cell
+// base+i where set[i] is true.
+type memoRow struct {
+	base int64
+	vals []float64
+	set  []bool
+}
+
+func newMemoRows() memoRows {
+	return memoRows{rows: make(map[int64]*memoRow)}
+}
+
+// row returns the bucket for a quantised-v2 key, creating it on first use.
+// A one-entry cache makes the common row-scan pattern skip the map.
+func (m *memoRows) row(key int64) *memoRow {
+	if m.last != nil && m.lastKey == key {
+		return m.last
+	}
+	r := m.rows[key]
+	if r == nil {
+		r = &memoRow{}
+		m.rows[key] = r
+	}
+	m.lastKey, m.last = key, r
+	return r
+}
+
+// reset empties every row in place, keeping the buffers warm.
+func (m *memoRows) reset() {
+	for _, r := range m.rows {
+		for i := range r.set {
+			r.set[i] = false
+		}
+	}
+	m.count = 0
+}
+
+// cellsSorted collects the memoised cells as {v1 cell, v2 cell} pairs
+// sorted by (v2, v1). Rows are stored sorted along v1 already, so only the
+// row keys need sorting.
+func (m *memoRows) cellsSorted() [][2]int64 {
+	keys := make([]int64, 0, len(m.rows))
+	for k := range m.rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([][2]int64, 0, m.count)
+	for _, c2 := range keys {
+		r := m.rows[c2]
+		for i, ok := range r.set {
+			if ok {
+				out = append(out, [2]int64{r.base + int64(i), c2})
+			}
+		}
+	}
+	return out
+}
+
+func (r *memoRow) get(c int64) (float64, bool) {
+	i := c - r.base
+	if i < 0 || i >= int64(len(r.vals)) || !r.set[i] {
+		return 0, false
+	}
+	return r.vals[i], true
+}
+
+func (r *memoRow) put(c int64, v float64) {
+	if len(r.vals) == 0 {
+		r.base = c
+		if cap(r.vals) == 0 {
+			r.vals = make([]float64, 1, 64)
+			r.set = make([]bool, 1, 64)
+		} else {
+			r.vals = r.vals[:1]
+			r.set = r.set[:1]
+		}
+		r.vals[0] = v
+		r.set[0] = true
+		return
+	}
+	i := c - r.base
+	if i < 0 {
+		// Extend leftward: shift by at least the current length so repeated
+		// left growth stays amortised.
+		pad := -i
+		if pad < int64(len(r.vals)) {
+			pad = int64(len(r.vals))
+		}
+		nv := make([]float64, pad+int64(len(r.vals)))
+		ns := make([]bool, pad+int64(len(r.set)))
+		copy(nv[pad:], r.vals)
+		copy(ns[pad:], r.set)
+		r.vals, r.set = nv, ns
+		r.base -= pad
+		i = c - r.base
+	}
+	if i >= int64(len(r.vals)) {
+		need := int(i + 1)
+		if need <= cap(r.vals) {
+			old := len(r.vals)
+			r.vals = r.vals[:need]
+			r.set = r.set[:need]
+			for j := old; j < need; j++ {
+				r.vals[j] = 0
+				r.set[j] = false
+			}
+		} else {
+			newCap := 2 * cap(r.vals)
+			if newCap < need {
+				newCap = need
+			}
+			nv := make([]float64, need, newCap)
+			ns := make([]bool, need, newCap)
+			copy(nv, r.vals)
+			copy(ns, r.set)
+			r.vals, r.set = nv, ns
+		}
+	}
+	r.vals[i] = v
+	r.set[i] = true
+}
+
+// CurrentRow implements BatchInstrument: one memo-row lookup and one device
+// table check serve the whole row, and the inner loop runs the same
+// fixed-arity physics/sensor/noise sequence the scalar path runs — same
+// currents, same Stats, same noise draws.
+func (s *SimInstrument) CurrentRow(v2 float64, v1s, out []float64) {
+	s.stats.RawCalls += len(v1s)
+	memoised := s.QuantV1 > 0 && s.QuantV2 > 0
+	var row *memoRow
+	if memoised {
+		row = s.memo.row(quantKey(v2, s.QuantV2))
+	}
+	tab := s.Dev.fast()
+	fast := tab != nil && s.Dev.Sens.CanFast2()
+	phys, sens, noise := s.Dev.Phys, &s.Dev.Sens, s.Dev.Noise
+	for i, v1 := range v1s {
+		var c1 int64
+		if memoised {
+			c1 = quantKey(v1, s.QuantV1)
+			if v, ok := row.get(c1); ok {
+				out[i] = v
+				continue
+			}
+		}
+		s.stats.UniqueProbes++
+		s.stats.Virtual += s.Dwell
+		var v float64
+		if fast {
+			n1, n2 := tab.Ground(phys.Mu(0, v1, v2), phys.Mu(1, v1, v2))
+			v = sens.Current2(v1, v2, n1, n2)
+		} else {
+			n1, n2 := phys.GroundState(v1, v2)
+			v = sens.Current([]float64{v1, v2}, []int{n1, n2})
+		}
+		if noise != nil {
+			v += noise.Sample(s.stats.Virtual.Seconds())
+		}
+		out[i] = v
+		if memoised {
+			s.record(row, c1, v)
+		}
+	}
+}
+
+// ProbeMany implements BatchInstrument. The memo's one-entry row cache
+// keeps runs of probes sharing a v2 off the map.
+func (s *SimInstrument) ProbeMany(v1s, v2s, out []float64) {
+	for i := range v1s {
+		out[i] = s.GetCurrent(v1s[i], v2s[i])
+	}
+}
+
+// AcquireGrid rasters the full window, bottom row first, bit-identically to
+// a scalar csd raster through GetCurrent — same grid, Stats, memo contents
+// and noise realisation. The noiseless physics of the rows is computed in
+// parallel on an internal/sched pool; the virtual clock is then replayed
+// serially over the raster, so every noise process is sampled in probe
+// order at exactly the virtual times the scalar path would have charged
+// (per-row virtual-clock scheduling). workers <= 0 means one per CPU.
+func (s *SimInstrument) AcquireGrid(win csd.Window, workers int) (*grid.Grid, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	g := grid.New(win.Cols, win.Rows)
+	data := g.Data()
+	v1s := make([]float64, win.Cols)
+	for x := range v1s {
+		v1s[x] = win.V1At(x)
+	}
+
+	// Phase 1: pure physics and sensor response, clock-free. Prepare the
+	// derived tables first so render workers only read shared state.
+	s.Dev.Prepare()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > win.Rows {
+		workers = win.Rows
+	}
+	renderRows := func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			s.Dev.CurrentRowNoiseless(win.V2At(y), v1s, data[y*win.Cols:(y+1)*win.Cols])
+		}
+	}
+	if workers <= 1 {
+		renderRows(0, win.Rows)
+	} else {
+		pool := sched.New(workers)
+		per := (win.Rows + workers - 1) / workers
+		_ = pool.Map(context.Background(), workers, func(_ context.Context, c int) error {
+			y0 := c * per
+			y1 := y0 + per
+			if y1 > win.Rows {
+				y1 = win.Rows
+			}
+			renderRows(y0, y1)
+			return nil
+		})
+	}
+
+	// Phase 2: serial raster replay — memoisation, accounting and noise on
+	// the virtual clock, in the exact order the scalar acquisition probes.
+	memoised := s.QuantV1 > 0 && s.QuantV2 > 0
+	noise := s.Dev.Noise
+	for y := 0; y < win.Rows; y++ {
+		v2 := win.V2At(y)
+		var row *memoRow
+		if memoised {
+			row = s.memo.row(quantKey(v2, s.QuantV2))
+		}
+		for x := 0; x < win.Cols; x++ {
+			s.stats.RawCalls++
+			i := y*win.Cols + x
+			var c1 int64
+			if memoised {
+				c1 = quantKey(v1s[x], s.QuantV1)
+				if v, ok := row.get(c1); ok {
+					data[i] = v
+					continue
+				}
+			}
+			s.stats.UniqueProbes++
+			s.stats.Virtual += s.Dwell
+			v := data[i]
+			if noise != nil {
+				v += noise.Sample(s.stats.Virtual.Seconds())
+			}
+			data[i] = v
+			if memoised {
+				s.record(row, c1, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// CurrentRow implements BatchInstrument: the row index and pixel base are
+// resolved once, and each element replays the scalar path's probed-map and
+// accounting updates.
+func (d *DatasetInstrument) CurrentRow(v2 float64, v1s, out []float64) {
+	d.stats.RawCalls += len(v1s)
+	y := d.Win.YOf(v2)
+	rowOff := y * d.Data.W
+	for i, v1 := range v1s {
+		x := d.Win.XOf(v1)
+		idx := rowOff + x
+		if !d.probed[idx] {
+			d.probed[idx] = true
+			d.stats.UniqueProbes++
+			d.stats.Virtual += d.Dwell
+		}
+		out[i] = d.Data.At(x, y)
+	}
+}
+
+// ProbeMany implements BatchInstrument.
+func (d *DatasetInstrument) ProbeMany(v1s, v2s, out []float64) {
+	for i := range v1s {
+		out[i] = d.GetCurrent(v1s[i], v2s[i])
+	}
+}
+
+// AcquireGrid replays the full window from the recorded dataset in one
+// pass. The window-pixel → dataset-pixel mapping is resolved once per axis,
+// so values, probed map and Stats come out bit-identical to the scalar
+// raster without the per-probe interface and clamping work. Replaying a
+// recorded grid is memory-bound, so workers is accepted only for contract
+// symmetry and the copy runs serially.
+func (d *DatasetInstrument) AcquireGrid(win csd.Window, _ int) (*grid.Grid, error) {
+	if err := win.Validate(); err != nil {
+		return nil, err
+	}
+	mx := make([]int, win.Cols)
+	for x := range mx {
+		mx[x] = d.Win.XOf(win.V1At(x))
+	}
+	my := make([]int, win.Rows)
+	for y := range my {
+		my[y] = d.Win.YOf(win.V2At(y))
+	}
+	g := grid.New(win.Cols, win.Rows)
+	data := g.Data()
+	src := d.Data.Data()
+	d.stats.RawCalls += win.Cols * win.Rows
+	for y, sy := range my {
+		rowOff := sy * d.Data.W
+		dst := data[y*win.Cols : (y+1)*win.Cols]
+		for x, sx := range mx {
+			idx := rowOff + sx
+			if !d.probed[idx] {
+				d.probed[idx] = true
+				d.stats.UniqueProbes++
+				d.stats.Virtual += d.Dwell
+			}
+			dst[x] = src[idx]
+		}
+	}
+	return g, nil
+}

@@ -18,7 +18,6 @@ package device
 import (
 	"errors"
 	"math"
-	"sort"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/csd"
@@ -55,17 +54,77 @@ type DoubleDot struct {
 	Phys  *physics.DoubleDot
 	Sens  sensor.Params
 	Noise noise.Process // optional; sampled at the virtual measurement time
+
+	// fp caches the derived ground-state table of the zero-allocation probe
+	// path; it is rebuilt automatically whenever the physics parameters no
+	// longer match the snapshot it was built from.
+	fp *fastPath
 }
+
+// fastPath is the cached derived state of the probe hot path.
+type fastPath struct {
+	phys physics.DoubleDot    // parameter snapshot the table was built from
+	tab  *physics.GroundTable // nil when MaxN exceeds the table bound
+}
+
+// fast returns the device's ground-state table, (re)building it when the
+// physics parameters changed since the last probe. Not safe for concurrent
+// first use — call Prepare before probing from multiple goroutines.
+func (d *DoubleDot) fast() *physics.GroundTable {
+	fp := d.fp
+	if fp == nil || fp.phys != *d.Phys {
+		fp = &fastPath{phys: *d.Phys, tab: d.Phys.Table()}
+		d.fp = fp
+	}
+	return fp.tab
+}
+
+// Prepare builds the device's derived probe tables eagerly, so that
+// subsequent concurrent read-only probing (CurrentRowNoiseless across
+// render workers) never writes device state. Probing through any method
+// prepares implicitly; Prepare only matters before concurrent use.
+func (d *DoubleDot) Prepare() { d.fast() }
 
 // CurrentAt returns the sensor current at (v1, v2) measured at virtual time
 // t (seconds).
+//
+// The common two-gate, two-dot case runs on the zero-allocation fast path:
+// a precomputed ground-state table (physics.GroundTable) and the sensor's
+// fixed-arity Current2, both of which replay the generic path's
+// floating-point operations exactly — the returned current is bit-identical
+// either way.
 func (d *DoubleDot) CurrentAt(v1, v2, t float64) float64 {
-	n1, n2 := d.Phys.GroundState(v1, v2)
-	i := d.Sens.Current([]float64{v1, v2}, []int{n1, n2})
+	var i float64
+	if tab := d.fast(); tab != nil && d.Sens.CanFast2() {
+		n1, n2 := tab.Ground(d.Phys.Mu(0, v1, v2), d.Phys.Mu(1, v1, v2))
+		i = d.Sens.Current2(v1, v2, n1, n2)
+	} else {
+		n1, n2 := d.Phys.GroundState(v1, v2)
+		i = d.Sens.Current([]float64{v1, v2}, []int{n1, n2})
+	}
 	if d.Noise != nil {
 		i += d.Noise.Sample(t)
 	}
 	return i
+}
+
+// CurrentRowNoiseless fills out[i] with the noiseless sensor current at
+// (v1s[i], v2) — the parallel render kernel: pure physics and sensor
+// response, no virtual clock, no noise, no instrument state. After Prepare
+// it only reads device state, so disjoint rows may be computed concurrently.
+func (d *DoubleDot) CurrentRowNoiseless(v2 float64, v1s, out []float64) {
+	if tab := d.fast(); tab != nil && d.Sens.CanFast2() {
+		phys, sens := d.Phys, &d.Sens
+		for i, v1 := range v1s {
+			n1, n2 := tab.Ground(phys.Mu(0, v1, v2), phys.Mu(1, v1, v2))
+			out[i] = sens.Current2(v1, v2, n1, n2)
+		}
+		return
+	}
+	for i, v1 := range v1s {
+		n1, n2 := d.Phys.GroundState(v1, v2)
+		out[i] = d.Sens.Current([]float64{v1, v2}, []int{n1, n2})
+	}
 }
 
 // SimInstrument drives a DoubleDot with dwell-time accounting and
@@ -76,8 +135,11 @@ type SimInstrument struct {
 	Dwell            time.Duration
 	QuantV1, QuantV2 float64 // memoisation granularity (mV); 0 disables memoisation
 
-	memo  map[[2]int64]float64
+	memo  memoRows
 	stats Stats
+
+	cells      [][2]int64 // ProbedCells cache; rebuilt lazily after writes
+	cellsValid bool
 }
 
 // NewSimInstrument returns an instrument over dev with the given dwell and
@@ -86,7 +148,7 @@ func NewSimInstrument(dev *DoubleDot, dwell time.Duration, quantV1, quantV2 floa
 	return &SimInstrument{
 		Dev: dev, Dwell: dwell,
 		QuantV1: quantV1, QuantV2: quantV2,
-		memo: make(map[[2]int64]float64),
+		memo: newMemoRows(),
 	}
 }
 
@@ -101,10 +163,12 @@ func quantKey(v, q float64) int64 {
 func (s *SimInstrument) GetCurrent(v1, v2 float64) float64 {
 	s.stats.RawCalls++
 	memoised := s.QuantV1 > 0 && s.QuantV2 > 0
-	var key [2]int64
+	var row *memoRow
+	var c1 int64
 	if memoised {
-		key = [2]int64{quantKey(v1, s.QuantV1), quantKey(v2, s.QuantV2)}
-		if v, ok := s.memo[key]; ok {
+		row = s.memo.row(quantKey(v2, s.QuantV2))
+		c1 = quantKey(v1, s.QuantV1)
+		if v, ok := row.get(c1); ok {
 			return v
 		}
 	}
@@ -112,9 +176,17 @@ func (s *SimInstrument) GetCurrent(v1, v2 float64) float64 {
 	s.stats.Virtual += s.Dwell
 	v := s.Dev.CurrentAt(v1, v2, s.stats.Virtual.Seconds())
 	if memoised {
-		s.memo[key] = v
+		s.record(row, c1, v)
 	}
 	return v
+}
+
+// record memoises a freshly measured cell and invalidates the ProbedCells
+// cache.
+func (s *SimInstrument) record(row *memoRow, c1 int64, v float64) {
+	row.put(c1, v)
+	s.memo.count++
+	s.cellsValid = false
 }
 
 // ProbedCells returns the quantisation cells measured so far, sorted by
@@ -122,27 +194,29 @@ func (s *SimInstrument) GetCurrent(v1, v2 float64) float64 {
 // pixel pitch — as NewDoubleDotSim and DoubleDotSpec.Build configure it —
 // each cell is a window pixel, so this is the sim counterpart of
 // DatasetInstrument.ProbeMap. Empty when memoisation is disabled.
+//
+// The result is cached: repeated calls between probes return the same
+// slice without re-collecting or re-sorting, and the cache is invalidated
+// by the next memoised probe. Callers must treat the slice as read-only.
 func (s *SimInstrument) ProbedCells() [][2]int64 {
-	cells := make([][2]int64, 0, len(s.memo))
-	for k := range s.memo {
-		cells = append(cells, k)
+	if !s.cellsValid {
+		s.cells = s.memo.cellsSorted()
+		s.cellsValid = true
 	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i][1] != cells[j][1] {
-			return cells[i][1] < cells[j][1]
-		}
-		return cells[i][0] < cells[j][0]
-	})
-	return cells
+	return s.cells
 }
 
 // Stats implements Accountant.
 func (s *SimInstrument) Stats() Stats { return s.stats }
 
-// ResetStats clears the accounting and the memoisation cache.
+// ResetStats clears the accounting and the memoisation cache. The memo's
+// row buffers are retained and reused, so resetting does not return the
+// probe path to an allocating warm-up state.
 func (s *SimInstrument) ResetStats() {
 	s.stats = Stats{}
-	s.memo = make(map[[2]int64]float64)
+	s.memo.reset()
+	s.cells = nil
+	s.cellsValid = false
 }
 
 // DatasetInstrument replays a pre-acquired CSD, the paper's evaluation

@@ -80,6 +80,11 @@ func RunFast(b *qflow.Benchmark, cfg core.Config) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runFastOn(b, inst, cfg)
+}
+
+// runFastOn runs the fast extraction against a prepared replay instrument.
+func runFastOn(b *qflow.Benchmark, inst *device.DatasetInstrument, cfg core.Config) (*RunResult, error) {
 	rr := &RunResult{Benchmark: b, Method: MethodFast}
 	src := csd.PixelSource{Src: inst, Win: b.Window}
 	t0 := time.Now()
@@ -100,12 +105,20 @@ func RunFast(b *qflow.Benchmark, cfg core.Config) (*RunResult, error) {
 	return rr, nil
 }
 
-// RunBaseline executes the Hough baseline on a benchmark.
+// RunBaseline executes the Hough baseline on a benchmark. The full-CSD
+// acquisition runs through the batched grid path (the replay instrument
+// serves the whole window in one call), so the harness measures the
+// pipeline, not per-pixel dispatch overhead.
 func RunBaseline(b *qflow.Benchmark, cfg baseline.Config) (*RunResult, error) {
 	inst, err := b.Instrument()
 	if err != nil {
 		return nil, err
 	}
+	return runBaselineOn(b, inst, cfg)
+}
+
+// runBaselineOn runs the baseline against a prepared replay instrument.
+func runBaselineOn(b *qflow.Benchmark, inst *device.DatasetInstrument, cfg baseline.Config) (*RunResult, error) {
 	rr := &RunResult{Benchmark: b, Method: MethodBaseline}
 	t0 := time.Now()
 	res, err := baseline.Extract(inst, b.Window, cfg)

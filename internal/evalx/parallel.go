@@ -32,6 +32,17 @@ func RunTable1Parallel(fastCfg core.Config, baseCfg baseline.Config, maxWorkers 
 	if maxWorkers <= 0 || maxWorkers > len(jobs) {
 		maxWorkers = len(jobs)
 	}
+	// The harness already fans out across jobs, so per-job parallelism —
+	// the CSD generation render and the baseline's Canny convolutions —
+	// would only oversubscribe the CPUs. Every grid is bit-identical at any
+	// worker count, so serialising them changes nothing but contention.
+	genWorkers := 0
+	if maxWorkers > 1 {
+		genWorkers = 1
+		if baseCfg.RenderWorkers == 0 {
+			baseCfg.RenderWorkers = 1
+		}
+	}
 
 	rows := make([]Table1Row, len(suite))
 	for i, b := range suite {
@@ -41,12 +52,15 @@ func RunTable1Parallel(fastCfg core.Config, baseCfg baseline.Config, maxWorkers 
 	err = pool.Map(context.Background(), len(jobs), func(_ context.Context, i int) error {
 		j := jobs[i]
 		b := suite[j.idx]
+		inst, err := b.InstrumentParallel(genWorkers)
+		if err != nil {
+			return fmt.Errorf("evalx: benchmark %d: %w", b.Index, err)
+		}
 		var rr *RunResult
-		var err error
 		if j.fast {
-			rr, err = RunFast(b, fastCfg)
+			rr, err = runFastOn(b, inst, fastCfg)
 		} else {
-			rr, err = RunBaseline(b, baseCfg)
+			rr, err = runBaselineOn(b, inst, baseCfg)
 		}
 		if err != nil {
 			return fmt.Errorf("evalx: benchmark %d: %w", b.Index, err)

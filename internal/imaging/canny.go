@@ -15,6 +15,7 @@ type CannyConfig struct {
 	Sigma     float64 // Gaussian σ before differentiation
 	HighRatio float64 // high threshold as fraction of max magnitude
 	LowRatio  float64 // low threshold as fraction of the high threshold
+	Workers   int     // convolution row-render workers: 0 = one per CPU, 1 = serial
 }
 
 // DefaultCannyConfig mirrors common OpenCV usage on stability diagrams.
@@ -23,10 +24,11 @@ func DefaultCannyConfig() CannyConfig {
 }
 
 // Canny runs the full edge-detection pipeline and returns a binary grid
-// (1 = edge pixel).
+// (1 = edge pixel). The convolutions honour cfg.Workers; the output is
+// identical at any worker budget.
 func Canny(g *grid.Grid, cfg CannyConfig) *grid.Grid {
-	blurred := GaussianBlur(g, cfg.Sigma)
-	gx, gy := Sobel(blurred)
+	blurred := GaussianBlurWorkers(g, cfg.Sigma, cfg.Workers)
+	gx, gy := SobelWorkers(blurred, cfg.Workers)
 	mag := GradientMagnitude(gx, gy)
 	nms := nonMaxSuppress(mag, gx, gy)
 	_, maxMag := nms.MinMax()

@@ -5,10 +5,45 @@
 package imaging
 
 import (
+	"context"
 	"math"
+	"runtime"
 
 	"github.com/fastvg/fastvg/internal/grid"
+	"github.com/fastvg/fastvg/internal/sched"
 )
+
+// parallelRows runs fn over disjoint row chunks of [0, h) on an
+// internal/sched pool with the given worker budget (0 = one per CPU,
+// 1 = serial). Every output pixel is written by exactly one worker from
+// read-only inputs, so results are bit-identical to the serial loop; small
+// images and serial budgets take the inline path.
+func parallelRows(h, workers int, fn func(y0, y1 int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > h {
+		workers = h
+	}
+	// Below ~64 rows the goroutine fan-out costs more than it saves.
+	if workers <= 1 || h < 64 {
+		fn(0, h)
+		return
+	}
+	pool := sched.New(workers)
+	per := (h + workers - 1) / workers
+	_ = pool.Map(context.Background(), workers, func(_ context.Context, c int) error {
+		y0 := c * per
+		y1 := y0 + per
+		if y1 > h {
+			y1 = h
+		}
+		if y0 < y1 {
+			fn(y0, y1)
+		}
+		return nil
+	})
+}
 
 // Kernel is a dense 2-D convolution kernel with odd dimensions; the anchor
 // is the centre cell. Rows are ordered bottom-up like grid.Grid.
@@ -33,21 +68,31 @@ func NewKernel(w, h int, weights []float64) Kernel {
 func (k Kernel) At(kx, ky int) float64 { return k.Weights[ky*k.W+kx] }
 
 // Convolve cross-correlates g with k (the convention OpenCV's filter2D uses),
-// clamping at the borders, and returns a new grid.
+// clamping at the borders, and returns a new grid. Output rows are rendered
+// in parallel on multi-CPU machines; the result is bit-identical to the
+// serial loop.
 func Convolve(g *grid.Grid, k Kernel) *grid.Grid {
+	return ConvolveWorkers(g, k, 0)
+}
+
+// ConvolveWorkers is Convolve with an explicit row-render worker budget
+// (0 = one per CPU, 1 = serial). The output is identical at any setting.
+func ConvolveWorkers(g *grid.Grid, k Kernel, workers int) *grid.Grid {
 	out := grid.New(g.W, g.H)
 	cx, cy := k.W/2, k.H/2
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			var s float64
-			for ky := 0; ky < k.H; ky++ {
-				for kx := 0; kx < k.W; kx++ {
-					s += k.At(kx, ky) * g.AtClamped(x+kx-cx, y+ky-cy)
+	parallelRows(g.H, workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < g.W; x++ {
+				var s float64
+				for ky := 0; ky < k.H; ky++ {
+					for kx := 0; kx < k.W; kx++ {
+						s += k.At(kx, ky) * g.AtClamped(x+kx-cx, y+ky-cy)
+					}
 				}
+				out.Set(x, y, s)
 			}
-			out.Set(x, y, s)
 		}
-	}
+	})
 	return out
 }
 
@@ -71,36 +116,54 @@ func GaussianKernel1D(sigma float64) []float64 {
 	return k
 }
 
-// GaussianBlur smooths g with a separable Gaussian of the given σ.
+// GaussianBlur smooths g with a separable Gaussian of the given σ. Both
+// separable passes render rows in parallel on multi-CPU machines; the
+// result is bit-identical to the serial loops.
 func GaussianBlur(g *grid.Grid, sigma float64) *grid.Grid {
+	return GaussianBlurWorkers(g, sigma, 0)
+}
+
+// GaussianBlurWorkers is GaussianBlur with an explicit row-render worker
+// budget (0 = one per CPU, 1 = serial). The output is identical at any
+// setting.
+func GaussianBlurWorkers(g *grid.Grid, sigma float64, workers int) *grid.Grid {
 	k := GaussianKernel1D(sigma)
 	r := len(k) / 2
 	tmp := grid.New(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			var s float64
-			for i := -r; i <= r; i++ {
-				s += k[i+r] * g.AtClamped(x+i, y)
+	parallelRows(g.H, workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < g.W; x++ {
+				var s float64
+				for i := -r; i <= r; i++ {
+					s += k[i+r] * g.AtClamped(x+i, y)
+				}
+				tmp.Set(x, y, s)
 			}
-			tmp.Set(x, y, s)
 		}
-	}
+	})
 	out := grid.New(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			var s float64
-			for i := -r; i <= r; i++ {
-				s += k[i+r] * tmp.AtClamped(x, y+i)
+	parallelRows(g.H, workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < g.W; x++ {
+				var s float64
+				for i := -r; i <= r; i++ {
+					s += k[i+r] * tmp.AtClamped(x, y+i)
+				}
+				out.Set(x, y, s)
 			}
-			out.Set(x, y, s)
 		}
-	}
+	})
 	return out
 }
 
 // Sobel returns the horizontal and vertical derivative images. gx is the
 // derivative along +x; gy along +y (upward).
 func Sobel(g *grid.Grid) (gx, gy *grid.Grid) {
+	return SobelWorkers(g, 0)
+}
+
+// SobelWorkers is Sobel with an explicit row-render worker budget.
+func SobelWorkers(g *grid.Grid, workers int) (gx, gy *grid.Grid) {
 	// Bottom row first: the +y derivative kernel has -1s on the bottom row.
 	kx := NewKernel(3, 3, []float64{
 		-1, 0, 1,
@@ -112,7 +175,7 @@ func Sobel(g *grid.Grid) (gx, gy *grid.Grid) {
 		0, 0, 0,
 		1, 2, 1,
 	})
-	return Convolve(g, kx), Convolve(g, ky)
+	return ConvolveWorkers(g, kx, workers), ConvolveWorkers(g, ky, workers)
 }
 
 // GradientMagnitude returns sqrt(gx² + gy²) per pixel.

@@ -149,6 +149,77 @@ func (p *DoubleDot) GroundState(v1, v2 float64) (n1, n2 int) {
 	return n1, n2
 }
 
+// maxTableN bounds the configurations a GroundTable flattens; beyond it the
+// table would stop fitting in cache and the plain search wins again.
+const maxTableN = 8
+
+// GroundTable is the probe hot path's flattened form of GroundState: the
+// occupation-independent energy constant of every candidate configuration,
+// precomputed once per device in GroundState's exact iteration order. Energy
+// is linear in the chemical potentials, U(n, μ) = K(n) − n1·μ1 − n2·μ2, so
+// Ground recovers the full brute-force argmin — including its first-wins
+// tie-breaking — from two multiplies and two subtractions per candidate,
+// with no per-candidate function calls and no allocation. The constants are
+// accumulated by the same floating-point expressions Energy uses, which
+// makes Ground bit-identical to GroundState, the correctness bar the
+// batched instruments are tested against.
+type GroundTable struct {
+	k      []float64 // K(n): energy at zero chemical potential
+	f1, f2 []float64 // occupations as floats, for the μ terms
+	n1, n2 []int     // occupations as ints, for the result
+}
+
+// Table flattens the ground-state search over 0..MaxN electrons per dot.
+// It returns nil when MaxN is too large for a table to pay off (callers
+// fall back to GroundState). The table snapshots the parameters; rebuild it
+// after mutating the device.
+func (p *DoubleDot) Table() *GroundTable {
+	if p.MaxN < 1 || p.MaxN > maxTableN {
+		return nil
+	}
+	m := (p.MaxN + 1) * (p.MaxN + 1)
+	t := &GroundTable{
+		k:  make([]float64, 0, m),
+		f1: make([]float64, 0, m),
+		f2: make([]float64, 0, m),
+		n1: make([]int, 0, m),
+		n2: make([]int, 0, m),
+	}
+	for a := 0; a <= p.MaxN; a++ {
+		for b := 0; b <= p.MaxN; b++ {
+			f1, f2 := float64(a), float64(b)
+			// Mirrors Energy's constant part operation for operation.
+			u := 0.5*p.EC[0]*f1*(f1-1) + 0.5*p.EC[1]*f2*(f2-1) + p.ECm*f1*f2
+			t.k = append(t.k, u)
+			t.f1 = append(t.f1, f1)
+			t.f2 = append(t.f2, f2)
+			t.n1 = append(t.n1, a)
+			t.n2 = append(t.n2, b)
+		}
+	}
+	return t
+}
+
+// Ground returns the occupation minimising the energy at chemical potentials
+// (μ1, μ2) — the caller evaluates μ_i = Mu(i, v1, v2) — bit-identically to
+// GroundState at the same voltages. Safe for concurrent use: the table is
+// read-only after construction.
+func (t *GroundTable) Ground(mu1, mu2 float64) (n1, n2 int) {
+	best := math.Inf(1)
+	bi := 0
+	k, f1, f2 := t.k, t.f1, t.f2
+	for i := 0; i < len(k); i++ {
+		u := k[i]
+		u -= f1[i] * mu1
+		u -= f2[i] * mu2
+		if u < best {
+			best = u
+			bi = i
+		}
+	}
+	return t.n1[bi], t.n2[bi]
+}
+
 // AdditionLine returns the transition line on which dot `dot` (0 or 1) gains
 // its n-th electron (n ≥ 1) while the other dot holds `other` electrons:
 // the boundary between (…, n−1, …) and (…, n, …).

@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/fitting"
@@ -238,9 +237,60 @@ func successiveSigma(xs []float64) float64 {
 	for i := 2; i < len(xs); i++ {
 		diffs = append(diffs, math.Abs(xs[i]-2*xs[i-1]+xs[i-2]))
 	}
-	sort.Float64s(diffs)
-	med := diffs[len(diffs)/2]
+	med := selectKth(diffs, len(diffs)/2)
 	return med / 1.652
+}
+
+// selectKth returns the k-th smallest element (0-based) of xs, partially
+// reordering it in place — quickselect with median-of-three pivoting, O(n)
+// expected instead of the O(n log n) full sort a median needs none of.
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to xs[lo].
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		xs[lo], xs[mid] = xs[mid], xs[lo]
+		pivot := xs[lo]
+		// Hoare partition.
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || xs[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if xs[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		xs[lo], xs[j] = xs[j], xs[lo]
+		switch {
+		case j == k:
+			return xs[k]
+		case j < k:
+			lo = j + 1
+		default:
+			hi = j - 1
+		}
+	}
+	return xs[k]
 }
 
 type fitSet struct {
@@ -254,32 +304,15 @@ type fitSet struct {
 // minimising the total TLS residual over all changepoints, then each cluster
 // is refit after trimming gross outliers (rays that latched onto the
 // honeycomb continuation lines near the triple point).
+//
+// The scan runs on prefix sums of the second moments: a segment's TLS
+// residual is the smallest eigenvalue of its centred scatter matrix, which
+// five prefix arrays recover in O(1) per changepoint. That makes the whole
+// scan O(n) where re-fitting both sides from scratch per split was O(n²).
 func splitAndFit(crossings []fitting.Vec2, cfg Config) (steep, shallow fitSet, err error) {
-	n := len(crossings)
-	bestCost := math.Inf(1)
-	bestK := -1
-	for k := cfg.MinPerLine; k <= n-cfg.MinPerLine; k++ {
-		l1, err1 := fitting.TLSLine(crossings[:k])
-		l2, err2 := fitting.TLSLine(crossings[k:])
-		if err1 != nil || err2 != nil {
-			continue
-		}
-		var cost float64
-		for _, p := range crossings[:k] {
-			d := l1.Dist(p)
-			cost += d * d
-		}
-		for _, p := range crossings[k:] {
-			d := l2.Dist(p)
-			cost += d * d
-		}
-		if cost < bestCost {
-			bestCost = cost
-			bestK = k
-		}
-	}
+	bestK := bestChangepoint(crossings, cfg)
 	if bestK < 0 {
-		return steep, shallow, fmt.Errorf("%w: no valid changepoint over %d crossings", ErrNoLine, n)
+		return steep, shallow, fmt.Errorf("%w: no valid changepoint over %d crossings", ErrNoLine, len(crossings))
 	}
 	steep.pts = append([]fitting.Vec2(nil), crossings[:bestK]...)
 	shallow.pts = append([]fitting.Vec2(nil), crossings[bestK:]...)
@@ -290,6 +323,66 @@ func splitAndFit(crossings []fitting.Vec2, cfg Config) (steep, shallow fitSet, e
 		return steep, shallow, err
 	}
 	return steep, shallow, nil
+}
+
+// bestChangepoint scans every admissible split of the fan-ordered crossings
+// and returns the one minimising the summed TLS residual of the two
+// segments, or -1 when no split admits two line fits.
+func bestChangepoint(crossings []fitting.Vec2, cfg Config) int {
+	n := len(crossings)
+	sx := make([]float64, n+1)
+	sy := make([]float64, n+1)
+	sxx := make([]float64, n+1)
+	sxy := make([]float64, n+1)
+	syy := make([]float64, n+1)
+	for i, p := range crossings {
+		sx[i+1] = sx[i] + p.X
+		sy[i+1] = sy[i] + p.Y
+		sxx[i+1] = sxx[i] + p.X*p.X
+		sxy[i+1] = sxy[i] + p.X*p.Y
+		syy[i+1] = syy[i] + p.Y*p.Y
+	}
+	// segCost returns the TLS residual sum of crossings[i:j], and whether
+	// the segment admits a line fit at all (at least two distinct points).
+	segCost := func(i, j int) (float64, bool) {
+		m := float64(j - i)
+		if j-i < 2 {
+			return 0, false
+		}
+		cx := (sx[j] - sx[i]) / m
+		cy := (sy[j] - sy[i]) / m
+		vxx := (sxx[j] - sxx[i]) - m*cx*cx
+		vxy := (sxy[j] - sxy[i]) - m*cx*cy
+		vyy := (syy[j] - syy[i]) - m*cy*cy
+		if vxx <= 0 && vyy <= 0 {
+			return 0, false // coincident points: no direction defined
+		}
+		tr := vxx + vyy
+		det := vxx*vyy - vxy*vxy
+		disc := tr*tr/4 - det
+		if disc < 0 {
+			disc = 0
+		}
+		lmin := tr/2 - math.Sqrt(disc)
+		if lmin < 0 {
+			lmin = 0
+		}
+		return lmin, true
+	}
+	bestCost := math.Inf(1)
+	bestK := -1
+	for k := cfg.MinPerLine; k <= n-cfg.MinPerLine; k++ {
+		c1, ok1 := segCost(0, k)
+		c2, ok2 := segCost(k, n)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if cost := c1 + c2; cost < bestCost {
+			bestCost = cost
+			bestK = k
+		}
+	}
+	return bestK
 }
 
 // fitTrimmed fits a TLS line and iteratively drops outliers: each round

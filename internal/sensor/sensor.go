@@ -78,6 +78,35 @@ func (p *Params) Current(v []float64, n []int) float64 {
 	return i
 }
 
+// CanFast2 reports whether Current2, the fixed-arity two-gate two-dot fast
+// path, may be used in place of Current: every coefficient the two-gate
+// evaluation reads must exist. Extra kappa/lambda entries beyond the first
+// two are fine — a two-gate probe never reads them on the generic path
+// either.
+func (p *Params) CanFast2() bool {
+	return len(p.Kappa) >= 2 && len(p.Lambda) >= 2 &&
+		(p.Tilt == nil || len(p.Tilt) >= 2)
+}
+
+// Current2 returns Current([]float64{v1, v2}, []int{n1, n2}) without
+// materialising the slices — the zero-allocation probe hot path. It performs
+// the generic path's floating-point operations in the same order, so the
+// result is bit-identical. Callers must check CanFast2 first.
+func (p *Params) Current2(v1, v2 float64, n1, n2 int) float64 {
+	var q float64
+	q += p.Kappa[0] * v1
+	q += p.Kappa[1] * v2
+	q -= p.Lambda[0] * float64(n1)
+	q -= p.Lambda[1] * float64(n2)
+	d := (q - p.PeakPos) / p.PeakWidth
+	i := p.Base + p.PeakAmp*math.Exp(-0.5*d*d)
+	if p.Tilt != nil {
+		i += p.Tilt[0] * v1
+		i += p.Tilt[1] * v2
+	}
+	return i
+}
+
 // StepSize returns the current change caused by adding one electron to dot
 // `dot` at gate voltages v, starting from occupations n — the contrast a
 // transition line has at that operating point. Negative values mean the

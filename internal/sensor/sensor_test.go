@@ -125,3 +125,60 @@ func TestStepSizePropertyMoreElectronsLowerCurrent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCurrent2MatchesCurrentBitwise(t *testing.T) {
+	// The fixed-arity fast path must reproduce the generic path bit for bit
+	// across random parameter sets, with and without tilt.
+	rng := func(seed, i int) float64 { // cheap deterministic stream
+		x := float64((seed*2654435761+i*40503)%10007) / 10007
+		return x
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := Params{
+			Base:      rng(trial, 1),
+			PeakAmp:   0.5 + rng(trial, 2),
+			PeakPos:   2 * rng(trial, 3),
+			PeakWidth: 0.5 + rng(trial, 4),
+			Kappa:     []float64{0.02 * rng(trial, 5), 0.02 * rng(trial, 6)},
+			Lambda:    []float64{0.5 * rng(trial, 7), 0.5 * rng(trial, 8)},
+		}
+		if trial%2 == 0 {
+			p.Tilt = []float64{0.001 * rng(trial, 9), 0.001 * rng(trial, 10)}
+		}
+		if !p.CanFast2() {
+			t.Fatalf("trial %d: params unexpectedly not fast-capable", trial)
+		}
+		for i := 0; i < 200; i++ {
+			v1 := 100 * rng(trial, 11+i)
+			v2 := 100 * rng(trial, 1011+i)
+			n1, n2 := i%4, (i/4)%4
+			want := p.Current([]float64{v1, v2}, []int{n1, n2})
+			if got := p.Current2(v1, v2, n1, n2); got != want {
+				t.Fatalf("trial %d: Current2(%v,%v,%d,%d) = %v, want %v",
+					trial, v1, v2, n1, n2, got, want)
+			}
+		}
+	}
+}
+
+func TestCanFast2RejectsShortCoefficients(t *testing.T) {
+	p := DefaultDoubleDot(0.4, 0.4, 100)
+	if !p.CanFast2() {
+		t.Fatal("default double-dot sensor should be fast-capable")
+	}
+	short := p
+	short.Kappa = p.Kappa[:1]
+	if short.CanFast2() {
+		t.Error("1-gate kappa must disable the fast path")
+	}
+	short = p
+	short.Lambda = p.Lambda[:1]
+	if short.CanFast2() {
+		t.Error("1-dot lambda must disable the fast path")
+	}
+	short = p
+	short.Tilt = []float64{0.1}
+	if short.CanFast2() {
+		t.Error("short tilt must disable the fast path")
+	}
+}

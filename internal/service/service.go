@@ -523,6 +523,9 @@ func coreConfig(f *FastOptions) core.Config {
 }
 
 func baselineConfig(b *BaselineOptions) baseline.Config {
+	// RenderWorkers 0 = one per CPU: cold-cache baseline jobs acquire their
+	// full CSD through the batched parallel render (grids are bit-identical
+	// at any worker count, so cached results are unaffected).
 	cfg := baseline.Config{NoRefine: b.NoRefine}
 	if b.CannySigma != 0 || b.CannyHighRatio != 0 {
 		cfg.Canny = imaging.DefaultCannyConfig()

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# bench.sh — run the probe-path benchmark trajectory and emit BENCH_probe.json.
+#
+# Usage:
+#   scripts/bench.sh [-o BENCH_probe.json] [-t benchtime]
+#
+# The "after" block is measured on this machine by running the benchmarks in
+# internal/device (BenchmarkProbe*, BenchmarkGridRender*). The "before"
+# block records the pre-batch-path numbers; it is carried over from an
+# existing output file when present, so re-running keeps the original
+# baseline. To re-baseline (e.g. on new hardware), check out the commit
+# before the batch-probing PR, run the equivalent scalar benchmarks there,
+# and edit the file — or set BENCH_BEFORE_JSON to a JSON object to splice in.
+set -euo pipefail
+
+out="BENCH_probe.json"
+benchtime="2s"
+while getopts "o:t:" opt; do
+  case "$opt" in
+    o) out="$OPTARG" ;;
+    t) benchtime="$OPTARG" ;;
+    *) echo "usage: $0 [-o file] [-t benchtime]" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+before=""
+if [ -n "${BENCH_BEFORE_JSON:-}" ]; then
+  before="$BENCH_BEFORE_JSON"
+elif [ -f "$out" ]; then
+  # Preserve the committed baseline block (everything inside "before": {...}).
+  before=$(awk '/"before": \{/{f=1;next} f&&/^  \}/{exit} f' "$out")
+fi
+if [ -z "$before" ]; then
+  before='    "note": "no baseline recorded — see header of scripts/bench.sh"'
+fi
+
+raw=$(go test ./internal/device/ -run '^$' -bench 'Probe|GridRender' \
+  -benchmem -benchtime "$benchtime" 2>&1)
+echo "$raw"
+
+# Columns: name  iters  ns/op "ns/op"  B/op "B/op"  allocs "allocs/op"
+field() { echo "$raw" | awk -v b="$1" '$1 ~ "^Benchmark"b"(-|$)" {print $3; exit}'; }
+allocs() { echo "$raw" | awk -v b="$1" '$1 ~ "^Benchmark"b"(-|$)" {print $7; exit}'; }
+ms() { awk -v ns="$1" 'BEGIN {printf "%.4f", ns / 1e6}'; }
+
+cpu=$(echo "$raw" | awk -F': ' '/^cpu:/{print $2; exit}')
+probe_scalar=$(field ProbeScalar)
+probe_batch=$(field ProbeBatch)
+probe_hit=$(field ProbeMemoHit)
+render_scalar=$(field GridRenderScalar)
+render_batch=$(field GridRenderBatch)
+render_noisy=$(field GridRenderNoisy)
+render_dataset=$(field GridRenderDataset)
+
+cat > "$out" <<JSON
+{
+  "schema": "fastvg-bench-probe/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "gomaxprocs": $(nproc),
+  "benchtime": "$benchtime",
+  "units": {
+    "probe_*_ns": "nanoseconds per probe",
+    "probe_*_allocs_per_op": "heap allocations per probe",
+    "grid_render_*_ms": "milliseconds per full 100x100 window render"
+  },
+  "before": {
+$before
+  },
+  "after": {
+    "probe_scalar_ns": $probe_scalar,
+    "probe_scalar_allocs_per_op": $(allocs ProbeScalar),
+    "probe_batch_ns": $probe_batch,
+    "probe_batch_allocs_per_op": $(allocs ProbeBatch),
+    "probe_memo_hit_ns": $probe_hit,
+    "grid_render_scalar_ms": $(ms "$render_scalar"),
+    "grid_render_batch_ms": $(ms "$render_batch"),
+    "grid_render_noisy_ms": $(ms "$render_noisy"),
+    "grid_render_dataset_ms": $(ms "$render_dataset")
+  }
+}
+JSON
+echo "wrote $out"

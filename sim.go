@@ -59,8 +59,16 @@ func (o DoubleDotSimOptions) Spec() SimSpec {
 	}
 }
 
+// BatchInstrument is the batched probing contract: whole scan rows or
+// arbitrary probe lists served in one call, bit-identically to the
+// equivalent GetCurrent sequence (same currents, Stats and noise
+// realisation). Simulated instruments implement it; the acquisition and
+// extraction pipelines route through it automatically.
+type BatchInstrument = device.BatchInstrument
+
 // SimInstrument is a simulated double-dot measurement instrument; it
-// implements Instrument and tracks probe statistics.
+// implements Instrument — and BatchInstrument, the zero-allocation batched
+// probing fast path — and tracks probe statistics.
 type SimInstrument struct {
 	*device.SimInstrument
 	win Window
@@ -68,6 +76,15 @@ type SimInstrument struct {
 
 // Window returns the scan window the simulator was built for.
 func (s *SimInstrument) Window() Window { return s.win }
+
+// AcquireCSD renders the simulator's full scan window through the batched
+// acquisition fast path: the clock-free physics fans out across workers
+// (<= 0 means one per CPU) and the noise replays serially on the virtual
+// clock, so the grid, probe accounting and noise realisation are
+// bit-identical to a scalar raster at any worker count.
+func (s *SimInstrument) AcquireCSD(workers int) (*Grid, error) {
+	return s.AcquireGrid(s.win, workers)
+}
 
 // ProbeMap returns the window pixels measured so far, the sim counterpart of
 // a benchmark instrument's probe map (the paper's Figure 7 data). Probes the
