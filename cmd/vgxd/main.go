@@ -10,6 +10,15 @@
 //	curl -s -X POST localhost:8080/v1/batch -d '{"table1":true}'
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"fast","benchmark":6}'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/fleet/devices -d '{"id":"lab-a","spec":{"seed":5}}'
+//	curl -s -X POST localhost:8080/v1/fleet/tick -d '{"advanceS":300,"ticks":12}'
+//	curl -s localhost:8080/v1/fleet
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the HTTP server stops
+// accepting connections, then the extraction service drains — running jobs
+// finish, queued jobs settle as cancelled, sessions close — bounded by
+// -draintimeout.
 package main
 
 import (
@@ -31,6 +40,7 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "extraction worker-pool slots (0 = one per CPU)")
 		cache   = flag.Int("cache", 1024, "result-cache capacity in entries")
+		drain   = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown bound for connections and running jobs")
 	)
 	flag.Parse()
 
@@ -55,10 +65,18 @@ func main() {
 		log.Fatal(err)
 	case sig := <-stop:
 		log.Printf("vgxd: %v, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Stop accepting connections first, then drain the extraction
+		// scheduler (running jobs finish, queued jobs are released) and
+		// close the instrument sessions.
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatal(err)
 		}
+		if err := svc.Close(ctx); err != nil {
+			log.Printf("vgxd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Print("vgxd: drained cleanly")
 	}
 }

@@ -1,0 +1,111 @@
+// Command vgxfleet simulates a day of fleet-calibration traffic: it
+// registers a heterogeneous fleet of drifting simulated devices with the
+// fleet manager, advances a virtual clock tick by tick — freshness
+// spot-checks, staleness scoring, budget-admitted re-extractions — and
+// prints a summary of what the day cost.
+//
+//	vgxfleet -devices 16 -day 86400 -tick 300 -budget 180000 -seed 1
+//
+// The summary is deterministic for a fixed seed: byte-identical across runs
+// and across -workers values (per-device work fans out over the pool, but
+// every scheduling decision is made serially in device-ID order).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/fastvg/fastvg/internal/fleet"
+	"github.com/fastvg/fastvg/internal/sched"
+)
+
+func main() {
+	var (
+		devices  = flag.Int("devices", 16, "fleet size (profiles cycle quiet/standard/wandering/jumpy)")
+		day      = flag.Float64("day", 86400, "virtual run length, seconds")
+		tick     = flag.Float64("tick", 300, "virtual tick, seconds")
+		check    = flag.Float64("check", 1800, "per-device spot-check interval, seconds")
+		budget   = flag.Int("budget", 180000, "fleet probe budget per day (0 = unlimited)")
+		cooldown = flag.Float64("cooldown", 1800, "per-device recalibration cooldown, seconds")
+		seed     = flag.Uint64("seed", 1, "fleet seed (device geometry, noise and drift)")
+		workers  = flag.Int("workers", 0, "worker-pool slots (0 = one per CPU); does not affect results")
+		asJSON   = flag.Bool("json", false, "emit the summary as JSON")
+		verbose  = flag.Bool("v", false, "log every tick that checked or recalibrated something")
+	)
+	flag.Parse()
+
+	pol := fleet.Policy{
+		CheckInterval: *check,
+		Cooldown:      *cooldown,
+		Budget:        *budget,
+		BudgetWindow:  *day,
+	}
+	mgr := fleet.New(sched.New(*workers), pol)
+	cfgs, err := fleet.DefaultFleet(*devices, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		if _, err := mgr.Register(cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	var sum *fleet.Summary
+	if *verbose {
+		ticks := fleet.NumTicks(*day, *tick)
+		for i := 0; i < ticks; i++ {
+			rep, err := mgr.Tick(ctx, *tick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(rep.Checked) > 0 || len(rep.Recalibrated) > 0 {
+				fmt.Printf("t=%7.0fs checked=%d recal=%v probes=%d+%d skipped=%d\n",
+					rep.Now, len(rep.Checked), rep.Recalibrated,
+					rep.CheckProbes, rep.RecalProbes, rep.SkippedBudget)
+			}
+		}
+		sum = mgr.Summarize(ticks, *tick)
+	} else {
+		sum, err = mgr.Run(ctx, *day, *tick)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printSummary(sum)
+}
+
+func printSummary(s *fleet.Summary) {
+	fmt.Printf("vgxfleet: %d devices, %.0fs virtual in %.0fs ticks (%d ticks)\n\n",
+		s.DeviceCount, s.VirtualS, s.TickS, s.Ticks)
+	fmt.Printf("%-16s %-12s %9s %9s %6s %6s %6s %5s %8s\n",
+		"device", "state", "stale", "worst", "cals", "forced", "checks", "lost", "probes")
+	for _, d := range s.Devices {
+		fmt.Printf("%-16s %-12s %9.3f %9.3f %6d %6d %6d %5d %8d\n",
+			d.ID, d.State, d.Staleness, d.MaxStaleness,
+			d.Calibrations, d.Forced, d.Checks, d.LostEvents, d.Probes)
+	}
+	fmt.Printf("\nfleet: checks=%d calibrations=%d recalibrations=%d forced=%d failed=%d linesLost=%d\n",
+		s.Checks, s.Calibrations, s.Recalibrations, s.Forced, s.FailedCals, s.LostEvents)
+	budget := "unlimited"
+	if s.Budget > 0 {
+		budget = fmt.Sprintf("%d/window", s.Budget)
+	}
+	fmt.Printf("probes: spent=%d budget=%s maxWindow=%d deferredForBudget=%d\n",
+		s.ProbesSpent, budget, s.MaxWindowProbes, s.SkippedBudget)
+	fmt.Printf("worst finite staleness observed: %.3f\n", s.WorstStaleness)
+}

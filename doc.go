@@ -46,7 +46,42 @@
 //
 // Command vgxd serves the same service over a JSON HTTP API (submit, batch,
 // status, sessions, stats); see README.md for endpoints and a curl
-// quickstart, and examples/serving for a self-contained client.
+// quickstart, and examples/serving for a self-contained client. The daemon
+// exposes liveness at /v1/healthz and shuts down gracefully: the scheduler
+// drains (running extractions finish, queued jobs settle as cancelled) and
+// sessions close, bounded by -draintimeout.
+//
+// # Fleet calibration
+//
+// A virtual-gate matrix extracted once goes silently stale: lever arms
+// wander under 1/f and drift noise, and charge rearrangements translate the
+// honeycomb the matrix was anchored to. The fleet subsystem
+// (internal/fleet, re-exported as FleetManager via Service.Fleet) closes
+// the loop continuously for many devices at once:
+//
+//   - Each registered device (FleetDeviceConfig: spec + drift profile +
+//     scheduling weight) is monitored with cheap periodic virtualgate.Verify
+//     spot-checks on a virtual clock — a handful of short line scans, two
+//     orders of magnitude cheaper than a re-extraction.
+//   - Staleness is scored against the line positions recorded at
+//     calibration time, normalised so 1.0 sits at the drift tolerance; a
+//     device whose lines cannot be re-located at all is flagged lost.
+//   - Stale devices are re-extracted through the service's own worker pool,
+//     highest staleness × weight first, under a global probe budget with
+//     reservation-based admission (a budget window can never overspend).
+//   - Hysteresis — a healthy/watch band below the threshold plus a
+//     per-device cooldown, and the rule that recalibration only ever fires
+//     on evidence measured after the previous calibration — guarantees
+//     healthy devices are never re-tuned.
+//
+// The loop is deterministic: measurement work fans out across workers, but
+// each job touches only its own device and every scheduling decision is
+// made serially in device-ID order, so a simulated day is byte-identical at
+// any worker count. Command vgxfleet runs such a day (heterogeneous
+// quiet/standard/wandering/jumpy profiles) and reports recalibrations
+// triggered, probes spent against the budget, and worst-case staleness;
+// /v1/fleet serves the same loop over HTTP (register, status, history,
+// force-recalibrate, tick).
 //
 // # Performance
 //

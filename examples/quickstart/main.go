@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 
 	// Close the loop: verify the matrix on the device itself by stepping the
 	// virtual gates and checking the transition lines do not move.
-	ver, err := fastvg.VerifyMatrix(inst, inst.Window(), res, fastvg.VerifyOptions{})
+	ver, err := fastvg.VerifyMatrix(context.Background(), inst, inst.Window(), res, fastvg.VerifyOptions{})
 	if err != nil {
 		log.Fatalf("verification failed: %v", err)
 	}

@@ -1,6 +1,8 @@
 package fastvg
 
 import (
+	"context"
+
 	"github.com/fastvg/fastvg/internal/autotune"
 	"github.com/fastvg/fastvg/internal/core"
 	"github.com/fastvg/fastvg/internal/csd"
@@ -123,9 +125,10 @@ type Verification struct {
 // steps each virtual gate and re-locates the other dot's transition line
 // with short 1-D scans in virtual coordinates (the measurement equivalent of
 // the paper's manual inspection of the warped diagram). ext must come from
-// Extract or ExtractAdaptive (the triple point is needed).
-func VerifyMatrix(inst Instrument, win Window, ext *Extraction, opts VerifyOptions) (*Verification, error) {
-	res, err := virtualgate.Verify(inst, win, ext.Matrix, ext.TripleV1, ext.TripleV2,
+// Extract or ExtractAdaptive (the triple point is needed). ctx cancels the
+// check between probes.
+func VerifyMatrix(ctx context.Context, inst Instrument, win Window, ext *Extraction, opts VerifyOptions) (*Verification, error) {
+	res, err := virtualgate.Verify(ctx, inst, win, ext.Matrix, ext.TripleV1, ext.TripleV2,
 		virtualgate.VerifyConfig{MaxShiftFrac: opts.MaxShiftFrac})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package fastvg
 
 import (
+	"context"
 	"testing"
 )
 
@@ -190,7 +191,7 @@ func TestVerifyMatrixOnDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ver, err := VerifyMatrix(inst, inst.Window(), ext, VerifyOptions{})
+	ver, err := VerifyMatrix(context.Background(), inst, inst.Window(), ext, VerifyOptions{})
 	if err != nil {
 		t.Fatalf("VerifyMatrix: %v", err)
 	}
@@ -204,7 +205,7 @@ func TestVerifyMatrixOnDevice(t *testing.T) {
 	// A deliberately uncompensated matrix must fail the same check.
 	bad := *ext
 	bad.Matrix = Matrix2{{1, 0}, {0, 1}}
-	ver2, err := VerifyMatrix(inst, inst.Window(), &bad, VerifyOptions{})
+	ver2, err := VerifyMatrix(context.Background(), inst, inst.Window(), &bad, VerifyOptions{})
 	if err == nil && ver2.OK {
 		t.Error("identity matrix passed on-device verification")
 	}

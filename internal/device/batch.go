@@ -175,6 +175,15 @@ func (r *memoRow) put(c int64, v float64) {
 // fixed-arity physics/sensor/noise sequence the scalar path runs — same
 // currents, same Stats, same noise draws.
 func (s *SimInstrument) CurrentRow(v2 float64, v1s, out []float64) {
+	if s.Dev.Drift != nil {
+		// Lever-arm drift makes the physics itself time-dependent, so the
+		// clock-free inline replay below would diverge from the scalar path.
+		// The scalar loop IS the contract here.
+		for i, v1 := range v1s {
+			out[i] = s.GetCurrent(v1, v2)
+		}
+		return
+	}
 	s.stats.RawCalls += len(v1s)
 	memoised := s.QuantV1 > 0 && s.QuantV2 > 0
 	var row *memoRow
@@ -231,6 +240,20 @@ func (s *SimInstrument) ProbeMany(v1s, v2s, out []float64) {
 func (s *SimInstrument) AcquireGrid(win csd.Window, workers int) (*grid.Grid, error) {
 	if err := win.Validate(); err != nil {
 		return nil, err
+	}
+	if s.Dev.Drift != nil {
+		// Time-dependent physics cannot be pre-rendered clock-free: raster
+		// serially through the scalar path, which samples drift and noise at
+		// the true per-probe virtual times.
+		g := grid.New(win.Cols, win.Rows)
+		data := g.Data()
+		for y := 0; y < win.Rows; y++ {
+			v2 := win.V2At(y)
+			for x := 0; x < win.Cols; x++ {
+				data[y*win.Cols+x] = s.GetCurrent(win.V1At(x), v2)
+			}
+		}
+		return g, nil
 	}
 	g := grid.New(win.Cols, win.Rows)
 	data := g.Data()

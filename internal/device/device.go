@@ -55,10 +55,53 @@ type DoubleDot struct {
 	Sens  sensor.Params
 	Noise noise.Process // optional; sampled at the virtual measurement time
 
+	// Drift, when non-nil, makes the device's lever arms wander on the
+	// virtual clock: gate voltages pass through a slowly time-varying affine
+	// warp before reaching the physics. This is the mechanism that lets an
+	// extracted virtual-gate matrix go stale — additive sensor noise alone
+	// never moves the transition lines.
+	Drift *LeverDrift
+
 	// fp caches the derived ground-state table of the zero-allocation probe
 	// path; it is rebuilt automatically whenever the physics parameters no
 	// longer match the snapshot it was built from.
 	fp *fastPath
+}
+
+// LeverDrift models slow wander of the effective gate lever arms and
+// operating point: the voltages the dots see are
+//
+//	w1 = v1 + s12(t)·v2 + o1(t)
+//	w2 = v2 + s21(t)·v1 + o2(t)
+//
+// where the shears (dimensionless) and offsets (mV) are noise processes on
+// the instrument's virtual clock. A shear changes the apparent transition
+// slopes — exactly the cross-capacitance wander that invalidates a
+// virtualization matrix — while offsets (e.g. charge jumps) translate the
+// whole honeycomb, moving the knee the matrix was anchored to. Any field may
+// be nil.
+type LeverDrift struct {
+	Shear12, Shear21 noise.Process // cross lever-arm wander, dimensionless
+	Offset1, Offset2 noise.Process // gate operating-point wander, mV
+}
+
+// Warp maps the requested gate voltages to the effective voltages at virtual
+// time t.
+func (l *LeverDrift) Warp(v1, v2, t float64) (float64, float64) {
+	w1, w2 := v1, v2
+	if l.Shear12 != nil {
+		w1 += l.Shear12.Sample(t) * v2
+	}
+	if l.Shear21 != nil {
+		w2 += l.Shear21.Sample(t) * v1
+	}
+	if l.Offset1 != nil {
+		w1 += l.Offset1.Sample(t)
+	}
+	if l.Offset2 != nil {
+		w2 += l.Offset2.Sample(t)
+	}
+	return w1, w2
 }
 
 // fastPath is the cached derived state of the probe hot path.
@@ -94,6 +137,9 @@ func (d *DoubleDot) Prepare() { d.fast() }
 // floating-point operations exactly — the returned current is bit-identical
 // either way.
 func (d *DoubleDot) CurrentAt(v1, v2, t float64) float64 {
+	if d.Drift != nil {
+		v1, v2 = d.Drift.Warp(v1, v2, t)
+	}
 	var i float64
 	if tab := d.fast(); tab != nil && d.Sens.CanFast2() {
 		n1, n2 := tab.Ground(d.Phys.Mu(0, v1, v2), d.Phys.Mu(1, v1, v2))
@@ -208,6 +254,21 @@ func (s *SimInstrument) ProbedCells() [][2]int64 {
 
 // Stats implements Accountant.
 func (s *SimInstrument) Stats() Stats { return s.stats }
+
+// Advance moves the instrument's virtual clock forward by d without probing —
+// idle wall time between measurement epochs, the fleet monitor's tick. The
+// memoisation cache is cleared (a configuration re-requested after idle time
+// is a new measurement, with the noise and drift of the new epoch) but the
+// cumulative probe accounting is kept, and the memo's row buffers stay warm.
+func (s *SimInstrument) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.stats.Virtual += d
+	s.memo.reset()
+	s.cells = nil
+	s.cellsValid = false
+}
 
 // ResetStats clears the accounting and the memoisation cache. The memo's
 // row buffers are retained and reused, so resetting does not return the

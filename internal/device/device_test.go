@@ -174,3 +174,168 @@ func TestAcquireThroughSimInstrument(t *testing.T) {
 		t.Error("acquired CSD is flat")
 	}
 }
+
+func TestAdvanceIdleClock(t *testing.T) {
+	d := testDoubleDot(t)
+	d.Noise = noise.NewWhite(0.05, 7)
+	inst := NewSimInstrument(d, DefaultDwell, 0.5, 0.5)
+	v0 := inst.GetCurrent(10, 10)
+	st := inst.Stats()
+	if st.UniqueProbes != 1 {
+		t.Fatalf("probes = %d", st.UniqueProbes)
+	}
+	// A memo hit costs nothing and returns the recorded value.
+	if v := inst.GetCurrent(10, 10); v != v0 {
+		t.Fatalf("memo hit changed value: %v != %v", v, v0)
+	}
+	inst.Advance(time.Hour)
+	st2 := inst.Stats()
+	if st2.Virtual != st.Virtual+time.Hour {
+		t.Errorf("Virtual = %v, want %v", st2.Virtual, st.Virtual+time.Hour)
+	}
+	if st2.UniqueProbes != st.UniqueProbes {
+		t.Errorf("Advance changed probe accounting: %d -> %d", st.UniqueProbes, st2.UniqueProbes)
+	}
+	// After the idle epoch, re-requesting the configuration is a fresh
+	// measurement: a new dwell is charged and fresh noise is sampled.
+	_ = inst.GetCurrent(10, 10)
+	st3 := inst.Stats()
+	if st3.UniqueProbes != st2.UniqueProbes+1 {
+		t.Errorf("post-Advance probe not re-measured: probes %d -> %d", st2.UniqueProbes, st3.UniqueProbes)
+	}
+	// Advance(<=0) is a no-op.
+	inst.Advance(0)
+	inst.Advance(-time.Second)
+	if inst.Stats() != st3 {
+		t.Error("non-positive Advance changed state")
+	}
+}
+
+func TestLeverDriftMovesLines(t *testing.T) {
+	// A pure shear on v2 moves the steep transition's measured position; the
+	// same probe sequence on an undrifted twin does not move.
+	mk := func(drift *LeverDrift) *SimInstrument {
+		d := testDoubleDot(t)
+		d.Drift = drift
+		return NewSimInstrument(d, DefaultDwell, 0, 0) // no memo: re-measure freely
+	}
+	crossing := func(inst *SimInstrument, v2 float64) float64 {
+		// Walk v1 and return the position of the largest drop.
+		best, bestPos := 0.0, math.NaN()
+		prev := math.NaN()
+		for v1 := 60.0; v1 <= 80; v1 += 0.25 {
+			c := inst.GetCurrent(v1, v2)
+			if !math.IsNaN(prev) && prev-c > best {
+				best, bestPos = prev-c, v1
+			}
+			prev = c
+		}
+		return bestPos
+	}
+	steady := mk(nil)
+	p0 := crossing(steady, 10)
+	steady.Advance(24 * time.Hour)
+	if p1 := crossing(steady, 10); p1 != p0 {
+		t.Fatalf("undrifted line moved: %v -> %v", p0, p1)
+	}
+
+	drifting := mk(&LeverDrift{Offset1: &noise.Drift{Linear: 1e-4}})
+	q0 := crossing(drifting, 10)
+	drifting.Advance(24 * time.Hour)
+	q1 := crossing(drifting, 10)
+	// 1e-4 mV/s × 86400 s ≈ 8.6 mV of line shift.
+	if shift := math.Abs(q1 - q0); shift < 4 {
+		t.Errorf("drifted line moved only %.2f mV over a day, want several mV", shift)
+	}
+}
+
+func TestLeverDriftSpecBuild(t *testing.T) {
+	spec := DoubleDotSpec{
+		Seed: 3,
+		LeverDrift: &LeverDriftSpec{
+			Shear21: noise.Params{DriftLinear: 2e-6, PinkAmp: 0.01},
+			Offset2: noise.Params{JumpAmp: 0.8, JumpInterval: 7200},
+		},
+	}
+	inst, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Dev.Drift == nil || inst.Dev.Drift.Shear21 == nil || inst.Dev.Drift.Offset2 == nil {
+		t.Fatal("configured drift channels not built")
+	}
+	if inst.Dev.Drift.Shear12 != nil || inst.Dev.Drift.Offset1 != nil {
+		t.Error("silent drift channels should stay nil")
+	}
+	// Equal specs give identical drift realisations.
+	specB := spec
+	instB, _, err := specB.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ti := float64(i) * 977
+		a := inst.Dev.Drift.Shear21.Sample(ti)
+		b := instB.Dev.Drift.Shear21.Sample(ti)
+		if a != b {
+			t.Fatalf("drift realisation differs at t=%v: %v != %v", ti, a, b)
+		}
+	}
+	// An all-zero LeverDriftSpec builds no drift at all.
+	none := DoubleDotSpec{LeverDrift: &LeverDriftSpec{}}
+	instN, _, err := none.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instN.Dev.Drift != nil {
+		t.Error("zero LeverDriftSpec built a drift")
+	}
+}
+
+func TestDriftedBatchMatchesScalar(t *testing.T) {
+	// With drift present the batch contract must still be bit-identical to
+	// the scalar sequence — it falls back to the scalar path internally.
+	mk := func() *SimInstrument {
+		d := testDoubleDot(t)
+		d.Noise = noise.NewPinkBath(0.01, 8, 0.01, 10, 11)
+		d.Drift = &LeverDrift{
+			Shear21: noise.NewPinkBath(0.02, 6, 1e-4, 1, 5),
+			Offset1: &noise.Drift{Linear: 1e-5},
+		}
+		return NewSimInstrument(d, DefaultDwell, 0.5, 0.5)
+	}
+	win := csd.NewSquareWindow(0, 0, 20, 40)
+	scalar := mk()
+	var want []float64
+	for y := 0; y < win.Rows; y++ {
+		for x := 0; x < win.Cols; x++ {
+			want = append(want, scalar.GetCurrent(win.V1At(x), win.V2At(y)))
+		}
+	}
+	batch := mk()
+	g, err := batch.AcquireGrid(win, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Data() {
+		if v != want[i] {
+			t.Fatalf("drifted AcquireGrid diverges from scalar at %d: %v != %v", i, v, want[i])
+		}
+	}
+	if batch.Stats() != scalar.Stats() {
+		t.Errorf("stats diverge: %+v != %+v", batch.Stats(), scalar.Stats())
+	}
+
+	rowBatch, rowScalar := mk(), mk()
+	v1s := make([]float64, win.Cols)
+	for x := range v1s {
+		v1s[x] = win.V1At(x)
+	}
+	out := make([]float64, win.Cols)
+	rowBatch.CurrentRow(win.V2At(3), v1s, out)
+	for x, v1 := range v1s {
+		if w := rowScalar.GetCurrent(v1, win.V2At(3)); out[x] != w {
+			t.Fatalf("drifted CurrentRow diverges at %d: %v != %v", x, out[x], w)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/fastvg/fastvg/internal/noise"
 	"github.com/fastvg/fastvg/internal/physics"
 	"github.com/fastvg/fastvg/internal/sensor"
+	"github.com/fastvg/fastvg/internal/xrand"
 )
 
 // DoubleDotSpec describes a simulated double-dot device and its scan window.
@@ -32,6 +33,50 @@ type DoubleDotSpec struct {
 
 	Noise noise.Params `json:"noise,omitzero"` // zero = noiseless
 	Seed  uint64       `json:"seed,omitempty"` // noise realisation seed
+
+	// LeverDrift, when non-nil, makes the built device's lever arms wander on
+	// the virtual clock (see LeverDrift) — the fleet-calibration workload's
+	// staleness mechanism. Component seeds derive from Seed, so the drift
+	// realisation is as reproducible as the sensor noise.
+	LeverDrift *LeverDriftSpec `json:"leverDrift,omitempty"`
+}
+
+// LeverDriftSpec is the serialisable description of a LeverDrift: one noise
+// model per warp channel. Zero Params leave a channel silent. The shear
+// channels are dimensionless (a ±0.02 shear moves a line by ≈ 2% of the
+// orthogonal voltage), the offset channels are in mV.
+type LeverDriftSpec struct {
+	Shear12 noise.Params `json:"shear12,omitzero"`
+	Shear21 noise.Params `json:"shear21,omitzero"`
+	Offset1 noise.Params `json:"offset1,omitzero"`
+	Offset2 noise.Params `json:"offset2,omitzero"`
+}
+
+// zero reports whether every channel is silent.
+func (l LeverDriftSpec) zero() bool {
+	return l.Shear12 == (noise.Params{}) && l.Shear21 == (noise.Params{}) &&
+		l.Offset1 == (noise.Params{}) && l.Offset2 == (noise.Params{})
+}
+
+// build constructs the LeverDrift with channel seeds derived from seed.
+func (l LeverDriftSpec) build(seed uint64) *LeverDrift {
+	if l.zero() {
+		return nil
+	}
+	d := &LeverDrift{}
+	if l.Shear12 != (noise.Params{}) {
+		d.Shear12 = l.Shear12.Build(xrand.DeriveSeed(seed, 201))
+	}
+	if l.Shear21 != (noise.Params{}) {
+		d.Shear21 = l.Shear21.Build(xrand.DeriveSeed(seed, 202))
+	}
+	if l.Offset1 != (noise.Params{}) {
+		d.Offset1 = l.Offset1.Build(xrand.DeriveSeed(seed, 203))
+	}
+	if l.Offset2 != (noise.Params{}) {
+		d.Offset2 = l.Offset2.Build(xrand.DeriveSeed(seed, 204))
+	}
+	return d
 }
 
 // FillDefaults replaces zero fields with the documented defaults.
@@ -86,6 +131,9 @@ func (s *DoubleDotSpec) Build() (*SimInstrument, csd.Window, error) {
 		Phys:  phys,
 		Sens:  sensor.DefaultDoubleDot(s.Lambda1, s.Lambda2, 2*s.SpanMV),
 		Noise: s.Noise.Build(s.Seed),
+	}
+	if s.LeverDrift != nil {
+		dev.Drift = s.LeverDrift.build(s.Seed)
 	}
 	win := s.Window()
 	inst := NewSimInstrument(dev, DefaultDwell, win.StepV1(), win.StepV2())

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/sched"
+)
+
+// BenchmarkFleetRecalibration measures the fleet calibration loop end to
+// end: a small heterogeneous fleet runs four virtual hours of monitoring and
+// drift-triggered re-extraction per iteration. Beyond ns/op it reports the
+// loop's economics — probes per recalibration (how much a matrix refresh
+// costs through the admission path) and the steady-state staleness the
+// policy holds the fleet at (mean finite device score at the end of the
+// run). scripts/bench.sh collects these into BENCH_fleet.json.
+func BenchmarkFleetRecalibration(b *testing.B) {
+	var (
+		probes   int
+		recals   int
+		staleSum float64
+		staleN   int
+	)
+	for i := 0; i < b.N; i++ {
+		m := New(sched.New(0), Policy{CheckInterval: 1800})
+		cfgs, err := DefaultFleet(8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			if _, err := m.Register(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sum, err := m.Run(context.Background(), 4*3600, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += sum.ProbesSpent
+		recals += sum.Calibrations + sum.Recalibrations + sum.Forced
+		for _, d := range sum.Devices {
+			if d.Calibrated && d.Staleness < LostStaleness {
+				staleSum += d.Staleness
+				staleN++
+			}
+		}
+	}
+	if recals > 0 {
+		b.ReportMetric(float64(probes)/float64(recals), "probes/recal")
+	}
+	if staleN > 0 {
+		b.ReportMetric(staleSum/float64(staleN), "staleness")
+	}
+}

@@ -1,0 +1,898 @@
+// Package fleet closes the calibration loop at fleet scale. A Manager owns
+// many simulated devices whose lever arms wander under drift, 1/f and jump
+// noise (device.LeverDrift), tracks the freshness of each device's extracted
+// virtual-gate matrix with cheap periodic virtualgate.Verify spot-checks on a
+// shared virtual clock, scores staleness against the positions recorded at
+// calibration time, and schedules full re-extractions on the service's worker
+// pool (internal/sched) under a global probe budget — priority is
+// staleness × device weight, with hysteresis (a healthy band plus a
+// per-device cooldown) so healthy devices are never re-tuned.
+//
+// Everything the manager decides is deterministic for fixed device seeds:
+// spot-checks and re-extractions fan out across workers, but each job touches
+// only its own device's instrument, and all cross-device decisions (budget
+// admission, priority order, accounting) happen serially in device-ID order
+// after each phase. A simulated day therefore produces a byte-identical
+// summary at any worker count.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/core"
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// ErrUnknownDevice is returned for operations on an unregistered device ID.
+var ErrUnknownDevice = errors.New("fleet: unknown device")
+
+// LostStaleness is the finite sentinel staleness of a device whose
+// transition lines could not be re-located (or that has never been
+// calibrated): large enough to dominate any real score and any weight, and —
+// unlike +Inf — JSON-encodable.
+const LostStaleness = 1e6
+
+// Policy tunes the fleet calibration loop; the zero value is a reasonable
+// lab-day configuration.
+type Policy struct {
+	// CheckInterval is the virtual time (seconds) between freshness
+	// spot-checks of a calibrated device; default 900 (15 min).
+	CheckInterval float64 `json:"checkInterval,omitempty"`
+	// CheckFracs are the along-line fractions of each spot-check (the
+	// VerifyConfig.AlongFracs); default {0.35, 0.65}.
+	CheckFracs []float64 `json:"checkFracs,omitempty"`
+	// CheckScanFrac is the spot-check scan half-width as a window-span
+	// fraction; default 0.08 — roughly half the extraction-grade scan, since
+	// a spot-check only needs to see a line that has barely moved.
+	CheckScanFrac float64 `json:"checkScanFrac,omitempty"`
+	// MaxShiftFrac is the line-drift tolerance (window-span fraction) that
+	// normalises staleness: a score of 1 means the lines have moved by
+	// exactly the tolerance; default virtualgate.DefaultMaxShiftFrac.
+	MaxShiftFrac float64 `json:"maxShiftFrac,omitempty"`
+	// StaleThreshold is the staleness score at which a device is scheduled
+	// for re-extraction; default 1.
+	StaleThreshold float64 `json:"staleThreshold,omitempty"`
+	// HealthyFrac bounds the hysteresis band: below
+	// HealthyFrac·StaleThreshold a device is "healthy", between the two it
+	// is "watch" (monitored, never re-tuned); default 0.5.
+	HealthyFrac float64 `json:"healthyFrac,omitempty"`
+	// Cooldown is the minimum virtual time (seconds) between recalibration
+	// attempts of one device, the second hysteresis guard; default 1800.
+	Cooldown float64 `json:"cooldown,omitempty"`
+	// Budget caps the probes the whole fleet may spend per BudgetWindow on
+	// monitoring plus recalibration; 0 means unlimited.
+	Budget int `json:"budget,omitempty"`
+	// BudgetWindow is the budget accounting period in virtual seconds;
+	// default 86400 (one day).
+	BudgetWindow float64 `json:"budgetWindow,omitempty"`
+	// CheckReserve and RecalReserve are the probes reserved when admitting a
+	// spot-check / re-extraction against the budget; defaults 80 and 1500.
+	// Admission is by reservation, accounting by actual probes spent — with
+	// reserves at or above the worst observed costs (a spot-check is
+	// geometrically bounded by its scan widths, a 100×100 re-extraction
+	// plus baseline check measures ≈ 1100 probes), a window can never
+	// overspend its budget.
+	CheckReserve int `json:"checkReserve,omitempty"`
+	RecalReserve int `json:"recalReserve,omitempty"`
+	// HistoryCap bounds each device's retained calibration history;
+	// default 256 events.
+	HistoryCap int `json:"historyCap,omitempty"`
+}
+
+func (p *Policy) fillDefaults() {
+	if p.CheckInterval == 0 {
+		p.CheckInterval = 900
+	}
+	if len(p.CheckFracs) == 0 {
+		p.CheckFracs = []float64{0.35, 0.65}
+	}
+	if p.CheckScanFrac == 0 {
+		p.CheckScanFrac = 0.08
+	}
+	if p.MaxShiftFrac == 0 {
+		p.MaxShiftFrac = virtualgate.DefaultMaxShiftFrac
+	}
+	if p.StaleThreshold == 0 {
+		p.StaleThreshold = 1
+	}
+	if p.HealthyFrac == 0 {
+		p.HealthyFrac = 0.5
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = 1800
+	}
+	if p.BudgetWindow == 0 {
+		p.BudgetWindow = 86400
+	}
+	if p.CheckReserve == 0 {
+		p.CheckReserve = 80
+	}
+	if p.RecalReserve == 0 {
+		p.RecalReserve = 1500
+	}
+	if p.HistoryCap == 0 {
+		p.HistoryCap = 256
+	}
+}
+
+// DeviceConfig registers one device with the fleet.
+type DeviceConfig struct {
+	// ID names the device; empty picks dev-NNN in registration order.
+	ID string `json:"id,omitempty"`
+	// Weight scales the device's recalibration priority; default 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Spec describes the simulated device, including its lever-arm drift.
+	Spec device.DoubleDotSpec `json:"spec"`
+}
+
+// Event is one entry of a device's calibration history.
+type Event struct {
+	T    float64 `json:"t"`    // virtual fleet time, seconds
+	Kind string  `json:"kind"` // calibrate | recalibrate | force | check | calibrate-failed
+	// Staleness is the device's score after the event (LostStaleness when
+	// the lines could not be located).
+	Staleness float64 `json:"staleness"`
+	Probes    int     `json:"probes"` // probes the event cost
+	OK        bool    `json:"ok"`
+	A12       float64 `json:"a12,omitempty"` // matrix after (re)calibration events
+	A21       float64 `json:"a21,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// Device states reported by DeviceView.State.
+const (
+	StateUncalibrated = "uncalibrated"
+	StateHealthy      = "healthy"
+	StateWatch        = "watch" // inside the hysteresis band: monitored, not re-tuned
+	StateStale        = "stale"
+	StateLost         = "lost" // spot-check could not re-locate the lines
+)
+
+// DeviceView is a serialisable device snapshot.
+type DeviceView struct {
+	ID             string  `json:"id"`
+	Weight         float64 `json:"weight"`
+	State          string  `json:"state"`
+	Calibrated     bool    `json:"calibrated"`
+	Staleness      float64 `json:"staleness"`
+	MaxStaleness   float64 `json:"maxStaleness"` // worst finite score ever observed
+	Checks         int     `json:"checks"`
+	Calibrations   int     `json:"calibrations"` // successful extractions, initial included
+	Forced         int     `json:"forced"`
+	FailedCals     int     `json:"failedCals"`
+	LostEvents     int     `json:"lostEvents"`
+	Probes         int     `json:"probes"` // total probes spent on this device
+	LastCalT       float64 `json:"lastCalT"`
+	LastCheckT     float64 `json:"lastCheckT"`
+	A12            float64 `json:"a12"`
+	A21            float64 `json:"a21"`
+	SteepSlope     float64 `json:"steepSlope"`
+	ShallowSlope   float64 `json:"shallowSlope"`
+	BudgetDeferred int     `json:"budgetDeferred"` // recals deferred for budget
+}
+
+// Status is a fleet-wide snapshot.
+type Status struct {
+	Now             float64      `json:"now"` // virtual fleet time, seconds
+	DeviceCount     int          `json:"deviceCount"`
+	Budget          int          `json:"budget"`
+	BudgetWindowS   float64      `json:"budgetWindowS"`
+	BudgetUsed      int          `json:"budgetUsed"` // in the current window
+	Checks          int          `json:"checks"`
+	Calibrations    int          `json:"calibrations"`
+	Recalibrations  int          `json:"recalibrations"`
+	Forced          int          `json:"forced"`
+	FailedCals      int          `json:"failedCals"`
+	LostEvents      int          `json:"lostEvents"`
+	ProbesSpent     int          `json:"probesSpent"`
+	MaxWindowProbes int          `json:"maxWindowProbes"`
+	SkippedBudget   int          `json:"skippedBudget"` // admissions deferred for budget
+	WorstStaleness  float64      `json:"worstStaleness"`
+	Devices         []DeviceView `json:"devices"`
+}
+
+// TickReport summarises one Tick.
+type TickReport struct {
+	Now           float64  `json:"now"`
+	Checked       []string `json:"checked,omitempty"`
+	Recalibrated  []string `json:"recalibrated,omitempty"`
+	CheckProbes   int      `json:"checkProbes"`
+	RecalProbes   int      `json:"recalProbes"`
+	SkippedBudget int      `json:"skippedBudget"`
+}
+
+// dev is the manager's per-device record. mu serialises instrument access
+// and guards every mutable field; the manager's scheduling loops only read
+// or write a device while holding it.
+type dev struct {
+	id     string
+	weight float64
+	spec   device.DoubleDotSpec
+
+	mu   sync.Mutex
+	inst *device.SimInstrument
+	win  csd.Window
+
+	hasCal         bool
+	matrix         virtualgate.Mat2
+	kneeV1, kneeV2 float64
+	steep, shallow float64
+	baseSteep      []float64 // verify positions recorded at calibration
+	baseShallow    []float64
+
+	score  float64 // current staleness (LostStaleness when lines lost / uncalibrated)
+	scoreT float64 // virtual time the score was measured
+	lost   bool
+
+	lastCalT     float64
+	lastAttemptT float64
+	lastCheckT   float64
+	attempts     int
+
+	maxFinite      float64
+	checks         int
+	calibrations   int
+	forced         int
+	failedCals     int
+	lostEvents     int
+	probes         int
+	budgetDeferred int
+	history        []Event
+
+	// per-phase scratch, written by the device's own pool job and read back
+	// after the barrier
+	phaseProbes int
+	phaseErr    error
+}
+
+// Manager owns the fleet.
+type Manager struct {
+	pool *sched.Pool
+	pol  Policy
+
+	mu      sync.Mutex // guards the registry and fleet-wide accounting
+	devices map[string]*dev
+	order   []string // sorted device IDs
+	nextID  int
+
+	now         float64
+	windowStart float64
+	budgetUsed  int
+
+	checks          int
+	calibrations    int
+	recalibrations  int
+	forced          int
+	failedCals      int
+	lostEvents      int
+	probesSpent     int
+	maxWindowProbes int
+	skippedBudget   int
+	worstStaleness  float64
+
+	tickMu sync.Mutex // serialises Tick/Run: there is one virtual clock
+}
+
+// New builds a fleet manager scheduling its measurement work on pool —
+// normally the extraction service's own worker pool, so fleet recalibration
+// traffic and interactive jobs share the same bounded slots.
+func New(pool *sched.Pool, pol Policy) *Manager {
+	pol.fillDefaults()
+	return &Manager{
+		pool:    pool,
+		pol:     pol,
+		devices: make(map[string]*dev),
+	}
+}
+
+// Policy returns the manager's filled-in policy.
+func (m *Manager) Policy() Policy { return m.pol }
+
+// Now returns the virtual fleet time in seconds.
+func (m *Manager) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// DeviceCount returns the number of registered devices without touching any
+// device's state — cheap enough for liveness probes even while calibrations
+// hold device locks.
+func (m *Manager) DeviceCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// Register adds a device to the fleet. The device starts uncalibrated with
+// sentinel staleness, so the next Tick schedules its initial extraction
+// (budget permitting).
+func (m *Manager) Register(cfg DeviceConfig) (DeviceView, error) {
+	if cfg.Weight < 0 {
+		return DeviceView{}, errors.New("fleet: negative device weight")
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	inst, win, err := cfg.Spec.Build()
+	if err != nil {
+		return DeviceView{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := cfg.ID
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("dev-%03d", m.nextID)
+	}
+	if _, dup := m.devices[id]; dup {
+		return DeviceView{}, fmt.Errorf("fleet: device %q already registered", id)
+	}
+	d := &dev{
+		id:     id,
+		weight: cfg.Weight,
+		spec:   cfg.Spec,
+		inst:   inst,
+		win:    win,
+		score:  LostStaleness,
+	}
+	// Keep the instrument clock aligned with the fleet clock for devices
+	// registered mid-run.
+	d.inst.Advance(time.Duration(m.now * float64(time.Second)))
+	m.devices[id] = d
+	m.order = append(m.order, id)
+	sort.Strings(m.order)
+	return d.view(m.pol), nil
+}
+
+// Device returns a snapshot of one device.
+func (m *Manager) Device(id string) (DeviceView, bool) {
+	m.mu.Lock()
+	d, ok := m.devices[id]
+	m.mu.Unlock()
+	if !ok {
+		return DeviceView{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.view(m.pol), true
+}
+
+// History returns a device's calibration history, oldest first.
+func (m *Manager) History(id string) ([]Event, bool) {
+	m.mu.Lock()
+	d, ok := m.devices[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Event(nil), d.history...), true
+}
+
+// Status returns a fleet-wide snapshot with devices in ID order.
+func (m *Manager) Status() Status {
+	m.mu.Lock()
+	st := Status{
+		Now:             m.now,
+		DeviceCount:     len(m.order),
+		Budget:          m.pol.Budget,
+		BudgetWindowS:   m.pol.BudgetWindow,
+		BudgetUsed:      m.budgetUsed,
+		Checks:          m.checks,
+		Calibrations:    m.calibrations,
+		Recalibrations:  m.recalibrations,
+		Forced:          m.forced,
+		FailedCals:      m.failedCals,
+		LostEvents:      m.lostEvents,
+		ProbesSpent:     m.probesSpent,
+		MaxWindowProbes: m.maxWindowProbes,
+		SkippedBudget:   m.skippedBudget,
+		WorstStaleness:  m.worstStaleness,
+	}
+	devs := m.snapshot()
+	m.mu.Unlock()
+	for _, d := range devs {
+		d.mu.Lock()
+		st.Devices = append(st.Devices, d.view(m.pol))
+		d.mu.Unlock()
+	}
+	return st
+}
+
+// snapshot returns the devices in ID order; callers hold m.mu.
+func (m *Manager) snapshot() []*dev {
+	out := make([]*dev, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.devices[id])
+	}
+	return out
+}
+
+// view renders the device; callers hold d.mu.
+func (d *dev) view(pol Policy) DeviceView {
+	v := DeviceView{
+		ID:             d.id,
+		Weight:         d.weight,
+		State:          d.state(pol),
+		Calibrated:     d.hasCal,
+		Staleness:      d.score,
+		MaxStaleness:   d.maxFinite,
+		Checks:         d.checks,
+		Calibrations:   d.calibrations,
+		Forced:         d.forced,
+		FailedCals:     d.failedCals,
+		LostEvents:     d.lostEvents,
+		Probes:         d.probes,
+		LastCalT:       d.lastCalT,
+		LastCheckT:     d.lastCheckT,
+		BudgetDeferred: d.budgetDeferred,
+	}
+	if d.hasCal {
+		v.A12, v.A21 = d.matrix.A12(), d.matrix.A21()
+		v.SteepSlope, v.ShallowSlope = d.steep, d.shallow
+	}
+	return v
+}
+
+// state classifies the device against the hysteresis band; callers hold d.mu.
+func (d *dev) state(pol Policy) string {
+	switch {
+	case !d.hasCal:
+		return StateUncalibrated
+	case d.lost:
+		return StateLost
+	case d.score >= pol.StaleThreshold:
+		return StateStale
+	case d.score >= pol.HealthyFrac*pol.StaleThreshold:
+		return StateWatch
+	default:
+		return StateHealthy
+	}
+}
+
+// checkConfig is the spot-check VerifyConfig.
+func (m *Manager) checkConfig() virtualgate.VerifyConfig {
+	return virtualgate.VerifyConfig{
+		AlongFracs:   m.pol.CheckFracs,
+		ScanFrac:     m.pol.CheckScanFrac,
+		MaxShiftFrac: m.pol.MaxShiftFrac,
+	}
+}
+
+// Tick advances the virtual fleet clock by dt seconds and runs one
+// monitoring round: freshness spot-checks for calibrated devices whose check
+// interval elapsed, then budget-admitted re-extractions for stale devices in
+// priority order. Ticks are serialised; concurrent Status/Register calls
+// interleave safely.
+func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
+	if dt <= 0 {
+		return TickReport{}, errors.New("fleet: tick duration must be positive")
+	}
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+
+	m.mu.Lock()
+	m.now += dt
+	// Roll the budget window. The tick landing exactly on the boundary still
+	// belongs to the closing window (it covers the virtual time up to it).
+	for m.pol.Budget > 0 && m.now-m.windowStart > m.pol.BudgetWindow {
+		m.windowStart += m.pol.BudgetWindow
+		if m.budgetUsed > m.maxWindowProbes {
+			m.maxWindowProbes = m.budgetUsed
+		}
+		m.budgetUsed = 0
+	}
+	now := m.now
+	devs := m.snapshot()
+	m.mu.Unlock()
+
+	rep := TickReport{Now: now}
+
+	// Budget admission is by reservation: each admitted operation holds its
+	// reserve until the phase's actual probes are accounted, so one phase
+	// can never admit more work than the window's remaining headroom.
+	reserved := 0
+	admit := func(reserve int) bool {
+		if m.pol.Budget <= 0 {
+			return true
+		}
+		m.mu.Lock()
+		ok := m.budgetUsed+reserved+reserve <= m.pol.Budget
+		m.mu.Unlock()
+		if ok {
+			reserved += reserve
+		}
+		return ok
+	}
+
+	// Idle time passes on every device's instrument clock, drifting its
+	// lever arms and opening a fresh measurement epoch.
+	for _, d := range devs {
+		d.mu.Lock()
+		d.inst.Advance(time.Duration(dt * float64(time.Second)))
+		d.mu.Unlock()
+	}
+
+	// Phase 1: spot-checks, admitted in ID order under the budget.
+	var due []*dev
+	for _, d := range devs {
+		d.mu.Lock()
+		if d.hasCal && now-d.lastCheckT >= m.pol.CheckInterval {
+			if admit(m.pol.CheckReserve) {
+				d.phaseProbes = 0 // jobs that never run must account as zero
+				due = append(due, d)
+			} else {
+				rep.SkippedBudget++
+			}
+		}
+		d.mu.Unlock()
+	}
+	checkErr := m.pool.Map(ctx, len(due), func(jctx context.Context, i int) error {
+		return m.checkDevice(jctx, due[i], now)
+	})
+	// Account even when the phase was interrupted: Map waits for every job,
+	// so probes recorded in the scratch fields were really spent.
+	for _, d := range due {
+		d.mu.Lock()
+		rep.Checked = append(rep.Checked, d.id)
+		rep.CheckProbes += d.phaseProbes
+		d.mu.Unlock()
+	}
+	m.account(rep.CheckProbes)
+	reserved = 0 // check reservations became actuals above
+	if checkErr != nil {
+		return rep, checkErr
+	}
+
+	// Phase 2: re-extraction of stale devices, highest priority first.
+	type cand struct {
+		d        *dev
+		priority float64
+	}
+	var cands []cand
+	for _, d := range devs {
+		d.mu.Lock()
+		if m.eligible(d, now) {
+			cands = append(cands, cand{d, d.score * d.weight})
+		}
+		d.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].priority != cands[j].priority {
+			return cands[i].priority > cands[j].priority
+		}
+		return cands[i].d.id < cands[j].d.id
+	})
+	var admitted []*dev
+	for _, c := range cands {
+		if admit(m.pol.RecalReserve) {
+			c.d.mu.Lock()
+			c.d.phaseProbes = 0
+			c.d.mu.Unlock()
+			admitted = append(admitted, c.d)
+		} else {
+			rep.SkippedBudget++
+			c.d.mu.Lock()
+			c.d.budgetDeferred++
+			c.d.mu.Unlock()
+		}
+	}
+	recalErr := m.pool.Map(ctx, len(admitted), func(jctx context.Context, i int) error {
+		return m.calibrateDevice(jctx, admitted[i], now, false)
+	})
+	// Account in ID order so fleet totals are scheduling-independent, and
+	// even when interrupted — completed jobs' probes were really spent.
+	sort.Slice(admitted, func(i, j int) bool { return admitted[i].id < admitted[j].id })
+	for _, d := range admitted {
+		d.mu.Lock()
+		rep.Recalibrated = append(rep.Recalibrated, d.id)
+		rep.RecalProbes += d.phaseProbes
+		d.mu.Unlock()
+	}
+	m.account(rep.RecalProbes)
+
+	m.mu.Lock()
+	m.skippedBudget += rep.SkippedBudget
+	m.mu.Unlock()
+	return rep, recalErr
+}
+
+// account charges actually-spent probes to the window and fleet totals.
+func (m *Manager) account(probes int) {
+	if probes == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.budgetUsed += probes
+	if m.budgetUsed > m.maxWindowProbes {
+		m.maxWindowProbes = m.budgetUsed
+	}
+	m.probesSpent += probes
+	m.mu.Unlock()
+}
+
+// eligible decides whether a device is a recalibration candidate; callers
+// hold d.mu. Hysteresis: a calibrated device must (a) have crossed the
+// staleness threshold, (b) on evidence measured after its last calibration —
+// never on a stale score — and (c) be out of its cooldown.
+func (m *Manager) eligible(d *dev, now float64) bool {
+	if !d.hasCal {
+		return d.attempts == 0 || now-d.lastAttemptT >= m.pol.Cooldown
+	}
+	if d.score < m.pol.StaleThreshold {
+		return false
+	}
+	if d.scoreT <= d.lastCalT {
+		return false
+	}
+	return now-d.lastAttemptT >= m.pol.Cooldown
+}
+
+// checkDevice runs one freshness spot-check.
+func (m *Manager) checkDevice(ctx context.Context, d *dev, now float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	before := d.inst.Stats().UniqueProbes
+	vr, err := virtualgate.Verify(ctx, d.inst, d.win, d.matrix, d.kneeV1, d.kneeV2, m.checkConfig())
+	probes := d.inst.Stats().UniqueProbes - before
+	d.phaseProbes = probes
+	d.probes += probes
+	d.checks++
+	d.lastCheckT = now
+	if err != nil {
+		if !errors.Is(err, virtualgate.ErrVerify) {
+			return err // cancellation or instrument fault: abort the tick
+		}
+		// Lines lost: the matrix (or the knee it is anchored to) is so stale
+		// the short scans miss the transitions entirely.
+		d.lost = true
+		d.score = LostStaleness
+		d.scoreT = now
+		d.lostEvents++
+		d.pushEvent(m.pol, Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, Err: err.Error()})
+		m.bumpLost()
+		return nil
+	}
+	d.lost = false
+	d.score = m.scoreResult(d, vr)
+	d.scoreT = now
+	if d.score > d.maxFinite {
+		d.maxFinite = d.score
+	}
+	d.pushEvent(m.pol, Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, OK: d.score < m.pol.StaleThreshold})
+	m.bumpCheck(d.score)
+	return nil
+}
+
+// scoreResult turns a verify outcome into a staleness score; callers hold
+// d.mu. Two signals, both normalised so 1.0 sits at the drift tolerance:
+// the spread of each line across the along-positions (matrix error — a wrong
+// matrix makes the line appear to move under virtual stepping) and the shift
+// of each re-located position against the baseline recorded at calibration
+// (the line itself moved: lever-arm drift or a charge jump).
+func (m *Manager) scoreResult(d *dev, vr *virtualgate.VerifyResult) float64 {
+	tol1 := m.pol.MaxShiftFrac * (d.win.V1Max - d.win.V1Min)
+	tol2 := m.pol.MaxShiftFrac * (d.win.V2Max - d.win.V2Min)
+	score := math.Max(vr.SteepShift/tol1, vr.ShallowShift/tol2)
+	for i, p := range vr.SteepPositions {
+		if i < len(d.baseSteep) {
+			score = math.Max(score, math.Abs(p-d.baseSteep[i])/tol1)
+		}
+	}
+	for i, p := range vr.ShallowPositions {
+		if i < len(d.baseShallow) {
+			score = math.Max(score, math.Abs(p-d.baseShallow[i])/tol2)
+		}
+	}
+	return score
+}
+
+// calibrateDevice runs a full extraction (and a baseline spot-check) on one
+// device.
+func (m *Manager) calibrateDevice(ctx context.Context, d *dev, now float64, force bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	first := !d.hasCal
+	before := d.inst.Stats().UniqueProbes
+	src := csd.PixelSource{Src: d.inst, Win: d.win}
+	cr, err := core.Extract(src, d.win, core.Config{})
+	if err != nil {
+		probes := d.inst.Stats().UniqueProbes - before
+		d.phaseProbes = probes
+		d.probes += probes
+		d.attempts++
+		d.lastAttemptT = now
+		d.failedCals++
+		d.pushEvent(m.pol, Event{T: now, Kind: "calibrate-failed", Staleness: d.score, Probes: probes, Err: err.Error()})
+		m.bumpFailed()
+		return nil
+	}
+	d.matrix = cr.Matrix
+	d.steep, d.shallow = cr.SteepSlope, cr.ShallowSlope
+	d.kneeV1, d.kneeV2 = cr.TriplePointVoltage(d.win)
+	d.hasCal = true
+	d.lost = false
+	d.attempts++
+	d.calibrations++
+	d.lastCalT = now
+	d.lastAttemptT = now
+
+	// Record the freshness baseline: the line positions a healthy device
+	// reproduces, measured with the same scan geometry the spot-checks use.
+	kind := "recalibrate"
+	if first {
+		kind = "calibrate"
+	}
+	if force {
+		kind = "force"
+		d.forced++
+	}
+	ev := Event{T: now, Kind: kind, A12: d.matrix.A12(), A21: d.matrix.A21()}
+	vr, verr := virtualgate.Verify(ctx, d.inst, d.win, d.matrix, d.kneeV1, d.kneeV2, m.checkConfig())
+	if verr != nil {
+		if !errors.Is(verr, virtualgate.ErrVerify) {
+			return verr
+		}
+		// Extraction succeeded but the check scans cannot see the lines —
+		// keep the sentinel so the device stays first in line.
+		d.baseSteep, d.baseShallow = nil, nil
+		d.lost = true
+		d.score = LostStaleness
+		d.lostEvents++
+		ev.Err = verr.Error()
+	} else {
+		d.baseSteep = append([]float64(nil), vr.SteepPositions...)
+		d.baseShallow = append([]float64(nil), vr.ShallowPositions...)
+		// Against the just-recorded baseline the shift terms are zero, so
+		// this is exactly the spread (matrix-error) score.
+		d.score = m.scoreResult(d, vr)
+		if d.score > d.maxFinite {
+			d.maxFinite = d.score
+		}
+		ev.OK = d.score < m.pol.StaleThreshold
+	}
+	d.scoreT = now
+	// The baseline verify just measured the lines: the next periodic
+	// spot-check is due a full interval from now, not from the last one.
+	d.lastCheckT = now
+	probes := d.inst.Stats().UniqueProbes - before
+	d.phaseProbes = probes
+	d.probes += probes
+	ev.Staleness = d.score
+	ev.Probes = probes
+	d.pushEvent(m.pol, ev)
+	m.bumpCalibration(first, force)
+	return nil
+}
+
+// pushEvent appends to the bounded history; callers hold d.mu.
+func (d *dev) pushEvent(pol Policy, ev Event) {
+	d.history = append(d.history, ev)
+	if over := len(d.history) - pol.HistoryCap; over > 0 {
+		d.history = append(d.history[:0], d.history[over:]...)
+	}
+}
+
+func (m *Manager) bumpCheck(score float64) {
+	m.mu.Lock()
+	m.checks++
+	if score > m.worstStaleness && score < LostStaleness {
+		m.worstStaleness = score
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) bumpLost() {
+	m.mu.Lock()
+	m.checks++
+	m.lostEvents++
+	m.mu.Unlock()
+}
+
+func (m *Manager) bumpFailed() {
+	m.mu.Lock()
+	m.failedCals++
+	m.mu.Unlock()
+}
+
+func (m *Manager) bumpCalibration(first, force bool) {
+	m.mu.Lock()
+	switch {
+	case force:
+		m.forced++
+	case first:
+		m.calibrations++
+	default:
+		m.recalibrations++
+	}
+	m.mu.Unlock()
+}
+
+// ForceRecalibrate runs a full re-extraction of one device immediately on
+// the worker pool, bypassing staleness, hysteresis and budget admission (the
+// probes still count against the window). It returns the resulting history
+// event. Forces serialise with Tick, so the tick phases' per-device scratch
+// accounting is never interleaved.
+func (m *Manager) ForceRecalibrate(ctx context.Context, id string) (Event, error) {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	m.mu.Lock()
+	d, ok := m.devices[id]
+	now := m.now
+	m.mu.Unlock()
+	if !ok {
+		return Event{}, fmt.Errorf("%w %q", ErrUnknownDevice, id)
+	}
+	d.mu.Lock()
+	d.phaseProbes = 0
+	d.mu.Unlock()
+	_, err := m.pool.Submit(ctx, func(jctx context.Context) (any, error) {
+		return nil, m.calibrateDevice(jctx, d, now, true)
+	}).Wait()
+	if err != nil {
+		return Event{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m.account(d.phaseProbes)
+	if len(d.history) == 0 {
+		return Event{}, errors.New("fleet: no event recorded")
+	}
+	return d.history[len(d.history)-1], nil
+}
+
+// Summary is the outcome of a simulated run (cmd/vgxfleet's deliverable):
+// the final Status plus run parameters. It is deterministic for fixed device
+// seeds — byte-identical JSON across runs and worker counts.
+type Summary struct {
+	VirtualS float64 `json:"virtualS"`
+	TickS    float64 `json:"tickS"`
+	Ticks    int     `json:"ticks"`
+	Status
+}
+
+// Summarize packages the fleet's current Status as the summary of a run of
+// the given tick count and length.
+func (m *Manager) Summarize(ticks int, dt float64) *Summary {
+	return &Summary{
+		VirtualS: float64(ticks) * dt,
+		TickS:    dt,
+		Ticks:    ticks,
+		Status:   m.Status(),
+	}
+}
+
+// NumTicks returns how many dt-second ticks cover total virtual seconds.
+func NumTicks(total, dt float64) int {
+	return int(math.Ceil(total / dt))
+}
+
+// Run advances the fleet through total virtual seconds in dt-second ticks
+// and returns the summary. Devices registered before Run are initially
+// calibrated by the first ticks (budget permitting).
+func (m *Manager) Run(ctx context.Context, total, dt float64) (*Summary, error) {
+	if total <= 0 || dt <= 0 {
+		return nil, errors.New("fleet: run and tick durations must be positive")
+	}
+	ticks := NumTicks(total, dt)
+	for i := 0; i < ticks; i++ {
+		if _, err := m.Tick(ctx, dt); err != nil {
+			return nil, err
+		}
+	}
+	return m.Summarize(ticks, dt), nil
+}

@@ -1,0 +1,299 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+// driftSeed is the fixed realisation every test below uses: the drift
+// trajectories, and therefore every staleness score and scheduling decision,
+// are fully determined by it.
+const driftSeed = 1
+
+func wanderingSpec(t *testing.T, i int) DeviceConfig {
+	t.Helper()
+	spec, err := ProfileSpec(ProfileWandering, xrand.DeriveSeed(driftSeed, i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DeviceConfig{ID: "wander", Weight: 2, Spec: spec}
+}
+
+func quietSpec(t *testing.T, i int) DeviceConfig {
+	t.Helper()
+	spec, err := ProfileSpec(ProfileQuiet, xrand.DeriveSeed(driftSeed, i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DeviceConfig{ID: "quiet", Spec: spec}
+}
+
+// runTicks advances the manager n ticks of dt seconds.
+func runTicks(t *testing.T, m *Manager, n int, dt float64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := m.Tick(context.Background(), dt); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+}
+
+// TestStalenessScoring is the deterministic-drift staleness test: a
+// wandering device's score must rise from its calibration baseline, cross
+// the threshold and trigger recalibration, while a quiet device stays in the
+// healthy band and is never re-tuned.
+func TestStalenessScoring(t *testing.T) {
+	m := New(sched.New(2), Policy{CheckInterval: 1800})
+	for _, cfg := range []DeviceConfig{wanderingSpec(t, 2), quietSpec(t, 0)} {
+		if _, err := m.Register(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runTicks(t, m, 72, 300) // six virtual hours
+
+	quiet, ok := m.Device("quiet")
+	if !ok {
+		t.Fatal("quiet device missing")
+	}
+	if quiet.Calibrations != 1 {
+		t.Errorf("quiet device re-tuned: %d calibrations, want exactly the initial one", quiet.Calibrations)
+	}
+	if quiet.State != StateHealthy {
+		t.Errorf("quiet device state = %q, want healthy", quiet.State)
+	}
+	if quiet.MaxStaleness >= 1 {
+		t.Errorf("quiet device max staleness = %v, want < threshold", quiet.MaxStaleness)
+	}
+	if quiet.Checks == 0 {
+		t.Error("quiet device was never spot-checked")
+	}
+
+	wander, ok := m.Device("wander")
+	if !ok {
+		t.Fatal("wandering device missing")
+	}
+	if wander.MaxStaleness < 1 {
+		t.Fatalf("wandering device max staleness = %v, want >= threshold (drift too weak for the test)", wander.MaxStaleness)
+	}
+	if wander.Calibrations < 2 {
+		t.Errorf("wandering device calibrations = %d, want initial + at least one recalibration", wander.Calibrations)
+	}
+
+	// The history must show the causal pattern: a failing check (score past
+	// threshold) followed by a recalibration that brought the score down.
+	evs, ok := m.History("wander")
+	if !ok || len(evs) == 0 {
+		t.Fatal("no wandering history")
+	}
+	sawTrigger := false
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Kind == "check" && !evs[i-1].OK && evs[i].Kind == "recalibrate" &&
+			evs[i].T == evs[i-1].T && evs[i].Staleness < evs[i-1].Staleness {
+			sawTrigger = true
+			break
+		}
+	}
+	if !sawTrigger {
+		t.Error("no failing check followed by a same-tick recalibration in the history")
+	}
+}
+
+// TestBudgetAdmission checks the global probe budget gates work: with room
+// for only part of the fleet, admissions are deferred (never dropped) and
+// the window is never overspent; rolling into the next window serves the
+// deferred devices.
+func TestBudgetAdmission(t *testing.T) {
+	pol := Policy{
+		CheckInterval: 1800,
+		Budget:        3200, // two initial calibrations per window at the 1500 reserve
+		BudgetWindow:  7200,
+	}
+	m := New(sched.New(4), pol)
+	for i := 0; i < 4; i++ {
+		cfg := quietSpec(t, i)
+		cfg.ID = []string{"a", "b", "c", "d"}[i]
+		if _, err := m.Register(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.Tick(context.Background(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recalibrated) != 2 {
+		t.Fatalf("first tick calibrated %v, want exactly 2 under the budget", rep.Recalibrated)
+	}
+	if rep.SkippedBudget != 2 {
+		t.Errorf("skipped = %d, want 2", rep.SkippedBudget)
+	}
+	st := m.Status()
+	if st.BudgetUsed > pol.Budget || st.MaxWindowProbes > pol.Budget {
+		t.Errorf("window overspent: used %d, max %d, budget %d", st.BudgetUsed, st.MaxWindowProbes, pol.Budget)
+	}
+	if st.Calibrations != 2 {
+		t.Errorf("calibrations = %d, want 2", st.Calibrations)
+	}
+
+	// Advancing into the next budget window serves the deferred devices.
+	runTicks(t, m, 25, 300)
+	st = m.Status()
+	if st.Calibrations != 4 {
+		t.Errorf("calibrations after window roll = %d, want all 4", st.Calibrations)
+	}
+	if st.MaxWindowProbes > pol.Budget {
+		t.Errorf("a window overspent: max %d > budget %d", st.MaxWindowProbes, pol.Budget)
+	}
+	for _, d := range st.Devices {
+		if !d.Calibrated {
+			t.Errorf("device %s still uncalibrated after window roll", d.ID)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers runs the same fleet day on 1 and 8 workers
+// and requires byte-identical status JSON: scheduling must never leak into
+// results.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		m := New(sched.New(workers), Policy{CheckInterval: 1800})
+		cfgs, err := DefaultFleet(6, driftSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			if _, err := m.Register(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := m.Run(context.Background(), 4*3600, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(1)
+	eight := run(8)
+	if string(one) != string(eight) {
+		t.Errorf("summary differs between 1 and 8 workers:\n%s\n%s", one, eight)
+	}
+}
+
+// TestHysteresis checks both guards: a device inside the watch band is
+// monitored but never re-tuned, and the cooldown blocks back-to-back
+// recalibrations even when the score stays past the threshold.
+func TestHysteresis(t *testing.T) {
+	// An enormous cooldown: after the initial calibration the wandering
+	// device may cross the threshold at will — nothing further may run.
+	m := New(sched.New(2), Policy{CheckInterval: 1800, Cooldown: 1e9})
+	if _, err := m.Register(wanderingSpec(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, m, 72, 300)
+	d, _ := m.Device("wander")
+	if d.Calibrations != 1 {
+		t.Errorf("calibrations = %d, want 1 under an infinite cooldown", d.Calibrations)
+	}
+	if d.MaxStaleness < 1 {
+		t.Errorf("device never crossed the threshold (max %v); the cooldown was not exercised", d.MaxStaleness)
+	}
+
+	// A healthy-band device: scores must stay sub-threshold and cause no
+	// recalibration even with a zero-length cooldown... which fillDefaults
+	// maps to the default; use a tiny one instead.
+	m2 := New(sched.New(2), Policy{CheckInterval: 1800, Cooldown: 1})
+	if _, err := m2.Register(quietSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, m2, 72, 300)
+	q, _ := m2.Device("quiet")
+	if q.Calibrations != 1 {
+		t.Errorf("healthy device re-tuned %d times with a 1 s cooldown", q.Calibrations-1)
+	}
+}
+
+// TestForceRecalibrate covers the operator override and the history
+// endpoint.
+func TestForceRecalibrate(t *testing.T) {
+	m := New(sched.New(2), Policy{})
+	if _, err := m.Register(quietSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.ForceRecalibrate(context.Background(), "quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "force" {
+		t.Errorf("event kind = %q, want force", ev.Kind)
+	}
+	if ev.Probes <= 0 {
+		t.Errorf("forced recalibration cost %d probes", ev.Probes)
+	}
+	d, _ := m.Device("quiet")
+	if !d.Calibrated || d.Forced != 1 {
+		t.Errorf("device after force: calibrated=%v forced=%d", d.Calibrated, d.Forced)
+	}
+	st := m.Status()
+	if st.ProbesSpent != ev.Probes {
+		t.Errorf("fleet probes %d, want the forced event's %d", st.ProbesSpent, ev.Probes)
+	}
+	if _, err := m.ForceRecalibrate(context.Background(), "nope"); err == nil {
+		t.Error("forcing an unknown device succeeded")
+	}
+	evs, ok := m.History("quiet")
+	if !ok || len(evs) != 1 || evs[0].Kind != "force" {
+		t.Errorf("history = %v, want the single force event", evs)
+	}
+}
+
+// TestRegisterValidation covers the registry error paths and ID assignment.
+func TestRegisterValidation(t *testing.T) {
+	m := New(sched.New(1), Policy{})
+	cfg := quietSpec(t, 0)
+	if _, err := m.Register(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(cfg); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate ID err = %v", err)
+	}
+	cfg.ID = ""
+	cfg.Weight = -1
+	if _, err := m.Register(cfg); err == nil {
+		t.Error("negative weight accepted")
+	}
+	cfg.Weight = 0
+	v, err := m.Register(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "dev-001" || v.Weight != 1 {
+		t.Errorf("auto-registered view = %+v, want dev-001 with weight 1", v)
+	}
+}
+
+// TestTickValidation covers tick argument and cancellation handling.
+func TestTickValidation(t *testing.T) {
+	m := New(sched.New(1), Policy{})
+	if _, err := m.Tick(context.Background(), 0); err == nil {
+		t.Error("zero-length tick accepted")
+	}
+	if _, err := m.Register(quietSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Tick(ctx, 300); err == nil {
+		t.Error("tick on a cancelled context succeeded")
+	}
+	if _, err := m.Run(context.Background(), 0, 300); err == nil {
+		t.Error("zero-length run accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+// The canonical fleet device profiles, from best- to worst-behaved. A real
+// lab's device distribution is heterogeneous — most devices sit still, a few
+// wander continuously, and a few jump — and the calibration scheduler's job
+// is to spend the probe budget on the misbehaving tail.
+const (
+	// ProfileQuiet devices barely move: weak white noise, no lever drift.
+	ProfileQuiet = "quiet"
+	// ProfileStandard devices carry typical 1/f sensor noise and a slow
+	// lever-arm wander that usually stays inside the hysteresis band.
+	ProfileStandard = "standard"
+	// ProfileWandering devices have strongly drifting lever arms (1/f plus a
+	// linear ramp on the cross couplings): their matrices go stale within
+	// hours and dominate the recalibration traffic.
+	ProfileWandering = "wandering"
+	// ProfileJumpy devices suffer charge rearrangements: persistent
+	// operating-point jumps that translate the honeycomb, occasionally far
+	// enough that the spot-check loses the lines entirely.
+	ProfileJumpy = "jumpy"
+)
+
+// Profiles lists the canonical profiles in scheduling-pressure order.
+func Profiles() []string {
+	return []string{ProfileQuiet, ProfileStandard, ProfileWandering, ProfileJumpy}
+}
+
+// profileWeight is the default device weight per profile — the operator
+// cares most about the devices that drift.
+func profileWeight(profile string) float64 {
+	switch profile {
+	case ProfileWandering:
+		return 2
+	case ProfileJumpy:
+		return 1.5
+	default:
+		return 1
+	}
+}
+
+// ProfileSpec builds a DoubleDotSpec for one canonical profile, with device
+// geometry varied deterministically from seed so no two fleet members are
+// identical.
+func ProfileSpec(profile string, seed uint64) (device.DoubleDotSpec, error) {
+	rng := xrand.New(seed)
+	spec := device.DoubleDotSpec{
+		SteepSlope:   -6.5 - 3*rng.Float64(),
+		ShallowSlope: -0.08 - 0.08*rng.Float64(),
+		CrossXFrac:   0.62 + 0.1*rng.Float64(),
+		CrossYFrac:   0.58 + 0.1*rng.Float64(),
+		Lambda1:      0.44 + 0.06*rng.Float64(),
+		Lambda2:      0.42 + 0.06*rng.Float64(),
+		Seed:         seed,
+	}
+	switch profile {
+	case ProfileQuiet:
+		spec.Noise = noise.PresetQuiet()
+	case ProfileStandard:
+		spec.Noise = noise.PresetStandard()
+		spec.LeverDrift = &device.LeverDriftSpec{
+			Shear21: noise.Params{PinkAmp: 0.008, PinkFMin: 1e-5, PinkFMax: 0.01},
+		}
+	case ProfileWandering:
+		// The wander is bounded (1/f plus a sinusoidal excursion), not a
+		// runaway ramp: lever arms breathe with temperature and charge
+		// rearrangements but stay near their fabrication values, so the
+		// device keeps crossing the staleness threshold all day while
+		// remaining recalibratable inside its original scan window.
+		spec.Noise = noise.PresetStandard()
+		spec.LeverDrift = &device.LeverDriftSpec{
+			Shear21: noise.Params{PinkAmp: 0.02, PinkFMin: 1e-5, PinkFMax: 0.01, DriftAmp: 0.06, DriftPeriod: 28800},
+			Shear12: noise.Params{PinkAmp: 0.01, PinkFMin: 1e-5, PinkFMax: 0.01},
+		}
+	case ProfileJumpy:
+		spec.Noise = noise.PresetUnstable()
+		spec.LeverDrift = &device.LeverDriftSpec{
+			Offset1: noise.Params{JumpAmp: 1.1, JumpInterval: 14400},
+			Offset2: noise.Params{JumpAmp: 1.1, JumpInterval: 10800},
+		}
+	default:
+		return device.DoubleDotSpec{}, fmt.Errorf("fleet: unknown profile %q", profile)
+	}
+	return spec, nil
+}
+
+// DefaultFleet builds n heterogeneous DeviceConfigs cycling through the
+// canonical profiles, fully determined by seed. Device i gets profile
+// i mod 4, a derived spec seed and the profile's default weight.
+func DefaultFleet(n int, seed uint64) ([]DeviceConfig, error) {
+	profiles := Profiles()
+	out := make([]DeviceConfig, 0, n)
+	for i := 0; i < n; i++ {
+		p := profiles[i%len(profiles)]
+		spec, err := ProfileSpec(p, xrand.DeriveSeed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DeviceConfig{
+			ID:     fmt.Sprintf("%s-%02d", p, i),
+			Weight: profileWeight(p),
+			Spec:   spec,
+		})
+	}
+	return out, nil
+}

@@ -215,6 +215,32 @@ func (p Params) Build(seed uint64) Process {
 	return c
 }
 
+// Preset sensor-noise profiles for heterogeneous fleet simulations. The
+// amplitudes are fractions of the sensor's ≈1.0 full-scale current swing,
+// in line with the qflow benchmark suite's noise levels.
+
+// PresetQuiet is a well-behaved device: weak white noise only.
+func PresetQuiet() Params {
+	return Params{WhiteSigma: 0.004}
+}
+
+// PresetStandard is a typical device: white noise plus 1/f charge noise.
+func PresetStandard() Params {
+	return Params{WhiteSigma: 0.006, PinkAmp: 0.012}
+}
+
+// PresetUnstable is a misbehaving device: strong 1/f, an individual
+// two-level fluctuator, and rare persistent charge jumps on the sensor
+// baseline.
+func PresetUnstable() Params {
+	return Params{
+		WhiteSigma: 0.008,
+		PinkAmp:    0.02,
+		RTNAmp:     0.015, RTNRate: 0.1,
+		JumpAmp: 0.03, JumpInterval: 3600,
+	}
+}
+
 // Jumps models device instability: rare, abrupt and persistent shifts of
 // the sensor baseline (charge rearrangements in the host material). Jump
 // arrival is Poisson with MeanInterval seconds between events; each jump

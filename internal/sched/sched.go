@@ -9,9 +9,13 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 )
+
+// ErrClosed is returned by Submit after the pool has been closed.
+var ErrClosed = errors.New("sched: pool is closed")
 
 // Stats is a point-in-time snapshot of a pool's accounting.
 type Stats struct {
@@ -27,8 +31,11 @@ type Stats struct {
 // Slots are a semaphore, not resident goroutines: an idle pool costs nothing,
 // and any number of jobs may be queued while only Workers run.
 type Pool struct {
-	sem chan struct{}
+	sem     chan struct{}
+	closeCh chan struct{} // closed by Close: queued jobs stop waiting for slots
+	drained chan struct{} // closed once every slot has been reclaimed
 
+	closed    atomic.Bool
 	running   atomic.Int64
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -42,7 +49,11 @@ func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{sem: make(chan struct{}, workers)}
+	return &Pool{
+		sem:     make(chan struct{}, workers),
+		closeCh: make(chan struct{}),
+		drained: make(chan struct{}),
+	}
 }
 
 // Workers returns the pool's slot count.
@@ -77,6 +88,12 @@ type Task struct {
 // job waits for a free slot in its own goroutine.
 func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)) *Task {
 	p.submitted.Add(1)
+	if p.closed.Load() {
+		t := &Task{done: make(chan struct{}), cancel: func() {}, err: ErrClosed}
+		p.cancelled.Add(1)
+		close(t.done)
+		return t
+	}
 	jctx, cancel := context.WithCancel(ctx)
 	t := &Task{done: make(chan struct{}), cancel: cancel}
 	go func() {
@@ -84,8 +101,21 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)
 		defer cancel()
 		select {
 		case p.sem <- struct{}{}:
+			// The select picks randomly when a slot and the close signal are
+			// ready together; re-check so a job queued before Close can never
+			// start after it.
+			if p.closed.Load() {
+				<-p.sem
+				t.err = ErrClosed
+				p.cancelled.Add(1)
+				return
+			}
 		case <-jctx.Done():
 			t.err = context.Cause(jctx)
+			p.cancelled.Add(1)
+			return
+		case <-p.closeCh:
+			t.err = ErrClosed
 			p.cancelled.Add(1)
 			return
 		}
@@ -106,6 +136,35 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)
 // Cancel aborts the task if it is still waiting for a slot and cancels the
 // job context either way.
 func (t *Task) Cancel() { t.cancel() }
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// Close drains the pool for shutdown: new submissions fail with ErrClosed,
+// jobs still queued are released with ErrClosed, and running jobs are allowed
+// to finish. Close blocks until the last running job returns its slot or ctx
+// expires — the graceful-shutdown guarantee that an extraction mid-measurement
+// is never torn down. Close is idempotent; concurrent callers all wait on the
+// same drain.
+func (p *Pool) Close(ctx context.Context) error {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.closeCh)
+		go func() {
+			// Reclaiming every slot proves no job is still running. The slots
+			// are kept, so the pool stays inert after the drain.
+			for i := 0; i < cap(p.sem); i++ {
+				p.sem <- struct{}{}
+			}
+			close(p.drained)
+		}()
+	}
+	select {
+	case <-p.drained:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
 
 // Wait blocks until the task settles and returns its outcome.
 func (t *Task) Wait() (any, error) {

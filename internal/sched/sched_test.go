@@ -127,3 +127,75 @@ func TestSubmitValue(t *testing.T) {
 		t.Fatalf("Wait = (%v, %v), want (ok, nil)", v, err)
 	}
 }
+
+// TestCloseDrainsRunning checks Close waits for running jobs, releases queued
+// jobs with ErrClosed and rejects later submissions.
+func TestCloseDrainsRunning(t *testing.T) {
+	pool := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	running := pool.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return "done", nil
+	})
+	<-started
+	queued := pool.Submit(context.Background(), func(context.Context) (any, error) {
+		return nil, nil
+	})
+
+	closed := make(chan error, 1)
+	go func() { closed <- pool.Close(context.Background()) }()
+
+	// The queued job must come back with ErrClosed without ever running.
+	if _, err := queued.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued job err = %v, want ErrClosed", err)
+	}
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v before the running job finished", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if v, err := running.Wait(); err != nil || v != "done" {
+		t.Fatalf("running job = %v, %v; want done, nil", v, err)
+	}
+	if !pool.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if _, err := pool.Submit(context.Background(), func(context.Context) (any, error) {
+		return nil, nil
+	}).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Submit err = %v, want ErrClosed", err)
+	}
+	// Idempotent: a second Close returns immediately.
+	if err := pool.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseDeadline checks Close honours its context while a job is stuck.
+func TestCloseDeadline(t *testing.T) {
+	pool := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	pool.Submit(context.Background(), func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := pool.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// The drain completes once the job finishes.
+	if err := pool.Close(context.Background()); err != nil {
+		t.Fatalf("Close after release: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/fleet"
 )
 
 // Handler returns the service's HTTP API, the surface cmd/vgxd serves:
@@ -21,7 +22,17 @@ import (
 //	GET    /v1/sessions        list open sessions
 //	DELETE /v1/sessions/{id}   close a session
 //	GET    /v1/stats           cache / scheduler / job / session accounting
-//	GET    /healthz            liveness
+//	GET    /v1/healthz         liveness, uptime and drain state
+//	GET    /healthz            liveness (legacy alias)
+//
+// Fleet calibration (continuous drift-aware monitoring of many devices):
+//
+//	POST /v1/fleet/devices                      register a device {id?, weight?, spec}
+//	GET  /v1/fleet                              fleet status (devices in ID order)
+//	GET  /v1/fleet/devices/{id}                 one device's snapshot
+//	GET  /v1/fleet/devices/{id}/history         calibration history, oldest first
+//	POST /v1/fleet/devices/{id}/recalibrate     force an immediate re-extraction
+//	POST /v1/fleet/tick                         advance the virtual clock {advanceS, ticks?}
 //
 // All bodies and responses are JSON.
 func (s *Service) Handler() http.Handler {
@@ -121,6 +132,90 @@ func (s *Service) Handler() http.Handler {
 			"jobs":      st.Jobs,
 			"sessions":  st.Sessions,
 		})
+	})
+
+	mux.HandleFunc("POST /v1/fleet/devices", func(w http.ResponseWriter, r *http.Request) {
+		var cfg fleet.DeviceConfig
+		if !decode(w, r, &cfg) {
+			return
+		}
+		dv, err := s.fleet.Register(cfg)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		reply(w, http.StatusCreated, dv)
+	})
+
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, s.fleet.Status())
+	})
+
+	mux.HandleFunc("GET /v1/fleet/devices/{id}", func(w http.ResponseWriter, r *http.Request) {
+		dv, ok := s.fleet.Device(r.PathValue("id"))
+		if !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown fleet device %q", r.PathValue("id")))
+			return
+		}
+		reply(w, http.StatusOK, dv)
+	})
+
+	mux.HandleFunc("GET /v1/fleet/devices/{id}/history", func(w http.ResponseWriter, r *http.Request) {
+		evs, ok := s.fleet.History(r.PathValue("id"))
+		if !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown fleet device %q", r.PathValue("id")))
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{"events": evs})
+	})
+
+	mux.HandleFunc("POST /v1/fleet/devices/{id}/recalibrate", func(w http.ResponseWriter, r *http.Request) {
+		ev, err := s.fleet.ForceRecalibrate(r.Context(), r.PathValue("id"))
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, fleet.ErrUnknownDevice) {
+				code = http.StatusNotFound
+			}
+			fail(w, code, err)
+			return
+		}
+		reply(w, http.StatusOK, ev)
+	})
+
+	mux.HandleFunc("POST /v1/fleet/tick", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			AdvanceS float64 `json:"advanceS"` // virtual seconds per tick
+			Ticks    int     `json:"ticks"`    // default 1
+		}
+		if !decode(w, r, &body) {
+			return
+		}
+		if body.Ticks <= 0 {
+			body.Ticks = 1
+		}
+		if body.Ticks > 100000 {
+			fail(w, http.StatusBadRequest, errors.New("ticks out of range"))
+			return
+		}
+		reports := make([]fleet.TickReport, 0, body.Ticks)
+		for i := 0; i < body.Ticks; i++ {
+			rep, err := s.fleet.Tick(r.Context(), body.AdvanceS)
+			if err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			reports = append(reports, rep)
+		}
+		reply(w, http.StatusOK, map[string]any{"now": s.fleet.Now(), "reports": reports})
+	})
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		code := http.StatusOK
+		if h.Draining {
+			code = http.StatusServiceUnavailable
+		}
+		reply(w, code, h)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -2,13 +2,17 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/fleet"
+	"github.com/fastvg/fastvg/internal/sched"
 )
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
@@ -275,5 +279,108 @@ func TestAPIJobCancel(t *testing.T) {
 	// slot freed first (done). Both are valid; stuck/failed is not.
 	if queued.Status != StatusCancelled && queued.Status != StatusDone {
 		t.Fatalf("queued job = %+v, want cancelled or done", queued)
+	}
+}
+
+// TestAPIFleet drives the fleet endpoints end to end: register, tick the
+// virtual clock until the device is calibrated, inspect status and history,
+// force a recalibration.
+func TestAPIFleet(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	var dv fleet.DeviceView
+	doJSON(t, "POST", srv.URL+"/v1/fleet/devices", fleet.DeviceConfig{
+		ID:   "lab-a",
+		Spec: device.DoubleDotSpec{Seed: 5},
+	}, http.StatusCreated, &dv)
+	if dv.ID != "lab-a" || dv.State != fleet.StateUncalibrated {
+		t.Fatalf("registered view = %+v", dv)
+	}
+
+	// Duplicate registration is a 400.
+	doJSON(t, "POST", srv.URL+"/v1/fleet/devices", fleet.DeviceConfig{
+		ID:   "lab-a",
+		Spec: device.DoubleDotSpec{Seed: 5},
+	}, http.StatusBadRequest, nil)
+
+	// One tick calibrates the fresh device.
+	var tickResp struct {
+		Now     float64            `json:"now"`
+		Reports []fleet.TickReport `json:"reports"`
+	}
+	doJSON(t, "POST", srv.URL+"/v1/fleet/tick", map[string]any{"advanceS": 300.0, "ticks": 2},
+		http.StatusOK, &tickResp)
+	if tickResp.Now != 600 || len(tickResp.Reports) != 2 {
+		t.Fatalf("tick response = %+v", tickResp)
+	}
+
+	var st fleet.Status
+	doJSON(t, "GET", srv.URL+"/v1/fleet", nil, http.StatusOK, &st)
+	if st.DeviceCount != 1 || st.Calibrations != 1 {
+		t.Fatalf("fleet status = %+v", st)
+	}
+	if len(st.Devices) != 1 || !st.Devices[0].Calibrated {
+		t.Fatalf("fleet devices = %+v", st.Devices)
+	}
+
+	doJSON(t, "GET", srv.URL+"/v1/fleet/devices/lab-a", nil, http.StatusOK, &dv)
+	if !dv.Calibrated || dv.Calibrations != 1 {
+		t.Fatalf("device view = %+v", dv)
+	}
+	doJSON(t, "GET", srv.URL+"/v1/fleet/devices/ghost", nil, http.StatusNotFound, nil)
+
+	var ev fleet.Event
+	doJSON(t, "POST", srv.URL+"/v1/fleet/devices/lab-a/recalibrate", nil, http.StatusOK, &ev)
+	if ev.Kind != "force" {
+		t.Fatalf("forced event = %+v", ev)
+	}
+	doJSON(t, "POST", srv.URL+"/v1/fleet/devices/ghost/recalibrate", nil, http.StatusNotFound, nil)
+
+	var hist struct {
+		Events []fleet.Event `json:"events"`
+	}
+	doJSON(t, "GET", srv.URL+"/v1/fleet/devices/lab-a/history", nil, http.StatusOK, &hist)
+	if len(hist.Events) < 2 {
+		t.Fatalf("history = %+v, want calibrate + force", hist.Events)
+	}
+	if hist.Events[0].Kind != "calibrate" {
+		t.Errorf("first event kind = %q, want calibrate", hist.Events[0].Kind)
+	}
+
+	// Bad tick arguments surface as 400s.
+	doJSON(t, "POST", srv.URL+"/v1/fleet/tick", map[string]any{"advanceS": 0.0},
+		http.StatusBadRequest, nil)
+}
+
+// TestAPIHealthzAndClose covers the liveness endpoint through a graceful
+// shutdown: healthy while serving, 503 + draining after Close, and Close
+// leaves no sessions behind.
+func TestAPIHealthzAndClose(t *testing.T) {
+	svc, srv := newTestServer(t)
+	if _, err := svc.Registry().OpenSim(device.DoubleDotSpec{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var h Health
+	doJSON(t, "GET", srv.URL+"/v1/healthz", nil, http.StatusOK, &h)
+	if !h.OK || h.Draining || h.Workers != 2 || h.Sessions != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	doJSON(t, "GET", srv.URL+"/v1/healthz", nil, http.StatusServiceUnavailable, &h)
+	if h.OK || !h.Draining {
+		t.Fatalf("post-close health = %+v", h)
+	}
+	if n := svc.Registry().SessionCount(); n != 0 {
+		t.Errorf("sessions after Close = %d, want 0", n)
+	}
+	// New work is refused by the drained pool.
+	if _, err := svc.Run(context.Background(), Request{Kind: KindFast, Benchmark: 1}); !errors.Is(err, sched.ErrClosed) {
+		t.Errorf("post-Close Run err = %v, want sched.ErrClosed", err)
 	}
 }

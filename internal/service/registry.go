@@ -187,6 +187,14 @@ func (r *Registry) Session(id string) (*Session, bool) {
 	return s, ok
 }
 
+// CloseAll removes every session — the shutdown path after the worker pool
+// has drained, when no job can still be holding an instrument.
+func (r *Registry) CloseAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.sessions)
+}
+
 // CloseSession removes a session; its instrument is released.
 func (r *Registry) CloseSession(id string) bool {
 	r.mu.Lock()

@@ -14,6 +14,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/evalx"
+	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/imaging"
 	"github.com/fastvg/fastvg/internal/qflow"
 	"github.com/fastvg/fastvg/internal/rays"
@@ -26,6 +27,10 @@ type Config struct {
 	Workers    int // extraction worker-pool slots; default one per CPU
 	CacheSize  int // result-cache capacity in entries; default 1024
 	JobHistory int // max retained finished async job records; default 4096
+
+	// Fleet tunes the fleet calibration manager (staleness thresholds,
+	// probe budget, check cadence); the zero value uses fleet defaults.
+	Fleet fleet.Policy
 }
 
 // Service is the extraction server core: it schedules jobs on a bounded
@@ -35,6 +40,8 @@ type Service struct {
 	pool       *sched.Pool
 	cache      *resultCache
 	reg        *Registry
+	fleet      *fleet.Manager
+	started    time.Time
 	jobHistory int
 
 	mu     sync.Mutex
@@ -118,10 +125,13 @@ func New(cfg Config) (*Service, error) {
 	if history <= 0 {
 		history = 4096
 	}
+	pool := sched.New(cfg.Workers)
 	return &Service{
-		pool:       sched.New(cfg.Workers),
+		pool:       pool,
 		cache:      newResultCache(cfg.CacheSize),
 		reg:        reg,
+		fleet:      fleet.New(pool, cfg.Fleet),
+		started:    time.Now(),
 		jobHistory: history,
 		jobs:       make(map[string]*job),
 	}, nil
@@ -129,6 +139,47 @@ func New(cfg Config) (*Service, error) {
 
 // Registry exposes the instrument registry (sessions, benchmarks).
 func (s *Service) Registry() *Registry { return s.reg }
+
+// Fleet exposes the fleet calibration manager. Fleet measurement work runs
+// on the same worker pool as interactive extraction jobs, so a monitoring
+// tick and a batch of API jobs share the service's bounded slots.
+func (s *Service) Fleet() *fleet.Manager { return s.fleet }
+
+// Close drains the service for shutdown: the worker pool stops accepting
+// jobs and Close waits (bounded by ctx) for running extractions to finish,
+// then the session registry is emptied. Queued jobs settle as cancelled.
+func (s *Service) Close(ctx context.Context) error {
+	if err := s.pool.Close(ctx); err != nil {
+		return err
+	}
+	s.reg.CloseAll()
+	return nil
+}
+
+// Health is the liveness snapshot served at /v1/healthz.
+type Health struct {
+	OK       bool    `json:"ok"`
+	Draining bool    `json:"draining"` // Close has begun: no new work is accepted
+	UptimeS  float64 `json:"uptimeS"`
+	Workers  int     `json:"workers"`
+	Running  int     `json:"running"`
+	Sessions int     `json:"sessions"`
+	Fleet    int     `json:"fleet"` // registered fleet devices
+}
+
+// Health reports liveness and drain state.
+func (s *Service) Health() Health {
+	ps := s.pool.Stats()
+	return Health{
+		OK:       !s.pool.Closed(),
+		Draining: s.pool.Closed(),
+		UptimeS:  time.Since(s.started).Seconds(),
+		Workers:  ps.Workers,
+		Running:  ps.Running,
+		Sessions: s.reg.SessionCount(),
+		Fleet:    s.fleet.DeviceCount(),
+	}
+}
 
 // Stats returns a snapshot of cache, scheduler and job accounting.
 func (s *Service) Stats() Stats {
@@ -389,7 +440,7 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		if err := s.runPipelines(nreq, inst, b.Window, &b.Truth, res); err != nil {
+		if err := s.runPipelines(ctx, nreq, inst, b.Window, &b.Truth, res); err != nil {
 			return nil, err
 		}
 	case nreq.Sim != nil:
@@ -398,7 +449,7 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 			return nil, err
 		}
 		truth := qflow.Truth{SteepSlope: nreq.Sim.SteepSlope, ShallowSlope: nreq.Sim.ShallowSlope}
-		if err := s.runPipelines(nreq, inst, win, &truth, res); err != nil {
+		if err := s.runPipelines(ctx, nreq, inst, win, &truth, res); err != nil {
 			return nil, err
 		}
 	default:
@@ -408,7 +459,7 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 		}
 		truth := qflow.Truth{SteepSlope: sess.spec.SteepSlope, ShallowSlope: sess.spec.ShallowSlope}
 		err := sess.withInstrument(func(inst *device.SimInstrument, win csd.Window) error {
-			return s.runPipelines(nreq, inst, win, &truth, res)
+			return s.runPipelines(ctx, nreq, inst, win, &truth, res)
 		})
 		if err != nil {
 			return nil, err
@@ -424,8 +475,10 @@ type accountant interface {
 }
 
 // runPipelines dispatches the request kind onto inst and fills res. truth,
-// when non-nil, enables ground-truth scoring.
-func (s *Service) runPipelines(nreq Request, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
+// when non-nil, enables ground-truth scoring. ctx reaches the cancellable
+// stages (today the verify scan loop), so cancelling a job interrupts a
+// long knee sweep between probes.
+func (s *Service) runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
 	before := inst.Stats()
 	src := csd.PixelSource{Src: inst, Win: win}
 	t0 := time.Now()
@@ -451,7 +504,7 @@ func (s *Service) runPipelines(nreq Request, inst accountant, win csd.Window, tr
 			res.TripleV1, res.TripleV2 = cr.TriplePointVoltage(win)
 			if nreq.Kind == KindVerify {
 				var vr *virtualgate.VerifyResult
-				vr, err = virtualgate.Verify(inst, win, cr.Matrix, res.TripleV1, res.TripleV2,
+				vr, err = virtualgate.Verify(ctx, inst, win, cr.Matrix, res.TripleV1, res.TripleV2,
 					virtualgate.VerifyConfig{MaxShiftFrac: nreq.Verify.MaxShiftFrac})
 				if err == nil {
 					res.Verify = &VerifyReport{OK: vr.OK, SteepShift: vr.SteepShift, ShallowShift: vr.ShallowShift}
@@ -493,6 +546,12 @@ func (s *Service) runPipelines(nreq Request, inst accountant, win csd.Window, tr
 		res.ProbePct = 100 * float64(res.Probes) / float64(total)
 	}
 	if err != nil {
+		// Cancellation is a property of this caller, not of the request:
+		// propagate it as a transport error so a half-finished extraction is
+		// never cached as the request's deterministic outcome.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 		// A pipeline failure is a deterministic outcome of the request, not
 		// a service fault: record it on the result (with the probes it cost)
 		// so repeats are served from cache instead of re-failing slowly.

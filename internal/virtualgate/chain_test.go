@@ -1,0 +1,147 @@
+package virtualgate
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+// randomChain builds an n-dot chain with physics-plausible random pair
+// matrices (steep < -1, shallow in (-1, 0)) drawn from rng.
+func randomChain(t *testing.T, rng *xrand.Rand, n int) *Chain {
+	t.Helper()
+	c, err := NewChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n-1; i++ {
+		steep := -1.5 - 12*rng.Float64()
+		shallow := -0.02 - 0.6*rng.Float64()
+		m, err := FromSlopes(steep, shallow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetPair(i, m); err != nil {
+			t.Fatalf("SetPair(%d): %v", i, err)
+		}
+	}
+	return c
+}
+
+// TestChainApplySolveProperty is the property test of the chain linear
+// algebra: for random tridiagonal chains and random voltage vectors,
+// Solve(Apply(v)) == v and Apply(Solve(u)) == u to numerical precision.
+func TestChainApplySolveProperty(t *testing.T) {
+	rng := xrand.New(41)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		c := randomChain(t, rng, n)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 100 * (rng.Float64() - 0.5)
+		}
+		u, err := c.Apply(v)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		back, err := c.Solve(u)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for i := range v {
+			if math.Abs(back[i]-v[i]) > 1e-9 {
+				t.Fatalf("trial %d (n=%d): Solve(Apply(v))[%d] = %v, want %v",
+					trial, n, i, back[i], v[i])
+			}
+		}
+		again, err := c.Apply(back)
+		if err != nil {
+			t.Fatalf("Apply(Solve): %v", err)
+		}
+		for i := range u {
+			if math.Abs(again[i]-u[i]) > 1e-9 {
+				t.Fatalf("trial %d (n=%d): Apply(Solve(u))[%d] = %v, want %v",
+					trial, n, i, again[i], u[i])
+			}
+		}
+	}
+}
+
+// TestChainMatrixShape checks the dense matrix is tridiagonal with a unit
+// diagonal and the recorded pair compensations on the off-diagonals.
+func TestChainMatrixShape(t *testing.T) {
+	rng := xrand.New(7)
+	c := randomChain(t, rng, 5)
+	m := c.Matrix()
+	for i := 0; i < c.N; i++ {
+		for j := 0; j < c.N; j++ {
+			switch {
+			case i == j:
+				if m[i][j] != 1 {
+					t.Errorf("diag[%d] = %v, want 1", i, m[i][j])
+				}
+			case j == i+1:
+				if m[i][j] != c.A12[i] {
+					t.Errorf("m[%d][%d] = %v, want A12[%d] = %v", i, j, m[i][j], i, c.A12[i])
+				}
+			case i == j+1:
+				if m[i][j] != c.A21[j] {
+					t.Errorf("m[%d][%d] = %v, want A21[%d] = %v", i, j, m[i][j], j, c.A21[j])
+				}
+			default:
+				if m[i][j] != 0 {
+					t.Errorf("m[%d][%d] = %v, want 0 off the tridiagonal", i, j, m[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestChainErrorPaths covers the constructor and SetPair/Apply/Solve argument
+// validation.
+func TestChainErrorPaths(t *testing.T) {
+	if _, err := NewChain(1); err == nil {
+		t.Error("NewChain(1) accepted")
+	}
+	if _, err := NewChain(0); err == nil {
+		t.Error("NewChain(0) accepted")
+	}
+	c, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromSlopes(-8, -0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPair(-1, m); err == nil {
+		t.Error("SetPair(-1) accepted")
+	}
+	if err := c.SetPair(2, m); err == nil {
+		t.Error("SetPair(N-1) accepted")
+	}
+	if err := c.SetPair(0, m); err != nil {
+		t.Errorf("SetPair(0): %v", err)
+	}
+	if _, err := c.Apply([]float64{1, 2}); err == nil {
+		t.Error("Apply with short vector accepted")
+	}
+	if _, err := c.Solve([]float64{1, 2, 3, 4}); err == nil {
+		t.Error("Solve with long vector accepted")
+	}
+}
+
+// TestChainSolveSingular checks the elimination reports singular chains
+// instead of dividing by zero. a12·a21 = 1 makes a 2-dot chain singular.
+func TestChainSolveSingular(t *testing.T) {
+	c, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.A12[0] = 2
+	c.A21[0] = 0.5
+	if _, err := c.Solve([]float64{1, 1}); err == nil {
+		t.Error("singular chain solved")
+	}
+}

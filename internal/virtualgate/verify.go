@@ -1,6 +1,7 @@
 package virtualgate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,7 +73,11 @@ var ErrVerify = errors.New("virtualgate: verification could not re-locate the tr
 // the window edge and the knee and re-locates the line with a short 1-D
 // scan in virtual coordinates: under a correct matrix the measured crossing
 // does not move. The cost is a handful of line scans (≪ one CSD).
-func Verify(src csd.CurrentGetter, win csd.Window, m Mat2, kneeV1, kneeV2 float64, cfg VerifyConfig) (*VerifyResult, error) {
+//
+// ctx is checked between probes, so a long knee scan is cancellable
+// mid-sweep; on cancellation the context's error is returned with the probes
+// already spent recorded in the partial result.
+func Verify(ctx context.Context, src csd.CurrentGetter, win csd.Window, m Mat2, kneeV1, kneeV2 float64, cfg VerifyConfig) (*VerifyResult, error) {
 	cfg.fillDefaults()
 	inv, err := m.Inverse()
 	if err != nil {
@@ -89,9 +94,12 @@ func Verify(src csd.CurrentGetter, win csd.Window, m Mat2, kneeV1, kneeV2 float6
 	// Steep line: scan V'1 across the knee's u1 at several u2 below the knee.
 	for _, f := range cfg.AlongFracs {
 		u2 := eu2 + f*(ku2-eu2)
-		pos, probes, ok := scanDrop(src, win, inv, true, u2,
+		pos, probes, ok, err := scanDrop(ctx, src, win, inv, true, u2,
 			ku1-cfg.ScanFrac*span1, ku1+cfg.ScanFrac*span1, win.StepV1())
 		res.Probes += probes
+		if err != nil {
+			return res, err
+		}
 		if !ok {
 			return res, fmt.Errorf("%w: steep line not found at fraction %.2f", ErrVerify, f)
 		}
@@ -100,9 +108,12 @@ func Verify(src csd.CurrentGetter, win csd.Window, m Mat2, kneeV1, kneeV2 float6
 	// Shallow line: scan V'2 across the knee's u2 at several u1 left of the knee.
 	for _, f := range cfg.AlongFracs {
 		u1 := eu1 + f*(ku1-eu1)
-		pos, probes, ok := scanDrop(src, win, inv, false, u1,
+		pos, probes, ok, err := scanDrop(ctx, src, win, inv, false, u1,
 			ku2-cfg.ScanFrac*span2, ku2+cfg.ScanFrac*span2, win.StepV2())
 		res.Probes += probes
+		if err != nil {
+			return res, err
+		}
 		if !ok {
 			return res, fmt.Errorf("%w: shallow line not found at fraction %.2f", ErrVerify, f)
 		}
@@ -116,12 +127,17 @@ func Verify(src csd.CurrentGetter, win csd.Window, m Mat2, kneeV1, kneeV2 float6
 
 // scanDrop walks one virtual axis from lo to hi (step pitch) holding the
 // other virtual coordinate fixed, and returns the position of the largest
-// single-step current drop — the transition crossing.
-func scanDrop(src csd.CurrentGetter, win csd.Window, inv Mat2, alongU1 bool, fixed, lo, hi, pitch float64) (pos float64, probes int, ok bool) {
+// single-step current drop — the transition crossing. ctx is polled before
+// every probe so service-job cancellation interrupts the sweep between
+// measurements (a probe in flight is never abandoned mid-dwell).
+func scanDrop(ctx context.Context, src csd.CurrentGetter, win csd.Window, inv Mat2, alongU1 bool, fixed, lo, hi, pitch float64) (pos float64, probes int, ok bool, err error) {
 	prev := math.NaN()
 	bestDrop := 0.0
 	var bestPos float64
 	for u := lo; u <= hi; u += pitch {
+		if err := ctx.Err(); err != nil {
+			return 0, probes, false, err
+		}
 		var v1, v2 float64
 		if alongU1 {
 			v1, v2 = inv.Apply(u, fixed)
@@ -144,9 +160,9 @@ func scanDrop(src csd.CurrentGetter, win csd.Window, inv Mat2, alongU1 bool, fix
 		prev = c
 	}
 	if bestDrop <= 0 {
-		return 0, probes, false
+		return 0, probes, false, nil
 	}
-	return bestPos, probes, true
+	return bestPos, probes, true, nil
 }
 
 func spread(xs []float64) float64 {

@@ -1,6 +1,7 @@
 package virtualgate
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestVerifyAcceptsCorrectMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Verify(inst, win, m, knee[0], knee[1], VerifyConfig{})
+	res, err := Verify(context.Background(), inst, win, m, knee[0], knee[1], VerifyConfig{})
 	if err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestVerifyRejectsIdentityMatrix(t *testing.T) {
 	// Without compensation the lines move under virtual stepping exactly by
 	// the cross-coupling — verification must flag it.
 	inst, win, _, _, knee := verifyDevice(t)
-	res, err := Verify(inst, win, Identity(), knee[0], knee[1], VerifyConfig{})
+	res, err := Verify(context.Background(), inst, win, Identity(), knee[0], knee[1], VerifyConfig{})
 	if err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestVerifyRejectsWrongSignMatrix(t *testing.T) {
 	// paths cannot re-locate a line at all).
 	m[0][1] *= 2.5
 	m[1][0] *= 2.5
-	res, err := Verify(inst, win, m, knee[0], knee[1], VerifyConfig{})
+	res, err := Verify(context.Background(), inst, win, m, knee[0], knee[1], VerifyConfig{})
 	if err == nil && res.OK {
 		t.Error("over-compensated matrix accepted")
 	}
@@ -96,7 +97,7 @@ func TestVerifyRejectsWrongSignMatrix(t *testing.T) {
 func TestVerifyErrorsWithoutLines(t *testing.T) {
 	flat := flatGetter{}
 	win := csd.NewSquareWindow(0, 0, 50, 100)
-	_, err := Verify(flat, win, Identity(), 30, 28, VerifyConfig{})
+	_, err := Verify(context.Background(), flat, win, Identity(), 30, 28, VerifyConfig{})
 	if !errors.Is(err, ErrVerify) {
 		t.Errorf("err = %v, want ErrVerify", err)
 	}
@@ -109,7 +110,56 @@ func (flatGetter) GetCurrent(v1, v2 float64) float64 { return 1 }
 func TestVerifySingularMatrix(t *testing.T) {
 	inst, win, _, _, knee := verifyDevice(t)
 	var m Mat2
-	if _, err := Verify(inst, win, m, knee[0], knee[1], VerifyConfig{}); err == nil {
+	if _, err := Verify(context.Background(), inst, win, m, knee[0], knee[1], VerifyConfig{}); err == nil {
 		t.Error("accepted singular matrix")
 	}
+}
+
+// TestVerifyCancellable checks a context cancelled mid-sweep interrupts the
+// scan loop promptly with the context's error (the partial result still
+// carries the probes already spent).
+func TestVerifyCancellable(t *testing.T) {
+	inst, win, steep, shallow, knee := verifyDevice(t)
+	m, err := FromSlopes(steep, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Verify(ctx, inst, win, m, knee[0], knee[1], VerifyConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Probes != 0 {
+		t.Errorf("pre-cancelled verify spent %d probes, want 0", res.Probes)
+	}
+
+	// Cancel after a fixed number of probes: the sweep must stop there.
+	const budget = 10
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cg := &cancellingGetter{inst: inst, after: budget, cancel: cancel2}
+	res, err = Verify(ctx2, cg, win, m, knee[0], knee[1], VerifyConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Probes != budget {
+		t.Errorf("sweep continued past cancellation: %d probes, want %d", res.Probes, budget)
+	}
+}
+
+// cancellingGetter cancels its context once a probe budget is exhausted.
+type cancellingGetter struct {
+	inst   csd.CurrentGetter
+	count  int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingGetter) GetCurrent(v1, v2 float64) float64 {
+	c.count++
+	if c.count >= c.after {
+		c.cancel()
+	}
+	return c.inst.GetCurrent(v1, v2)
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# bench.sh — run the probe-path benchmark trajectory and emit BENCH_probe.json.
+# bench.sh — run the probe-path benchmark trajectory and emit
+# BENCH_probe.json, then the fleet-recalibration benchmark and emit
+# BENCH_fleet.json.
 #
 # Usage:
-#   scripts/bench.sh [-o BENCH_probe.json] [-t benchtime]
+#   scripts/bench.sh [-o BENCH_probe.json] [-f BENCH_fleet.json] [-t benchtime]
 #
 # The "after" block is measured on this machine by running the benchmarks in
 # internal/device (BenchmarkProbe*, BenchmarkGridRender*). The "before"
@@ -14,12 +16,14 @@
 set -euo pipefail
 
 out="BENCH_probe.json"
+fleet_out="BENCH_fleet.json"
 benchtime="2s"
-while getopts "o:t:" opt; do
+while getopts "o:f:t:" opt; do
   case "$opt" in
     o) out="$OPTARG" ;;
+    f) fleet_out="$OPTARG" ;;
     t) benchtime="$OPTARG" ;;
-    *) echo "usage: $0 [-o file] [-t benchtime]" >&2; exit 2 ;;
+    *) echo "usage: $0 [-o file] [-f file] [-t benchtime]" >&2; exit 2 ;;
   esac
 done
 
@@ -84,3 +88,41 @@ $before
 }
 JSON
 echo "wrote $out"
+# ---- fleet calibration loop → BENCH_fleet.json ----------------------------
+# BenchmarkFleetRecalibration runs an 8-device heterogeneous fleet through
+# four virtual hours per iteration and reports the loop's economics as
+# custom metrics: probes per recalibration and the steady-state staleness
+# score the policy holds the fleet at.
+fraw=$(go test ./internal/fleet/ -run '^$' -bench 'FleetRecalibration' \
+  -benchtime "$benchtime" 2>&1)
+echo "$fraw"
+
+fline=$(echo "$fraw" | awk '$1 ~ /^BenchmarkFleetRecalibration(-|$)/ {print; exit}')
+fmetric() { echo "$fline" | awk -v u="$1" '{for (i = 2; i < NF; i++) if ($(i+1) == u) {print $i; exit}}'; }
+
+probes_per_recal=$(fmetric "probes/recal")
+steady_staleness=$(fmetric "staleness")
+fleet_ns=$(fmetric "ns/op")
+
+cat > "$fleet_out" <<JSON
+{
+  "schema": "fastvg-bench-fleet/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "gomaxprocs": $(nproc),
+  "benchtime": "$benchtime",
+  "scenario": "8 heterogeneous devices (quiet/standard/wandering/jumpy), 4 virtual hours per iteration, 1800 s check interval, default policy",
+  "units": {
+    "probes_per_recal": "instrument probes per successful matrix refresh, spot-checks amortised in",
+    "steady_staleness": "mean finite device staleness at end of run (1.0 = drift tolerance)",
+    "sim_ms_per_virtual_day": "wall milliseconds to simulate one device-day of the loop"
+  },
+  "after": {
+    "probes_per_recal": ${probes_per_recal:-null},
+    "steady_staleness": ${steady_staleness:-null},
+    "sim_ms_per_virtual_day": $(awk -v ns="${fleet_ns:-0}" 'BEGIN {printf "%.2f", ns / 1e6 / (8 * 4 / 24)}')
+  }
+}
+JSON
+echo "wrote $fleet_out"

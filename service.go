@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 
+	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/service"
 )
 
@@ -64,4 +65,45 @@ func Table1Requests() []JobRequest { return service.Table1Requests() }
 // worker pool.
 func RunJob(ctx context.Context, s *Service, req JobRequest) (*JobResult, error) {
 	return s.Run(ctx, req)
+}
+
+// CloseService drains the service for shutdown: running extractions finish
+// (bounded by ctx), queued jobs settle as cancelled, sessions close.
+func CloseService(ctx context.Context, s *Service) error { return s.Close(ctx) }
+
+// Fleet calibration: continuous drift-aware monitoring and recalibration of
+// many devices, owned by the service (Service.Fleet()) and served under
+// /v1/fleet. See internal/fleet for the scheduling semantics.
+
+// FleetManager owns a fleet of drifting simulated devices: it spot-checks
+// matrix freshness on a virtual clock, scores staleness, and schedules
+// re-extractions on the service's worker pool under a global probe budget.
+type FleetManager = fleet.Manager
+
+// FleetPolicy tunes the calibration loop (check cadence, staleness
+// threshold, hysteresis, probe budget); the zero value is a reasonable
+// lab-day configuration.
+type FleetPolicy = fleet.Policy
+
+// FleetDeviceConfig registers one device: an ID, a scheduling weight and a
+// device spec (including its lever-arm drift profile).
+type FleetDeviceConfig = fleet.DeviceConfig
+
+// FleetStatus is a fleet-wide snapshot; FleetDeviceView one device's.
+type FleetStatus = fleet.Status
+
+// FleetDeviceView is a serialisable per-device snapshot.
+type FleetDeviceView = fleet.DeviceView
+
+// FleetEvent is one calibration-history entry.
+type FleetEvent = fleet.Event
+
+// FleetSummary is the outcome of a simulated fleet run (cmd/vgxfleet).
+type FleetSummary = fleet.Summary
+
+// DefaultFleetConfigs builds n heterogeneous device configs cycling through
+// the canonical drift profiles (quiet / standard / wandering / jumpy),
+// fully determined by seed.
+func DefaultFleetConfigs(n int, seed uint64) ([]FleetDeviceConfig, error) {
+	return fleet.DefaultFleet(n, seed)
 }

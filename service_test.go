@@ -83,3 +83,39 @@ func TestSimProbeMap(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetFacade exercises the fleet calibration loop through the root
+// exports: register a small heterogeneous fleet, tick a virtual hour, check
+// every device got its initial calibration, then drain the service.
+func TestFleetFacade(t *testing.T) {
+	svc, err := fastvg.NewService(fastvg.ServiceConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := fastvg.DefaultFleetConfigs(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		if _, err := svc.Fleet().Register(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := svc.Fleet().Tick(context.Background(), 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Fleet().Status()
+	if st.DeviceCount != 4 || st.Calibrations != 4 {
+		t.Fatalf("fleet status = %+v, want 4 devices all calibrated", st)
+	}
+	for _, d := range st.Devices {
+		if !d.Calibrated {
+			t.Errorf("device %s uncalibrated after an hour", d.ID)
+		}
+	}
+	if err := fastvg.CloseService(context.Background(), svc); err != nil {
+		t.Fatalf("CloseService: %v", err)
+	}
+}
