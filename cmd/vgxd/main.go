@@ -4,6 +4,16 @@
 //
 //	vgxd -addr :8080 -workers 8 -cache 2048
 //
+// With -data-dir the daemon is durable: cacheable results and fleet
+// calibration state are journaled (internal/store) as they happen, and a
+// restart warm-starts the result cache and restores every fleet device's
+// staleness/cooldown state — a bounced daemon never forces the fleet back
+// through full re-extraction. -record-traces additionally writes a
+// content-addressed probe trace of every executed extraction under
+// <data-dir>/traces; replay them offline with cmd/vgxreplay.
+//
+//	vgxd -addr :8080 -data-dir /var/lib/vgxd -record-traces
+//
 // Quickstart against a running daemon:
 //
 //	curl -s localhost:8080/v1/benchmarks
@@ -41,12 +51,20 @@ func main() {
 		workers = flag.Int("workers", 0, "extraction worker-pool slots (0 = one per CPU)")
 		cache   = flag.Int("cache", 1024, "result-cache capacity in entries")
 		drain   = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown bound for connections and running jobs")
+		dataDir = flag.String("data-dir", "", "journal directory: persist cache + fleet state across restarts")
+		traces  = flag.Bool("record-traces", false, "record probe traces of every extraction under <data-dir>/traces (requires -data-dir)")
 	)
 	flag.Parse()
 
-	svc, err := fastvg.NewService(fastvg.ServiceConfig{Workers: *workers, CacheSize: *cache})
+	svc, err := fastvg.NewService(fastvg.ServiceConfig{
+		Workers: *workers, CacheSize: *cache,
+		DataDir: *dataDir, RecordTraces: *traces,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("vgxd: durable: journaling to %s (traces: %v)", *dataDir, *traces)
 	}
 	srv := &http.Server{
 		Addr:              *addr,

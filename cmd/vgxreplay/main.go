@@ -1,0 +1,130 @@
+// Command vgxreplay re-executes recorded extractions offline and verifies
+// they reproduce the recorded virtual-gate matrices byte-for-byte.
+//
+// Two sources, combinable:
+//
+//   - A probe trace (-trace file, or every trace under <data-dir>/traces):
+//     the recorded request runs through the real pipeline code against the
+//     recorded (voltages, time, current) samples — zero live-instrument
+//     probes. Any divergence (a probe the recording never made, a matrix
+//     bit that differs) is a regression in the extraction code or a
+//     corrupted trace.
+//
+//   - The journal (-data-dir with -journal, default on): every cacheable
+//     extraction persisted by a durable vgxd is re-executed from scratch
+//     against a fresh simulated instrument and diffed against the journaled
+//     result — the regression test that the whole stack is deterministic.
+//
+// Usage:
+//
+//	vgxreplay -trace data/traces/0a1b2c….fvgt
+//	vgxreplay -data-dir /var/lib/vgxd
+//	vgxreplay -data-dir /var/lib/vgxd -journal=false   # traces only
+//
+// Exit status 1 when any replay mismatches. Run it against a stopped
+// daemon's data dir (the journal open may truncate a torn tail, exactly as
+// a daemon restart would).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	fastvg "github.com/fastvg/fastvg"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "replay one trace file")
+		dataDir   = flag.String("data-dir", "", "replay a daemon data dir: every trace under <dir>/traces, plus the journal")
+		journal   = flag.Bool("journal", true, "with -data-dir, also re-execute journaled extractions against fresh instruments")
+		workers   = flag.Int("workers", 0, "worker-pool slots for journal re-execution (0 = one per CPU)")
+		asJSON    = flag.Bool("json", false, "emit outcomes as JSON")
+		verbose   = flag.Bool("v", false, "print every outcome, not just mismatches")
+	)
+	flag.Parse()
+	if *tracePath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: vgxreplay -trace file | -data-dir dir [-journal=false]")
+		os.Exit(2)
+	}
+
+	var outs []fastvg.ReplayOutcome
+	replayTrace := func(path string) {
+		out, err := fastvg.ReplayTrace(path)
+		if err != nil {
+			log.Fatalf("vgxreplay: %s: %v", path, err)
+		}
+		outs = append(outs, *out)
+	}
+	if *tracePath != "" {
+		replayTrace(*tracePath)
+	}
+	if *dataDir != "" {
+		paths, err := fastvg.ListTraces(filepath.Join(*dataDir, "traces"))
+		if err != nil {
+			log.Fatalf("vgxreplay: %v", err)
+		}
+		for _, p := range paths {
+			replayTrace(p)
+		}
+		if *journal {
+			jouts, err := fastvg.ReplayJournal(context.Background(), *dataDir, *workers)
+			if err != nil {
+				log.Fatalf("vgxreplay: journal: %v", err)
+			}
+			outs = append(outs, jouts...)
+		}
+	}
+
+	matched, mismatched, skipped := 0, 0, 0
+	for _, o := range outs {
+		switch {
+		case o.Skipped:
+			skipped++
+		case o.Match:
+			matched++
+		default:
+			mismatched++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"outcomes": outs,
+			"matched":  matched, "mismatched": mismatched, "skipped": skipped,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, o := range outs {
+			switch {
+			case o.Skipped:
+				if *verbose {
+					fmt.Printf("SKIP  %-9s %s (%s)\n", o.Kind, o.Source, o.SkipReason)
+				}
+			case o.Match:
+				if *verbose {
+					fmt.Printf("OK    %-9s %s probes=%d live=%d\n", o.Kind, o.Source, o.Recorded.Probes, o.LiveProbes)
+				}
+			default:
+				fmt.Printf("FAIL  %-9s %s\n", o.Kind, o.Source)
+				for _, d := range o.Diffs {
+					fmt.Printf("      diff: %s\n", d)
+				}
+				if o.ReplayErr != "" {
+					fmt.Printf("      replay: %s\n", o.ReplayErr)
+				}
+			}
+		}
+		fmt.Printf("vgxreplay: %d matched, %d mismatched, %d skipped\n", matched, mismatched, skipped)
+	}
+	if mismatched > 0 {
+		os.Exit(1)
+	}
+}

@@ -83,6 +83,30 @@
 // /v1/fleet serves the same loop over HTTP (register, status, history,
 // force-recalibrate, tick).
 //
+// # Persistence & replay
+//
+// With ServiceConfig.DataDir set (vgxd -data-dir) the service is durable.
+// Every fresh cacheable result and every fleet calibration event is
+// appended to a CRC-framed journal (internal/store: journal.log, plus a
+// periodically compacted journal.snap written atomically via rename; the
+// on-disk format version is store.FormatVersion). A restarted service
+// warm-starts its result cache from the journal — previously served
+// requests are cache hits again — and the fleet manager restores every
+// device's staleness score, cooldown timestamps, hysteresis evidence,
+// budget window and history, so a daemon bounce never forces the fleet
+// back through full re-extraction. Recovery is crash-safe: a torn trailing
+// frame (the signature of dying mid-append) is truncated, never fatal.
+//
+// With RecordTraces (vgxd -record-traces) every executed extraction also
+// writes a probe trace (internal/trace): each (voltages, time, current)
+// sample, content-addressed under DataDir/traces. Command vgxreplay
+// re-executes recordings offline — traces against the recorded samples
+// with zero live-instrument probes, journal entries against fresh
+// simulated instruments — and diffs the reproduced virtual-gate matrices
+// bit-for-bit against the recorded ones (ReplayTrace / ReplayJournal in
+// the library). Recorded device responses thereby become regression tests:
+// any divergence is an extraction-code change or a corrupted recording.
+//
 // # Performance
 //
 // The probe hot path — one simulated getCurrent — is allocation-free in

@@ -38,8 +38,9 @@ type MultiInstrument struct {
 	Dwell time.Duration
 	Quant float64 // memoisation pitch for every gate; 0 disables
 
-	memo  map[string]float64
-	stats Stats
+	memo   map[string]float64
+	keyBuf []byte // reusable quantised-key scratch; keys are flat int64 cells
+	stats  Stats
 }
 
 // NewMultiInstrument returns an instrument over dev.
@@ -47,21 +48,31 @@ func NewMultiInstrument(dev *ArrayDevice, dwell time.Duration, quant float64) *M
 	return &MultiInstrument{Dev: dev, Dwell: dwell, Quant: quant, memo: make(map[string]float64)}
 }
 
-func (m *MultiInstrument) key(v []float64) string {
-	buf := make([]byte, 8*len(v))
+// key encodes the quantised gate cells into the reusable scratch buffer —
+// a flat little-endian int64 per gate. The buffer is only ever converted to
+// a string when a fresh probe is stored; lookups index the map with
+// string(buf) directly, which Go serves without allocating.
+func (m *MultiInstrument) key(v []float64) []byte {
+	if cap(m.keyBuf) < 8*len(v) {
+		m.keyBuf = make([]byte, 8*len(v))
+	}
+	buf := m.keyBuf[:8*len(v)]
 	for i, vi := range v {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(int64(math.Floor(vi/m.Quant))))
 	}
-	return string(buf)
+	return buf
 }
 
 // GetCurrentN measures the sensor current at the full gate-voltage vector.
+// A memoised re-probe costs no allocation: the quantised key is built in the
+// instrument's scratch buffer and only materialised as a map key when a new
+// configuration is stored.
 func (m *MultiInstrument) GetCurrentN(v []float64) float64 {
 	m.stats.RawCalls++
-	var k string
+	var k []byte
 	if m.Quant > 0 {
 		k = m.key(v)
-		if val, ok := m.memo[k]; ok {
+		if val, ok := m.memo[string(k)]; ok {
 			return val
 		}
 	}
@@ -69,7 +80,7 @@ func (m *MultiInstrument) GetCurrentN(v []float64) float64 {
 	m.stats.Virtual += m.Dwell
 	val := m.Dev.CurrentAt(v, m.stats.Virtual.Seconds())
 	if m.Quant > 0 {
-		m.memo[k] = val
+		m.memo[string(k)] = val
 	}
 	return val
 }

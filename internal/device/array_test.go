@@ -8,7 +8,7 @@ import (
 	"github.com/fastvg/fastvg/internal/sensor"
 )
 
-func testArrayDevice(t *testing.T, n int) *ArrayDevice {
+func testArrayDevice(t testing.TB, n int) *ArrayDevice {
 	t.Helper()
 	phys, err := physics.UniformChain(n, 4, 0.3, 0.08, 0.12, 0.3, -2.0)
 	if err != nil {

@@ -18,6 +18,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -29,6 +30,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/store"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
@@ -83,8 +85,12 @@ type Policy struct {
 	// overspend its budget.
 	CheckReserve int `json:"checkReserve,omitempty"`
 	RecalReserve int `json:"recalReserve,omitempty"`
-	// HistoryCap bounds each device's retained calibration history;
-	// default 256 events.
+	// HistoryCap bounds each device's retained in-memory calibration
+	// history ring (what History and the /v1/fleet history endpoint serve);
+	// default 128 events. The bound only trims what is held in memory: with
+	// a journal attached the full event log is persisted as audit records
+	// (bounded by the store's much larger AuditCap) and is served by
+	// JournalHistory.
 	HistoryCap int `json:"historyCap,omitempty"`
 }
 
@@ -120,7 +126,7 @@ func (p *Policy) fillDefaults() {
 		p.RecalReserve = 1500
 	}
 	if p.HistoryCap == 0 {
-		p.HistoryCap = 256
+		p.HistoryCap = 128
 	}
 }
 
@@ -259,7 +265,8 @@ type Manager struct {
 	pool *sched.Pool
 	pol  Policy
 
-	mu      sync.Mutex // guards the registry and fleet-wide accounting
+	mu      sync.Mutex // guards the registry, fleet-wide accounting and journal
+	journal *store.Store
 	devices map[string]*dev
 	order   []string // sorted device IDs
 	nextID  int
@@ -346,8 +353,22 @@ func (m *Manager) Register(cfg DeviceConfig) (DeviceView, error) {
 		score:  LostStaleness,
 	}
 	// Keep the instrument clock aligned with the fleet clock for devices
-	// registered mid-run.
+	// registered mid-run. Persist before inserting: a device the journal
+	// cannot remember would silently lose its calibration lineage on the
+	// next restart, so a failed journal write fails the registration.
 	d.inst.Advance(time.Duration(m.now * float64(time.Second)))
+	if m.journal != nil {
+		data, err := json.Marshal(d.persistSnapshot())
+		if err == nil {
+			err = m.journal.Put(store.KindFleetDevice, d.id, data)
+		}
+		if err == nil {
+			err = m.journal.Put(store.KindFleetClock, "", m.clockSnapshotLocked())
+		}
+		if err != nil {
+			return DeviceView{}, err
+		}
+	}
 	m.devices[id] = d
 	m.order = append(m.order, id)
 	sort.Strings(m.order)
@@ -605,7 +626,12 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 	m.mu.Lock()
 	m.skippedBudget += rep.SkippedBudget
 	m.mu.Unlock()
-	return rep, recalErr
+	if recalErr != nil {
+		return rep, recalErr
+	}
+	// Journal the advanced clock and window accounting so a restart resumes
+	// the budget window (and tick cadence) where this tick left it.
+	return rep, m.saveClock()
 }
 
 // account charges actually-spent probes to the window and fleet totals.
@@ -660,9 +686,10 @@ func (m *Manager) checkDevice(ctx context.Context, d *dev, now float64) error {
 		d.score = LostStaleness
 		d.scoreT = now
 		d.lostEvents++
-		d.pushEvent(m.pol, Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, Err: err.Error()})
+		ev := Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, Err: err.Error()}
+		d.pushEvent(m.pol, ev)
 		m.bumpLost()
-		return nil
+		return m.persistDeviceEvent(d, ev)
 	}
 	d.lost = false
 	d.score = m.scoreResult(d, vr)
@@ -670,9 +697,24 @@ func (m *Manager) checkDevice(ctx context.Context, d *dev, now float64) error {
 	if d.score > d.maxFinite {
 		d.maxFinite = d.score
 	}
-	d.pushEvent(m.pol, Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, OK: d.score < m.pol.StaleThreshold})
+	ev := Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, OK: d.score < m.pol.StaleThreshold}
+	d.pushEvent(m.pol, ev)
 	m.bumpCheck(d.score)
-	return nil
+	return m.persistDeviceEvent(d, ev)
+}
+
+// persistDeviceEvent journals a device's updated state and the event that
+// produced it; callers hold d.mu. A nil journal is a no-op; a journal error
+// is an infrastructure fault that aborts the tick, like an instrument
+// fault.
+func (m *Manager) persistDeviceEvent(d *dev, ev Event) error {
+	if m.journalStore() == nil {
+		return nil
+	}
+	if err := m.saveDevice(d); err != nil {
+		return err
+	}
+	return m.saveEvent(d.id, ev)
 }
 
 // scoreResult turns a verify outcome into a staleness score; callers hold
@@ -717,9 +759,10 @@ func (m *Manager) calibrateDevice(ctx context.Context, d *dev, now float64, forc
 		d.attempts++
 		d.lastAttemptT = now
 		d.failedCals++
-		d.pushEvent(m.pol, Event{T: now, Kind: "calibrate-failed", Staleness: d.score, Probes: probes, Err: err.Error()})
+		fev := Event{T: now, Kind: "calibrate-failed", Staleness: d.score, Probes: probes, Err: err.Error()}
+		d.pushEvent(m.pol, fev)
 		m.bumpFailed()
-		return nil
+		return m.persistDeviceEvent(d, fev)
 	}
 	d.matrix = cr.Matrix
 	d.steep, d.shallow = cr.SteepSlope, cr.ShallowSlope
@@ -776,7 +819,7 @@ func (m *Manager) calibrateDevice(ctx context.Context, d *dev, now float64, forc
 	ev.Probes = probes
 	d.pushEvent(m.pol, ev)
 	m.bumpCalibration(first, force)
-	return nil
+	return m.persistDeviceEvent(d, ev)
 }
 
 // pushEvent appends to the bounded history; callers hold d.mu.
@@ -851,6 +894,9 @@ func (m *Manager) ForceRecalibrate(ctx context.Context, id string) (Event, error
 	m.account(d.phaseProbes)
 	if len(d.history) == 0 {
 		return Event{}, errors.New("fleet: no event recorded")
+	}
+	if err := m.saveClock(); err != nil {
+		return Event{}, err
 	}
 	return d.history[len(d.history)-1], nil
 }

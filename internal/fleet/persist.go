@@ -1,0 +1,263 @@
+package fleet
+
+// Durable fleet state. The manager persists through internal/store: one
+// KindFleetDevice record per device (full calibration state, superseded on
+// every event), one KindFleetClock record (virtual clock, budget window and
+// fleet-wide counters), and an append-only KindFleetEvent audit record per
+// calibration-history event. AttachStore restores all of it on restart, so
+// staleness scores, cooldowns and hysteresis evidence survive a daemon
+// bounce instead of forcing every device through full re-extraction.
+//
+// What restore reproduces is the manager's decision state, not the noise
+// realisation: a restored device is rebuilt from its spec with the virtual
+// clock advanced to the persisted fleet time, so its drift processes resume
+// at the right epoch, but call-count-driven noise (white noise RNG streams)
+// restarts its sequence. Every scheduling decision — who is stale, who is
+// cooling down, what the budget window has spent — is restored exactly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/virtualgate"
+)
+
+// persistedDevice is the journal form of one device's calibration state.
+type persistedDevice struct {
+	ID     string               `json:"id"`
+	Weight float64              `json:"weight"`
+	Spec   device.DoubleDotSpec `json:"spec"`
+
+	HasCal         bool             `json:"hasCal"`
+	Matrix         virtualgate.Mat2 `json:"matrix"`
+	KneeV1         float64          `json:"kneeV1"`
+	KneeV2         float64          `json:"kneeV2"`
+	Steep          float64          `json:"steep"`
+	Shallow        float64          `json:"shallow"`
+	BaseSteep      []float64        `json:"baseSteep,omitempty"`
+	BaseShallow    []float64        `json:"baseShallow,omitempty"`
+	Score          float64          `json:"score"`
+	ScoreT         float64          `json:"scoreT"`
+	Lost           bool             `json:"lost"`
+	LastCalT       float64          `json:"lastCalT"`
+	LastAttemptT   float64          `json:"lastAttemptT"`
+	LastCheckT     float64          `json:"lastCheckT"`
+	Attempts       int              `json:"attempts"`
+	MaxFinite      float64          `json:"maxFinite"`
+	Checks         int              `json:"checks"`
+	Calibrations   int              `json:"calibrations"`
+	Forced         int              `json:"forced"`
+	FailedCals     int              `json:"failedCals"`
+	LostEvents     int              `json:"lostEvents"`
+	Probes         int              `json:"probes"`
+	BudgetDeferred int              `json:"budgetDeferred"`
+	History        []Event          `json:"history,omitempty"`
+}
+
+// persistedClock is the journal form of the manager's fleet-wide state.
+type persistedClock struct {
+	Now             float64 `json:"now"`
+	WindowStart     float64 `json:"windowStart"`
+	BudgetUsed      int     `json:"budgetUsed"`
+	NextID          int     `json:"nextID"`
+	Checks          int     `json:"checks"`
+	Calibrations    int     `json:"calibrations"`
+	Recalibrations  int     `json:"recalibrations"`
+	Forced          int     `json:"forced"`
+	FailedCals      int     `json:"failedCals"`
+	LostEvents      int     `json:"lostEvents"`
+	ProbesSpent     int     `json:"probesSpent"`
+	MaxWindowProbes int     `json:"maxWindowProbes"`
+	SkippedBudget   int     `json:"skippedBudget"`
+	WorstStaleness  float64 `json:"worstStaleness"`
+}
+
+// persistSnapshot renders the device's journal record; callers hold d.mu.
+func (d *dev) persistSnapshot() persistedDevice {
+	return persistedDevice{
+		ID: d.id, Weight: d.weight, Spec: d.spec,
+		HasCal: d.hasCal, Matrix: d.matrix,
+		KneeV1: d.kneeV1, KneeV2: d.kneeV2, Steep: d.steep, Shallow: d.shallow,
+		BaseSteep:   append([]float64(nil), d.baseSteep...),
+		BaseShallow: append([]float64(nil), d.baseShallow...),
+		Score:       d.score, ScoreT: d.scoreT, Lost: d.lost,
+		LastCalT: d.lastCalT, LastAttemptT: d.lastAttemptT, LastCheckT: d.lastCheckT,
+		Attempts: d.attempts, MaxFinite: d.maxFinite,
+		Checks: d.checks, Calibrations: d.calibrations, Forced: d.forced,
+		FailedCals: d.failedCals, LostEvents: d.lostEvents, Probes: d.probes,
+		BudgetDeferred: d.budgetDeferred,
+		History:        append([]Event(nil), d.history...),
+	}
+}
+
+// restore builds a dev from its journal record, with the instrument clock
+// advanced to the fleet's restored virtual time.
+func (p persistedDevice) restore(now float64) (*dev, error) {
+	inst, win, err := p.Spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: restoring %q: %w", p.ID, err)
+	}
+	d := &dev{
+		id: p.ID, weight: p.Weight, spec: p.Spec,
+		inst: inst, win: win,
+		hasCal: p.HasCal, matrix: p.Matrix,
+		kneeV1: p.KneeV1, kneeV2: p.KneeV2, steep: p.Steep, shallow: p.Shallow,
+		baseSteep: p.BaseSteep, baseShallow: p.BaseShallow,
+		score: p.Score, scoreT: p.ScoreT, lost: p.Lost,
+		lastCalT: p.LastCalT, lastAttemptT: p.LastAttemptT, lastCheckT: p.LastCheckT,
+		attempts: p.Attempts, maxFinite: p.MaxFinite,
+		checks: p.Checks, calibrations: p.Calibrations, forced: p.Forced,
+		failedCals: p.FailedCals, lostEvents: p.LostEvents, probes: p.Probes,
+		budgetDeferred: p.BudgetDeferred,
+		history:        p.History,
+	}
+	d.inst.Advance(time.Duration(now * float64(time.Second)))
+	return d, nil
+}
+
+// AttachStore restores the manager's state from st — the virtual clock,
+// budget window, fleet-wide counters, and every persisted device with its
+// staleness score, cooldown timestamps and history ring — and then keeps st
+// as the journal: every subsequent calibration event is persisted as it
+// happens. Call before the first Tick; restored devices must not collide
+// with ones already registered.
+func (m *Manager) AttachStore(st *store.Store) error {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if data, ok := st.Get(store.KindFleetClock, ""); ok {
+		var pc persistedClock
+		if err := json.Unmarshal(data, &pc); err != nil {
+			return fmt.Errorf("fleet: clock record: %w", err)
+		}
+		m.now = pc.Now
+		m.windowStart = pc.WindowStart
+		m.budgetUsed = pc.BudgetUsed
+		m.nextID = pc.NextID
+		m.checks = pc.Checks
+		m.calibrations = pc.Calibrations
+		m.recalibrations = pc.Recalibrations
+		m.forced = pc.Forced
+		m.failedCals = pc.FailedCals
+		m.lostEvents = pc.LostEvents
+		m.probesSpent = pc.ProbesSpent
+		m.maxWindowProbes = pc.MaxWindowProbes
+		m.skippedBudget = pc.SkippedBudget
+		m.worstStaleness = pc.WorstStaleness
+	}
+	for _, rec := range st.Records(store.KindFleetDevice) {
+		var pd persistedDevice
+		if err := json.Unmarshal(rec.Data, &pd); err != nil {
+			return fmt.Errorf("fleet: device record %q: %w", rec.Key, err)
+		}
+		if _, dup := m.devices[pd.ID]; dup {
+			return fmt.Errorf("fleet: restored device %q collides with a registered one", pd.ID)
+		}
+		d, err := pd.restore(m.now)
+		if err != nil {
+			return err
+		}
+		// The journal keeps the full event log; the restored in-memory ring
+		// re-applies the current cap.
+		if over := len(d.history) - m.pol.HistoryCap; over > 0 {
+			d.history = append([]Event(nil), d.history[over:]...)
+		}
+		m.devices[pd.ID] = d
+		m.order = append(m.order, pd.ID)
+	}
+	sort.Strings(m.order)
+	m.journal = st
+	return nil
+}
+
+// journalStore returns the attached journal (nil when not persisting).
+func (m *Manager) journalStore() *store.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journal
+}
+
+// saveDevice persists a device's current state; callers hold d.mu.
+func (m *Manager) saveDevice(d *dev) error {
+	st := m.journalStore()
+	if st == nil {
+		return nil
+	}
+	data, err := json.Marshal(d.persistSnapshot())
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := st.Put(store.KindFleetDevice, d.id, data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// saveEvent appends one calibration event to the journal's audit log;
+// callers hold d.mu.
+func (m *Manager) saveEvent(id string, ev Event) error {
+	st := m.journalStore()
+	if st == nil {
+		return nil
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return st.Put(store.KindFleetEvent, id, data)
+}
+
+// clockSnapshotLocked marshals the fleet-wide clock and counters; callers
+// hold m.mu. Every field is a finite number, so the encoding cannot fail.
+func (m *Manager) clockSnapshotLocked() []byte {
+	pc := persistedClock{
+		Now: m.now, WindowStart: m.windowStart, BudgetUsed: m.budgetUsed,
+		NextID: m.nextID,
+		Checks: m.checks, Calibrations: m.calibrations, Recalibrations: m.recalibrations,
+		Forced: m.forced, FailedCals: m.failedCals, LostEvents: m.lostEvents,
+		ProbesSpent: m.probesSpent, MaxWindowProbes: m.maxWindowProbes,
+		SkippedBudget: m.skippedBudget, WorstStaleness: m.worstStaleness,
+	}
+	data, _ := json.Marshal(pc)
+	return data
+}
+
+// saveClock persists the fleet-wide clock and counters.
+func (m *Manager) saveClock() error {
+	m.mu.Lock()
+	st := m.journal
+	data := m.clockSnapshotLocked()
+	m.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Put(store.KindFleetClock, "", data)
+}
+
+// JournalHistory returns a device's persisted event log from the attached
+// journal, oldest first — the full record behind the bounded in-memory ring
+// History serves. With no journal attached it reports false.
+func (m *Manager) JournalHistory(id string) ([]Event, bool) {
+	st := m.journalStore()
+	if st == nil {
+		return nil, false
+	}
+	var out []Event
+	for _, rec := range st.Records(store.KindFleetEvent) {
+		if rec.Key != id {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(rec.Data, &ev); err != nil {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out, true
+}

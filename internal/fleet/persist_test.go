@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/store"
+)
+
+func attachedManager(t *testing.T, dir string, pol Policy) (*Manager, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sched.New(2), pol)
+	if err := m.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+// TestRestartRestoresFleetState runs a journaled fleet for a few virtual
+// hours, abandons the manager without any clean shutdown (the journal is
+// written append-by-append, so this is the kill scenario), and restores a
+// fresh manager from the same directory: every scheduling-relevant field —
+// staleness score, cooldown timestamps, hysteresis evidence, budget window,
+// counters, history — must come back exactly.
+func TestRestartRestoresFleetState(t *testing.T) {
+	dir := t.TempDir()
+	pol := Policy{CheckInterval: 1800, Budget: 50000}
+	m1, _ := attachedManager(t, dir, pol)
+	for _, cfg := range []DeviceConfig{wanderingSpec(t, 2), quietSpec(t, 0)} {
+		if _, err := m1.Register(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runTicks(t, m1, 36, 300) // three virtual hours
+	before := m1.Status()
+	hist1, ok := m1.History("wander")
+	if !ok || len(hist1) == 0 {
+		t.Fatal("no wander history before restart")
+	}
+	// No Close, no flush: the manager is simply abandoned.
+
+	m2, st2 := attachedManager(t, dir, pol)
+	defer st2.Close()
+	after := m2.Status()
+
+	if after.Now != before.Now {
+		t.Fatalf("clock: %v != %v", after.Now, before.Now)
+	}
+	if after.BudgetUsed != before.BudgetUsed || after.ProbesSpent != before.ProbesSpent {
+		t.Fatalf("budget: used %d/%d, spent %d/%d", after.BudgetUsed, before.BudgetUsed, after.ProbesSpent, before.ProbesSpent)
+	}
+	if after.Checks != before.Checks || after.Calibrations != before.Calibrations ||
+		after.Recalibrations != before.Recalibrations || after.LostEvents != before.LostEvents {
+		t.Fatalf("counters diverged: %+v vs %+v", after, before)
+	}
+	if len(after.Devices) != len(before.Devices) {
+		t.Fatalf("%d devices restored, want %d", len(after.Devices), len(before.Devices))
+	}
+	for i, dv := range after.Devices {
+		want := before.Devices[i]
+		if dv.ID != want.ID || dv.State != want.State || dv.Staleness != want.Staleness ||
+			dv.LastCalT != want.LastCalT || dv.LastCheckT != want.LastCheckT ||
+			dv.Calibrations != want.Calibrations || dv.Probes != want.Probes ||
+			dv.A12 != want.A12 || dv.A21 != want.A21 {
+			t.Fatalf("device %s restored as %+v, want %+v", want.ID, dv, want)
+		}
+	}
+	hist2, ok := m2.History("wander")
+	if !ok || len(hist2) != len(hist1) {
+		t.Fatalf("history: %d events restored, want %d", len(hist2), len(hist1))
+	}
+	for i := range hist1 {
+		if hist2[i] != hist1[i] {
+			t.Fatalf("history[%d] = %+v, want %+v", i, hist2[i], hist1[i])
+		}
+	}
+	jh, ok := m2.JournalHistory("wander")
+	if !ok || len(jh) < len(hist1) {
+		t.Fatalf("journal history: %d events, want >= %d", len(jh), len(hist1))
+	}
+
+	// The restored fleet must keep running: cooldowns and check intervals
+	// continue from the restored clock, not from zero.
+	runTicks(t, m2, 6, 300)
+	if got := m2.Now(); got != before.Now+6*300 {
+		t.Fatalf("clock resumed at %v, want %v", got, before.Now+6*300)
+	}
+}
+
+// TestRestartPreservesHysteresis pins the restart-specific failure the
+// store exists to prevent: a freshly restored healthy device must NOT be
+// re-extracted on the first tick after restart (it is calibrated, fresh and
+// inside its cooldown), and an uncalibrated fleet restored mid-bringup must
+// still calibrate.
+func TestRestartPreservesHysteresis(t *testing.T) {
+	dir := t.TempDir()
+	pol := Policy{CheckInterval: 1800}
+	m1, _ := attachedManager(t, dir, pol)
+	if _, err := m1.Register(quietSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, m1, 12, 300) // one hour: initial calibration + a check or two
+	calsBefore := m1.Status().Calibrations
+	if calsBefore != 1 {
+		t.Fatalf("want exactly the initial calibration, got %d", calsBefore)
+	}
+
+	m2, st2 := attachedManager(t, dir, pol)
+	defer st2.Close()
+	rep, err := m2.Tick(context.Background(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recalibrated) != 0 {
+		t.Fatalf("restored healthy device re-extracted immediately: %v", rep.Recalibrated)
+	}
+	st := m2.Status()
+	if st.Calibrations != 1 || st.Recalibrations != 0 {
+		t.Fatalf("calibrations after restart tick = %d/%d, want 1/0", st.Calibrations, st.Recalibrations)
+	}
+}
+
+// TestAttachStoreCollision rejects restoring over an already-registered ID.
+func TestAttachStoreCollision(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := attachedManager(t, dir, Policy{})
+	if _, err := m1.Register(quietSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	m2 := New(sched.New(1), Policy{})
+	if _, err := m2.Register(quietSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.AttachStore(st2); err == nil {
+		t.Fatal("want collision error")
+	}
+}
+
+// TestAutoIDsResumeAfterRestart: auto-assigned device IDs must not collide
+// with restored ones.
+func TestAutoIDsResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := attachedManager(t, dir, Policy{})
+	spec := quietSpec(t, 0)
+	spec.ID = ""
+	if _, err := m1.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, st2 := attachedManager(t, dir, Policy{})
+	defer st2.Close()
+	spec2 := quietSpec(t, 1)
+	spec2.ID = ""
+	dv, err := m2.Register(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.ID != "dev-002" {
+		t.Fatalf("auto ID after restart = %q, want dev-002", dv.ID)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/fleet"
@@ -31,6 +32,7 @@ import (
 //	GET  /v1/fleet                              fleet status (devices in ID order)
 //	GET  /v1/fleet/devices/{id}                 one device's snapshot
 //	GET  /v1/fleet/devices/{id}/history         calibration history, oldest first
+//	                                            (?limit=N newest N, ?journal=1 full persisted log)
 //	POST /v1/fleet/devices/{id}/recalibrate     force an immediate re-extraction
 //	POST /v1/fleet/tick                         advance the virtual clock {advanceS, ticks?}
 //
@@ -125,13 +127,18 @@ func (s *Service) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
-		reply(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"cache":     st.Cache,
 			"hitRate":   st.Cache.HitRate(),
 			"scheduler": st.Scheduler,
 			"jobs":      st.Jobs,
 			"sessions":  st.Sessions,
-		})
+		}
+		if st.Store != nil {
+			body["store"] = st.Store
+			body["persistErrs"] = st.PersistErrs
+		}
+		reply(w, http.StatusOK, body)
 	})
 
 	mux.HandleFunc("POST /v1/fleet/devices", func(w http.ResponseWriter, r *http.Request) {
@@ -160,11 +167,35 @@ func (s *Service) Handler() http.Handler {
 		reply(w, http.StatusOK, dv)
 	})
 
+	// History serves the bounded in-memory ring (Policy.HistoryCap, default
+	// 128 events). ?journal=1 reads the full persisted event log from the
+	// journal instead (durable services only); ?limit=N keeps the newest N.
 	mux.HandleFunc("GET /v1/fleet/devices/{id}/history", func(w http.ResponseWriter, r *http.Request) {
-		evs, ok := s.fleet.History(r.PathValue("id"))
-		if !ok {
-			fail(w, http.StatusNotFound, fmt.Errorf("unknown fleet device %q", r.PathValue("id")))
+		id := r.PathValue("id")
+		var evs []fleet.Event
+		var ok bool
+		if r.URL.Query().Get("journal") != "" {
+			if evs, ok = s.fleet.JournalHistory(id); !ok {
+				fail(w, http.StatusBadRequest, errors.New("no journal attached: start the service with a data dir"))
+				return
+			}
+			if _, known := s.fleet.Device(id); !known {
+				fail(w, http.StatusNotFound, fmt.Errorf("unknown fleet device %q", id))
+				return
+			}
+		} else if evs, ok = s.fleet.History(id); !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown fleet device %q", id))
 			return
+		}
+		if lim := r.URL.Query().Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil || n < 0 {
+				fail(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", lim))
+				return
+			}
+			if n < len(evs) {
+				evs = evs[len(evs)-n:]
+			}
 		}
 		reply(w, http.StatusOK, map[string]any{"events": evs})
 	})

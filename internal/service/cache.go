@@ -129,6 +129,15 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() (*Result, er
 	}
 }
 
+// seed inserts a restored result without touching the hit/miss accounting —
+// the journal warm start. Seed in journal write order (oldest first) so the
+// LRU order after a restart matches the order before it.
+func (c *resultCache) seed(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, res)
+}
+
 // Get returns the cached result for key without computing anything.
 func (c *resultCache) Get(key string) (*Result, bool) {
 	c.mu.Lock()

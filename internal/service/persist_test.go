@@ -1,0 +1,239 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/fleet"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/trace"
+	"github.com/fastvg/fastvg/internal/xrand"
+)
+
+func persistSpec(seed uint64) *device.DoubleDotSpec {
+	return &device.DoubleDotSpec{
+		Pixels: 64, Seed: seed,
+		Noise: noise.Params{WhiteSigma: 0.01, PinkAmp: 0.01},
+	}
+}
+
+// TestKillRestartServesFromJournal is the acceptance round trip: a durable
+// service executes requests and runs fleet ticks, is then abandoned with NO
+// clean shutdown (the kill scenario — journal appends hit the file as they
+// happen), and a fresh service on the same data dir must serve the same
+// requests as cache hits with zero new extractions, with fleet per-device
+// staleness/cooldown state restored.
+func TestKillRestartServesFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []Request{
+		{Kind: KindFast, Sim: persistSpec(3)},
+		{Kind: KindRays, Sim: persistSpec(4)},
+		{Kind: KindAdaptive, Sim: persistSpec(5)},
+	}
+
+	svc1, err := New(Config{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want := make([]*Result, len(reqs))
+	for i, req := range reqs {
+		if want[i], err = svc1.Run(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fleet traffic on the same journal.
+	spec, err := fleet.ProfileSpec(fleet.ProfileWandering, xrand.DeriveSeed(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc1.Fleet().Register(fleet.DeviceConfig{ID: "wander", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := svc1.Fleet().Tick(ctx, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleetBefore, ok := svc1.Fleet().Device("wander")
+	if !ok || !fleetBefore.Calibrated {
+		t.Fatalf("fleet device not calibrated before kill: %+v", fleetBefore)
+	}
+	// Killed: svc1 is abandoned without Close.
+
+	svc2, err := New(Config{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close(ctx)
+	for i, req := range reqs {
+		res, err := svc2.Run(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("request %d not served from the warm-started cache", i)
+		}
+		if math.Float64bits(res.A12) != math.Float64bits(want[i].A12) ||
+			math.Float64bits(res.A21) != math.Float64bits(want[i].A21) ||
+			math.Float64bits(res.SteepSlope) != math.Float64bits(want[i].SteepSlope) {
+			t.Fatalf("request %d: restored result differs: %+v vs %+v", i, res, want[i])
+		}
+	}
+	st := svc2.Stats()
+	if st.Cache.Misses != 0 || st.Cache.Hits != int64(len(reqs)) {
+		t.Fatalf("cache after restart: %+v, want %d hits / 0 misses", st.Cache, len(reqs))
+	}
+	if st.Store == nil || st.Store.LoadedRecords == 0 {
+		t.Fatalf("store stats missing: %+v", st.Store)
+	}
+
+	fleetAfter, ok := svc2.Fleet().Device("wander")
+	if !ok {
+		t.Fatal("fleet device not restored")
+	}
+	if fleetAfter.Staleness != fleetBefore.Staleness || fleetAfter.State != fleetBefore.State ||
+		fleetAfter.LastCalT != fleetBefore.LastCalT || fleetAfter.LastCheckT != fleetBefore.LastCheckT ||
+		fleetAfter.Calibrations != fleetBefore.Calibrations {
+		t.Fatalf("fleet state not restored: %+v vs %+v", fleetAfter, fleetBefore)
+	}
+	if now := svc2.Fleet().Now(); now != 8*300 {
+		t.Fatalf("fleet clock restored to %v, want %v", now, 8*300)
+	}
+}
+
+// TestRecordedTraceReplaysByteIdentical runs extractions with trace
+// recording on, then replays each trace: the reproduced virtual-gate matrix
+// must be byte-identical with zero live-instrument probes.
+func TestRecordedTraceReplaysByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{Workers: 2, DataDir: dir, RecordTraces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	reqs := []Request{
+		{Kind: KindFast, Sim: persistSpec(7)},
+		{Kind: KindRays, Sim: persistSpec(8)},
+		{Kind: KindVerify, Sim: persistSpec(9)},
+	}
+	for _, req := range reqs {
+		if _, err := svc.Run(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	paths, err := trace.List(dir + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(reqs) {
+		t.Fatalf("%d traces recorded, want %d", len(paths), len(reqs))
+	}
+	for _, p := range paths {
+		out, err := ReplayTrace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.LiveProbes != 0 {
+			t.Fatalf("%s: %d live probes during replay", p, out.LiveProbes)
+		}
+		if !out.Match {
+			t.Fatalf("%s: replay mismatch: diffs=%v replayErr=%q", p, out.Diffs, out.ReplayErr)
+		}
+		if math.Float64bits(out.Reproduced.A12) != math.Float64bits(out.Recorded.A12) ||
+			math.Float64bits(out.Reproduced.A21) != math.Float64bits(out.Recorded.A21) {
+			t.Fatalf("%s: matrix not byte-identical", p)
+		}
+	}
+}
+
+// TestSessionTraceReplays covers the stateful-instrument case: a session
+// job's trace records absolute instrument time, and replay reproduces the
+// deltas exactly.
+func TestSessionTraceReplays(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{Workers: 2, DataDir: dir, RecordTraces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := svc.Registry().OpenSim(*persistSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two jobs on the same session: the second starts with warm memo state
+	// and a non-zero virtual clock.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Run(ctx, Request{Kind: KindFast, Session: sess.ID()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := trace.List(dir + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("%d traces, want 2", len(paths))
+	}
+	for _, p := range paths {
+		out, err := ReplayTrace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Match {
+			t.Fatalf("%s: session replay mismatch: %v %q", p, out.Diffs, out.ReplayErr)
+		}
+	}
+}
+
+// TestReplayJournal re-executes journaled extractions from scratch.
+func TestReplayJournal(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.Run(ctx, Request{Kind: KindFast, Sim: persistSpec(13)}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.Registry().OpenSim(*persistSpec(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(ctx, Request{Kind: KindFast, Session: sess.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	outs, err := ReplayJournal(ctx, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session job is uncacheable, so exactly the sim extraction was
+	// journaled.
+	if len(outs) != 1 {
+		t.Fatalf("%d journal outcomes, want 1", len(outs))
+	}
+	if !outs[0].Match {
+		t.Fatalf("journal replay mismatch: %+v", outs[0])
+	}
+}
+
+// TestRecordTracesRequiresDataDir pins the config invariant.
+func TestRecordTracesRequiresDataDir(t *testing.T) {
+	if _, err := New(Config{RecordTraces: true}); err == nil {
+		t.Fatal("want error for RecordTraces without DataDir")
+	}
+}

@@ -1,0 +1,232 @@
+package service
+
+// Persistence glue and offline replay. A durable service journals every
+// fresh cacheable result as a cacheRecord (the normalized request plus its
+// result, so the extraction can be re-executed from the journal alone) and,
+// when trace recording is on, writes a probe trace per executed extraction.
+// ReplayTrace re-executes a trace against the recorded samples — zero
+// live-instrument probes — and ReplayJournal re-executes journaled requests
+// against fresh instruments; both diff the reproduced result against the
+// recorded one field by field, requiring bit-identical floats.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/qflow"
+	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/trace"
+)
+
+// cacheRecord is the journal form of one result-cache entry.
+type cacheRecord struct {
+	Request Request `json:"request"`
+	Result  *Result `json:"result"`
+}
+
+// persistResult journals a fresh cacheable result. Failures are counted,
+// not propagated: the in-memory result is correct regardless.
+func (s *Service) persistResult(nreq Request, hash string, res *Result) {
+	data, err := json.Marshal(cacheRecord{Request: nreq, Result: res})
+	if err == nil {
+		err = s.store.Put(store.KindCacheEntry, hash, data)
+	}
+	if err != nil {
+		s.persistErrs.Add(1)
+	}
+}
+
+// writeTrace renders and writes the probe trace of one executed extraction.
+func (s *Service) writeTrace(rec *trace.Recorder, nreq Request, hash string, win csd.Window, truth *qflow.Truth, res *Result) error {
+	reqJSON, err := json.Marshal(nreq)
+	if err != nil {
+		return err
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	meta := trace.Meta{
+		Hash:             hash,
+		Request:          reqJSON,
+		Result:           resJSON,
+		Window:           win,
+		BaseUniqueProbes: rec.Base().UniqueProbes,
+		BaseRawCalls:     rec.Base().RawCalls,
+		BaseVirtualNS:    int64(rec.Base().Virtual),
+	}
+	if truth != nil {
+		meta.Truth = &trace.Truth{Steep: truth.SteepSlope, Shallow: truth.ShallowSlope}
+	}
+	_, err = trace.Write(s.traceDir, meta, rec.Samples())
+	return err
+}
+
+// ReplayOutcome is the result of re-executing one recorded extraction.
+type ReplayOutcome struct {
+	Source string `json:"source"` // trace path, or "journal:<hash>"
+	Kind   Kind   `json:"kind"`
+	Hash   string `json:"hash"`
+	// Skipped marks entries that cannot replay offline (session targets in
+	// the journal: their instrument state lived in the dead process).
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skipReason,omitempty"`
+	// Match is true when the reproduced result is identical to the recorded
+	// one on every comparable field (bit-identical floats) and, for traces,
+	// the replay consumed the recorded samples exactly.
+	Match bool     `json:"match"`
+	Diffs []string `json:"diffs,omitempty"`
+	// ReplayErr reports a trace divergence: a probe the recording never
+	// made, or recorded samples the re-execution never requested.
+	ReplayErr string `json:"replayErr,omitempty"`
+	// LiveProbes counts probes against a live instrument during the replay:
+	// always 0 for trace replays (the replayer serves recorded samples),
+	// and the re-execution's own probe count for journal replays.
+	LiveProbes int     `json:"liveProbes"`
+	Recorded   *Result `json:"recorded,omitempty"`
+	Reproduced *Result `json:"reproduced,omitempty"`
+}
+
+// fdiff reports a float field difference requiring bit-identity, so +0/-0
+// and NaN patterns are compared exactly, not numerically.
+func fdiff(diffs []string, name string, got, want float64) []string {
+	if math.Float64bits(got) != math.Float64bits(want) {
+		return append(diffs, fmt.Sprintf("%s: %v != recorded %v", name, got, want))
+	}
+	return diffs
+}
+
+// CompareResults diffs a reproduced result against the recorded one over
+// every deterministic field — the matrix (bit-identical floats), probe and
+// virtual-time accounting, scoring and pipeline error — ignoring wall-clock
+// compute time and the per-retrieval Cached flag. Empty means identical.
+func CompareResults(reproduced, recorded *Result) []string {
+	var diffs []string
+	if reproduced.Kind != recorded.Kind {
+		diffs = append(diffs, fmt.Sprintf("kind: %s != recorded %s", reproduced.Kind, recorded.Kind))
+	}
+	if reproduced.Error != recorded.Error {
+		diffs = append(diffs, fmt.Sprintf("error: %q != recorded %q", reproduced.Error, recorded.Error))
+	}
+	diffs = fdiff(diffs, "steepSlope", reproduced.SteepSlope, recorded.SteepSlope)
+	diffs = fdiff(diffs, "shallowSlope", reproduced.ShallowSlope, recorded.ShallowSlope)
+	diffs = fdiff(diffs, "a12", reproduced.A12, recorded.A12)
+	diffs = fdiff(diffs, "a21", reproduced.A21, recorded.A21)
+	diffs = fdiff(diffs, "tripleV1", reproduced.TripleV1, recorded.TripleV1)
+	diffs = fdiff(diffs, "tripleV2", reproduced.TripleV2, recorded.TripleV2)
+	if reproduced.Probes != recorded.Probes {
+		diffs = append(diffs, fmt.Sprintf("probes: %d != recorded %d", reproduced.Probes, recorded.Probes))
+	}
+	diffs = fdiff(diffs, "experimentS", reproduced.ExperimentS, recorded.ExperimentS)
+	if reproduced.Scored != recorded.Scored || reproduced.Success != recorded.Success {
+		diffs = append(diffs, fmt.Sprintf("scoring: %v/%v != recorded %v/%v",
+			reproduced.Scored, reproduced.Success, recorded.Scored, recorded.Success))
+	}
+	if (reproduced.Window == nil) != (recorded.Window == nil) {
+		diffs = append(diffs, "window presence differs")
+	} else if reproduced.Window != nil && *reproduced.Window != *recorded.Window {
+		diffs = append(diffs, "window differs")
+	}
+	if (reproduced.Verify == nil) != (recorded.Verify == nil) {
+		diffs = append(diffs, "verify presence differs")
+	} else if reproduced.Verify != nil && *reproduced.Verify != *recorded.Verify {
+		diffs = append(diffs, "verify report differs")
+	}
+	return diffs
+}
+
+// ReplayTrace re-executes the extraction recorded in the trace file at
+// path: the recorded request runs through the same pipeline code against a
+// replayer serving the recorded probe samples, with zero live-instrument
+// probes, and the reproduced result must come back byte-identical.
+func ReplayTrace(path string) (*ReplayOutcome, error) {
+	meta, samples, err := trace.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	var nreq Request
+	if err := json.Unmarshal(meta.Request, &nreq); err != nil {
+		return nil, fmt.Errorf("service: trace request: %w", err)
+	}
+	var recorded Result
+	if err := json.Unmarshal(meta.Result, &recorded); err != nil {
+		return nil, fmt.Errorf("service: trace result: %w", err)
+	}
+	var truth *qflow.Truth
+	if meta.Truth != nil {
+		truth = &qflow.Truth{SteepSlope: meta.Truth.Steep, ShallowSlope: meta.Truth.Shallow}
+	}
+	rp := trace.NewReplayer(meta, samples)
+	res := &Result{
+		Kind:      nreq.Kind,
+		Benchmark: nreq.Benchmark,
+		Session:   nreq.Session,
+		Hash:      meta.Hash,
+	}
+	out := &ReplayOutcome{Source: path, Kind: nreq.Kind, Hash: meta.Hash, Recorded: &recorded}
+	if err := runPipelines(context.Background(), nreq, rp, meta.Window, truth, res); err != nil {
+		return nil, err
+	}
+	out.Reproduced = res
+	out.Diffs = CompareResults(res, &recorded)
+	if err := rp.Err(); err != nil {
+		out.ReplayErr = err.Error()
+	} else if rem := rp.Remaining(); rem != 0 {
+		out.ReplayErr = fmt.Sprintf("trace: %d recorded samples never replayed", rem)
+	}
+	out.Match = len(out.Diffs) == 0 && out.ReplayErr == ""
+	return out, nil
+}
+
+// ReplayJournal re-executes every extraction journaled under dir against
+// fresh instruments (simulated offline — no cache, no prior state) and
+// diffs each reproduced result against the recorded one. Session-target
+// entries are skipped: their instrument state lived in the recording
+// process. The journal is opened with the usual crash recovery.
+func ReplayJournal(ctx context.Context, dir string, workers int) ([]ReplayOutcome, error) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	recs := st.Records(store.KindCacheEntry)
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	svc, err := New(Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close(context.WithoutCancel(ctx))
+	out := make([]ReplayOutcome, 0, len(recs))
+	for _, rec := range recs {
+		o := ReplayOutcome{Source: "journal:" + rec.Key, Hash: rec.Key}
+		var cr cacheRecord
+		if err := json.Unmarshal(rec.Data, &cr); err != nil || cr.Result == nil {
+			o.Skipped = true
+			o.SkipReason = "unreadable journal entry"
+			out = append(out, o)
+			continue
+		}
+		o.Kind = cr.Request.Kind
+		o.Recorded = cr.Result
+		if cr.Request.Session != "" {
+			o.Skipped = true
+			o.SkipReason = "session target: instrument state not reproducible offline"
+			out = append(out, o)
+			continue
+		}
+		res, err := svc.Run(ctx, cr.Request)
+		if err != nil {
+			return out, err
+		}
+		o.Reproduced = res
+		o.LiveProbes = res.Probes
+		o.Diffs = CompareResults(res, cr.Result)
+		o.Match = len(o.Diffs) == 0
+		out = append(out, o)
+	}
+	return out, nil
+}

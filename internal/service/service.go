@@ -2,10 +2,13 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/autotune"
@@ -19,6 +22,8 @@ import (
 	"github.com/fastvg/fastvg/internal/qflow"
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/trace"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
@@ -31,6 +36,21 @@ type Config struct {
 	// Fleet tunes the fleet calibration manager (staleness thresholds,
 	// probe budget, check cadence); the zero value uses fleet defaults.
 	Fleet fleet.Policy
+
+	// DataDir, when set, makes the service durable: cacheable results and
+	// fleet calibration state are journaled to an internal/store journal
+	// under this directory, and a restarted service warm-starts its result
+	// cache and restores its fleet from it.
+	DataDir string
+	// RecordTraces, with DataDir set, writes a content-addressed probe
+	// trace of every executed extraction under DataDir/traces; cmd/vgxreplay
+	// re-executes them offline. Recording routes probing through the scalar
+	// path (bit-identical to the batch paths by contract, but without their
+	// parallel speed).
+	RecordTraces bool
+	// CompactEvery overrides the journal's appends-between-compactions
+	// cadence; 0 uses the store default.
+	CompactEvery int
 }
 
 // Service is the extraction server core: it schedules jobs on a bounded
@@ -41,8 +61,12 @@ type Service struct {
 	cache      *resultCache
 	reg        *Registry
 	fleet      *fleet.Manager
+	store      *store.Store // nil when not durable
+	traceDir   string       // empty when not recording traces
 	started    time.Time
 	jobHistory int
+
+	persistErrs atomic.Int64 // journal/trace writes that failed (results still served)
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -112,10 +136,18 @@ type Stats struct {
 	Scheduler sched.Stats    `json:"scheduler"`
 	Jobs      map[string]int `json:"jobs"`     // job count per status
 	Sessions  int            `json:"sessions"` // open sessions
+	// Store reports the journal accounting when the service is durable.
+	Store *store.Stats `json:"store,omitempty"`
+	// PersistErrs counts journal/trace writes that failed; results were
+	// still served (durability is best-effort per entry, never blocking).
+	PersistErrs int64 `json:"persistErrs,omitempty"`
 }
 
 // New builds a Service. The registry loads the benchmark suite definitions;
-// no CSDs are generated until jobs need them.
+// no CSDs are generated until jobs need them. With Config.DataDir set the
+// journal is opened (recovering a torn tail if the last process died
+// mid-append), the result cache is warm-started from the persisted entries,
+// and the fleet manager restores its per-device calibration state.
 func New(cfg Config) (*Service, error) {
 	reg, err := NewRegistry()
 	if err != nil {
@@ -126,7 +158,7 @@ func New(cfg Config) (*Service, error) {
 		history = 4096
 	}
 	pool := sched.New(cfg.Workers)
-	return &Service{
+	s := &Service{
 		pool:       pool,
 		cache:      newResultCache(cfg.CacheSize),
 		reg:        reg,
@@ -134,7 +166,35 @@ func New(cfg Config) (*Service, error) {
 		started:    time.Now(),
 		jobHistory: history,
 		jobs:       make(map[string]*job),
-	}, nil
+	}
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{CompactEvery: cfg.CompactEvery})
+		if err != nil {
+			return nil, err
+		}
+		// Warm-start the cache oldest-first so the LRU order matches the
+		// journal's write order; entries past the cache capacity evict in
+		// that same order. Unreadable entries (a future format, a partial
+		// hand edit) are skipped, not fatal.
+		for _, rec := range st.Records(store.KindCacheEntry) {
+			var cr cacheRecord
+			if json.Unmarshal(rec.Data, &cr) != nil || cr.Result == nil {
+				continue
+			}
+			s.cache.seed(rec.Key, cr.Result)
+		}
+		if err := s.fleet.AttachStore(st); err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.store = st
+		if cfg.RecordTraces {
+			s.traceDir = filepath.Join(cfg.DataDir, "traces")
+		}
+	} else if cfg.RecordTraces {
+		return nil, errors.New("service: RecordTraces requires DataDir")
+	}
+	return s, nil
 }
 
 // Registry exposes the instrument registry (sessions, benchmarks).
@@ -147,13 +207,18 @@ func (s *Service) Fleet() *fleet.Manager { return s.fleet }
 
 // Close drains the service for shutdown: the worker pool stops accepting
 // jobs and Close waits (bounded by ctx) for running extractions to finish,
-// then the session registry is emptied. Queued jobs settle as cancelled.
+// then the session registry is emptied and the journal (if any) is flushed
+// to stable storage and closed. Queued jobs settle as cancelled. The
+// journal is closed even when the drain times out — everything appended so
+// far must reach stable storage regardless (a straggler extraction that
+// finishes after the store closed just counts a persist error).
 func (s *Service) Close(ctx context.Context) error {
-	if err := s.pool.Close(ctx); err != nil {
-		return err
-	}
+	errDrain := s.pool.Close(ctx)
 	s.reg.CloseAll()
-	return nil
+	if s.store != nil {
+		return errors.Join(errDrain, s.store.Close())
+	}
+	return errDrain
 }
 
 // Health is the liveness snapshot served at /v1/healthz.
@@ -189,12 +254,18 @@ func (s *Service) Stats() Stats {
 		counts[string(j.view().Status)]++
 	}
 	s.mu.Unlock()
-	return Stats{
-		Cache:     s.cache.Stats(),
-		Scheduler: s.pool.Stats(),
-		Jobs:      counts,
-		Sessions:  s.reg.SessionCount(),
+	st := Stats{
+		Cache:       s.cache.Stats(),
+		Scheduler:   s.pool.Stats(),
+		Jobs:        counts,
+		Sessions:    s.reg.SessionCount(),
+		PersistErrs: s.persistErrs.Load(),
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
+	}
+	return st
 }
 
 // Run executes one request synchronously through the cache and worker pool
@@ -238,6 +309,13 @@ func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStar
 	res, served, err := s.cache.Do(ctx, hash, runPooled)
 	if err != nil {
 		return nil, err
+	}
+	if !served && s.store != nil {
+		// This caller ran the extraction (coalesced waiters see served):
+		// journal the fresh entry so a restarted service serves it from
+		// cache. Persistence failures never fail the request — the result
+		// is correct either way — but they are counted and surfaced.
+		s.persistResult(nreq, hash, res)
 	}
 	if served {
 		// Stamp the retrieval-specific flag on a copy; the cached value is
@@ -440,7 +518,7 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		if err := s.runPipelines(ctx, nreq, inst, b.Window, &b.Truth, res); err != nil {
+		if err := s.runInstrumented(ctx, nreq, hash, inst, b.Window, &b.Truth, res); err != nil {
 			return nil, err
 		}
 	case nreq.Sim != nil:
@@ -449,7 +527,7 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 			return nil, err
 		}
 		truth := qflow.Truth{SteepSlope: nreq.Sim.SteepSlope, ShallowSlope: nreq.Sim.ShallowSlope}
-		if err := s.runPipelines(ctx, nreq, inst, win, &truth, res); err != nil {
+		if err := s.runInstrumented(ctx, nreq, hash, inst, win, &truth, res); err != nil {
 			return nil, err
 		}
 	default:
@@ -459,13 +537,31 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 		}
 		truth := qflow.Truth{SteepSlope: sess.spec.SteepSlope, ShallowSlope: sess.spec.ShallowSlope}
 		err := sess.withInstrument(func(inst *device.SimInstrument, win csd.Window) error {
-			return s.runPipelines(ctx, nreq, inst, win, &truth, res)
+			return s.runInstrumented(ctx, nreq, hash, inst, win, &truth, res)
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// runInstrumented executes the request's pipeline against inst, recording a
+// probe trace around it when trace recording is on. The recorder exposes
+// only the scalar probing contract, so the pipelines fall back to per-probe
+// calls — bit-identical to the batch paths by the internal/device contract.
+func (s *Service) runInstrumented(ctx context.Context, nreq Request, hash string, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
+	if s.traceDir == "" {
+		return runPipelines(ctx, nreq, inst, win, truth, res)
+	}
+	rec := trace.NewRecorder(inst)
+	if err := runPipelines(ctx, nreq, rec, win, truth, res); err != nil {
+		return err
+	}
+	if err := s.writeTrace(rec, nreq, hash, win, truth, res); err != nil {
+		s.persistErrs.Add(1)
+	}
+	return nil
 }
 
 // accountant unifies the instruments' cost tracking.
@@ -477,8 +573,10 @@ type accountant interface {
 // runPipelines dispatches the request kind onto inst and fills res. truth,
 // when non-nil, enables ground-truth scoring. ctx reaches the cancellable
 // stages (today the verify scan loop), so cancelling a job interrupts a
-// long knee sweep between probes.
-func (s *Service) runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
+// long knee sweep between probes. It is a free function — no service state —
+// so trace replay (ReplayTrace) re-executes recorded requests through
+// exactly the code path that produced them.
+func runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
 	before := inst.Stats()
 	src := csd.PixelSource{Src: inst, Win: win}
 	t0 := time.Now()

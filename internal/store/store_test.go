@@ -1,0 +1,306 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(KindCacheEntry, "a", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindCacheEntry, "b", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindFleetClock, "", []byte("clock")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	recs := s2.Records(KindCacheEntry)
+	if len(recs) != 2 || recs[0].Key != "a" || string(recs[0].Data) != "one" ||
+		recs[1].Key != "b" || string(recs[1].Data) != "two" {
+		t.Fatalf("cache records = %v", recs)
+	}
+	if d, ok := s2.Get(KindFleetClock, ""); !ok || string(d) != "clock" {
+		t.Fatalf("clock = %q, %v", d, ok)
+	}
+	if got := s2.Stats().LoadedRecords; got != 3 {
+		t.Fatalf("LoadedRecords = %d, want 3", got)
+	}
+}
+
+func TestSupersedeKeepsWriteOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		for _, k := range []string{"x", "y", "z"} {
+			if err := s.Put(KindCacheEntry, k, []byte(fmt.Sprintf("%s%d", k, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Re-writing x makes it the most recently written.
+	if err := s.Put(KindCacheEntry, "x", []byte("x9")); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Records(KindCacheEntry)
+	if len(recs) != 3 {
+		t.Fatalf("want 3 live records, got %d", len(recs))
+	}
+	want := []struct{ k, v string }{{"y", "y2"}, {"z", "z2"}, {"x", "x9"}}
+	for i, w := range want {
+		if recs[i].Key != w.k || string(recs[i].Data) != w.v {
+			t.Errorf("recs[%d] = %s=%s, want %s=%s", i, recs[i].Key, recs[i].Data, w.k, w.v)
+		}
+	}
+}
+
+func TestAuditKindAppendsAndCaps(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{AuditCap: 8})
+	for i := 0; i < 20; i++ {
+		if err := s.Put(KindFleetEvent, "dev-1", []byte(fmt.Sprintf("ev%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{AuditCap: 8})
+	defer s2.Close()
+	recs := s2.Records(KindFleetEvent)
+	if len(recs) != 8 {
+		t.Fatalf("want AuditCap=8 events after compaction, got %d", len(recs))
+	}
+	if string(recs[0].Data) != "ev12" || string(recs[7].Data) != "ev19" {
+		t.Fatalf("audit window = %s..%s, want ev12..ev19", recs[0].Data, recs[7].Data)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactEvery: 10})
+	for i := 0; i < 35; i++ {
+		if err := s.Put(KindCacheEntry, "k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Compactions; got != 3 {
+		t.Fatalf("Compactions = %d, want 3", got)
+	}
+	// After compaction the log is near-empty and the snapshot holds the one
+	// live record.
+	if sz := s.Stats().LogBytes; sz > 256 {
+		t.Fatalf("log still %d bytes after compaction", sz)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if d, ok := s2.Get(KindCacheEntry, "k"); !ok || string(d) != "v34" {
+		t.Fatalf("k = %q, %v; want v34", d, ok)
+	}
+}
+
+// TestTruncationRecovery is the crash-recovery property test: truncating the
+// journal log at EVERY possible byte offset must yield a clean load of a
+// record prefix — never a panic, an error, or a record that was not written.
+func TestTruncationRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	var want [][]byte
+	for i := 0; i < 12; i++ {
+		data := []byte(fmt.Sprintf("payload-%02d-%s", i, string(make([]byte, i*3))))
+		if err := s.Put(KindCacheEntry, fmt.Sprintf("key-%02d", i), data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, data)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, "journal.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cs, err := Open(cdir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open failed: %v", cut, err)
+		}
+		recs := cs.Records(KindCacheEntry)
+		if len(recs) > len(want) {
+			t.Fatalf("cut %d: %d records from %d written", cut, len(recs), len(want))
+		}
+		for i, r := range recs {
+			if wantKey := fmt.Sprintf("key-%02d", i); r.Key != wantKey || !bytes.Equal(r.Data, want[i]) {
+				t.Fatalf("cut %d: record %d = %q, want %q", cut, i, r.Key, wantKey)
+			}
+		}
+		// The recovered store must accept appends and survive a clean reopen
+		// with both the prefix and the new record intact.
+		if err := cs.Put(KindCacheEntry, "post", []byte("recovered")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		n := len(recs)
+		if err := cs.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		cs2, err := Open(cdir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		recs2 := cs2.Records(KindCacheEntry)
+		if len(recs2) != n+1 || recs2[n].Key != "post" {
+			t.Fatalf("cut %d: reopen lost data: %d records, want %d", cut, len(recs2), n+1)
+		}
+		cs2.Close()
+	}
+}
+
+// TestMidFileCorruption flips a byte inside an early frame: the store must
+// recover the prefix before it rather than fail.
+func TestMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 6; i++ {
+		if err := s.Put(KindCacheEntry, fmt.Sprintf("k%d", i), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "journal.log")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	defer s2.Close()
+	recs := s2.Records(KindCacheEntry)
+	if len(recs) >= 6 {
+		t.Fatalf("corrupt frame survived: %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Key != fmt.Sprintf("k%d", i) {
+			t.Fatalf("prefix broken at %d: %q", i, r.Key)
+		}
+	}
+	if s2.Stats().RecoveredBytes == 0 {
+		t.Error("RecoveredBytes not accounted")
+	}
+}
+
+// TestCrashBetweenSnapshotAndTruncate pins the compaction crash window: if
+// the process dies after the snapshot rename but before the log truncation,
+// the stale pre-compaction log must NOT be replayed over the snapshot — that
+// would duplicate every append-only audit record.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(KindFleetEvent, "dev-1", []byte(fmt.Sprintf("ev%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(KindCacheEntry, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: snapshot the pre-compaction log, compact, then
+	// put the old log back as if Truncate never ran.
+	preLog, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal.log"), preLog, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	evs := s2.Records(KindFleetEvent)
+	if len(evs) != 5 {
+		t.Fatalf("audit records duplicated: %d, want 5", len(evs))
+	}
+	if d, ok := s2.Get(KindCacheEntry, "k"); !ok || string(d) != "v" {
+		t.Fatalf("state record lost: %q, %v", d, ok)
+	}
+	// The restarted log must carry the snapshot's epoch: appends then a
+	// clean reopen keep exactly one copy of everything.
+	if err := s2.Put(KindFleetEvent, "dev-1", []byte("ev5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	if got := len(s3.Records(KindFleetEvent)); got != 6 {
+		t.Fatalf("events after reopen = %d, want 6", got)
+	}
+}
+
+func TestBadMagicFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal.log"), []byte("NOPE\x01\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("want error for wrong magic")
+	}
+}
+
+func TestClosedPutFails(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindCacheEntry, "k", nil); err == nil {
+		t.Fatal("want error on Put after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/service"
+	"github.com/fastvg/fastvg/internal/trace"
 )
 
 // This file is the façade over the extraction service subsystem
@@ -107,3 +108,31 @@ type FleetSummary = fleet.Summary
 func DefaultFleetConfigs(n int, seed uint64) ([]FleetDeviceConfig, error) {
 	return fleet.DefaultFleet(n, seed)
 }
+
+// Persistence & replay: with ServiceConfig.DataDir set the service journals
+// cacheable results and fleet calibration state to an append-only,
+// CRC-framed store (internal/store) and restores both on the next start;
+// with RecordTraces it also records every extraction's probe trace
+// (internal/trace) for offline, zero-probe replay. cmd/vgxd exposes the
+// flags; cmd/vgxreplay re-executes recordings and diffs the matrices.
+
+// ReplayOutcome is the verdict of re-executing one recorded extraction:
+// whether the reproduced result is identical (bit-identical floats) to the
+// recorded one, with field-level diffs when it is not.
+type ReplayOutcome = service.ReplayOutcome
+
+// ReplayTrace re-executes the extraction recorded in a probe-trace file
+// against the recorded samples — zero live-instrument probes — and diffs
+// the reproduced result against the recorded one.
+func ReplayTrace(path string) (*ReplayOutcome, error) { return service.ReplayTrace(path) }
+
+// ReplayJournal re-executes every extraction journaled under a durable
+// service's data dir against fresh instruments and diffs each reproduced
+// result against the journaled one. Session-target entries are skipped.
+func ReplayJournal(ctx context.Context, dataDir string, workers int) ([]ReplayOutcome, error) {
+	return service.ReplayJournal(ctx, dataDir, workers)
+}
+
+// ListTraces returns the probe-trace files under dir (a durable service
+// writes them to <DataDir>/traces), sorted by name.
+func ListTraces(dir string) ([]string, error) { return trace.List(dir) }
