@@ -19,11 +19,19 @@
 //	curl -s localhost:8080/v1/benchmarks
 //	curl -s -X POST localhost:8080/v1/batch -d '{"table1":true}'
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"fast","benchmark":6}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"chain","chainSim":{"dots":8,"seed":5}}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/healthz
 //	curl -s -X POST localhost:8080/v1/fleet/devices -d '{"id":"lab-a","spec":{"seed":5}}'
+//	curl -s -X POST localhost:8080/v1/fleet/devices -d '{"id":"arr-a","chain":{"dots":4,"seed":5}}'
+//	curl -s -X POST localhost:8080/v1/fleet/devices/arr-a/recalibrate?pair=1
 //	curl -s -X POST localhost:8080/v1/fleet/tick -d '{"advanceS":300,"ticks":12}'
 //	curl -s localhost:8080/v1/fleet
+//
+// Chain jobs ({"kind":"chain"}) decompose an N-dot array into its N−1 pair
+// extractions and run them concurrently on the same worker pool; chain
+// fleet devices are spot-checked per pair, and a drifted pair is partially
+// recalibrated on its own.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the HTTP server stops
 // accepting connections, then the extraction service drains — running jobs

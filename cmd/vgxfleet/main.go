@@ -1,14 +1,17 @@
 // Command vgxfleet simulates a day of fleet-calibration traffic: it
 // registers a heterogeneous fleet of drifting simulated devices with the
-// fleet manager, advances a virtual clock tick by tick — freshness
-// spot-checks, staleness scoring, budget-admitted re-extractions — and
-// prints a summary of what the day cost.
+// fleet manager — double dots, plus N-dot chain arrays when -chains is set —
+// advances a virtual clock tick by tick — freshness spot-checks, per-pair
+// staleness scoring, budget-admitted re-extractions (a chain device with one
+// drifted pair is partially recalibrated: only that pair is re-extracted) —
+// and prints a summary of what the day cost.
 //
 //	vgxfleet -devices 16 -day 86400 -tick 300 -budget 180000 -seed 1
+//	vgxfleet -devices 8 -chains 4 -chain-dots 8 -day 86400
 //
 // The summary is deterministic for a fixed seed: byte-identical across runs
-// and across -workers values (per-device work fans out over the pool, but
-// every scheduling decision is made serially in device-ID order).
+// and across -workers values (per-pair work fans out over the pool, but
+// every scheduling decision is made serially in (device ID, pair) order).
 package main
 
 import (
@@ -25,16 +28,18 @@ import (
 
 func main() {
 	var (
-		devices  = flag.Int("devices", 16, "fleet size (profiles cycle quiet/standard/wandering/jumpy)")
-		day      = flag.Float64("day", 86400, "virtual run length, seconds")
-		tick     = flag.Float64("tick", 300, "virtual tick, seconds")
-		check    = flag.Float64("check", 1800, "per-device spot-check interval, seconds")
-		budget   = flag.Int("budget", 180000, "fleet probe budget per day (0 = unlimited)")
-		cooldown = flag.Float64("cooldown", 1800, "per-device recalibration cooldown, seconds")
-		seed     = flag.Uint64("seed", 1, "fleet seed (device geometry, noise and drift)")
-		workers  = flag.Int("workers", 0, "worker-pool slots (0 = one per CPU); does not affect results")
-		asJSON   = flag.Bool("json", false, "emit the summary as JSON")
-		verbose  = flag.Bool("v", false, "log every tick that checked or recalibrated something")
+		devices   = flag.Int("devices", 16, "double-dot fleet size (profiles cycle quiet/standard/wandering/jumpy)")
+		chains    = flag.Int("chains", 0, "additional N-dot chain devices (per-pair staleness, partial recalibration)")
+		chainDots = flag.Int("chain-dots", 4, "dots per chain device")
+		day       = flag.Float64("day", 86400, "virtual run length, seconds")
+		tick      = flag.Float64("tick", 300, "virtual tick, seconds")
+		check     = flag.Float64("check", 1800, "per-device spot-check interval, seconds")
+		budget    = flag.Int("budget", 180000, "fleet probe budget per day (0 = unlimited)")
+		cooldown  = flag.Float64("cooldown", 1800, "per-device recalibration cooldown, seconds")
+		seed      = flag.Uint64("seed", 1, "fleet seed (device geometry, noise and drift)")
+		workers   = flag.Int("workers", 0, "worker-pool slots (0 = one per CPU); does not affect results")
+		asJSON    = flag.Bool("json", false, "emit the summary as JSON")
+		verbose   = flag.Bool("v", false, "log every tick that checked or recalibrated something")
 	)
 	flag.Parse()
 
@@ -49,6 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfgs = append(cfgs, fleet.DefaultChainFleet(*chains, *chainDots, *seed)...)
 	for _, cfg := range cfgs {
 		if _, err := mgr.Register(cfg); err != nil {
 			log.Fatal(err)
@@ -90,17 +96,24 @@ func main() {
 }
 
 func printSummary(s *fleet.Summary) {
-	fmt.Printf("vgxfleet: %d devices, %.0fs virtual in %.0fs ticks (%d ticks)\n\n",
-		s.DeviceCount, s.VirtualS, s.TickS, s.Ticks)
+	fmt.Printf("vgxfleet: %d devices (%d pairs), %.0fs virtual in %.0fs ticks (%d ticks)\n\n",
+		s.DeviceCount, s.PairCount, s.VirtualS, s.TickS, s.Ticks)
 	fmt.Printf("%-16s %-12s %9s %9s %6s %6s %6s %5s %8s\n",
 		"device", "state", "stale", "worst", "cals", "forced", "checks", "lost", "probes")
 	for _, d := range s.Devices {
 		fmt.Printf("%-16s %-12s %9.3f %9.3f %6d %6d %6d %5d %8d\n",
 			d.ID, d.State, d.Staleness, d.MaxStaleness,
 			d.Calibrations, d.Forced, d.Checks, d.LostEvents, d.Probes)
+		if len(d.Pairs) > 1 {
+			for _, p := range d.Pairs {
+				fmt.Printf("  pair %-11d %-12s %9.3f %9.3f %6d %6d %6d %5d %8d\n",
+					p.Pair, p.State, p.Staleness, p.MaxStaleness,
+					p.Calibrations, p.Forced, p.Checks, p.LostEvents, p.Probes)
+			}
+		}
 	}
-	fmt.Printf("\nfleet: checks=%d calibrations=%d recalibrations=%d forced=%d failed=%d linesLost=%d\n",
-		s.Checks, s.Calibrations, s.Recalibrations, s.Forced, s.FailedCals, s.LostEvents)
+	fmt.Printf("\nfleet: checks=%d calibrations=%d recalibrations=%d (partial=%d) forced=%d failed=%d linesLost=%d\n",
+		s.Checks, s.Calibrations, s.Recalibrations, s.PartialRecals, s.Forced, s.FailedCals, s.LostEvents)
 	budget := "unlimited"
 	if s.Budget > 0 {
 		budget = fmt.Sprintf("%d/window", s.Budget)

@@ -103,17 +103,26 @@ func main() {
 		}
 	} else {
 		for _, o := range outs {
+			kind := string(o.Kind)
+			if o.Pair != nil {
+				// A chain job's per-pair trace: one file per adjacent pair.
+				kind = fmt.Sprintf("%s/%d", o.Kind, *o.Pair)
+			}
 			switch {
 			case o.Skipped:
 				if *verbose {
-					fmt.Printf("SKIP  %-9s %s (%s)\n", o.Kind, o.Source, o.SkipReason)
+					fmt.Printf("SKIP  %-9s %s (%s)\n", kind, o.Source, o.SkipReason)
 				}
 			case o.Match:
 				if *verbose {
-					fmt.Printf("OK    %-9s %s probes=%d live=%d\n", o.Kind, o.Source, o.Recorded.Probes, o.LiveProbes)
+					probes := 0
+					if o.Recorded != nil {
+						probes = o.Recorded.Probes
+					}
+					fmt.Printf("OK    %-9s %s probes=%d live=%d\n", kind, o.Source, probes, o.LiveProbes)
 				}
 			default:
-				fmt.Printf("FAIL  %-9s %s\n", o.Kind, o.Source)
+				fmt.Printf("FAIL  %-9s %s\n", kind, o.Source)
 				for _, d := range o.Diffs {
 					fmt.Printf("      diff: %s\n", d)
 				}

@@ -51,6 +51,34 @@
 // drains (running extractions finish, queued jobs settle as cancelled) and
 // sessions close, bounded by -draintimeout.
 //
+// # N-dot chain extraction
+//
+// Section 2.3 of the paper virtualizes an N-dot linear array by composing
+// its N−1 adjacent-pair extractions into one N×N matrix (Chain). The
+// planner (internal/chainx, exposed as ExtractChainSpec and as the service
+// job kind JobChain) makes that a first-class workload: the chain job is
+// decomposed into pair extractions that run concurrently on the shared
+// worker pool, under a probe-budget accountant with reservation semantics
+// (admission in pair order at wave barriers; a window can never overspend)
+// and a per-pair method escalation ladder — a pair whose fast-method
+// anchors fail deterministically falls through to the adaptive pass and
+// then the ray fan, mirroring the service's deterministic-failure
+// semantics, before the pair is recorded as failed.
+//
+//	spec := fastvg.ChainSimOptions{Dots: 8, Seed: 3}.Spec()
+//	res, _ := fastvg.ExtractChainSpec(ctx, spec, fastvg.ChainExtractOptions{Workers: 7})
+//
+// Each pair probes an independent instrument whose noise and drift derive
+// from (spec seed, pair index) alone (ChainSpec.BuildPair), and all
+// cross-pair decisions happen serially in pair order, so a chain
+// extraction is bit-identical at any worker count while the instrument
+// dwell makespan shrinks by the channel count (~6.6× for N=8; see
+// BENCH_chain.json). Chain jobs are cacheable (the canonical hash covers
+// the full per-pair window list and escalation ladder), journaled with one
+// per-pair record (store.KindChainPair), and traceable: each pair writes
+// its own probe trace, replayable through vgxreplay. ExtractChain remains
+// the sequential shared-instrument form of the same procedure.
+//
 // # Fleet calibration
 //
 // A virtual-gate matrix extracted once goes silently stale: lever arms
@@ -74,14 +102,23 @@
 //     on evidence measured after the previous calibration — guarantees
 //     healthy devices are never re-tuned.
 //
+// Chain devices (FleetDeviceConfig.Chain) bring the N-dot workload into
+// the loop with per-pair staleness: every adjacent pair has its own
+// instrument, matrix, score, cooldown and hysteresis evidence, so a single
+// drifted pair triggers re-extraction of only that pair — partial
+// recalibration, roughly an (N−1)-fold probe saving over re-tuning the
+// whole array — while fresh neighbouring matrices are reused. A double dot
+// is internally a one-pair device; both shapes share one scheduler.
+//
 // The loop is deterministic: measurement work fans out across workers, but
-// each job touches only its own device and every scheduling decision is
-// made serially in device-ID order, so a simulated day is byte-identical at
-// any worker count. Command vgxfleet runs such a day (heterogeneous
-// quiet/standard/wandering/jumpy profiles) and reports recalibrations
-// triggered, probes spent against the budget, and worst-case staleness;
-// /v1/fleet serves the same loop over HTTP (register, status, history,
-// force-recalibrate, tick).
+// each job touches only its own pair's instrument and every scheduling
+// decision is made serially in (device ID, pair) order, so a simulated day
+// is byte-identical at any worker count. Command vgxfleet runs such a day
+// (heterogeneous quiet/standard/wandering/jumpy profiles, plus -chains
+// N-dot arrays) and reports recalibrations triggered — partial ones
+// counted separately — probes spent against the budget, and worst-case
+// staleness; /v1/fleet serves the same loop over HTTP (register, status,
+// history, force-recalibrate with ?pair=, tick).
 //
 // # Persistence & replay
 //

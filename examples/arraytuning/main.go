@@ -1,12 +1,21 @@
 // Arraytuning: virtualize a quadruple-dot linear array (the geometry of the
 // paper's Figure 1 device) by running the fast extraction on each adjacent
-// plunger pair and composing the pairwise matrices into one 4×4
-// virtualization — the n-dot procedure of the paper's Section 2.3.
+// plunger pair — concurrently, each pair against its own independent
+// instrument — and composing the pairwise matrices into one 4×4
+// virtualization, the n-dot procedure of the paper's Section 2.3 lifted to
+// the planner (internal/chainx) behind fastvg.ExtractChainSpec.
+//
+// The pair extractions run in parallel on a bounded worker pool; results
+// are bit-identical at any worker count, and failed pairs would escalate
+// fast → adaptive → rays before giving up. The printed "experiment time"
+// contrasts the sequential dwell cost (one fridge line) with the concurrent
+// makespan (one line per pair).
 //
 //	go run ./examples/arraytuning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,43 +25,32 @@ import (
 
 func main() {
 	const dots = 4
-	sim, err := fastvg.NewChainSim(fastvg.ChainSimOptions{
+	spec := fastvg.ChainSimOptions{
 		Dots:  dots,
 		Noise: fastvg.NoiseParams{WhiteSigma: 0.015, PinkAmp: 0.01},
 		Seed:  3,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// One 100×100 scan window per adjacent pair, spanning the range the
-	// simulator recommends; all other plungers held at the operating point.
-	windows := make([]fastvg.Window, dots-1)
-	for i := range windows {
-		windows[i] = sim.RecommendedWindow(100)
-	}
-	base := make([]float64, dots)
+	}.Spec()
 
 	start := time.Now()
-	chain, exts, err := fastvg.ExtractChain(sim, windows, base, fastvg.Options{})
+	res, err := fastvg.ExtractChainSpec(context.Background(), spec, fastvg.ChainExtractOptions{
+		Workers: dots - 1, // one worker per pair: all pairs extract concurrently
+	})
 	if err != nil {
 		log.Fatalf("chain extraction failed: %v", err)
 	}
+	if res.Chain == nil {
+		log.Fatalf("pairs failed: %v", res.Failed())
+	}
 	compute := time.Since(start)
 
-	fmt.Printf("Quadruple-dot chain virtualization (%d sequential pair extractions)\n\n", dots-1)
-	totalProbes := 0
-	var totalDwell time.Duration
-	for i, ext := range exts {
-		steep, shallow := sim.PairTruth(i)
-		fmt.Printf("pair (P%d, P%d): steep %7.3f (truth %7.3f)  shallow %7.4f (truth %7.4f)  probes %4d\n",
-			i+1, i+2, ext.SteepSlope, steep, ext.ShallowSlope, shallow, ext.Probes)
-		totalProbes += ext.Probes
-		totalDwell += ext.ExperimentTime
+	fmt.Printf("Quadruple-dot chain virtualization (%d concurrent pair extractions)\n\n", dots-1)
+	for _, p := range res.Pairs {
+		fmt.Printf("pair (P%d, P%d): method %-5s steep %7.3f (Δ%.2f°)  shallow %7.4f (Δ%.2f°)  probes %4d\n",
+			p.Pair+1, p.Pair+2, p.Method, p.SteepSlope, p.SteepErrDeg, p.ShallowSlope, p.ShallowErrDeg, p.Probes)
 	}
 
 	fmt.Printf("\ncomposed %dx%d virtualization matrix:\n", dots, dots)
-	for _, row := range chain.Matrix() {
+	for _, row := range res.Chain.Matrix() {
 		fmt.Print("  [")
 		for _, v := range row {
 			fmt.Printf(" %7.4f", v)
@@ -60,20 +58,20 @@ func main() {
 		fmt.Println(" ]")
 	}
 
-	fmt.Printf("\ntotal probes: %d (full CSDs would need %d)\n", totalProbes, (dots-1)*100*100)
-	fmt.Printf("experiment time: %s (vs %s for full CSDs)\n", totalDwell,
-		time.Duration(dots-1)*100*100*50*time.Millisecond)
+	fmt.Printf("\ntotal probes: %d (full CSDs would need %d)\n", res.Probes, (dots-1)*100*100)
+	fmt.Printf("experiment time: %.1fs sequential dwell -> %.1fs concurrent makespan (%d instrument channels)\n",
+		res.ExperimentS, res.MakespanS, res.Workers)
 	fmt.Printf("compute time: %s\n", compute.Round(time.Millisecond))
 
 	// Demonstrate one-to-one control: step virtual gate 2 and verify the
 	// physical voltages move all coupled plungers.
 	u := []float64{10, 10, 10, 10}
-	v, err := chain.Solve(u)
+	v, err := res.Chain.Solve(u)
 	if err != nil {
 		log.Fatal(err)
 	}
 	u[1] += 5
-	v2, err := chain.Solve(u)
+	v2, err := res.Chain.Solve(u)
 	if err != nil {
 		log.Fatal(err)
 	}

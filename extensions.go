@@ -21,6 +21,10 @@ type RayOptions struct {
 	DropSigma float64 // transition detection threshold in noise-σ units; default 6
 }
 
+func raysConfig(o RayOptions) rays.Config {
+	return rays.Config{NumRays: o.NumRays, DropSigma: o.DropSigma}
+}
+
 // ExtractRays runs the ray-casting method (after Ziegler et al. 2023): a fan
 // of rays from inside the (0,0) region, each walked until the sensor current
 // drops past the local noise floor. A second comparison point alongside the

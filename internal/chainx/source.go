@@ -1,0 +1,96 @@
+package chainx
+
+import (
+	"fmt"
+
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/device"
+)
+
+// SpecSource decomposes a device.ChainSpec into independent per-pair
+// instruments — the canonical planner Source. Each Pair call builds a fresh
+// shared-nothing instrument whose noise and drift realisations derive from
+// (spec.Seed, pair) alone, so concurrent extraction is bit-identical to
+// sequential at any worker count.
+type SpecSource struct {
+	spec    device.ChainSpec
+	windows []csd.Window // per-pair scan windows
+}
+
+// NewSpecSource builds a source over spec. windows, when non-nil, overrides
+// the spec's default pair window and must hold Dots−1 entries (one per
+// adjacent pair).
+func NewSpecSource(spec device.ChainSpec, windows []csd.Window) (*SpecSource, error) {
+	spec.FillDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if windows == nil {
+		w := spec.Window()
+		windows = make([]csd.Window, spec.Dots-1)
+		for i := range windows {
+			windows[i] = w
+		}
+	}
+	if len(windows) != spec.Dots-1 {
+		return nil, fmt.Errorf("chainx: need %d pair windows, got %d", spec.Dots-1, len(windows))
+	}
+	for i, w := range windows {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("chainx: pair %d window: %w", i, err)
+		}
+	}
+	return &SpecSource{spec: spec, windows: windows}, nil
+}
+
+// Dots implements Source.
+func (s *SpecSource) Dots() int { return s.spec.Dots }
+
+// Windows returns the per-pair scan windows.
+func (s *SpecSource) Windows() []csd.Window { return s.windows }
+
+// Pair implements Source with an independent instrument per pair.
+func (s *SpecSource) Pair(i int) (PairInstrument, csd.Window, error) {
+	if i < 0 || i >= s.spec.Dots-1 {
+		return nil, csd.Window{}, fmt.Errorf("chainx: pair index %d out of range", i)
+	}
+	pv, _, err := s.spec.BuildPair(i)
+	if err != nil {
+		return nil, csd.Window{}, err
+	}
+	return pv, s.windows[i], nil
+}
+
+// PairTruth implements TruthSource with the spec's analytic pair slopes.
+func (s *SpecSource) PairTruth(i int) (steep, shallow float64) {
+	return s.spec.PairTruth(i)
+}
+
+// SharedSource adapts a single shared-instrument chain device (one
+// MultiInstrument, pair views over it) into a planner Source — the
+// hardware-faithful view, where all pairs probe one device. Pairs sharing an
+// instrument interleave their dwells, so run the planner on a one-worker
+// pool for reproducible results; this is what the root ExtractChain façade
+// does.
+type SharedSource struct {
+	Inst *device.MultiInstrument
+	// Windows are the per-pair scan windows (len Dots−1).
+	Win []csd.Window
+	// Base is the operating point for the gates not being scanned.
+	Base []float64
+}
+
+// Dots implements Source.
+func (s *SharedSource) Dots() int { return s.Inst.Dev.Phys.N }
+
+// Pair implements Source with a view over the shared instrument.
+func (s *SharedSource) Pair(i int) (PairInstrument, csd.Window, error) {
+	if i < 0 || i >= len(s.Win) {
+		return nil, csd.Window{}, fmt.Errorf("chainx: pair index %d out of range", i)
+	}
+	pv, err := device.NewPairView(s.Inst, i, i+1, s.Base)
+	if err != nil {
+		return nil, csd.Window{}, err
+	}
+	return pv, s.Win[i], nil
+}

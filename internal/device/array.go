@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/noise"
@@ -18,13 +19,19 @@ type ArrayDevice struct {
 	Phys  *physics.Array
 	Sens  sensor.Params
 	Noise noise.Process
+
+	// Ground-state scratch of the probe hot path; CurrentAt is not safe for
+	// concurrent use (MultiInstrument serialises its probes).
+	gs  physics.GroundScratch
+	occ []int
 }
 
 // CurrentAt returns the sensor current at gate voltages v measured at
-// virtual time t (seconds).
+// virtual time t (seconds). Not safe for concurrent use: the ground-state
+// search runs on the device's reusable scratch buffers.
 func (d *ArrayDevice) CurrentAt(v []float64, t float64) float64 {
-	n := d.Phys.GroundState(v)
-	i := d.Sens.Current(v, n)
+	d.occ = d.Phys.GroundStateInto(d.occ, v, &d.gs)
+	i := d.Sens.Current(v, d.occ)
 	if d.Noise != nil {
 		i += d.Noise.Sample(t)
 	}
@@ -32,12 +39,18 @@ func (d *ArrayDevice) CurrentAt(v []float64, t float64) float64 {
 }
 
 // MultiInstrument drives an ArrayDevice with dwell accounting and
-// memoisation on an N-dimensional voltage quantisation grid.
+// memoisation on an N-dimensional voltage quantisation grid. All methods are
+// safe for concurrent use: probes, accounting and the idle clock are
+// serialised by an internal lock, so several PairViews may share one
+// instrument (the interleaving, like on hardware, then depends on timing —
+// use independent per-pair instruments, e.g. ChainSpec.BuildPair, when
+// deterministic concurrent extraction is required).
 type MultiInstrument struct {
 	Dev   *ArrayDevice
 	Dwell time.Duration
 	Quant float64 // memoisation pitch for every gate; 0 disables
 
+	mu     sync.Mutex
 	memo   map[string]float64
 	keyBuf []byte // reusable quantised-key scratch; keys are flat int64 cells
 	stats  Stats
@@ -68,41 +81,93 @@ func (m *MultiInstrument) key(v []float64) []byte {
 // instrument's scratch buffer and only materialised as a map key when a new
 // configuration is stored.
 func (m *MultiInstrument) GetCurrentN(v []float64) float64 {
+	val, _ := m.ProbeN(v, nil)
+	return val
+}
+
+// ProbeN measures like GetCurrentN and additionally reports whether the call
+// consumed a fresh dwell (a memo miss on the quantisation grid). warp, if
+// non-nil, is applied to v in place — under the instrument lock, at the
+// virtual time the fresh probe lands, after the memo lookup — which is how a
+// PairView's pair-local lever drift bends the voltages the device sees
+// without changing the memoisation key (mirroring DoubleDot.Drift, where the
+// warp also sits between the memo and the physics).
+func (m *MultiInstrument) ProbeN(v []float64, warp func(t float64, v []float64)) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.stats.RawCalls++
 	var k []byte
 	if m.Quant > 0 {
 		k = m.key(v)
 		if val, ok := m.memo[string(k)]; ok {
-			return val
+			return val, false
 		}
 	}
 	m.stats.UniqueProbes++
 	m.stats.Virtual += m.Dwell
-	val := m.Dev.CurrentAt(v, m.stats.Virtual.Seconds())
+	t := m.stats.Virtual.Seconds()
+	if warp != nil {
+		warp(t, v)
+	}
+	val := m.Dev.CurrentAt(v, t)
 	if m.Quant > 0 {
 		m.memo[string(k)] = val
 	}
-	return val
+	return val, true
+}
+
+// Advance moves the instrument's virtual clock forward by d without probing —
+// idle wall time between measurement epochs, the fleet monitor's tick. The
+// memoisation cache is cleared (a configuration re-requested after idle time
+// is a new measurement, with the noise and drift of the new epoch) but the
+// cumulative probe accounting is kept.
+func (m *MultiInstrument) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Virtual += d
+	clear(m.memo)
 }
 
 // Stats implements Accountant.
-func (m *MultiInstrument) Stats() Stats { return m.stats }
+func (m *MultiInstrument) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ResetStats clears accounting and the memoisation cache.
 func (m *MultiInstrument) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.stats = Stats{}
-	m.memo = make(map[string]float64)
+	clear(m.memo)
 }
 
 // PairView exposes gates (G1, G2) of a MultiInstrument as a two-gate
-// Instrument, holding every other gate at Base — one step of the sequential
-// pairwise chain extraction.
+// Instrument, holding every other gate at Base — one step of the pairwise
+// chain extraction. A view carries its own probe accounting: Stats counts
+// only the calls made through this view (fresh dwells attributed by the
+// underlying instrument's memo), so concurrent pair extractions sharing one
+// MultiInstrument never double-count each other's probes. A single view is
+// meant to be driven by one extraction at a time; distinct views of the same
+// instrument may run concurrently.
 type PairView struct {
 	M      *MultiInstrument
 	G1, G2 int
 	Base   []float64
 
+	// Drift, when non-nil, is a pair-local lever-arm drift: the scanned pair
+	// voltages pass through the warp (on the underlying instrument's virtual
+	// clock) before reaching the device — the chain counterpart of
+	// DoubleDot.Drift, and the mechanism that lets a single pair's matrix go
+	// stale while its neighbours stay fresh.
+	Drift *LeverDrift
+
 	scratch []float64
+	stats   Stats
 }
 
 // NewPairView validates indices and returns the adapter.
@@ -114,7 +179,7 @@ func NewPairView(m *MultiInstrument, g1, g2 int, base []float64) (*PairView, err
 	if len(base) != n {
 		return nil, errors.New("device: base voltage vector length mismatch")
 	}
-	return &PairView{M: m, G1: g1, G2: g2, Base: base, scratch: make([]float64, n)}, nil
+	return &PairView{M: m, G1: g1, G2: g2, Base: append([]float64(nil), base...), scratch: make([]float64, n)}, nil
 }
 
 // GetCurrent implements Instrument for the selected gate pair.
@@ -122,11 +187,26 @@ func (p *PairView) GetCurrent(v1, v2 float64) float64 {
 	copy(p.scratch, p.Base)
 	p.scratch[p.G1] = v1
 	p.scratch[p.G2] = v2
-	return p.M.GetCurrentN(p.scratch)
+	var warp func(t float64, v []float64)
+	if p.Drift != nil {
+		warp = func(t float64, v []float64) {
+			v[p.G1], v[p.G2] = p.Drift.Warp(v[p.G1], v[p.G2], t)
+		}
+	}
+	val, fresh := p.M.ProbeN(p.scratch, warp)
+	p.stats.RawCalls++
+	if fresh {
+		p.stats.UniqueProbes++
+		p.stats.Virtual += p.M.Dwell
+	}
+	return val
 }
 
-// Stats implements Accountant by delegating to the underlying instrument.
-func (p *PairView) Stats() Stats { return p.M.Stats() }
+// Stats implements Accountant with the view's own delta-based counters:
+// probes made through other views of the same instrument are not included.
+func (p *PairView) Stats() Stats { return p.stats }
 
-// ResetStats delegates to the underlying instrument.
-func (p *PairView) ResetStats() { p.M.ResetStats() }
+// ResetStats zeroes the view's counters. The underlying instrument's
+// accounting (and memo) is left untouched — resetting one pair's attribution
+// must not erase its neighbours'.
+func (p *PairView) ResetStats() { p.stats = Stats{} }

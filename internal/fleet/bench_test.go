@@ -52,3 +52,49 @@ func BenchmarkFleetRecalibration(b *testing.B) {
 		b.ReportMetric(staleSum/float64(staleN), "staleness")
 	}
 }
+
+// BenchmarkChainPartialRecal measures the chain fleet's probe economics: a
+// 4-dot chain device's single drifted pair is re-extracted (partial) versus
+// the whole device (full). The probes/partial and probes/full metrics feed
+// BENCH_chain.json's partial-recalibration savings; the ratio is the probe
+// cost the per-pair staleness machinery avoids every time one pair of an
+// N-dot array drifts.
+func BenchmarkChainPartialRecal(b *testing.B) {
+	var partialProbes, fullProbes int
+	for i := 0; i < b.N; i++ {
+		spec := ChainProfileSpec(4, uint64(1))
+		m := New(sched.New(0), Policy{CheckInterval: 1e9})
+		if _, err := m.Register(DeviceConfig{ID: "arr", Chain: &spec}); err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		// Initial calibration, then fresh epochs around each forced path.
+		if _, err := m.Tick(ctx, 300); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Tick(ctx, 1800); err != nil {
+			b.Fatal(err)
+		}
+		before := m.Status().ProbesSpent
+		if _, err := m.ForceRecalibratePair(ctx, "arr", 1); err != nil {
+			b.Fatal(err)
+		}
+		mid := m.Status().ProbesSpent
+		if _, err := m.Tick(ctx, 1800); err != nil {
+			b.Fatal(err)
+		}
+		preFull := m.Status().ProbesSpent
+		if _, err := m.ForceRecalibrate(ctx, "arr"); err != nil {
+			b.Fatal(err)
+		}
+		after := m.Status().ProbesSpent
+		partialProbes += mid - before
+		fullProbes += after - preFull
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(partialProbes)/n, "probes/partial")
+	b.ReportMetric(float64(fullProbes)/n, "probes/full")
+	if partialProbes > 0 {
+		b.ReportMetric(float64(fullProbes)/float64(partialProbes), "full/partial")
+	}
+}

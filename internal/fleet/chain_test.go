@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/noise"
+	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/store"
+)
+
+// chainCfg builds a 4-dot chain device whose middle pair (1) wanders hard
+// while pairs 0 and 2 are driftless — the partial-recalibration scenario.
+func chainCfg(id string) DeviceConfig {
+	spec := device.ChainSpec{
+		Dots:  4,
+		Noise: noise.Params{WhiteSigma: 0.01},
+		Seed:  driftSeed,
+		PairDrift: []device.LeverDriftSpec{
+			{}, // pair 0: quiet
+			{ // pair 1: strong wander, crosses the threshold within hours
+				Shear21: noise.Params{PinkAmp: 0.02, PinkFMin: 1e-5, PinkFMax: 0.01, DriftAmp: 0.08, DriftPeriod: 21600},
+			},
+			{}, // pair 2: quiet
+		},
+	}
+	return DeviceConfig{ID: id, Weight: 2, Chain: &spec}
+}
+
+// TestChainPerPairStaleness is the chain fleet workload's core property:
+// only the drifted pair of a chain device is re-extracted, while the fresh
+// neighbouring matrices are reused.
+func TestChainPerPairStaleness(t *testing.T) {
+	m := New(sched.New(3), Policy{CheckInterval: 1800})
+	if _, err := m.Register(chainCfg("arr")); err != nil {
+		t.Fatal(err)
+	}
+	var recals []string
+	for i := 0; i < 72; i++ { // six virtual hours
+		rep, err := m.Tick(context.Background(), 300)
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		recals = append(recals, rep.Recalibrated...)
+	}
+
+	dv, ok := m.Device("arr")
+	if !ok {
+		t.Fatal("chain device missing")
+	}
+	if dv.Dots != 4 || len(dv.Pairs) != 3 {
+		t.Fatalf("device shape: dots=%d pairs=%d", dv.Dots, len(dv.Pairs))
+	}
+	if !dv.Calibrated {
+		t.Fatal("chain device never fully calibrated")
+	}
+
+	// Pair 1 must have drifted past the threshold and been re-extracted;
+	// pairs 0 and 2 keep their initial calibration.
+	if dv.Pairs[1].MaxStaleness < 1 {
+		t.Fatalf("wandering pair max staleness = %v, want >= threshold (drift too weak for the test)", dv.Pairs[1].MaxStaleness)
+	}
+	if dv.Pairs[1].Calibrations < 2 {
+		t.Errorf("wandering pair calibrations = %d, want initial + at least one partial recalibration", dv.Pairs[1].Calibrations)
+	}
+	for _, i := range []int{0, 2} {
+		if dv.Pairs[i].Calibrations != 1 {
+			t.Errorf("quiet pair %d re-tuned: %d calibrations, want exactly the initial one", i, dv.Pairs[i].Calibrations)
+		}
+		if dv.Pairs[i].Checks == 0 {
+			t.Errorf("quiet pair %d was never spot-checked", i)
+		}
+	}
+
+	// Tick reports label partial recals as "<device>/<pair>"; the quiet
+	// pairs may appear only once (their initial calibration).
+	perPair := map[string]int{}
+	for _, r := range recals {
+		perPair[r]++
+	}
+	if perPair["arr/1"] < 2 {
+		t.Errorf("no partial (single-pair) recalibration of arr/1 in %v", recals)
+	}
+	if perPair["arr/0"] != 1 || perPair["arr/2"] != 1 {
+		t.Errorf("quiet pairs re-extracted: %v", perPair)
+	}
+	st := m.Status()
+	if st.PartialRecals == 0 {
+		t.Error("status counted no partial recalibrations")
+	}
+	if st.PairCount != 3 {
+		t.Errorf("pair count %d, want 3", st.PairCount)
+	}
+}
+
+// TestChainPartialProbeSavings quantifies the point of per-pair staleness:
+// re-extracting one drifted pair costs roughly a third of the probes of
+// forcing the whole 4-dot chain.
+func TestChainPartialProbeSavings(t *testing.T) {
+	// A huge check interval keeps the ticks from spot-checking (and hence
+	// auto-recalibrating) the drifted pair: only the explicit forces below
+	// spend extraction probes after the initial calibration.
+	m := New(sched.New(2), Policy{CheckInterval: 1e9})
+	if _, err := m.Register(chainCfg("arr")); err != nil {
+		t.Fatal(err)
+	}
+	// Initial calibration of all pairs, then an idle epoch so the forced
+	// re-extractions below measure fresh dwells instead of replaying the
+	// memoised pixels of the same epoch.
+	if _, err := m.Tick(context.Background(), 300); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Tick(context.Background(), 1800); err != nil {
+		t.Fatal(err)
+	}
+	evPartial, err := m.ForceRecalibratePair(context.Background(), "arr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Tick(context.Background(), 1800); err != nil {
+		t.Fatal(err)
+	}
+	evFullLast, err := m.ForceRecalibrate(context.Background(), "arr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evFullLast.Kind != "force" || evPartial.Kind != "force" {
+		t.Fatalf("unexpected event kinds %q/%q", evFullLast.Kind, evPartial.Kind)
+	}
+	// Sum the force events' probes from history: the last len(pairs) force
+	// events are the full recal, the one before them the partial.
+	full := 0
+	evs, _ := m.History("arr")
+	var forces []Event
+	for _, ev := range evs {
+		if ev.Kind == "force" {
+			forces = append(forces, ev)
+		}
+	}
+	if len(forces) != 4 {
+		t.Fatalf("%d force events, want 1 partial + 3 full", len(forces))
+	}
+	partial := forces[0].Probes
+	for _, ev := range forces[1:] {
+		full += ev.Probes
+	}
+	if partial <= 0 || full <= 0 {
+		t.Fatalf("missing probe accounting: partial=%d full=%d", partial, full)
+	}
+	if ratio := float64(full) / float64(partial); ratio < 2 {
+		t.Errorf("full/partial probe ratio %.2f, want >= 2 for a 3-pair chain", ratio)
+	}
+}
+
+// TestChainFleetPersistRoundTrip: kill-and-restart restores a chain
+// device's per-pair matrices, staleness scores and cooldowns exactly.
+func TestChainFleetPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sched.New(2), Policy{CheckInterval: 1800})
+	if err := m.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(chainCfg("arr")); err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, m, 24, 300) // two virtual hours
+	before, _ := m.Device("arr")
+	beforeJSON, err := json.Marshal(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBefore := m.Status()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	m2 := New(sched.New(2), Policy{CheckInterval: 1800})
+	if err := m2.AttachStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := m2.Device("arr")
+	if !ok {
+		t.Fatal("chain device not restored")
+	}
+	afterJSON, err := json.Marshal(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(beforeJSON) != string(afterJSON) {
+		t.Errorf("restored device view differs:\n%s\n%s", beforeJSON, afterJSON)
+	}
+	st2Status := m2.Status()
+	if st2Status.Now != stBefore.Now || st2Status.ProbesSpent != stBefore.ProbesSpent ||
+		st2Status.PartialRecals != stBefore.PartialRecals {
+		t.Errorf("fleet counters not restored: %+v vs %+v", st2Status, stBefore)
+	}
+	// The restored manager keeps scheduling: another hour of ticks works.
+	runTicks(t, m2, 12, 300)
+}
+
+// TestChainFleetDeterministicAcrossWorkers: a chain fleet day summarises
+// byte-identically at any worker count.
+func TestChainFleetDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		m := New(sched.New(workers), Policy{CheckInterval: 1800, Budget: 20000, BudgetWindow: 21600})
+		for _, cfg := range []DeviceConfig{chainCfg("arr-a"), wanderingSpec(t, 2), chainCfg("arr-b")} {
+			cfg := cfg
+			if cfg.ID == "arr-b" {
+				spec := *cfg.Chain
+				spec.Seed = driftSeed + 9
+				cfg.Chain = &spec
+			}
+			if _, err := m.Register(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := m.Run(context.Background(), 21600, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if string(got) != string(want) {
+			t.Errorf("workers=%d: summary differs from workers=1", workers)
+		}
+	}
+}
+
+// TestChainForcePairValidation rejects out-of-range pair indices.
+func TestChainForcePairValidation(t *testing.T) {
+	m := New(sched.New(1), Policy{})
+	if _, err := m.Register(chainCfg("arr")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ForceRecalibratePair(context.Background(), "arr", 7); err == nil ||
+		!strings.Contains(err.Error(), "no pair") {
+		t.Errorf("accepted out-of-range pair: %v", err)
+	}
+	if _, err := m.ForceRecalibratePair(context.Background(), "nope", 0); err == nil {
+		t.Error("accepted unknown device")
+	}
+}

@@ -1,19 +1,28 @@
 // Package fleet closes the calibration loop at fleet scale. A Manager owns
 // many simulated devices whose lever arms wander under drift, 1/f and jump
 // noise (device.LeverDrift), tracks the freshness of each device's extracted
-// virtual-gate matrix with cheap periodic virtualgate.Verify spot-checks on a
-// shared virtual clock, scores staleness against the positions recorded at
-// calibration time, and schedules full re-extractions on the service's worker
+// virtual-gate matrices with cheap periodic virtualgate.Verify spot-checks on
+// a shared virtual clock, scores staleness against the positions recorded at
+// calibration time, and schedules re-extractions on the service's worker
 // pool (internal/sched) under a global probe budget — priority is
 // staleness × device weight, with hysteresis (a healthy band plus a
-// per-device cooldown) so healthy devices are never re-tuned.
+// per-pair cooldown) so healthy devices are never re-tuned.
+//
+// Devices come in two shapes. A double-dot device carries one scan window
+// and one 2×2 matrix. A chain device (device.ChainSpec) carries N−1
+// adjacent-pair calibrations, each with its own independent instrument,
+// window, matrix and staleness score — so when a single pair drifts past
+// the threshold, only that pair is re-extracted (partial recalibration,
+// budget-admitted like everything else) while its neighbours' fresh
+// matrices are reused. Internally a double dot is simply a one-pair device:
+// every scheduling decision is per (device, pair).
 //
 // Everything the manager decides is deterministic for fixed device seeds:
 // spot-checks and re-extractions fan out across workers, but each job touches
-// only its own device's instrument, and all cross-device decisions (budget
-// admission, priority order, accounting) happen serially in device-ID order
-// after each phase. A simulated day therefore produces a byte-identical
-// summary at any worker count.
+// only its own pair's instrument, and all cross-pair decisions (budget
+// admission, priority order, accounting, history and journal writes) happen
+// serially in (device ID, pair) order at phase barriers. A simulated day
+// therefore produces a byte-identical summary at any worker count.
 package fleet
 
 import (
@@ -37,7 +46,7 @@ import (
 // ErrUnknownDevice is returned for operations on an unregistered device ID.
 var ErrUnknownDevice = errors.New("fleet: unknown device")
 
-// LostStaleness is the finite sentinel staleness of a device whose
+// LostStaleness is the finite sentinel staleness of a pair whose
 // transition lines could not be re-located (or that has never been
 // calibrated): large enough to dominate any real score and any weight, and —
 // unlike +Inf — JSON-encodable.
@@ -47,7 +56,7 @@ const LostStaleness = 1e6
 // lab-day configuration.
 type Policy struct {
 	// CheckInterval is the virtual time (seconds) between freshness
-	// spot-checks of a calibrated device; default 900 (15 min).
+	// spot-checks of a calibrated pair; default 900 (15 min).
 	CheckInterval float64 `json:"checkInterval,omitempty"`
 	// CheckFracs are the along-line fractions of each spot-check (the
 	// VerifyConfig.AlongFracs); default {0.35, 0.65}.
@@ -60,15 +69,15 @@ type Policy struct {
 	// normalises staleness: a score of 1 means the lines have moved by
 	// exactly the tolerance; default virtualgate.DefaultMaxShiftFrac.
 	MaxShiftFrac float64 `json:"maxShiftFrac,omitempty"`
-	// StaleThreshold is the staleness score at which a device is scheduled
+	// StaleThreshold is the staleness score at which a pair is scheduled
 	// for re-extraction; default 1.
 	StaleThreshold float64 `json:"staleThreshold,omitempty"`
 	// HealthyFrac bounds the hysteresis band: below
-	// HealthyFrac·StaleThreshold a device is "healthy", between the two it
+	// HealthyFrac·StaleThreshold a pair is "healthy", between the two it
 	// is "watch" (monitored, never re-tuned); default 0.5.
 	HealthyFrac float64 `json:"healthyFrac,omitempty"`
 	// Cooldown is the minimum virtual time (seconds) between recalibration
-	// attempts of one device, the second hysteresis guard; default 1800.
+	// attempts of one pair, the second hysteresis guard; default 1800.
 	Cooldown float64 `json:"cooldown,omitempty"`
 	// Budget caps the probes the whole fleet may spend per BudgetWindow on
 	// monitoring plus recalibration; 0 means unlimited.
@@ -77,10 +86,10 @@ type Policy struct {
 	// default 86400 (one day).
 	BudgetWindow float64 `json:"budgetWindow,omitempty"`
 	// CheckReserve and RecalReserve are the probes reserved when admitting a
-	// spot-check / re-extraction against the budget; defaults 80 and 1500.
-	// Admission is by reservation, accounting by actual probes spent — with
-	// reserves at or above the worst observed costs (a spot-check is
-	// geometrically bounded by its scan widths, a 100×100 re-extraction
+	// spot-check / pair re-extraction against the budget; defaults 80 and
+	// 1500. Admission is by reservation, accounting by actual probes spent —
+	// with reserves at or above the worst observed costs (a spot-check is
+	// geometrically bounded by its scan widths, a 100×100 pair re-extraction
 	// plus baseline check measures ≈ 1100 probes), a window can never
 	// overspend its budget.
 	CheckReserve int `json:"checkReserve,omitempty"`
@@ -136,15 +145,22 @@ type DeviceConfig struct {
 	ID string `json:"id,omitempty"`
 	// Weight scales the device's recalibration priority; default 1.
 	Weight float64 `json:"weight,omitempty"`
-	// Spec describes the simulated device, including its lever-arm drift.
+	// Spec describes a simulated double-dot device, including its lever-arm
+	// drift. Ignored when Chain is set.
 	Spec device.DoubleDotSpec `json:"spec"`
+	// Chain, when set, registers an N-dot chain device instead: one
+	// independent instrument, matrix and staleness score per adjacent pair.
+	Chain *device.ChainSpec `json:"chain,omitempty"`
 }
 
 // Event is one entry of a device's calibration history.
 type Event struct {
 	T    float64 `json:"t"`    // virtual fleet time, seconds
 	Kind string  `json:"kind"` // calibrate | recalibrate | force | check | calibrate-failed
-	// Staleness is the device's score after the event (LostStaleness when
+	// Pair is the adjacent-pair index the event concerns (always 0 for
+	// double-dot devices).
+	Pair int `json:"pair"`
+	// Staleness is the pair's score after the event (LostStaleness when
 	// the lines could not be located).
 	Staleness float64 `json:"staleness"`
 	Probes    int     `json:"probes"` // probes the event cost
@@ -154,7 +170,7 @@ type Event struct {
 	Err       string  `json:"err,omitempty"`
 }
 
-// Device states reported by DeviceView.State.
+// Device states reported by DeviceView.State and PairStatus.State.
 const (
 	StateUncalibrated = "uncalibrated"
 	StateHealthy      = "healthy"
@@ -163,39 +179,69 @@ const (
 	StateLost         = "lost" // spot-check could not re-locate the lines
 )
 
-// DeviceView is a serialisable device snapshot.
-type DeviceView struct {
-	ID             string  `json:"id"`
-	Weight         float64 `json:"weight"`
+// PairStatus is a serialisable snapshot of one adjacent pair's calibration.
+type PairStatus struct {
+	Pair           int     `json:"pair"`
 	State          string  `json:"state"`
 	Calibrated     bool    `json:"calibrated"`
 	Staleness      float64 `json:"staleness"`
-	MaxStaleness   float64 `json:"maxStaleness"` // worst finite score ever observed
+	MaxStaleness   float64 `json:"maxStaleness"`
 	Checks         int     `json:"checks"`
-	Calibrations   int     `json:"calibrations"` // successful extractions, initial included
+	Calibrations   int     `json:"calibrations"`
 	Forced         int     `json:"forced"`
 	FailedCals     int     `json:"failedCals"`
 	LostEvents     int     `json:"lostEvents"`
-	Probes         int     `json:"probes"` // total probes spent on this device
+	Probes         int     `json:"probes"`
 	LastCalT       float64 `json:"lastCalT"`
 	LastCheckT     float64 `json:"lastCheckT"`
 	A12            float64 `json:"a12"`
 	A21            float64 `json:"a21"`
 	SteepSlope     float64 `json:"steepSlope"`
 	ShallowSlope   float64 `json:"shallowSlope"`
-	BudgetDeferred int     `json:"budgetDeferred"` // recals deferred for budget
+	BudgetDeferred int     `json:"budgetDeferred"`
+}
+
+// DeviceView is a serialisable device snapshot. The scalar fields aggregate
+// over the device's pairs (worst staleness, summed counters); Pairs breaks
+// them down, and for double-dot devices holds exactly one entry whose
+// fields match the aggregates.
+type DeviceView struct {
+	ID             string  `json:"id"`
+	Weight         float64 `json:"weight"`
+	Dots           int     `json:"dots"` // 2 for double-dot devices
+	State          string  `json:"state"`
+	Calibrated     bool    `json:"calibrated"` // every pair calibrated
+	Staleness      float64 `json:"staleness"`  // worst pair score
+	MaxStaleness   float64 `json:"maxStaleness"`
+	Checks         int     `json:"checks"`
+	Calibrations   int     `json:"calibrations"` // successful pair extractions, initial included
+	Forced         int     `json:"forced"`
+	FailedCals     int     `json:"failedCals"`
+	LostEvents     int     `json:"lostEvents"`
+	Probes         int     `json:"probes"`
+	LastCalT       float64 `json:"lastCalT"`
+	LastCheckT     float64 `json:"lastCheckT"`
+	A12            float64 `json:"a12"` // pair 0, for double-dot compatibility
+	A21            float64 `json:"a21"`
+	SteepSlope     float64 `json:"steepSlope"`
+	ShallowSlope   float64 `json:"shallowSlope"`
+	BudgetDeferred int     `json:"budgetDeferred"`
+
+	Pairs []PairStatus `json:"pairs"`
 }
 
 // Status is a fleet-wide snapshot.
 type Status struct {
 	Now             float64      `json:"now"` // virtual fleet time, seconds
 	DeviceCount     int          `json:"deviceCount"`
+	PairCount       int          `json:"pairCount"` // scheduling units across the fleet
 	Budget          int          `json:"budget"`
 	BudgetWindowS   float64      `json:"budgetWindowS"`
 	BudgetUsed      int          `json:"budgetUsed"` // in the current window
 	Checks          int          `json:"checks"`
 	Calibrations    int          `json:"calibrations"`
 	Recalibrations  int          `json:"recalibrations"`
+	PartialRecals   int          `json:"partialRecals"` // recals of a strict subset of a device's pairs in one tick
 	Forced          int          `json:"forced"`
 	FailedCals      int          `json:"failedCals"`
 	LostEvents      int          `json:"lostEvents"`
@@ -206,7 +252,9 @@ type Status struct {
 	Devices         []DeviceView `json:"devices"`
 }
 
-// TickReport summarises one Tick.
+// TickReport summarises one Tick. Checked and Recalibrated list scheduling
+// units as "<device>" for single-pair devices and "<device>/<pair>" for
+// chain pairs, in the deterministic admission order.
 type TickReport struct {
 	Now           float64  `json:"now"`
 	Checked       []string `json:"checked,omitempty"`
@@ -216,16 +264,20 @@ type TickReport struct {
 	SkippedBudget int      `json:"skippedBudget"`
 }
 
-// dev is the manager's per-device record. mu serialises instrument access
-// and guards every mutable field; the manager's scheduling loops only read
-// or write a device while holding it.
-type dev struct {
-	id     string
-	weight float64
-	spec   device.DoubleDotSpec
+// pairInstrument is the per-pair measurement contract: scalar probing with
+// cost accounting. SimInstrument (double dot) and PairView over a dedicated
+// MultiInstrument (chain pair) both satisfy it.
+type pairInstrument interface {
+	device.Instrument
+	Stats() device.Stats
+}
 
-	mu   sync.Mutex
-	inst *device.SimInstrument
+// pairCal is one adjacent pair's calibration state — the fleet's scheduling
+// unit. Guarded by the owning dev's mu.
+type pairCal struct {
+	idx  int
+	inst pairInstrument
+	adv  func(time.Duration) // advances the pair's instrument clock
 	win  csd.Window
 
 	hasCal         bool
@@ -252,12 +304,49 @@ type dev struct {
 	lostEvents     int
 	probes         int
 	budgetDeferred int
-	history        []Event
 
-	// per-phase scratch, written by the device's own pool job and read back
-	// after the barrier
+	// per-phase scratch, written by the pair's own pool job and read back
+	// at the phase barrier
 	phaseProbes int
-	phaseErr    error
+	phaseEv     Event
+	phaseHasEv  bool
+}
+
+// dev is the manager's per-device record. mu serialises instrument access
+// and guards every mutable field; the manager's scheduling loops only read
+// or write a device while holding it.
+type dev struct {
+	id     string
+	weight float64
+	spec   device.DoubleDotSpec
+	chain  *device.ChainSpec // nil for double-dot devices
+
+	mu      sync.Mutex
+	pairs   []*pairCal
+	history []Event
+}
+
+// dots returns the device's dot count.
+func (d *dev) dots() int {
+	if d.chain != nil {
+		return d.chain.Dots
+	}
+	return 2
+}
+
+// unit is one (device, pair) scheduling unit.
+type unit struct {
+	d  *dev
+	pc *pairCal
+}
+
+// label renders the unit for tick reports: bare device ID for single-pair
+// devices, "<id>/<pair>" for chain pairs.
+func (u unit) label() string {
+	if len(u.d.pairs) == 1 {
+		return u.d.id
+	}
+	return fmt.Sprintf("%s/%d", u.d.id, u.pc.idx)
 }
 
 // Manager owns the fleet.
@@ -278,6 +367,7 @@ type Manager struct {
 	checks          int
 	calibrations    int
 	recalibrations  int
+	partialRecals   int
 	forced          int
 	failedCals      int
 	lostEvents      int
@@ -320,8 +410,40 @@ func (m *Manager) DeviceCount() int {
 	return len(m.order)
 }
 
-// Register adds a device to the fleet. The device starts uncalibrated with
-// sentinel staleness, so the next Tick schedules its initial extraction
+// buildPairs constructs a device's scheduling units from its spec.
+func buildPairs(cfg *DeviceConfig) ([]*pairCal, error) {
+	if cfg.Chain != nil {
+		spec := *cfg.Chain
+		spec.FillDefaults()
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Chain = &spec
+		pairs := make([]*pairCal, spec.Dots-1)
+		for i := range pairs {
+			pv, win, err := spec.BuildPair(i)
+			if err != nil {
+				return nil, err
+			}
+			pairs[i] = &pairCal{
+				idx: i, inst: pv, adv: pv.M.Advance, win: win,
+				score: LostStaleness,
+			}
+		}
+		return pairs, nil
+	}
+	inst, win, err := cfg.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return []*pairCal{{
+		idx: 0, inst: inst, adv: inst.Advance, win: win,
+		score: LostStaleness,
+	}}, nil
+}
+
+// Register adds a device to the fleet. Every pair starts uncalibrated with
+// sentinel staleness, so the next Ticks schedule its initial extractions
 // (budget permitting).
 func (m *Manager) Register(cfg DeviceConfig) (DeviceView, error) {
 	if cfg.Weight < 0 {
@@ -330,7 +452,7 @@ func (m *Manager) Register(cfg DeviceConfig) (DeviceView, error) {
 	if cfg.Weight == 0 {
 		cfg.Weight = 1
 	}
-	inst, win, err := cfg.Spec.Build()
+	pairs, err := buildPairs(&cfg)
 	if err != nil {
 		return DeviceView{}, err
 	}
@@ -348,15 +470,16 @@ func (m *Manager) Register(cfg DeviceConfig) (DeviceView, error) {
 		id:     id,
 		weight: cfg.Weight,
 		spec:   cfg.Spec,
-		inst:   inst,
-		win:    win,
-		score:  LostStaleness,
+		chain:  cfg.Chain,
+		pairs:  pairs,
 	}
-	// Keep the instrument clock aligned with the fleet clock for devices
+	// Keep the instrument clocks aligned with the fleet clock for devices
 	// registered mid-run. Persist before inserting: a device the journal
 	// cannot remember would silently lose its calibration lineage on the
 	// next restart, so a failed journal write fails the registration.
-	d.inst.Advance(time.Duration(m.now * float64(time.Second)))
+	for _, pc := range d.pairs {
+		pc.adv(time.Duration(m.now * float64(time.Second)))
+	}
 	if m.journal != nil {
 		data, err := json.Marshal(d.persistSnapshot())
 		if err == nil {
@@ -413,6 +536,7 @@ func (m *Manager) Status() Status {
 		Checks:          m.checks,
 		Calibrations:    m.calibrations,
 		Recalibrations:  m.recalibrations,
+		PartialRecals:   m.partialRecals,
 		Forced:          m.forced,
 		FailedCals:      m.failedCals,
 		LostEvents:      m.lostEvents,
@@ -426,6 +550,7 @@ func (m *Manager) Status() Status {
 	for _, d := range devs {
 		d.mu.Lock()
 		st.Devices = append(st.Devices, d.view(m.pol))
+		st.PairCount += len(d.pairs)
 		d.mu.Unlock()
 	}
 	return st
@@ -440,46 +565,99 @@ func (m *Manager) snapshot() []*dev {
 	return out
 }
 
+// pairStatus renders one pair; callers hold d.mu.
+func (pc *pairCal) status(pol Policy) PairStatus {
+	s := PairStatus{
+		Pair:           pc.idx,
+		State:          pc.state(pol),
+		Calibrated:     pc.hasCal,
+		Staleness:      pc.score,
+		MaxStaleness:   pc.maxFinite,
+		Checks:         pc.checks,
+		Calibrations:   pc.calibrations,
+		Forced:         pc.forced,
+		FailedCals:     pc.failedCals,
+		LostEvents:     pc.lostEvents,
+		Probes:         pc.probes,
+		LastCalT:       pc.lastCalT,
+		LastCheckT:     pc.lastCheckT,
+		BudgetDeferred: pc.budgetDeferred,
+	}
+	if pc.hasCal {
+		s.A12, s.A21 = pc.matrix.A12(), pc.matrix.A21()
+		s.SteepSlope, s.ShallowSlope = pc.steep, pc.shallow
+	}
+	return s
+}
+
 // view renders the device; callers hold d.mu.
 func (d *dev) view(pol Policy) DeviceView {
 	v := DeviceView{
-		ID:             d.id,
-		Weight:         d.weight,
-		State:          d.state(pol),
-		Calibrated:     d.hasCal,
-		Staleness:      d.score,
-		MaxStaleness:   d.maxFinite,
-		Checks:         d.checks,
-		Calibrations:   d.calibrations,
-		Forced:         d.forced,
-		FailedCals:     d.failedCals,
-		LostEvents:     d.lostEvents,
-		Probes:         d.probes,
-		LastCalT:       d.lastCalT,
-		LastCheckT:     d.lastCheckT,
-		BudgetDeferred: d.budgetDeferred,
+		ID:         d.id,
+		Weight:     d.weight,
+		Dots:       d.dots(),
+		Calibrated: true,
 	}
-	if d.hasCal {
-		v.A12, v.A21 = d.matrix.A12(), d.matrix.A21()
-		v.SteepSlope, v.ShallowSlope = d.steep, d.shallow
+	for _, pc := range d.pairs {
+		ps := pc.status(pol)
+		v.Pairs = append(v.Pairs, ps)
+		v.Calibrated = v.Calibrated && pc.hasCal
+		if ps.Staleness > v.Staleness {
+			v.Staleness = ps.Staleness
+		}
+		if ps.MaxStaleness > v.MaxStaleness {
+			v.MaxStaleness = ps.MaxStaleness
+		}
+		v.Checks += ps.Checks
+		v.Calibrations += ps.Calibrations
+		v.Forced += ps.Forced
+		v.FailedCals += ps.FailedCals
+		v.LostEvents += ps.LostEvents
+		v.Probes += ps.Probes
+		v.BudgetDeferred += ps.BudgetDeferred
+		if ps.LastCalT > v.LastCalT {
+			v.LastCalT = ps.LastCalT
+		}
+		if ps.LastCheckT > v.LastCheckT {
+			v.LastCheckT = ps.LastCheckT
+		}
+	}
+	v.State = d.state(pol)
+	if p0 := d.pairs[0]; p0.hasCal {
+		v.A12, v.A21 = p0.matrix.A12(), p0.matrix.A21()
+		v.SteepSlope, v.ShallowSlope = p0.steep, p0.shallow
 	}
 	return v
 }
 
-// state classifies the device against the hysteresis band; callers hold d.mu.
-func (d *dev) state(pol Policy) string {
+// state classifies a pair against the hysteresis band; callers hold d.mu.
+func (pc *pairCal) state(pol Policy) string {
 	switch {
-	case !d.hasCal:
+	case !pc.hasCal:
 		return StateUncalibrated
-	case d.lost:
+	case pc.lost:
 		return StateLost
-	case d.score >= pol.StaleThreshold:
+	case pc.score >= pol.StaleThreshold:
 		return StateStale
-	case d.score >= pol.HealthyFrac*pol.StaleThreshold:
+	case pc.score >= pol.HealthyFrac*pol.StaleThreshold:
 		return StateWatch
 	default:
 		return StateHealthy
 	}
+}
+
+// state classifies the device as its worst pair; callers hold d.mu.
+func (d *dev) state(pol Policy) string {
+	rank := map[string]int{
+		StateHealthy: 0, StateWatch: 1, StateStale: 2, StateLost: 3, StateUncalibrated: 4,
+	}
+	worst := StateHealthy
+	for _, pc := range d.pairs {
+		if s := pc.state(pol); rank[s] > rank[worst] {
+			worst = s
+		}
+	}
+	return worst
 }
 
 // checkConfig is the spot-check VerifyConfig.
@@ -492,9 +670,10 @@ func (m *Manager) checkConfig() virtualgate.VerifyConfig {
 }
 
 // Tick advances the virtual fleet clock by dt seconds and runs one
-// monitoring round: freshness spot-checks for calibrated devices whose check
-// interval elapsed, then budget-admitted re-extractions for stale devices in
-// priority order. Ticks are serialised; concurrent Status/Register calls
+// monitoring round: freshness spot-checks for calibrated pairs whose check
+// interval elapsed, then budget-admitted re-extractions for stale pairs in
+// priority order — for a chain device that usually means re-extracting only
+// the drifted pair. Ticks are serialised; concurrent Status/Register calls
 // interleave safely.
 func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 	if dt <= 0 {
@@ -537,55 +716,65 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 		return ok
 	}
 
-	// Idle time passes on every device's instrument clock, drifting its
+	// Idle time passes on every pair instrument's clock, drifting its
 	// lever arms and opening a fresh measurement epoch.
 	for _, d := range devs {
 		d.mu.Lock()
-		d.inst.Advance(time.Duration(dt * float64(time.Second)))
+		for _, pc := range d.pairs {
+			pc.adv(time.Duration(dt * float64(time.Second)))
+		}
 		d.mu.Unlock()
 	}
 
-	// Phase 1: spot-checks, admitted in ID order under the budget.
-	var due []*dev
+	// Phase 1: spot-checks, admitted in (device ID, pair) order under the
+	// budget.
+	var due []unit
 	for _, d := range devs {
 		d.mu.Lock()
-		if d.hasCal && now-d.lastCheckT >= m.pol.CheckInterval {
-			if admit(m.pol.CheckReserve) {
-				d.phaseProbes = 0 // jobs that never run must account as zero
-				due = append(due, d)
-			} else {
-				rep.SkippedBudget++
+		for _, pc := range d.pairs {
+			if pc.hasCal && now-pc.lastCheckT >= m.pol.CheckInterval {
+				if admit(m.pol.CheckReserve) {
+					pc.phaseProbes = 0 // jobs that never run must account as zero
+					pc.phaseHasEv = false
+					due = append(due, unit{d, pc})
+				} else {
+					rep.SkippedBudget++
+				}
 			}
 		}
 		d.mu.Unlock()
 	}
 	checkErr := m.pool.Map(ctx, len(due), func(jctx context.Context, i int) error {
-		return m.checkDevice(jctx, due[i], now)
+		return m.checkPair(jctx, due[i].d, due[i].pc, now)
 	})
-	// Account even when the phase was interrupted: Map waits for every job,
-	// so probes recorded in the scratch fields were really spent.
-	for _, d := range due {
-		d.mu.Lock()
-		rep.Checked = append(rep.Checked, d.id)
-		rep.CheckProbes += d.phaseProbes
-		d.mu.Unlock()
-	}
+	// Settle at the barrier in admission order, even when the phase was
+	// interrupted: probes recorded in the scratch fields were really spent,
+	// and history/journal writes happen here so their order never depends on
+	// scheduling.
+	persistErr := m.settlePhase(due, &rep.Checked, &rep.CheckProbes)
 	m.account(rep.CheckProbes)
 	reserved = 0 // check reservations became actuals above
 	if checkErr != nil {
 		return rep, checkErr
 	}
+	if persistErr != nil {
+		return rep, persistErr
+	}
 
-	// Phase 2: re-extraction of stale devices, highest priority first.
+	// Phase 2: re-extraction of stale pairs, highest priority first. A chain
+	// device with one drifted pair enters with exactly that pair — the
+	// partial recalibration path.
 	type cand struct {
-		d        *dev
+		u        unit
 		priority float64
 	}
 	var cands []cand
 	for _, d := range devs {
 		d.mu.Lock()
-		if m.eligible(d, now) {
-			cands = append(cands, cand{d, d.score * d.weight})
+		for _, pc := range d.pairs {
+			if m.eligible(pc, now) {
+				cands = append(cands, cand{unit{d, pc}, pc.score * d.weight})
+			}
 		}
 		d.mu.Unlock()
 	}
@@ -593,35 +782,41 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 		if cands[i].priority != cands[j].priority {
 			return cands[i].priority > cands[j].priority
 		}
-		return cands[i].d.id < cands[j].d.id
+		if cands[i].u.d.id != cands[j].u.d.id {
+			return cands[i].u.d.id < cands[j].u.d.id
+		}
+		return cands[i].u.pc.idx < cands[j].u.pc.idx
 	})
-	var admitted []*dev
+	var admitted []unit
 	for _, c := range cands {
 		if admit(m.pol.RecalReserve) {
-			c.d.mu.Lock()
-			c.d.phaseProbes = 0
-			c.d.mu.Unlock()
-			admitted = append(admitted, c.d)
+			c.u.d.mu.Lock()
+			c.u.pc.phaseProbes = 0
+			c.u.pc.phaseHasEv = false
+			c.u.d.mu.Unlock()
+			admitted = append(admitted, c.u)
 		} else {
 			rep.SkippedBudget++
-			c.d.mu.Lock()
-			c.d.budgetDeferred++
-			c.d.mu.Unlock()
+			c.u.d.mu.Lock()
+			c.u.pc.budgetDeferred++
+			c.u.d.mu.Unlock()
 		}
 	}
 	recalErr := m.pool.Map(ctx, len(admitted), func(jctx context.Context, i int) error {
-		return m.calibrateDevice(jctx, admitted[i], now, false)
+		return m.calibratePair(jctx, admitted[i].d, admitted[i].pc, now, false)
 	})
-	// Account in ID order so fleet totals are scheduling-independent, and
-	// even when interrupted — completed jobs' probes were really spent.
-	sort.Slice(admitted, func(i, j int) bool { return admitted[i].id < admitted[j].id })
-	for _, d := range admitted {
-		d.mu.Lock()
-		rep.Recalibrated = append(rep.Recalibrated, d.id)
-		rep.RecalProbes += d.phaseProbes
-		d.mu.Unlock()
-	}
+	// Settle in (device ID, pair) order so fleet totals are scheduling-
+	// independent, and even when interrupted — completed jobs' probes were
+	// really spent.
+	sort.Slice(admitted, func(i, j int) bool {
+		if admitted[i].d.id != admitted[j].d.id {
+			return admitted[i].d.id < admitted[j].d.id
+		}
+		return admitted[i].pc.idx < admitted[j].pc.idx
+	})
+	persistErr = m.settlePhase(admitted, &rep.Recalibrated, &rep.RecalProbes)
 	m.account(rep.RecalProbes)
+	m.notePartialRecals(admitted)
 
 	m.mu.Lock()
 	m.skippedBudget += rep.SkippedBudget
@@ -629,9 +824,79 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 	if recalErr != nil {
 		return rep, recalErr
 	}
+	if persistErr != nil {
+		return rep, persistErr
+	}
 	// Journal the advanced clock and window accounting so a restart resumes
 	// the budget window (and tick cadence) where this tick left it.
 	return rep, m.saveClock()
+}
+
+// settlePhase applies one phase's outcomes at its barrier, in the given
+// (deterministic) unit order: report labels and probe totals, history
+// pushes, fleet-wide counter bumps and journal writes. The first journal
+// error is returned after every unit is settled — accounting must never be
+// lost to a persistence fault.
+func (m *Manager) settlePhase(units []unit, labels *[]string, probes *int) error {
+	var firstErr error
+	for _, u := range units {
+		u.d.mu.Lock()
+		*labels = append(*labels, u.label())
+		*probes += u.pc.phaseProbes
+		if u.pc.phaseHasEv {
+			ev := u.pc.phaseEv
+			u.d.pushEvent(m.pol, ev)
+			m.bumpEvent(ev)
+			if err := m.persistDeviceEvent(u.d, ev); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		u.d.mu.Unlock()
+	}
+	return firstErr
+}
+
+// notePartialRecals counts devices whose recalibrated pairs this tick were a
+// strict subset of their pairs — the chain workload's probe saving.
+func (m *Manager) notePartialRecals(admitted []unit) {
+	perDev := make(map[*dev]int)
+	for _, u := range admitted {
+		perDev[u.d]++
+	}
+	partial := 0
+	for d, n := range perDev {
+		d.mu.Lock()
+		if n < len(d.pairs) {
+			partial++
+		}
+		d.mu.Unlock()
+	}
+	if partial > 0 {
+		m.mu.Lock()
+		m.partialRecals += partial
+		m.mu.Unlock()
+	}
+}
+
+// bumpEvent folds one settled event into the fleet-wide counters; the
+// fields touched are m-level, guarded by m.mu inside the bump helpers.
+func (m *Manager) bumpEvent(ev Event) {
+	switch ev.Kind {
+	case "check":
+		if ev.Err != "" {
+			m.bumpLost()
+		} else {
+			m.bumpCheck(ev.Staleness)
+		}
+	case "calibrate-failed":
+		m.bumpFailed()
+	case "calibrate":
+		m.bumpCalibration(true, false)
+	case "recalibrate":
+		m.bumpCalibration(false, false)
+	case "force":
+		m.bumpCalibration(false, true)
+	}
 }
 
 // account charges actually-spent probes to the window and fleet totals.
@@ -648,59 +913,59 @@ func (m *Manager) account(probes int) {
 	m.mu.Unlock()
 }
 
-// eligible decides whether a device is a recalibration candidate; callers
-// hold d.mu. Hysteresis: a calibrated device must (a) have crossed the
-// staleness threshold, (b) on evidence measured after its last calibration —
-// never on a stale score — and (c) be out of its cooldown.
-func (m *Manager) eligible(d *dev, now float64) bool {
-	if !d.hasCal {
-		return d.attempts == 0 || now-d.lastAttemptT >= m.pol.Cooldown
+// eligible decides whether a pair is a recalibration candidate; callers
+// hold the owning dev's mu. Hysteresis: a calibrated pair must (a) have
+// crossed the staleness threshold, (b) on evidence measured after its last
+// calibration — never on a stale score — and (c) be out of its cooldown.
+func (m *Manager) eligible(pc *pairCal, now float64) bool {
+	if !pc.hasCal {
+		return pc.attempts == 0 || now-pc.lastAttemptT >= m.pol.Cooldown
 	}
-	if d.score < m.pol.StaleThreshold {
+	if pc.score < m.pol.StaleThreshold {
 		return false
 	}
-	if d.scoreT <= d.lastCalT {
+	if pc.scoreT <= pc.lastCalT {
 		return false
 	}
-	return now-d.lastAttemptT >= m.pol.Cooldown
+	return now-pc.lastAttemptT >= m.pol.Cooldown
 }
 
-// checkDevice runs one freshness spot-check.
-func (m *Manager) checkDevice(ctx context.Context, d *dev, now float64) error {
+// checkPair runs one freshness spot-check. The outcome is stashed in the
+// pair's phase scratch; history, counters and journal writes happen at the
+// phase barrier so their order is deterministic.
+func (m *Manager) checkPair(ctx context.Context, d *dev, pc *pairCal, now float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	before := d.inst.Stats().UniqueProbes
-	vr, err := virtualgate.Verify(ctx, d.inst, d.win, d.matrix, d.kneeV1, d.kneeV2, m.checkConfig())
-	probes := d.inst.Stats().UniqueProbes - before
-	d.phaseProbes = probes
-	d.probes += probes
-	d.checks++
-	d.lastCheckT = now
+	before := pc.inst.Stats().UniqueProbes
+	vr, err := virtualgate.Verify(ctx, pc.inst, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, m.checkConfig())
+	probes := pc.inst.Stats().UniqueProbes - before
+	pc.phaseProbes = probes
+	pc.probes += probes
+	pc.checks++
+	pc.lastCheckT = now
 	if err != nil {
 		if !errors.Is(err, virtualgate.ErrVerify) {
 			return err // cancellation or instrument fault: abort the tick
 		}
 		// Lines lost: the matrix (or the knee it is anchored to) is so stale
 		// the short scans miss the transitions entirely.
-		d.lost = true
-		d.score = LostStaleness
-		d.scoreT = now
-		d.lostEvents++
-		ev := Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, Err: err.Error()}
-		d.pushEvent(m.pol, ev)
-		m.bumpLost()
-		return m.persistDeviceEvent(d, ev)
+		pc.lost = true
+		pc.score = LostStaleness
+		pc.scoreT = now
+		pc.lostEvents++
+		pc.phaseEv = Event{T: now, Kind: "check", Pair: pc.idx, Staleness: pc.score, Probes: probes, Err: err.Error()}
+		pc.phaseHasEv = true
+		return nil
 	}
-	d.lost = false
-	d.score = m.scoreResult(d, vr)
-	d.scoreT = now
-	if d.score > d.maxFinite {
-		d.maxFinite = d.score
+	pc.lost = false
+	pc.score = m.scoreResult(pc, vr)
+	pc.scoreT = now
+	if pc.score > pc.maxFinite {
+		pc.maxFinite = pc.score
 	}
-	ev := Event{T: now, Kind: "check", Staleness: d.score, Probes: probes, OK: d.score < m.pol.StaleThreshold}
-	d.pushEvent(m.pol, ev)
-	m.bumpCheck(d.score)
-	return m.persistDeviceEvent(d, ev)
+	pc.phaseEv = Event{T: now, Kind: "check", Pair: pc.idx, Staleness: pc.score, Probes: probes, OK: pc.score < m.pol.StaleThreshold}
+	pc.phaseHasEv = true
+	return nil
 }
 
 // persistDeviceEvent journals a device's updated state and the event that
@@ -718,63 +983,64 @@ func (m *Manager) persistDeviceEvent(d *dev, ev Event) error {
 }
 
 // scoreResult turns a verify outcome into a staleness score; callers hold
-// d.mu. Two signals, both normalised so 1.0 sits at the drift tolerance:
-// the spread of each line across the along-positions (matrix error — a wrong
-// matrix makes the line appear to move under virtual stepping) and the shift
-// of each re-located position against the baseline recorded at calibration
-// (the line itself moved: lever-arm drift or a charge jump).
-func (m *Manager) scoreResult(d *dev, vr *virtualgate.VerifyResult) float64 {
-	tol1 := m.pol.MaxShiftFrac * (d.win.V1Max - d.win.V1Min)
-	tol2 := m.pol.MaxShiftFrac * (d.win.V2Max - d.win.V2Min)
+// the owning dev's mu. Two signals, both normalised so 1.0 sits at the drift
+// tolerance: the spread of each line across the along-positions (matrix
+// error — a wrong matrix makes the line appear to move under virtual
+// stepping) and the shift of each re-located position against the baseline
+// recorded at calibration (the line itself moved: lever-arm drift or a
+// charge jump).
+func (m *Manager) scoreResult(pc *pairCal, vr *virtualgate.VerifyResult) float64 {
+	tol1 := m.pol.MaxShiftFrac * (pc.win.V1Max - pc.win.V1Min)
+	tol2 := m.pol.MaxShiftFrac * (pc.win.V2Max - pc.win.V2Min)
 	score := math.Max(vr.SteepShift/tol1, vr.ShallowShift/tol2)
 	for i, p := range vr.SteepPositions {
-		if i < len(d.baseSteep) {
-			score = math.Max(score, math.Abs(p-d.baseSteep[i])/tol1)
+		if i < len(pc.baseSteep) {
+			score = math.Max(score, math.Abs(p-pc.baseSteep[i])/tol1)
 		}
 	}
 	for i, p := range vr.ShallowPositions {
-		if i < len(d.baseShallow) {
-			score = math.Max(score, math.Abs(p-d.baseShallow[i])/tol2)
+		if i < len(pc.baseShallow) {
+			score = math.Max(score, math.Abs(p-pc.baseShallow[i])/tol2)
 		}
 	}
 	return score
 }
 
-// calibrateDevice runs a full extraction (and a baseline spot-check) on one
-// device.
-func (m *Manager) calibrateDevice(ctx context.Context, d *dev, now float64, force bool) error {
+// calibratePair runs a full extraction (and a baseline spot-check) on one
+// pair — for a chain device, only this pair's window is re-measured; the
+// neighbours keep their matrices.
+func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now float64, force bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	first := !d.hasCal
-	before := d.inst.Stats().UniqueProbes
-	src := csd.PixelSource{Src: d.inst, Win: d.win}
-	cr, err := core.Extract(src, d.win, core.Config{})
+	first := !pc.hasCal
+	before := pc.inst.Stats().UniqueProbes
+	src := csd.PixelSource{Src: pc.inst, Win: pc.win}
+	cr, err := core.Extract(src, pc.win, core.Config{})
 	if err != nil {
-		probes := d.inst.Stats().UniqueProbes - before
-		d.phaseProbes = probes
-		d.probes += probes
-		d.attempts++
-		d.lastAttemptT = now
-		d.failedCals++
-		fev := Event{T: now, Kind: "calibrate-failed", Staleness: d.score, Probes: probes, Err: err.Error()}
-		d.pushEvent(m.pol, fev)
-		m.bumpFailed()
-		return m.persistDeviceEvent(d, fev)
+		probes := pc.inst.Stats().UniqueProbes - before
+		pc.phaseProbes = probes
+		pc.probes += probes
+		pc.attempts++
+		pc.lastAttemptT = now
+		pc.failedCals++
+		pc.phaseEv = Event{T: now, Kind: "calibrate-failed", Pair: pc.idx, Staleness: pc.score, Probes: probes, Err: err.Error()}
+		pc.phaseHasEv = true
+		return nil
 	}
-	d.matrix = cr.Matrix
-	d.steep, d.shallow = cr.SteepSlope, cr.ShallowSlope
-	d.kneeV1, d.kneeV2 = cr.TriplePointVoltage(d.win)
-	d.hasCal = true
-	d.lost = false
-	d.attempts++
-	d.calibrations++
-	d.lastCalT = now
-	d.lastAttemptT = now
+	pc.matrix = cr.Matrix
+	pc.steep, pc.shallow = cr.SteepSlope, cr.ShallowSlope
+	pc.kneeV1, pc.kneeV2 = cr.TriplePointVoltage(pc.win)
+	pc.hasCal = true
+	pc.lost = false
+	pc.attempts++
+	pc.calibrations++
+	pc.lastCalT = now
+	pc.lastAttemptT = now
 
-	// Record the freshness baseline: the line positions a healthy device
+	// Record the freshness baseline: the line positions a healthy pair
 	// reproduces, measured with the same scan geometry the spot-checks use.
 	kind := "recalibrate"
 	if first {
@@ -782,44 +1048,44 @@ func (m *Manager) calibrateDevice(ctx context.Context, d *dev, now float64, forc
 	}
 	if force {
 		kind = "force"
-		d.forced++
+		pc.forced++
 	}
-	ev := Event{T: now, Kind: kind, A12: d.matrix.A12(), A21: d.matrix.A21()}
-	vr, verr := virtualgate.Verify(ctx, d.inst, d.win, d.matrix, d.kneeV1, d.kneeV2, m.checkConfig())
+	ev := Event{T: now, Kind: kind, Pair: pc.idx, A12: pc.matrix.A12(), A21: pc.matrix.A21()}
+	vr, verr := virtualgate.Verify(ctx, pc.inst, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, m.checkConfig())
 	if verr != nil {
 		if !errors.Is(verr, virtualgate.ErrVerify) {
 			return verr
 		}
 		// Extraction succeeded but the check scans cannot see the lines —
-		// keep the sentinel so the device stays first in line.
-		d.baseSteep, d.baseShallow = nil, nil
-		d.lost = true
-		d.score = LostStaleness
-		d.lostEvents++
+		// keep the sentinel so the pair stays first in line.
+		pc.baseSteep, pc.baseShallow = nil, nil
+		pc.lost = true
+		pc.score = LostStaleness
+		pc.lostEvents++
 		ev.Err = verr.Error()
 	} else {
-		d.baseSteep = append([]float64(nil), vr.SteepPositions...)
-		d.baseShallow = append([]float64(nil), vr.ShallowPositions...)
+		pc.baseSteep = append([]float64(nil), vr.SteepPositions...)
+		pc.baseShallow = append([]float64(nil), vr.ShallowPositions...)
 		// Against the just-recorded baseline the shift terms are zero, so
 		// this is exactly the spread (matrix-error) score.
-		d.score = m.scoreResult(d, vr)
-		if d.score > d.maxFinite {
-			d.maxFinite = d.score
+		pc.score = m.scoreResult(pc, vr)
+		if pc.score > pc.maxFinite {
+			pc.maxFinite = pc.score
 		}
-		ev.OK = d.score < m.pol.StaleThreshold
+		ev.OK = pc.score < m.pol.StaleThreshold
 	}
-	d.scoreT = now
+	pc.scoreT = now
 	// The baseline verify just measured the lines: the next periodic
 	// spot-check is due a full interval from now, not from the last one.
-	d.lastCheckT = now
-	probes := d.inst.Stats().UniqueProbes - before
-	d.phaseProbes = probes
-	d.probes += probes
-	ev.Staleness = d.score
+	pc.lastCheckT = now
+	probes := pc.inst.Stats().UniqueProbes - before
+	pc.phaseProbes = probes
+	pc.probes += probes
+	ev.Staleness = pc.score
 	ev.Probes = probes
-	d.pushEvent(m.pol, ev)
-	m.bumpCalibration(first, force)
-	return m.persistDeviceEvent(d, ev)
+	pc.phaseEv = ev
+	pc.phaseHasEv = true
+	return nil
 }
 
 // pushEvent appends to the bounded history; callers hold d.mu.
@@ -865,12 +1131,12 @@ func (m *Manager) bumpCalibration(first, force bool) {
 	m.mu.Unlock()
 }
 
-// ForceRecalibrate runs a full re-extraction of one device immediately on
-// the worker pool, bypassing staleness, hysteresis and budget admission (the
-// probes still count against the window). It returns the resulting history
-// event. Forces serialise with Tick, so the tick phases' per-device scratch
+// forcePairs re-extracts the given pairs of one device immediately on the
+// worker pool, bypassing staleness, hysteresis and budget admission (the
+// probes still count against the window). It returns the last settled
+// event. Forces serialise with Tick, so the tick phases' per-pair scratch
 // accounting is never interleaved.
-func (m *Manager) ForceRecalibrate(ctx context.Context, id string) (Event, error) {
+func (m *Manager) forcePairs(ctx context.Context, id string, pairIdx []int) (Event, error) {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
 	m.mu.Lock()
@@ -880,18 +1146,34 @@ func (m *Manager) ForceRecalibrate(ctx context.Context, id string) (Event, error
 	if !ok {
 		return Event{}, fmt.Errorf("%w %q", ErrUnknownDevice, id)
 	}
+	var units []unit
 	d.mu.Lock()
-	d.phaseProbes = 0
+	for _, i := range pairIdx {
+		if i < 0 || i >= len(d.pairs) {
+			d.mu.Unlock()
+			return Event{}, fmt.Errorf("fleet: device %q has no pair %d", id, i)
+		}
+		pc := d.pairs[i]
+		pc.phaseProbes = 0
+		pc.phaseHasEv = false
+		units = append(units, unit{d, pc})
+	}
 	d.mu.Unlock()
-	_, err := m.pool.Submit(ctx, func(jctx context.Context) (any, error) {
-		return nil, m.calibrateDevice(jctx, d, now, true)
-	}).Wait()
+	err := m.pool.Map(ctx, len(units), func(jctx context.Context, i int) error {
+		return m.calibratePair(jctx, units[i].d, units[i].pc, now, true)
+	})
+	var labels []string
+	probes := 0
+	persistErr := m.settlePhase(units, &labels, &probes)
+	m.account(probes)
 	if err != nil {
 		return Event{}, err
 	}
+	if persistErr != nil {
+		return Event{}, persistErr
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m.account(d.phaseProbes)
 	if len(d.history) == 0 {
 		return Event{}, errors.New("fleet: no event recorded")
 	}
@@ -899,6 +1181,32 @@ func (m *Manager) ForceRecalibrate(ctx context.Context, id string) (Event, error
 		return Event{}, err
 	}
 	return d.history[len(d.history)-1], nil
+}
+
+// ForceRecalibrate runs a full re-extraction of every pair of one device
+// immediately, bypassing staleness, hysteresis and budget admission (the
+// probes still count against the window). It returns the last resulting
+// history event.
+func (m *Manager) ForceRecalibrate(ctx context.Context, id string) (Event, error) {
+	m.mu.Lock()
+	d, ok := m.devices[id]
+	m.mu.Unlock()
+	if !ok {
+		return Event{}, fmt.Errorf("%w %q", ErrUnknownDevice, id)
+	}
+	d.mu.Lock()
+	idx := make([]int, len(d.pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	d.mu.Unlock()
+	return m.forcePairs(ctx, id, idx)
+}
+
+// ForceRecalibratePair re-extracts a single pair of a chain device — the
+// operator's partial-recalibration handle.
+func (m *Manager) ForceRecalibratePair(ctx context.Context, id string, pair int) (Event, error) {
+	return m.forcePairs(ctx, id, []int{pair})
 }
 
 // Summary is the outcome of a simulated run (cmd/vgxfleet's deliverable):

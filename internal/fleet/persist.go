@@ -1,19 +1,22 @@
 package fleet
 
 // Durable fleet state. The manager persists through internal/store: one
-// KindFleetDevice record per device (full calibration state, superseded on
-// every event), one KindFleetClock record (virtual clock, budget window and
-// fleet-wide counters), and an append-only KindFleetEvent audit record per
-// calibration-history event. AttachStore restores all of it on restart, so
-// staleness scores, cooldowns and hysteresis evidence survive a daemon
-// bounce instead of forcing every device through full re-extraction.
+// KindFleetDevice record per device (the full per-pair calibration state,
+// superseded on every event), one KindFleetClock record (virtual clock,
+// budget window and fleet-wide counters), and an append-only KindFleetEvent
+// audit record per calibration-history event. AttachStore restores all of
+// it on restart, so every pair's staleness score, cooldown and hysteresis
+// evidence survives a daemon bounce instead of forcing every device — or
+// every pair of a chain whose neighbours were fresh — through full
+// re-extraction.
 //
 // What restore reproduces is the manager's decision state, not the noise
-// realisation: a restored device is rebuilt from its spec with the virtual
+// realisation: a restored pair is rebuilt from its spec with the virtual
 // clock advanced to the persisted fleet time, so its drift processes resume
 // at the right epoch, but call-count-driven noise (white noise RNG streams)
-// restarts its sequence. Every scheduling decision — who is stale, who is
-// cooling down, what the budget window has spent — is restored exactly.
+// restarts its sequence. Every scheduling decision — which pair is stale,
+// which is cooling down, what the budget window has spent — is restored
+// exactly.
 
 import (
 	"encoding/json"
@@ -26,11 +29,9 @@ import (
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
-// persistedDevice is the journal form of one device's calibration state.
-type persistedDevice struct {
-	ID     string               `json:"id"`
-	Weight float64              `json:"weight"`
-	Spec   device.DoubleDotSpec `json:"spec"`
+// persistedPair is the journal form of one pair's calibration state.
+type persistedPair struct {
+	Pair int `json:"pair"`
 
 	HasCal         bool             `json:"hasCal"`
 	Matrix         virtualgate.Mat2 `json:"matrix"`
@@ -55,7 +56,25 @@ type persistedDevice struct {
 	LostEvents     int              `json:"lostEvents"`
 	Probes         int              `json:"probes"`
 	BudgetDeferred int              `json:"budgetDeferred"`
-	History        []Event          `json:"history,omitempty"`
+}
+
+// persistedDevice is the journal form of one device's calibration state.
+type persistedDevice struct {
+	ID     string               `json:"id"`
+	Weight float64              `json:"weight"`
+	Spec   device.DoubleDotSpec `json:"spec"`
+	Chain  *device.ChainSpec    `json:"chain,omitempty"`
+
+	Pairs   []persistedPair `json:"pairs"`
+	History []Event         `json:"history,omitempty"`
+}
+
+// legacyDevice is the pre-chain journal form: one device, one implicit
+// pair, calibration state flat on the device record. Journals written
+// before per-pair staleness decode through it (migrated on the next save).
+type legacyDevice struct {
+	persistedPair
+	History []Event `json:"history,omitempty"`
 }
 
 // persistedClock is the journal form of the manager's fleet-wide state.
@@ -67,6 +86,7 @@ type persistedClock struct {
 	Checks          int     `json:"checks"`
 	Calibrations    int     `json:"calibrations"`
 	Recalibrations  int     `json:"recalibrations"`
+	PartialRecals   int     `json:"partialRecals"`
 	Forced          int     `json:"forced"`
 	FailedCals      int     `json:"failedCals"`
 	LostEvents      int     `json:"lostEvents"`
@@ -76,55 +96,81 @@ type persistedClock struct {
 	WorstStaleness  float64 `json:"worstStaleness"`
 }
 
-// persistSnapshot renders the device's journal record; callers hold d.mu.
-func (d *dev) persistSnapshot() persistedDevice {
-	return persistedDevice{
-		ID: d.id, Weight: d.weight, Spec: d.spec,
-		HasCal: d.hasCal, Matrix: d.matrix,
-		KneeV1: d.kneeV1, KneeV2: d.kneeV2, Steep: d.steep, Shallow: d.shallow,
-		BaseSteep:   append([]float64(nil), d.baseSteep...),
-		BaseShallow: append([]float64(nil), d.baseShallow...),
-		Score:       d.score, ScoreT: d.scoreT, Lost: d.lost,
-		LastCalT: d.lastCalT, LastAttemptT: d.lastAttemptT, LastCheckT: d.lastCheckT,
-		Attempts: d.attempts, MaxFinite: d.maxFinite,
-		Checks: d.checks, Calibrations: d.calibrations, Forced: d.forced,
-		FailedCals: d.failedCals, LostEvents: d.lostEvents, Probes: d.probes,
-		BudgetDeferred: d.budgetDeferred,
-		History:        append([]Event(nil), d.history...),
+// persistSnapshot renders the pair's journal record; callers hold the
+// owning dev's mu.
+func (pc *pairCal) persistSnapshot() persistedPair {
+	return persistedPair{
+		Pair:   pc.idx,
+		HasCal: pc.hasCal, Matrix: pc.matrix,
+		KneeV1: pc.kneeV1, KneeV2: pc.kneeV2, Steep: pc.steep, Shallow: pc.shallow,
+		BaseSteep:   append([]float64(nil), pc.baseSteep...),
+		BaseShallow: append([]float64(nil), pc.baseShallow...),
+		Score:       pc.score, ScoreT: pc.scoreT, Lost: pc.lost,
+		LastCalT: pc.lastCalT, LastAttemptT: pc.lastAttemptT, LastCheckT: pc.lastCheckT,
+		Attempts: pc.attempts, MaxFinite: pc.maxFinite,
+		Checks: pc.checks, Calibrations: pc.calibrations, Forced: pc.forced,
+		FailedCals: pc.failedCals, LostEvents: pc.lostEvents, Probes: pc.probes,
+		BudgetDeferred: pc.budgetDeferred,
 	}
 }
 
-// restore builds a dev from its journal record, with the instrument clock
-// advanced to the fleet's restored virtual time.
+// restore writes the persisted fields back onto a freshly built pair.
+func (p persistedPair) restore(pc *pairCal) {
+	pc.hasCal = p.HasCal
+	pc.matrix = p.Matrix
+	pc.kneeV1, pc.kneeV2 = p.KneeV1, p.KneeV2
+	pc.steep, pc.shallow = p.Steep, p.Shallow
+	pc.baseSteep, pc.baseShallow = p.BaseSteep, p.BaseShallow
+	pc.score, pc.scoreT, pc.lost = p.Score, p.ScoreT, p.Lost
+	pc.lastCalT, pc.lastAttemptT, pc.lastCheckT = p.LastCalT, p.LastAttemptT, p.LastCheckT
+	pc.attempts = p.Attempts
+	pc.maxFinite = p.MaxFinite
+	pc.checks, pc.calibrations, pc.forced = p.Checks, p.Calibrations, p.Forced
+	pc.failedCals, pc.lostEvents, pc.probes = p.FailedCals, p.LostEvents, p.Probes
+	pc.budgetDeferred = p.BudgetDeferred
+}
+
+// persistSnapshot renders the device's journal record; callers hold d.mu.
+func (d *dev) persistSnapshot() persistedDevice {
+	pd := persistedDevice{
+		ID: d.id, Weight: d.weight, Spec: d.spec, Chain: d.chain,
+		History: append([]Event(nil), d.history...),
+	}
+	for _, pc := range d.pairs {
+		pd.Pairs = append(pd.Pairs, pc.persistSnapshot())
+	}
+	return pd
+}
+
+// restore builds a dev from its journal record, with every pair's
+// instrument clock advanced to the fleet's restored virtual time.
 func (p persistedDevice) restore(now float64) (*dev, error) {
-	inst, win, err := p.Spec.Build()
+	cfg := DeviceConfig{ID: p.ID, Weight: p.Weight, Spec: p.Spec, Chain: p.Chain}
+	pairs, err := buildPairs(&cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: restoring %q: %w", p.ID, err)
 	}
-	d := &dev{
-		id: p.ID, weight: p.Weight, spec: p.Spec,
-		inst: inst, win: win,
-		hasCal: p.HasCal, matrix: p.Matrix,
-		kneeV1: p.KneeV1, kneeV2: p.KneeV2, steep: p.Steep, shallow: p.Shallow,
-		baseSteep: p.BaseSteep, baseShallow: p.BaseShallow,
-		score: p.Score, scoreT: p.ScoreT, lost: p.Lost,
-		lastCalT: p.LastCalT, lastAttemptT: p.LastAttemptT, lastCheckT: p.LastCheckT,
-		attempts: p.Attempts, maxFinite: p.MaxFinite,
-		checks: p.Checks, calibrations: p.Calibrations, forced: p.Forced,
-		failedCals: p.FailedCals, lostEvents: p.LostEvents, probes: p.Probes,
-		budgetDeferred: p.BudgetDeferred,
-		history:        p.History,
+	if len(p.Pairs) != len(pairs) {
+		return nil, fmt.Errorf("fleet: restoring %q: %d persisted pairs for a %d-pair device", p.ID, len(p.Pairs), len(pairs))
 	}
-	d.inst.Advance(time.Duration(now * float64(time.Second)))
+	d := &dev{
+		id: p.ID, weight: p.Weight, spec: p.Spec, chain: cfg.Chain,
+		pairs:   pairs,
+		history: p.History,
+	}
+	for i, pp := range p.Pairs {
+		pp.restore(d.pairs[i])
+		d.pairs[i].adv(time.Duration(now * float64(time.Second)))
+	}
 	return d, nil
 }
 
 // AttachStore restores the manager's state from st — the virtual clock,
 // budget window, fleet-wide counters, and every persisted device with its
-// staleness score, cooldown timestamps and history ring — and then keeps st
-// as the journal: every subsequent calibration event is persisted as it
-// happens. Call before the first Tick; restored devices must not collide
-// with ones already registered.
+// per-pair staleness scores, cooldown timestamps and history ring — and
+// then keeps st as the journal: every subsequent calibration event is
+// persisted as it happens. Call before the first Tick; restored devices
+// must not collide with ones already registered.
 func (m *Manager) AttachStore(st *store.Store) error {
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
@@ -143,6 +189,7 @@ func (m *Manager) AttachStore(st *store.Store) error {
 		m.checks = pc.Checks
 		m.calibrations = pc.Calibrations
 		m.recalibrations = pc.Recalibrations
+		m.partialRecals = pc.PartialRecals
 		m.forced = pc.Forced
 		m.failedCals = pc.FailedCals
 		m.lostEvents = pc.LostEvents
@@ -155,6 +202,16 @@ func (m *Manager) AttachStore(st *store.Store) error {
 		var pd persistedDevice
 		if err := json.Unmarshal(rec.Data, &pd); err != nil {
 			return fmt.Errorf("fleet: device record %q: %w", rec.Key, err)
+		}
+		if len(pd.Pairs) == 0 && pd.Chain == nil {
+			// A pre-chain flat record: its calibration state is the single
+			// implicit pair of a double-dot device.
+			var old legacyDevice
+			if err := json.Unmarshal(rec.Data, &old); err != nil {
+				return fmt.Errorf("fleet: legacy device record %q: %w", rec.Key, err)
+			}
+			old.Pair = 0
+			pd.Pairs = []persistedPair{old.persistedPair}
 		}
 		if _, dup := m.devices[pd.ID]; dup {
 			return fmt.Errorf("fleet: restored device %q collides with a registered one", pd.ID)
@@ -220,7 +277,8 @@ func (m *Manager) clockSnapshotLocked() []byte {
 		Now: m.now, WindowStart: m.windowStart, BudgetUsed: m.budgetUsed,
 		NextID: m.nextID,
 		Checks: m.checks, Calibrations: m.calibrations, Recalibrations: m.recalibrations,
-		Forced: m.forced, FailedCals: m.failedCals, LostEvents: m.lostEvents,
+		PartialRecals: m.partialRecals,
+		Forced:        m.forced, FailedCals: m.failedCals, LostEvents: m.lostEvents,
 		ProbesSpent: m.probesSpent, MaxWindowProbes: m.maxWindowProbes,
 		SkippedBudget: m.skippedBudget, WorstStaleness: m.worstStaleness,
 	}

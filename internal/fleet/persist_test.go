@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 
 	"github.com/fastvg/fastvg/internal/sched"
@@ -167,5 +168,62 @@ func TestAutoIDsResumeAfterRestart(t *testing.T) {
 	}
 	if dv.ID != "dev-002" {
 		t.Fatalf("auto ID after restart = %q, want dev-002", dv.ID)
+	}
+}
+
+// TestLegacyDeviceRecordMigration: journals written before per-pair
+// staleness carry the calibration state flat on the device record.
+// AttachStore must decode them as the single implicit pair of a double-dot
+// device instead of refusing to start.
+func TestLegacyDeviceRecordMigration(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ProfileSpec(ProfileQuiet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := []byte(`{"id":"old-a","weight":2,"spec":` + string(specJSON) + `,` +
+		`"hasCal":true,"matrix":[[1,0.1],[0.2,1]],"kneeV1":30,"kneeV2":31,` +
+		`"steep":-8,"shallow":-0.12,"score":0.4,"scoreT":900,"lastCalT":300,` +
+		`"lastAttemptT":300,"lastCheckT":900,"attempts":1,"maxFinite":0.4,` +
+		`"checks":2,"calibrations":1,"probes":1200,` +
+		`"history":[{"t":300,"kind":"calibrate","staleness":0.1,"probes":1200,"ok":true}]}`)
+	if err := st.Put(store.KindFleetDevice, "old-a", legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(sched.New(1), Policy{})
+	if err := m.AttachStore(st); err != nil {
+		t.Fatalf("legacy journal refused: %v", err)
+	}
+	defer st.Close()
+	dv, ok := m.Device("old-a")
+	if !ok {
+		t.Fatal("legacy device not restored")
+	}
+	if len(dv.Pairs) != 1 || !dv.Calibrated {
+		t.Fatalf("legacy device shape: %+v", dv)
+	}
+	p := dv.Pairs[0]
+	if p.A12 != 0.1 || p.A21 != 0.2 || p.Staleness != 0.4 || p.Calibrations != 1 || p.Probes != 1200 {
+		t.Errorf("legacy calibration state lost: %+v", p)
+	}
+	if dv.State != StateHealthy {
+		t.Errorf("legacy device state %q, want healthy", dv.State)
+	}
+	evs, _ := m.History("old-a")
+	if len(evs) != 1 || evs[0].Kind != "calibrate" {
+		t.Errorf("legacy history lost: %+v", evs)
+	}
+	// The restored manager keeps running (and re-persists in the new form).
+	if _, err := m.Tick(context.Background(), 300); err != nil {
+		t.Fatal(err)
 	}
 }

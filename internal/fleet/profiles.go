@@ -111,3 +111,54 @@ func DefaultFleet(n int, seed uint64) ([]DeviceConfig, error) {
 	}
 	return out, nil
 }
+
+// ChainProfileSpec builds a ChainSpec for an N-dot chain device whose pair
+// drifts are heterogeneous along the array: pair (i mod 4) cycles the
+// canonical pressure order — pair 0-like pairs quiet, one standard slow
+// wander, one strong wander, one jumpy — so a chain device exercises the
+// per-pair staleness machinery (typically only its wandering pairs cross
+// the threshold and get partially recalibrated, the probe saving the chain
+// workload exists for).
+func ChainProfileSpec(dots int, seed uint64) device.ChainSpec {
+	spec := device.ChainSpec{
+		Dots:  dots,
+		Noise: noise.PresetStandard(),
+		Seed:  seed,
+	}
+	spec.FillDefaults()
+	spec.PairDrift = make([]device.LeverDriftSpec, spec.Dots-1)
+	for i := range spec.PairDrift {
+		switch i % 4 {
+		case 1: // standard: slow wander, usually inside the hysteresis band
+			spec.PairDrift[i] = device.LeverDriftSpec{
+				Shear21: noise.Params{PinkAmp: 0.008, PinkFMin: 1e-5, PinkFMax: 0.01},
+			}
+		case 2: // wandering: crosses the staleness threshold within hours
+			spec.PairDrift[i] = device.LeverDriftSpec{
+				Shear21: noise.Params{PinkAmp: 0.02, PinkFMin: 1e-5, PinkFMax: 0.01, DriftAmp: 0.06, DriftPeriod: 28800},
+				Shear12: noise.Params{PinkAmp: 0.01, PinkFMin: 1e-5, PinkFMax: 0.01},
+			}
+		case 3: // jumpy: persistent operating-point jumps
+			spec.PairDrift[i] = device.LeverDriftSpec{
+				Offset1: noise.Params{JumpAmp: 1.1, JumpInterval: 14400},
+				Offset2: noise.Params{JumpAmp: 1.1, JumpInterval: 10800},
+			}
+		}
+	}
+	return spec
+}
+
+// DefaultChainFleet builds n chain DeviceConfigs of the given dot count,
+// fully determined by seed.
+func DefaultChainFleet(n, dots int, seed uint64) []DeviceConfig {
+	out := make([]DeviceConfig, 0, n)
+	for i := 0; i < n; i++ {
+		spec := ChainProfileSpec(dots, xrand.DeriveSeed(seed, 1000+i))
+		out = append(out, DeviceConfig{
+			ID:     fmt.Sprintf("chain-%02d", i),
+			Weight: 2, // arrays are the scarce resource an operator watches
+			Chain:  &spec,
+		})
+	}
+	return out
+}

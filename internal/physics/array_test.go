@@ -143,6 +143,82 @@ func TestValidateRejectsStrongCoupling(t *testing.T) {
 	}
 }
 
+// groundStateWindowed is the pre-DP reference algorithm: exhaustive
+// enumeration of the ±2 occupancy windows, lexicographic order, strict
+// improvement. The DP must reproduce its result exactly, ties included.
+func groundStateWindowed(a *Array, v []float64) []int {
+	lo := make([]int, a.N)
+	hi := make([]int, a.N)
+	for i := 0; i < a.N; i++ {
+		star := int(math.Floor(a.Mu(i, v)/a.EC[i])) + 1
+		lo[i] = clampInt(star-2, 0, a.MaxN)
+		hi[i] = clampInt(star+2, 0, a.MaxN)
+	}
+	best := math.Inf(1)
+	cur := make([]int, a.N)
+	bestN := make([]int, a.N)
+	copy(cur, lo)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == a.N {
+			if u := a.Energy(cur, v); u < best {
+				best = u
+				copy(bestN, cur)
+			}
+			return
+		}
+		for n := lo[i]; n <= hi[i]; n++ {
+			cur[i] = n
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return bestN
+}
+
+// TestChainGroundStateDPMatchesEnumeration pins the chain DP against the
+// windowed enumeration it replaced, across chain lengths and a dense sweep
+// of voltage configurations (including points near transition lines).
+func TestChainGroundStateDPMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 6} {
+		a := testChain(t, n)
+		var s GroundScratch
+		v := make([]float64, n)
+		dst := make([]int, n)
+		for trial := 0; trial < 400; trial++ {
+			for i := range v {
+				// Deterministic pseudo-grid covering 0..140 mV with offsets
+				// that land close to the addition lines.
+				v[i] = math.Mod(float64(trial)*7.3+float64(i)*23.7, 140)
+			}
+			want := groundStateWindowed(a, v)
+			got := a.GroundStateInto(dst, v, &s)
+			if !eqInts(got, want) {
+				t.Fatalf("n=%d v=%v: DP %v != enumeration %v (E %v vs %v)",
+					n, v, got, want, a.Energy(got, v), a.Energy(want, v))
+			}
+		}
+	}
+}
+
+// TestGroundStateIntoAllocs pins the hot path: warm scratch, zero allocs.
+func TestGroundStateIntoAllocs(t *testing.T) {
+	a := testChain(t, 8)
+	var s GroundScratch
+	v := make([]float64, 8)
+	dst := make([]int, 8)
+	for i := range v {
+		v[i] = 20 * float64(i)
+	}
+	dst = a.GroundStateInto(dst, v, &s)
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = a.GroundStateInto(dst, v, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("GroundStateInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestChainOccupationMonotone(t *testing.T) {
 	a := testChain(t, 4)
 	v := []float64{20, 20, 20, 20}

@@ -26,14 +26,21 @@ import (
 //	GET    /v1/healthz         liveness, uptime and drain state
 //	GET    /healthz            liveness (legacy alias)
 //
-// Fleet calibration (continuous drift-aware monitoring of many devices):
+// Job kinds include "chain": an N-dot chain extraction against a chainSim
+// spec target, decomposed into concurrent pair extractions (see
+// internal/chainx); its result embeds per-pair matrices and escalation
+// records.
 //
-//	POST /v1/fleet/devices                      register a device {id?, weight?, spec}
-//	GET  /v1/fleet                              fleet status (devices in ID order)
+// Fleet calibration (continuous drift-aware monitoring of many devices,
+// double dots and N-dot chains; chain devices are monitored per pair and
+// partially recalibrated — only the drifted pair is re-extracted):
+//
+//	POST /v1/fleet/devices                      register a device {id?, weight?, spec} or {id?, weight?, chain}
+//	GET  /v1/fleet                              fleet status (devices in ID order, per-pair breakdown)
 //	GET  /v1/fleet/devices/{id}                 one device's snapshot
 //	GET  /v1/fleet/devices/{id}/history         calibration history, oldest first
 //	                                            (?limit=N newest N, ?journal=1 full persisted log)
-//	POST /v1/fleet/devices/{id}/recalibrate     force an immediate re-extraction
+//	POST /v1/fleet/devices/{id}/recalibrate     force an immediate re-extraction (?pair=N one pair only)
 //	POST /v1/fleet/tick                         advance the virtual clock {advanceS, ticks?}
 //
 // All bodies and responses are JSON.
@@ -200,8 +207,21 @@ func (s *Service) Handler() http.Handler {
 		reply(w, http.StatusOK, map[string]any{"events": evs})
 	})
 
+	// ?pair=N forces a single adjacent pair of a chain device (partial
+	// recalibration); without it every pair of the device is re-extracted.
 	mux.HandleFunc("POST /v1/fleet/devices/{id}/recalibrate", func(w http.ResponseWriter, r *http.Request) {
-		ev, err := s.fleet.ForceRecalibrate(r.Context(), r.PathValue("id"))
+		var ev fleet.Event
+		var err error
+		if p := r.URL.Query().Get("pair"); p != "" {
+			var pair int
+			if pair, err = strconv.Atoi(p); err != nil {
+				fail(w, http.StatusBadRequest, fmt.Errorf("bad pair %q", p))
+				return
+			}
+			ev, err = s.fleet.ForceRecalibratePair(r.Context(), r.PathValue("id"), pair)
+		} else {
+			ev, err = s.fleet.ForceRecalibrate(r.Context(), r.PathValue("id"))
+		}
 		if err != nil {
 			code := http.StatusBadRequest
 			if errors.Is(err, fleet.ErrUnknownDevice) {

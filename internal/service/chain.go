@@ -1,0 +1,130 @@
+package service
+
+// Chain jobs: the N-dot chain extraction planner (internal/chainx) mounted
+// on the service. A chain request is cacheable — the spec's per-pair
+// instruments are deterministic in (seed, pair) — persists per-pair results
+// to the journal as KindChainPair records alongside the usual cache entry,
+// and with trace recording on writes one probe trace per pair, each
+// replayable through cmd/vgxreplay.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/chainx"
+	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/rays"
+	"github.com/fastvg/fastvg/internal/trace"
+)
+
+// runChain executes a normalized chain request through the planner on the
+// service's worker pool and fills res. Pair failures (ladder exhausted,
+// budget denied) are deterministic outcomes recorded on the result;
+// cancellation and instrument faults propagate as errors.
+func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *Result) error {
+	src, err := chainx.NewSpecSource(*nreq.ChainSim, nreq.Chain.Windows)
+	if err != nil {
+		return err
+	}
+	cfg := chainx.Config{
+		Methods:      nreq.Chain.Methods,
+		Budget:       nreq.Chain.Budget,
+		Fast:         coreConfig(nreq.Fast),
+		CoarseFactor: nreq.Fast.CoarseFactor,
+		Rays:         rays.Config{NumRays: nreq.Rays.NumRays, DropSigma: nreq.Rays.DropSigma},
+	}
+	var recMu sync.Mutex
+	var recorders map[int]*trace.Recorder
+	if s.traceDir != "" {
+		recorders = make(map[int]*trace.Recorder, src.Dots()-1)
+		cfg.Wrap = func(pair int, inst chainx.PairInstrument) chainx.PairInstrument {
+			rec := trace.NewRecorder(inst)
+			recMu.Lock()
+			recorders[pair] = rec
+			recMu.Unlock()
+			return rec
+		}
+	}
+	t0 := time.Now()
+	cres, err := chainx.Extract(ctx, s.pool, src, cfg)
+	if err != nil {
+		return err
+	}
+	res.ComputeS = time.Since(t0).Seconds()
+	res.Probes = cres.Probes
+	res.ExperimentS = cres.ExperimentS
+	rep := &ChainReport{Dots: cres.Dots, Pairs: cres.Pairs, BudgetDenied: cres.BudgetDenied}
+	if cres.Chain != nil {
+		rep.A12 = append([]float64(nil), cres.Chain.A12...)
+		rep.A21 = append([]float64(nil), cres.Chain.A21...)
+	}
+	res.Chain = rep
+	res.Scored = true
+	res.Success = true
+	for i := range cres.Pairs {
+		p := &cres.Pairs[i]
+		if !p.Scored {
+			res.Scored = false
+		}
+		if !p.Success {
+			res.Success = false
+		}
+	}
+	if failed := cres.Failed(); len(failed) > 0 {
+		res.Success = false
+		res.Error = fmt.Sprintf("chain: %d of %d pairs failed (first: pair %d: %s)",
+			len(failed), len(cres.Pairs), failed[0], cres.Pairs[failed[0]].Error)
+	}
+	for pair, rec := range recorders {
+		if err := s.writeChainPairTrace(rec, nreq, hash, src, pair, &cres.Pairs[pair]); err != nil {
+			s.persistErrs.Add(1)
+		}
+	}
+	return nil
+}
+
+// writeChainPairTrace renders one pair's probe trace. The trace carries the
+// full normalized chain request plus the pair index, so vgxreplay re-executes
+// exactly that pair's escalation ladder against the recorded samples.
+func (s *Service) writeChainPairTrace(rec *trace.Recorder, nreq Request, hash string, src *chainx.SpecSource, pair int, pres *chainx.PairResult) error {
+	reqJSON, err := json.Marshal(nreq)
+	if err != nil {
+		return err
+	}
+	resJSON, err := json.Marshal(pres)
+	if err != nil {
+		return err
+	}
+	p := pair
+	steep, shallow := src.PairTruth(pair)
+	meta := trace.Meta{
+		Hash:             hash,
+		Request:          reqJSON,
+		Result:           resJSON,
+		Window:           src.Windows()[pair],
+		Pair:             &p,
+		Truth:            &trace.Truth{Steep: steep, Shallow: shallow},
+		BaseUniqueProbes: rec.Base().UniqueProbes,
+		BaseRawCalls:     rec.Base().RawCalls,
+		BaseVirtualNS:    int64(rec.Base().Virtual),
+	}
+	_, err = trace.Write(s.traceDir, meta, rec.Samples())
+	return err
+}
+
+// replayChainPair re-executes one recorded pair extraction — the escalation
+// ladder of a chain job's pair — against inst (normally a trace.Replayer
+// serving the recorded samples) and returns the reproduced pair result.
+func replayChainPair(ctx context.Context, nreq Request, pair int, inst chainx.PairInstrument, win csd.Window) (*chainx.PairResult, error) {
+	cfg := chainx.Config{
+		Methods:      nreq.Chain.Methods,
+		Budget:       0, // the recorded pair already passed admission
+		Fast:         coreConfig(nreq.Fast),
+		CoarseFactor: nreq.Fast.CoarseFactor,
+		Rays:         rays.Config{NumRays: nreq.Rays.NumRays, DropSigma: nreq.Rays.DropSigma},
+	}
+	return chainx.ExtractPair(ctx, pair, inst, win, cfg)
+}

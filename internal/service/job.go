@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/fastvg/fastvg/internal/anchors"
+	"github.com/fastvg/fastvg/internal/chainx"
 	"github.com/fastvg/fastvg/internal/core"
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
@@ -32,16 +33,17 @@ const (
 	KindAdaptive   Kind = "adaptive"   // coarse-to-fine fast extraction
 	KindWindowFind Kind = "windowfind" // scan-window search (autotune)
 	KindVerify     Kind = "verify"     // fast extraction + on-device matrix check
+	KindChain      Kind = "chain"      // N-dot chain extraction (internal/chainx planner)
 )
 
 // Kinds lists every valid job kind.
 func Kinds() []Kind {
-	return []Kind{KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify}
+	return []Kind{KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify, KindChain}
 }
 
 func (k Kind) valid() bool {
 	switch k {
-	case KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify:
+	case KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify, KindChain:
 		return true
 	}
 	return false
@@ -84,10 +86,27 @@ type VerifyOptions struct {
 	MaxShiftFrac float64 `json:"maxShiftFrac,omitempty"` // default 0.02
 }
 
+// ChainOptions tunes a chain job's planner. Normalization expands Windows
+// to the explicit per-pair list (Dots−1 entries) and Methods to the full
+// escalation ladder, so the canonical request hash covers the complete
+// window list and ladder — two chain jobs dedupe only when every pair scans
+// the same window under the same escalation.
+type ChainOptions struct {
+	// Windows are the per-pair scan windows; empty uses the spec's
+	// recommended window for every pair, otherwise len must be Dots−1.
+	Windows []csd.Window `json:"windows,omitempty"`
+	// Methods is the per-pair escalation ladder; empty uses the chainx
+	// default (fast → adaptive → rays).
+	Methods []chainx.Method `json:"methods,omitempty"`
+	// Budget caps the probes the whole chain may spend; 0 means unlimited.
+	Budget int `json:"budget,omitempty"`
+}
+
 // Request describes one extraction job. Exactly one target must be set:
 // Benchmark (a 1-based qflow suite index), Sim (a fresh simulated device
-// built from the spec), or Session (a live instrument in the registry).
-// Benchmark and Sim jobs are deterministic in the request alone, so their
+// built from the spec), Session (a live instrument in the registry), or
+// ChainSim (a fresh N-dot chain device, chain jobs only). Benchmark, Sim
+// and ChainSim jobs are deterministic in the request alone, so their
 // results are cacheable; Session jobs run against stateful hardware-like
 // instruments and always execute.
 type Request struct {
@@ -95,12 +114,17 @@ type Request struct {
 	Benchmark int                   `json:"benchmark,omitempty"`
 	Sim       *device.DoubleDotSpec `json:"sim,omitempty"`
 	Session   string                `json:"session,omitempty"`
+	// ChainSim is the chain-job target: a fresh N-dot chain device built
+	// from the spec, one independent instrument per adjacent pair. Chain
+	// jobs are deterministic in the request alone, so they are cacheable.
+	ChainSim *device.ChainSpec `json:"chainSim,omitempty"`
 
 	Fast       *FastOptions       `json:"fast,omitempty"`
 	Baseline   *BaselineOptions   `json:"baseline,omitempty"`
 	Rays       *RayOptions        `json:"rays,omitempty"`
 	WindowFind *WindowFindOptions `json:"windowFind,omitempty"`
 	Verify     *VerifyOptions     `json:"verify,omitempty"`
+	Chain      *ChainOptions      `json:"chain,omitempty"`
 }
 
 // SuiteSize is the qflow benchmark count (Table 1's 12 CSDs).
@@ -131,8 +155,39 @@ func (r Request) Validate() error {
 	if r.Session != "" {
 		targets++
 	}
+	if r.ChainSim != nil {
+		targets++
+	}
 	if targets != 1 {
 		return ErrBadTarget
+	}
+	if (r.Kind == KindChain) != (r.ChainSim != nil) {
+		return errors.New("service: chain jobs take a chainSim target, and only chain jobs may set one")
+	}
+	if r.Kind == KindChain {
+		spec := *r.ChainSim
+		spec.FillDefaults()
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("service: chain spec: %w", err)
+		}
+		if r.Chain != nil {
+			if len(r.Chain.Windows) != 0 && len(r.Chain.Windows) != spec.Dots-1 {
+				return fmt.Errorf("service: chain needs %d pair windows, got %d", spec.Dots-1, len(r.Chain.Windows))
+			}
+			for i, w := range r.Chain.Windows {
+				if err := w.Validate(); err != nil {
+					return fmt.Errorf("service: chain pair %d window: %w", i, err)
+				}
+			}
+			for _, m := range r.Chain.Methods {
+				if !chainx.ValidMethod(m) {
+					return fmt.Errorf("service: chain method %q unknown", m)
+				}
+			}
+			if r.Chain.Budget < 0 {
+				return errors.New("service: chain budget must be non-negative")
+			}
+		}
 	}
 	if r.Kind == KindWindowFind {
 		if r.Benchmark != 0 {
@@ -229,6 +284,46 @@ func (r Request) Normalized() (Request, error) {
 			v.MaxShiftFrac = r.Verify.MaxShiftFrac
 		}
 		n.Verify = &v
+	case KindChain:
+		spec := *r.ChainSim
+		spec.FillDefaults()
+		n.ChainSim = &spec
+		co := ChainOptions{}
+		if r.Chain != nil {
+			co = *r.Chain
+		}
+		// Expand the defaults into explicit form: the canonical hash must
+		// cover the full per-pair window list and the full ladder.
+		if len(co.Windows) == 0 {
+			w := spec.Window()
+			co.Windows = make([]csd.Window, spec.Dots-1)
+			for i := range co.Windows {
+				co.Windows[i] = w
+			}
+		} else {
+			co.Windows = append([]csd.Window(nil), co.Windows...)
+		}
+		if len(co.Methods) == 0 {
+			co.Methods = chainx.DefaultLadder()
+		} else {
+			co.Methods = append([]chainx.Method(nil), co.Methods...)
+		}
+		n.Chain = &co
+		n.Fast = fast()
+		if n.Fast.CoarseFactor == 0 {
+			n.Fast.CoarseFactor = core.DefaultCoarseFactor
+		}
+		ro := RayOptions{}
+		if r.Rays != nil {
+			ro = *r.Rays
+		}
+		if ro.NumRays == 0 {
+			ro.NumRays = rays.DefaultNumRays
+		}
+		if ro.DropSigma == 0 {
+			ro.DropSigma = rays.DefaultDropSigma
+		}
+		n.Rays = &ro
 	}
 	return n, nil
 }
@@ -278,6 +373,22 @@ type VerifyReport struct {
 	ShallowShift float64 `json:"shallowShift"` // mV of shallow-line drift
 }
 
+// ChainReport is the chain-job extension of a Result: the composed chain's
+// off-diagonals and every pair's outcome in index order. It contains no
+// worker-count- or wall-clock-dependent field, so it is as cacheable and
+// replay-comparable as the scalar results.
+type ChainReport struct {
+	Dots int `json:"dots"`
+	// A12/A21 are the composed chain's tridiagonal compensation terms (len
+	// Dots−1); empty when any pair failed.
+	A12 []float64 `json:"a12,omitempty"`
+	A21 []float64 `json:"a21,omitempty"`
+	// Pairs holds per-pair matrices, methods, escalation attempts and costs.
+	Pairs []chainx.PairResult `json:"pairs"`
+	// BudgetDenied counts pairs the probe-budget accountant refused.
+	BudgetDenied int `json:"budgetDenied,omitempty"`
+}
+
 // Result is the serialisable outcome of a job. Cached results are immutable;
 // the service stamps the per-retrieval Cached flag on a copy.
 type Result struct {
@@ -315,4 +426,5 @@ type Result struct {
 
 	Window *csd.Window   `json:"window,omitempty"` // windowfind proposal
 	Verify *VerifyReport `json:"verify,omitempty"` // verify-job check
+	Chain  *ChainReport  `json:"chain,omitempty"`  // chain-job per-pair results
 }

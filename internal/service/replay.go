@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/fastvg/fastvg/internal/chainx"
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/qflow"
 	"github.com/fastvg/fastvg/internal/store"
@@ -27,8 +28,11 @@ type cacheRecord struct {
 	Result  *Result `json:"result"`
 }
 
-// persistResult journals a fresh cacheable result. Failures are counted,
-// not propagated: the in-memory result is correct regardless.
+// persistResult journals a fresh cacheable result. Chain results
+// additionally journal one KindChainPair record per pair (keyed
+// "<hash>/<pair>"), so individual pair matrices are addressable in the
+// journal. Failures are counted, not propagated: the in-memory result is
+// correct regardless.
 func (s *Service) persistResult(nreq Request, hash string, res *Result) {
 	data, err := json.Marshal(cacheRecord{Request: nreq, Result: res})
 	if err == nil {
@@ -36,6 +40,18 @@ func (s *Service) persistResult(nreq Request, hash string, res *Result) {
 	}
 	if err != nil {
 		s.persistErrs.Add(1)
+	}
+	if res.Chain == nil {
+		return
+	}
+	for i := range res.Chain.Pairs {
+		data, err := json.Marshal(&res.Chain.Pairs[i])
+		if err == nil {
+			err = s.store.Put(store.KindChainPair, fmt.Sprintf("%s/%d", hash, i), data)
+		}
+		if err != nil {
+			s.persistErrs.Add(1)
+		}
 	}
 }
 
@@ -70,6 +86,8 @@ type ReplayOutcome struct {
 	Source string `json:"source"` // trace path, or "journal:<hash>"
 	Kind   Kind   `json:"kind"`
 	Hash   string `json:"hash"`
+	// Pair marks a chain job's per-pair trace replay (the pair index).
+	Pair *int `json:"pair,omitempty"`
 	// Skipped marks entries that cannot replay offline (session targets in
 	// the journal: their instrument state lived in the dead process).
 	Skipped    bool   `json:"skipped,omitempty"`
@@ -135,6 +153,74 @@ func CompareResults(reproduced, recorded *Result) []string {
 	} else if reproduced.Verify != nil && *reproduced.Verify != *recorded.Verify {
 		diffs = append(diffs, "verify report differs")
 	}
+	if (reproduced.Chain == nil) != (recorded.Chain == nil) {
+		diffs = append(diffs, "chain presence differs")
+	} else if reproduced.Chain != nil {
+		diffs = append(diffs, compareChainReports(reproduced.Chain, recorded.Chain)...)
+	}
+	return diffs
+}
+
+// compareChainReports diffs two chain reports pair by pair, requiring
+// bit-identical matrices and identical escalation paths.
+func compareChainReports(got, want *ChainReport) []string {
+	var diffs []string
+	if got.Dots != want.Dots || len(got.Pairs) != len(want.Pairs) {
+		return append(diffs, fmt.Sprintf("chain shape: %d dots/%d pairs != recorded %d/%d",
+			got.Dots, len(got.Pairs), want.Dots, len(want.Pairs)))
+	}
+	if got.BudgetDenied != want.BudgetDenied {
+		diffs = append(diffs, fmt.Sprintf("chain budgetDenied: %d != recorded %d", got.BudgetDenied, want.BudgetDenied))
+	}
+	for i := range got.Pairs {
+		diffs = append(diffs, ComparePairResults(&got.Pairs[i], &want.Pairs[i])...)
+	}
+	for i := range got.A12 {
+		if i < len(want.A12) {
+			diffs = fdiff(diffs, fmt.Sprintf("chain a12[%d]", i), got.A12[i], want.A12[i])
+			diffs = fdiff(diffs, fmt.Sprintf("chain a21[%d]", i), got.A21[i], want.A21[i])
+		}
+	}
+	if len(got.A12) != len(want.A12) {
+		diffs = append(diffs, fmt.Sprintf("chain composed length: %d != recorded %d", len(got.A12), len(want.A12)))
+	}
+	return diffs
+}
+
+// ComparePairResults diffs one reproduced chain pair against the recorded
+// one over every deterministic field. Empty means identical.
+func ComparePairResults(got, want *chainx.PairResult) []string {
+	var diffs []string
+	p := func(name string) string { return fmt.Sprintf("pair %d %s", want.Pair, name) }
+	if got.Pair != want.Pair {
+		diffs = append(diffs, fmt.Sprintf("pair index %d != recorded %d", got.Pair, want.Pair))
+	}
+	if got.Method != want.Method {
+		diffs = append(diffs, fmt.Sprintf("%s: %q != recorded %q", p("method"), got.Method, want.Method))
+	}
+	if got.Error != want.Error {
+		diffs = append(diffs, fmt.Sprintf("%s: %q != recorded %q", p("error"), got.Error, want.Error))
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			diffs = fdiff(diffs, p(fmt.Sprintf("matrix[%d][%d]", r, c)), got.Matrix[r][c], want.Matrix[r][c])
+		}
+	}
+	diffs = fdiff(diffs, p("steepSlope"), got.SteepSlope, want.SteepSlope)
+	diffs = fdiff(diffs, p("shallowSlope"), got.ShallowSlope, want.ShallowSlope)
+	if got.Probes != want.Probes {
+		diffs = append(diffs, fmt.Sprintf("%s: %d != recorded %d", p("probes"), got.Probes, want.Probes))
+	}
+	diffs = fdiff(diffs, p("experimentS"), got.ExperimentS, want.ExperimentS)
+	if len(got.Attempts) != len(want.Attempts) {
+		diffs = append(diffs, fmt.Sprintf("%s: %d != recorded %d", p("attempts"), len(got.Attempts), len(want.Attempts)))
+	} else {
+		for i := range got.Attempts {
+			if got.Attempts[i] != want.Attempts[i] {
+				diffs = append(diffs, fmt.Sprintf("%s differs: %+v != recorded %+v", p(fmt.Sprintf("attempt %d", i)), got.Attempts[i], want.Attempts[i]))
+			}
+		}
+	}
 	return diffs
 }
 
@@ -150,6 +236,9 @@ func ReplayTrace(path string) (*ReplayOutcome, error) {
 	var nreq Request
 	if err := json.Unmarshal(meta.Request, &nreq); err != nil {
 		return nil, fmt.Errorf("service: trace request: %w", err)
+	}
+	if meta.Pair != nil {
+		return replayChainPairTrace(path, meta, samples, nreq)
 	}
 	var recorded Result
 	if err := json.Unmarshal(meta.Result, &recorded); err != nil {
@@ -172,6 +261,34 @@ func ReplayTrace(path string) (*ReplayOutcome, error) {
 	}
 	out.Reproduced = res
 	out.Diffs = CompareResults(res, &recorded)
+	if err := rp.Err(); err != nil {
+		out.ReplayErr = err.Error()
+	} else if rem := rp.Remaining(); rem != 0 {
+		out.ReplayErr = fmt.Sprintf("trace: %d recorded samples never replayed", rem)
+	}
+	out.Match = len(out.Diffs) == 0 && out.ReplayErr == ""
+	return out, nil
+}
+
+// replayChainPairTrace re-executes one pair of a recorded chain job: the
+// pair's escalation ladder runs against the recorded samples and must
+// reproduce the recorded PairResult bit for bit.
+func replayChainPairTrace(path string, meta trace.Meta, samples []trace.Sample, nreq Request) (*ReplayOutcome, error) {
+	if nreq.Kind != KindChain || nreq.ChainSim == nil || nreq.Chain == nil {
+		return nil, fmt.Errorf("service: trace %s: pair index on a non-chain request", path)
+	}
+	pair := *meta.Pair
+	var recorded chainx.PairResult
+	if err := json.Unmarshal(meta.Result, &recorded); err != nil {
+		return nil, fmt.Errorf("service: trace pair result: %w", err)
+	}
+	out := &ReplayOutcome{Source: path, Kind: nreq.Kind, Hash: meta.Hash, Pair: meta.Pair}
+	rp := trace.NewReplayer(meta, samples)
+	pres, err := replayChainPair(context.Background(), nreq, pair, rp, meta.Window)
+	if err != nil {
+		return nil, err
+	}
+	out.Diffs = ComparePairResults(pres, &recorded)
 	if err := rp.Err(); err != nil {
 		out.ReplayErr = err.Error()
 	} else if rem := rp.Remaining(); rem != 0 {

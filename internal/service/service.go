@@ -303,6 +303,22 @@ func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStar
 		}
 		return v.(*Result), nil
 	}
+	if nreq.Kind == KindChain {
+		// Chain jobs are the planner's coordinator, not a unit of extraction:
+		// the planner submits the N−1 pair extractions to the worker pool
+		// itself. Holding a slot while waiting on those slots could deadlock
+		// a one-worker pool, so the coordinator runs slotless — only its
+		// pairs occupy workers.
+		runPooled = func() (*Result, error) {
+			if s.pool.Closed() {
+				return nil, sched.ErrClosed
+			}
+			if onStart != nil {
+				onStart()
+			}
+			return s.runJob(ctx, nreq, hash)
+		}
+	}
 	if !nreq.Cacheable() {
 		return runPooled()
 	}
@@ -513,6 +529,10 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 		Hash:      hash,
 	}
 	switch {
+	case nreq.ChainSim != nil:
+		if err := s.runChain(ctx, nreq, hash, res); err != nil {
+			return nil, err
+		}
 	case nreq.Benchmark != 0:
 		inst, b, err := s.reg.Benchmark(nreq.Benchmark)
 		if err != nil {

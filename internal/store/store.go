@@ -41,6 +41,11 @@ const (
 	// keyed by device ID. Unlike the in-memory history ring these are never
 	// superseded, only bounded by AuditCap.
 	KindFleetEvent Kind = 4
+	// KindChainPair is one pair result of a persisted chain extraction,
+	// keyed by "<request hash>/<pair index>" — the per-pair journal record
+	// behind a chain job's cache entry, so individual pair matrices are
+	// addressable (and auditable) without decoding the whole chain result.
+	KindChainPair Kind = 5
 )
 
 // Audit reports whether records of this kind accumulate as an event log

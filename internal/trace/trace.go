@@ -73,6 +73,10 @@ type Meta struct {
 	Result  json.RawMessage `json:"result,omitempty"`  // recorded service result
 	Window  csd.Window      `json:"window"`
 	Truth   *Truth          `json:"truth,omitempty"`
+	// Pair, when set, marks a chain job's per-pair trace: Request is the
+	// full chain request, Result the recorded PairResult of this pair, and
+	// replay re-executes only this pair's escalation ladder.
+	Pair *int `json:"pair,omitempty"`
 	// Base is the wrapped instrument's accounting when recording began;
 	// replay starts from it so before/after deltas reproduce exactly even
 	// for instruments with prior history (session devices).

@@ -7,13 +7,19 @@ import (
 )
 
 // Chain composes the pairwise virtualization matrices of an n-dot linear
-// array (Section 2.3: "n−1 sequentially executed extraction processes") into
-// one N×N virtualization matrix with unit diagonal and tridiagonal
-// compensation terms.
+// array (Section 2.3: "n−1 pair extraction processes") into one N×N
+// virtualization matrix with unit diagonal and tridiagonal compensation
+// terms.
 type Chain struct {
 	N   int
 	A12 []float64 // per-pair dot-i compensation, len N-1
 	A21 []float64 // per-pair dot-(i+1) compensation, len N-1
+
+	// dense caches the row-major N×N matrix; SetPair invalidates it, Dense
+	// rebuilds it lazily. This keeps the planner's hot composition loop —
+	// SetPair per pair result, then repeated Dense/ApplyInto — free of
+	// per-call N×N reallocation.
+	dense []float64
 }
 
 // NewChain allocates an identity chain for n dots.
@@ -24,17 +30,42 @@ func NewChain(n int) (*Chain, error) {
 	return &Chain{N: n, A12: make([]float64, n-1), A21: make([]float64, n-1)}, nil
 }
 
-// SetPair records the extracted pair matrix for adjacent dots (i, i+1).
+// SetPair records the extracted pair matrix for adjacent dots (i, i+1) and
+// invalidates the cached dense form.
 func (c *Chain) SetPair(i int, m Mat2) error {
 	if i < 0 || i >= c.N-1 {
 		return fmt.Errorf("virtualgate: pair index %d out of range", i)
 	}
 	c.A12[i] = m.A12()
 	c.A21[i] = m.A21()
+	c.dense = nil
 	return nil
 }
 
-// Matrix returns the dense N×N virtualization matrix.
+// Dense returns the row-major N×N virtualization matrix (entry (i, j) at
+// i·N+j) as a cached, read-only view: repeated calls between SetPairs cost
+// no allocation. Callers must not modify the slice; use Matrix for an owned
+// copy. The lazy cache makes Dense (unlike every other Chain method, which
+// never touches it) unsafe to call concurrently with itself or SetPair —
+// it exists for the planner's single-goroutine composition loop.
+func (c *Chain) Dense() []float64 {
+	if c.dense == nil {
+		d := make([]float64, c.N*c.N)
+		for i := 0; i < c.N; i++ {
+			d[i*c.N+i] = 1
+		}
+		for i := 0; i < c.N-1; i++ {
+			d[i*c.N+i+1] = c.A12[i]
+			d[(i+1)*c.N+i] = c.A21[i]
+		}
+		c.dense = d
+	}
+	return c.dense
+}
+
+// Matrix returns the dense N×N virtualization matrix as freshly allocated
+// rows the caller owns. It builds the rows directly (no shared cache), so
+// concurrent Matrix/Apply/Solve calls on one Chain stay safe.
 func (c *Chain) Matrix() [][]float64 {
 	m := make([][]float64, c.N)
 	for i := range m {
@@ -48,19 +79,37 @@ func (c *Chain) Matrix() [][]float64 {
 	return m
 }
 
-// Apply maps physical gate voltages to virtual gate voltages.
-func (c *Chain) Apply(v []float64) ([]float64, error) {
+// ApplyInto maps physical gate voltages to virtual gate voltages, writing
+// into dst (grown as needed) and allocating nothing once dst has capacity.
+// The tridiagonal structure is used directly — out[i] accumulates the
+// nonzero terms in the same ascending-column order as a dense row product,
+// so the result is bit-identical to Apply on the full matrix. dst must not
+// alias v.
+func (c *Chain) ApplyInto(dst, v []float64) ([]float64, error) {
 	if len(v) != c.N {
 		return nil, errors.New("virtualgate: voltage vector length mismatch")
 	}
-	m := c.Matrix()
-	out := make([]float64, c.N)
-	for i := range m {
-		for j, mij := range m[i] {
-			out[i] += mij * v[j]
-		}
+	if cap(dst) < c.N {
+		dst = make([]float64, c.N)
 	}
-	return out, nil
+	dst = dst[:c.N]
+	for i := 0; i < c.N; i++ {
+		s := 0.0
+		if i > 0 {
+			s += c.A21[i-1] * v[i-1]
+		}
+		s += v[i]
+		if i < c.N-1 {
+			s += c.A12[i] * v[i+1]
+		}
+		dst[i] = s
+	}
+	return dst, nil
+}
+
+// Apply maps physical gate voltages to virtual gate voltages.
+func (c *Chain) Apply(v []float64) ([]float64, error) {
+	return c.ApplyInto(nil, v)
 }
 
 // Solve maps virtual gate voltages back to physical voltages by solving

@@ -145,3 +145,86 @@ func TestChainSolveSingular(t *testing.T) {
 		t.Error("singular chain solved")
 	}
 }
+
+// TestChainApplyIntoMatchesMatrixProduct pins the copy-free tridiagonal
+// path against the dense row product, bit for bit.
+func TestChainApplyIntoMatchesMatrixProduct(t *testing.T) {
+	c, err := NewChain(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m, err := FromSlopes(-8+float64(i), -0.1-0.02*float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetPair(i, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := []float64{3.5, -1.25, 7, 0.125, -9.5, 2}
+	dense := c.Matrix()
+	want := make([]float64, 6)
+	for i := range dense {
+		for j, mij := range dense[i] {
+			want[i] += mij * v[j]
+		}
+	}
+	got, err := c.Apply(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Apply[%d] = %v, dense product %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChainHotPathAllocs is the planner-loop allocation regression: with a
+// warm destination, repeated ApplyInto and Dense calls allocate nothing,
+// and Matrix (the copying public path) still allocates — proving the cache
+// is what the hot path rides on.
+func TestChainHotPathAllocs(t *testing.T) {
+	c, err := NewChain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromSlopes(-8, -0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := c.SetPair(i, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := make([]float64, 8)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	dst := make([]float64, 8)
+	_ = c.Dense() // build the cache once
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, err = c.ApplyInto(dst, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Dense()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ApplyInto+Dense allocate %.1f objects/op, want 0", allocs)
+	}
+
+	// SetPair invalidates; the next Dense rebuilds exactly once.
+	if err := c.SetPair(3, m); err != nil {
+		t.Fatal(err)
+	}
+	rebuild := testing.AllocsPerRun(1, func() { _ = c.Dense() })
+	_ = rebuild // first run inside AllocsPerRun warms; the steady state matters:
+	steady := testing.AllocsPerRun(50, func() { _ = c.Dense() })
+	if steady != 0 {
+		t.Fatalf("Dense allocates %.1f objects/op after rebuild, want 0", steady)
+	}
+}

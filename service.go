@@ -46,7 +46,18 @@ const (
 	JobAdaptive   = service.KindAdaptive
 	JobWindowFind = service.KindWindowFind
 	JobVerify     = service.KindVerify
+	JobChain      = service.KindChain
 )
+
+// ChainJobOptions tunes a chain job: per-pair windows, escalation ladder
+// and probe budget. Normalization expands the windows and ladder to their
+// explicit forms, so the request hash covers the full per-pair window list.
+type ChainJobOptions = service.ChainOptions
+
+// ChainReport is a chain job result's per-pair breakdown: the composed
+// off-diagonals plus each pair's matrix, winning method and escalation
+// attempts.
+type ChainReport = service.ChainReport
 
 // ServiceStats aggregates cache, scheduler, job and session accounting.
 type ServiceStats = service.Stats
@@ -87,14 +98,21 @@ type FleetManager = fleet.Manager
 type FleetPolicy = fleet.Policy
 
 // FleetDeviceConfig registers one device: an ID, a scheduling weight and a
-// device spec (including its lever-arm drift profile).
+// device spec (including its lever-arm drift profile) — either a double-dot
+// Spec or an N-dot Chain spec, whose adjacent pairs are then monitored and
+// recalibrated individually.
 type FleetDeviceConfig = fleet.DeviceConfig
 
 // FleetStatus is a fleet-wide snapshot; FleetDeviceView one device's.
 type FleetStatus = fleet.Status
 
-// FleetDeviceView is a serialisable per-device snapshot.
+// FleetDeviceView is a serialisable per-device snapshot; its Pairs field
+// breaks the aggregates down per adjacent pair for chain devices.
 type FleetDeviceView = fleet.DeviceView
+
+// FleetPairStatus is one adjacent pair's calibration snapshot inside a
+// FleetDeviceView.
+type FleetPairStatus = fleet.PairStatus
 
 // FleetEvent is one calibration-history entry.
 type FleetEvent = fleet.Event
@@ -107,6 +125,12 @@ type FleetSummary = fleet.Summary
 // fully determined by seed.
 func DefaultFleetConfigs(n int, seed uint64) ([]FleetDeviceConfig, error) {
 	return fleet.DefaultFleet(n, seed)
+}
+
+// DefaultChainFleetConfigs builds n chain device configs of the given dot
+// count with heterogeneous per-pair drift, fully determined by seed.
+func DefaultChainFleetConfigs(n, dots int, seed uint64) []FleetDeviceConfig {
+	return fleet.DefaultChainFleet(n, dots, seed)
 }
 
 // Persistence & replay: with ServiceConfig.DataDir set the service journals

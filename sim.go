@@ -1,13 +1,11 @@
 package fastvg
 
 import (
-	"errors"
 	"fmt"
 
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/noise"
 	"github.com/fastvg/fastvg/internal/physics"
-	"github.com/fastvg/fastvg/internal/sensor"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
@@ -125,57 +123,55 @@ type ChainSimOptions struct {
 	Seed      uint64
 }
 
+// ChainSpec is the serialisable description of a simulated N-dot chain
+// device; it is the form the extraction service accepts in chain job
+// requests and the fleet accepts for chain devices, and ChainSimOptions
+// converts to it one-to-one.
+type ChainSpec = device.ChainSpec
+
+// Spec returns the options as a serialisable chain device specification.
+func (o ChainSimOptions) Spec() ChainSpec {
+	return ChainSpec{
+		Dots:      o.Dots,
+		CrossFrac: o.CrossFrac,
+		Noise:     o.Noise,
+		Seed:      o.Seed,
+	}
+}
+
 // ChainSim is a simulated N-dot linear array with one shared charge sensor.
 type ChainSim struct {
 	Inst *device.MultiInstrument
 	Phys *physics.Array
 
+	spec   ChainSpec
 	spanMV float64 // recommended pair scan span
 }
 
-// NewChainSim builds a homogeneous N-dot chain device. Ground-truth pair
-// slopes are available via PairTruth; RecommendedWindow returns a pair scan
-// window that frames the first-electron lines the way the paper's cropped
-// CSDs do.
+// NewChainSim builds a homogeneous N-dot chain device under one shared
+// instrument (every pair extraction probes the same device, as on
+// hardware). Ground-truth pair slopes are available via PairTruth;
+// RecommendedWindow returns a pair scan window that frames the
+// first-electron lines the way the paper's cropped CSDs do. For concurrent,
+// deterministic chain extraction use ExtractChainSpec with the Spec form
+// instead: it builds independent per-pair instruments.
 func NewChainSim(opts ChainSimOptions) (*ChainSim, error) {
-	if opts.Dots == 0 {
-		opts.Dots = 4
-	}
-	if opts.Dots < 2 {
-		return nil, errors.New("fastvg: chain needs at least 2 dots")
-	}
-	if opts.CrossFrac == 0 {
-		opts.CrossFrac = 0.12
-	}
-	const alphaOwn, offset = 0.08, -2.0
-	phys, err := physics.UniformChain(opts.Dots, 4, 0.3, alphaOwn, opts.CrossFrac, 0.3, offset)
+	spec := opts.Spec()
+	inst, _, err := spec.Build()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fastvg: %w", err)
 	}
-	// The first-electron line crosses its own-gate axis at -offset/alphaOwn;
-	// frame it at ~65% of the window so the triple point sits inside and the
-	// (0,0) region stays the brightest part (the anchor heuristics\' regime).
-	crossing := -offset / alphaOwn
-	span := crossing / 0.65
-	n := opts.Dots
-	sens := sensor.Params{
-		Base: 0.05, PeakAmp: 1, PeakPos: 1.7, PeakWidth: 1,
-		Kappa:  make([]float64, n),
-		Lambda: make([]float64, n),
-	}
-	for i := 0; i < n; i++ {
-		// The background flank is driven mainly by the scanned pair: q sweeps
-		// ~1.5 peak widths across one pair window.
-		sens.Kappa[i] = 1.5 / (2 * span)
-		sens.Lambda[i] = 0.46
-	}
-	dev := &device.ArrayDevice{Phys: phys, Sens: sens, Noise: opts.Noise.Build(opts.Seed)}
 	return &ChainSim{
-		Inst:   device.NewMultiInstrument(dev, device.DefaultDwell, span/128),
-		Phys:   phys,
-		spanMV: span,
+		Inst:   inst,
+		Phys:   inst.Dev.Phys,
+		spec:   spec,
+		spanMV: spec.SpanMV(),
 	}, nil
 }
+
+// Spec returns the serialisable chain device specification the sim was
+// built from.
+func (c *ChainSim) Spec() ChainSpec { return c.spec }
 
 // RecommendedWindow returns the pair scan window NewChainSim tuned the
 // sensor for, at the given pixel resolution.
@@ -200,34 +196,3 @@ type Chain = virtualgate.Chain
 
 // NewChain allocates an identity chain virtualization for n dots.
 func NewChain(n int) (*Chain, error) { return virtualgate.NewChain(n) }
-
-// ExtractChain performs the paper's n-dot procedure (Section 2.3): one pair
-// extraction per adjacent plunger pair, composed into a chain
-// virtualization. windows[i] is the scan window for pair (i, i+1); base is
-// the operating point for the gates not being scanned.
-func ExtractChain(sim *ChainSim, windows []Window, base []float64, opts Options) (*Chain, []*Extraction, error) {
-	n := sim.Phys.N
-	if len(windows) != n-1 {
-		return nil, nil, fmt.Errorf("fastvg: need %d windows, got %d", n-1, len(windows))
-	}
-	chain, err := NewChain(n)
-	if err != nil {
-		return nil, nil, err
-	}
-	exts := make([]*Extraction, 0, n-1)
-	for i := 0; i < n-1; i++ {
-		pi, err := sim.PairInstrument(i, base)
-		if err != nil {
-			return nil, nil, err
-		}
-		ext, err := Extract(pi, windows[i], opts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fastvg: pair (%d,%d): %w", i, i+1, err)
-		}
-		if err := chain.SetPair(i, ext.Matrix); err != nil {
-			return nil, nil, err
-		}
-		exts = append(exts, ext)
-	}
-	return chain, exts, nil
-}
