@@ -27,11 +27,19 @@
 //	curl -s -X POST localhost:8080/v1/fleet/devices/arr-a/recalibrate?pair=1
 //	curl -s -X POST localhost:8080/v1/fleet/tick -d '{"advanceS":300,"ticks":12}'
 //	curl -s localhost:8080/v1/fleet
+//	curl -s localhost:8080/v1/surrogate
+//	curl -s -X POST localhost:8080/v1/surrogate/train
 //
 // Chain jobs ({"kind":"chain"}) decompose an N-dot array into its N−1 pair
 // extractions and run them concurrently on the same worker pool; chain
 // fleet devices are spot-checked per pair, and a drifted pair is partially
 // recalibrated on its own.
+//
+// A job whose spec sets "surrogate":{"threshold":0.35} probes the device's
+// learned digital twin first and escalates only low-confidence points to
+// the instrument; twins are journaled with -data-dir (warm-start across
+// restarts), listed at GET /v1/surrogate, and retrainable from recorded
+// traces via POST /v1/surrogate/train.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the HTTP server stops
 // accepting connections, then the extraction service drains — running jobs

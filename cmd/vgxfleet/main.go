@@ -8,6 +8,11 @@
 //
 //	vgxfleet -devices 16 -day 86400 -tick 300 -budget 180000 -seed 1
 //	vgxfleet -devices 8 -chains 4 -chain-dots 8 -day 86400
+//	vgxfleet -devices 16 -surrogate 0.35 -day 86400
+//
+// With -surrogate set, every pair probes its learned digital twin
+// (internal/surrogate) first and only escalates low-confidence points to the
+// live device; the summary's "saved" column counts probes the twins served.
 //
 // The summary is deterministic for a fixed seed: byte-identical across runs
 // and across -workers values (per-pair work fans out over the pool, but
@@ -36,6 +41,7 @@ func main() {
 		check     = flag.Float64("check", 1800, "per-device spot-check interval, seconds")
 		budget    = flag.Int("budget", 180000, "fleet probe budget per day (0 = unlimited)")
 		cooldown  = flag.Float64("cooldown", 1800, "per-device recalibration cooldown, seconds")
+		surrogate = flag.Float64("surrogate", 0, "surrogate confidence threshold (0 = all probes live)")
 		seed      = flag.Uint64("seed", 1, "fleet seed (device geometry, noise and drift)")
 		workers   = flag.Int("workers", 0, "worker-pool slots (0 = one per CPU); does not affect results")
 		asJSON    = flag.Bool("json", false, "emit the summary as JSON")
@@ -44,10 +50,11 @@ func main() {
 	flag.Parse()
 
 	pol := fleet.Policy{
-		CheckInterval: *check,
-		Cooldown:      *cooldown,
-		Budget:        *budget,
-		BudgetWindow:  *day,
+		CheckInterval:      *check,
+		Cooldown:           *cooldown,
+		Budget:             *budget,
+		BudgetWindow:       *day,
+		SurrogateThreshold: *surrogate,
 	}
 	mgr := fleet.New(sched.New(*workers), pol)
 	cfgs, err := fleet.DefaultFleet(*devices, *seed)
@@ -98,17 +105,17 @@ func main() {
 func printSummary(s *fleet.Summary) {
 	fmt.Printf("vgxfleet: %d devices (%d pairs), %.0fs virtual in %.0fs ticks (%d ticks)\n\n",
 		s.DeviceCount, s.PairCount, s.VirtualS, s.TickS, s.Ticks)
-	fmt.Printf("%-16s %-12s %9s %9s %6s %6s %6s %5s %8s\n",
-		"device", "state", "stale", "worst", "cals", "forced", "checks", "lost", "probes")
+	fmt.Printf("%-16s %-12s %9s %9s %6s %6s %6s %5s %8s %8s\n",
+		"device", "state", "stale", "worst", "cals", "forced", "checks", "lost", "probes", "saved")
 	for _, d := range s.Devices {
-		fmt.Printf("%-16s %-12s %9.3f %9.3f %6d %6d %6d %5d %8d\n",
+		fmt.Printf("%-16s %-12s %9.3f %9.3f %6d %6d %6d %5d %8d %8d\n",
 			d.ID, d.State, d.Staleness, d.MaxStaleness,
-			d.Calibrations, d.Forced, d.Checks, d.LostEvents, d.Probes)
+			d.Calibrations, d.Forced, d.Checks, d.LostEvents, d.Probes, d.ProbesSaved)
 		if len(d.Pairs) > 1 {
 			for _, p := range d.Pairs {
-				fmt.Printf("  pair %-11d %-12s %9.3f %9.3f %6d %6d %6d %5d %8d\n",
+				fmt.Printf("  pair %-11d %-12s %9.3f %9.3f %6d %6d %6d %5d %8d %8d\n",
 					p.Pair, p.State, p.Staleness, p.MaxStaleness,
-					p.Calibrations, p.Forced, p.Checks, p.LostEvents, p.Probes)
+					p.Calibrations, p.Forced, p.Checks, p.LostEvents, p.Probes, p.ProbesSaved)
 			}
 		}
 	}
@@ -120,5 +127,10 @@ func printSummary(s *fleet.Summary) {
 	}
 	fmt.Printf("probes: spent=%d budget=%s maxWindow=%d deferredForBudget=%d\n",
 		s.ProbesSpent, budget, s.MaxWindowProbes, s.SkippedBudget)
+	if s.ProbesSaved > 0 {
+		total := s.ProbesSpent + s.ProbesSaved
+		fmt.Printf("surrogate: saved=%d of %d probes (%.1f%%) served by twins\n",
+			s.ProbesSaved, total, 100*float64(s.ProbesSaved)/float64(total))
+	}
 	fmt.Printf("worst finite staleness observed: %.3f\n", s.WorstStaleness)
 }

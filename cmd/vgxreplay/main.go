@@ -8,7 +8,9 @@
 //     recorded (voltages, time, current) samples — zero live-instrument
 //     probes. Any divergence (a probe the recording never made, a matrix
 //     bit that differs) is a regression in the extraction code or a
-//     corrupted trace.
+//     corrupted trace. Traces of surrogate jobs carry the twin snapshot
+//     taken before extraction, so replay rebuilds the same model-first
+//     probing — hits, escalations and all — bit for bit.
 //
 //   - The journal (-data-dir with -journal, default on): every cacheable
 //     extraction persisted by a durable vgxd is re-executed from scratch

@@ -120,6 +120,32 @@
 // staleness; /v1/fleet serves the same loop over HTTP (register, status,
 // history, force-recalibrate with ?pair=, tick).
 //
+// # Surrogate backend
+//
+// On hardware every probe costs dwell, so the cheapest probe is one that
+// never touches the device. internal/surrogate learns a digital twin per
+// device — a window-aligned grid of measured currents plus the fitted
+// transition-line geometry — and serves probes from it when its confidence
+// clears a threshold, escalating the rest to the live instrument
+// (surrogate.Hybrid, which satisfies the same instrument contract every
+// pipeline probes). Escalated measurements train the twin further; a
+// threshold of zero disables twin serving and is byte-identical to the
+// wrapped instrument.
+//
+// A job whose spec sets Surrogate probes twin-first and reports the split
+// (hits, escalations, fit state) on its Result. Twin identity is the device
+// — the key hashes the spec with the surrogate knobs cleared — so all job
+// kinds against one device share a model, plain recorded traces train it
+// (POST /v1/surrogate/train), and chain jobs keep one twin per adjacent
+// pair. The fleet mounts the same mechanism through
+// FleetPolicy.SurrogateThreshold: spot-checks and recalibrations probe
+// twin-first, and a drifted pair re-locates its lines with a few short
+// guided live scans instead of a full re-raster (delta recalibration),
+// cutting the steady-state cost of a matrix refresh by ~5.8× on drift-only
+// devices (BENCH_surrogate.json). Twins journal into the store for
+// warm-starts, and traces of surrogate jobs carry the pre-extraction twin
+// snapshot so replay reproduces the hybrid's decisions bit for bit.
+//
 // # Persistence & replay
 //
 // With ServiceConfig.DataDir set (vgxd -data-dir) the service is durable.

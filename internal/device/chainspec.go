@@ -53,6 +53,11 @@ type ChainSpec struct {
 	// a *single* pair's matrix go stale in the fleet workload while its
 	// neighbours stay fresh.
 	PairDrift []LeverDriftSpec `json:"pairDrift,omitempty"`
+
+	// Surrogate, when non-nil with a positive Threshold, asks the extraction
+	// service to probe every pair surrogate-first (one twin per pair). Build
+	// and BuildPair ignore it — composition happens in the service layer.
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
 }
 
 // FillDefaults replaces zero fields with the documented defaults.

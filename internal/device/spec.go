@@ -39,6 +39,24 @@ type DoubleDotSpec struct {
 	// staleness mechanism. Component seeds derive from Seed, so the drift
 	// realisation is as reproducible as the sensor noise.
 	LeverDrift *LeverDriftSpec `json:"leverDrift,omitempty"`
+
+	// Surrogate, when non-nil with a positive Threshold, asks the extraction
+	// service to probe this device surrogate-first: a learned digital twin
+	// (internal/surrogate) answers high-confidence probes and only the rest
+	// reach the built instrument. Build ignores it — composition happens in
+	// the service layer, where the twin registry lives.
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
+}
+
+// SurrogateSpec selects surrogate-first probing for a spec'd device.
+type SurrogateSpec struct {
+	// Threshold is the escalation knob: probes whose twin confidence is at
+	// least this are served from the model (surrogate.DefaultThreshold is
+	// the tuned value; confidence is 1/(1+d) in pixel distance d, zero near
+	// the fitted transition lines). Zero disables the twin entirely.
+	Threshold float64 `json:"threshold,omitempty"`
+	// NoLearn freezes the twin: escalated live probes are not fed back.
+	NoLearn bool `json:"noLearn,omitempty"`
 }
 
 // LeverDriftSpec is the serialisable description of a LeverDrift: one noise

@@ -2,9 +2,12 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/surrogate"
+	"github.com/fastvg/fastvg/internal/xrand"
 )
 
 // BenchmarkFleetRecalibration measures the fleet calibration loop end to
@@ -50,6 +53,113 @@ func BenchmarkFleetRecalibration(b *testing.B) {
 	}
 	if staleN > 0 {
 		b.ReportMetric(staleSum/float64(staleN), "staleness")
+	}
+}
+
+// driftFleet builds n drift-only (wandering-profile) devices: lever arms
+// wander continuously but never jump, so every recalibration happens inside
+// the original scan window — the regime the surrogate twin targets.
+func driftFleet(b *testing.B, n int, seed uint64) []DeviceConfig {
+	out := make([]DeviceConfig, 0, n)
+	for i := 0; i < n; i++ {
+		spec, err := ProfileSpec(ProfileWandering, xrand.DeriveSeed(seed, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, DeviceConfig{ID: fmt.Sprintf("drift-%02d", i), Weight: 2, Spec: spec})
+	}
+	return out
+}
+
+// BenchmarkFleetSurrogateRecalibration prices a matrix refresh on a
+// drift-only fleet with and without twin-first probing, in steady state: the
+// first two virtual hours (cold bring-up calibrations, first twin training)
+// are warmup and excluded, then eight virtual hours of drift-triggered
+// monitoring and recalibration are measured. The "live" sub-bench is the
+// baseline (every probe hits the instrument, ~1300 probes/recal); the
+// "surrogate" sub-bench serves plateau probes from each pair's trained twin
+// and re-locates drifted lines with delta cross-scans, so only the probing
+// near the moving transitions stays live. The live-probes/recal gap between
+// the two is the surrogate subsystem's headline saving; scripts/bench.sh
+// collects both into BENCH_surrogate.json.
+func BenchmarkFleetSurrogateRecalibration(b *testing.B) {
+	const (
+		tickSec     = 300
+		warmupTicks = 24 // 2 virtual hours: bring-up + first recal wave
+		steadyTicks = 96 // 8 virtual hours measured
+	)
+	for _, mode := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"live", 0},
+		{"surrogate", surrogate.DefaultThreshold},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var probes, saved, recals int
+			for i := 0; i < b.N; i++ {
+				m := New(sched.New(0), Policy{CheckInterval: 1800, SurrogateThreshold: mode.threshold})
+				for _, cfg := range driftFleet(b, 8, 1) {
+					if _, err := m.Register(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ctx := context.Background()
+				for t := 0; t < warmupTicks; t++ {
+					if _, err := m.Tick(ctx, tickSec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for t := 0; t < steadyTicks; t++ {
+					rep, err := m.Tick(ctx, tickSec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					probes += rep.CheckProbes + rep.RecalProbes
+					saved += rep.ProbesSaved
+					recals += len(rep.Recalibrated)
+				}
+			}
+			if recals > 0 {
+				b.ReportMetric(float64(probes)/float64(recals), "probes/recal")
+			}
+			if probes+saved > 0 {
+				b.ReportMetric(float64(saved)/float64(probes+saved), "saved-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkSurrogateEscalation measures how the share of probing that must
+// stay live grows with drift magnitude: the wandering profile's sinusoidal
+// shear amplitude is scaled from zero (static device: after training, almost
+// everything is servable) upward (lines sweep the window: frequent refits
+// and lost-twin resets force live probing). The escalation-rate metric is
+// liveProbes / allProbes over a fleet day.
+func BenchmarkSurrogateEscalation(b *testing.B) {
+	for _, drift := range []float64{0, 0.06, 0.12, 0.24} {
+		b.Run(fmt.Sprintf("drift=%.2f", drift), func(b *testing.B) {
+			var probes, saved int
+			for i := 0; i < b.N; i++ {
+				m := New(sched.New(0), Policy{CheckInterval: 1800, SurrogateThreshold: surrogate.DefaultThreshold})
+				for j, cfg := range driftFleet(b, 4, 1) {
+					cfg.Spec.LeverDrift.Shear21.DriftAmp = drift
+					cfg.ID = fmt.Sprintf("drift-%d", j)
+					if _, err := m.Register(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sum, err := m.Run(context.Background(), 4*3600, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += sum.ProbesSpent
+				saved += sum.ProbesSaved
+			}
+			if probes+saved > 0 {
+				b.ReportMetric(float64(probes)/float64(probes+saved), "escalation-rate")
+			}
+		})
 	}
 }
 

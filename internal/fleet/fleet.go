@@ -17,6 +17,17 @@
 // matrices are reused. Internally a double dot is simply a one-pair device:
 // every scheduling decision is per (device, pair).
 //
+// With Policy.SurrogateThreshold set, every pair probes surrogate-first: a
+// learned digital twin (internal/surrogate) answers the plateau probes a
+// spot-check or re-extraction would otherwise spend live dwell on, while the
+// guard band around the twin's fitted transition lines — exactly where drift
+// shows — always escalates to the instrument. Drift detection on healthy
+// devices becomes near-free; the saved measurements are counted as
+// ProbesSaved at every level (event, pair, device, fleet). Twins are refit
+// after each successful extraction, reset when a pair is lost or a
+// calibration fails, and journaled alongside the device state so a restart
+// warm-starts them.
+//
 // Everything the manager decides is deterministic for fixed device seeds:
 // spot-checks and re-extractions fan out across workers, but each job touches
 // only its own pair's instrument, and all cross-pair decisions (budget
@@ -38,8 +49,10 @@ import (
 	"github.com/fastvg/fastvg/internal/core"
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/fitting"
 	"github.com/fastvg/fastvg/internal/sched"
 	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/surrogate"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
@@ -79,6 +92,13 @@ type Policy struct {
 	// Cooldown is the minimum virtual time (seconds) between recalibration
 	// attempts of one pair, the second hysteresis guard; default 1800.
 	Cooldown float64 `json:"cooldown,omitempty"`
+	// SurrogateThreshold, when positive, probes every pair surrogate-first:
+	// a learned digital twin (internal/surrogate) answers spot-check and
+	// re-extraction probes whose confidence clears the threshold, and only
+	// the rest — the guard band around the transition lines, where drift
+	// shows — reach the live instrument. surrogate.DefaultThreshold is the
+	// tuned value; zero (the default) keeps every probe live.
+	SurrogateThreshold float64 `json:"surrogateThreshold,omitempty"`
 	// Budget caps the probes the whole fleet may spend per BudgetWindow on
 	// monitoring plus recalibration; 0 means unlimited.
 	Budget int `json:"budget,omitempty"`
@@ -163,11 +183,17 @@ type Event struct {
 	// Staleness is the pair's score after the event (LostStaleness when
 	// the lines could not be located).
 	Staleness float64 `json:"staleness"`
-	Probes    int     `json:"probes"` // probes the event cost
-	OK        bool    `json:"ok"`
-	A12       float64 `json:"a12,omitempty"` // matrix after (re)calibration events
-	A21       float64 `json:"a21,omitempty"`
-	Err       string  `json:"err,omitempty"`
+	Probes    int     `json:"probes"` // live probes the event cost
+	// ProbesSaved counts probes the pair's surrogate twin answered during
+	// the event — measurements that never reached the device.
+	ProbesSaved int `json:"probesSaved,omitempty"`
+	// Delta marks a recalibration that re-located the lines with a few
+	// cross scans instead of a full re-raster — the twin-enabled cheap path.
+	Delta bool    `json:"delta,omitempty"`
+	OK    bool    `json:"ok"`
+	A12   float64 `json:"a12,omitempty"` // matrix after (re)calibration events
+	A21   float64 `json:"a21,omitempty"`
+	Err   string  `json:"err,omitempty"`
 }
 
 // Device states reported by DeviceView.State and PairStatus.State.
@@ -192,6 +218,7 @@ type PairStatus struct {
 	FailedCals     int     `json:"failedCals"`
 	LostEvents     int     `json:"lostEvents"`
 	Probes         int     `json:"probes"`
+	ProbesSaved    int     `json:"probesSaved"`
 	LastCalT       float64 `json:"lastCalT"`
 	LastCheckT     float64 `json:"lastCheckT"`
 	A12            float64 `json:"a12"`
@@ -219,6 +246,7 @@ type DeviceView struct {
 	FailedCals     int     `json:"failedCals"`
 	LostEvents     int     `json:"lostEvents"`
 	Probes         int     `json:"probes"`
+	ProbesSaved    int     `json:"probesSaved"`
 	LastCalT       float64 `json:"lastCalT"`
 	LastCheckT     float64 `json:"lastCheckT"`
 	A12            float64 `json:"a12"` // pair 0, for double-dot compatibility
@@ -246,6 +274,7 @@ type Status struct {
 	FailedCals      int          `json:"failedCals"`
 	LostEvents      int          `json:"lostEvents"`
 	ProbesSpent     int          `json:"probesSpent"`
+	ProbesSaved     int          `json:"probesSaved"` // surrogate-served probes fleet-wide
 	MaxWindowProbes int          `json:"maxWindowProbes"`
 	SkippedBudget   int          `json:"skippedBudget"` // admissions deferred for budget
 	WorstStaleness  float64      `json:"worstStaleness"`
@@ -261,6 +290,7 @@ type TickReport struct {
 	Recalibrated  []string `json:"recalibrated,omitempty"`
 	CheckProbes   int      `json:"checkProbes"`
 	RecalProbes   int      `json:"recalProbes"`
+	ProbesSaved   int      `json:"probesSaved"` // surrogate-served, both phases
 	SkippedBudget int      `json:"skippedBudget"`
 }
 
@@ -303,13 +333,22 @@ type pairCal struct {
 	failedCals     int
 	lostEvents     int
 	probes         int
+	probesSaved    int
 	budgetDeferred int
+
+	// model is the pair's surrogate twin, lazily created when the policy
+	// enables surrogate-first probing. It learns from every escalated probe,
+	// is refit after each successful extraction and reset when the pair is
+	// lost or a calibration fails.
+	model *surrogate.Model
 
 	// per-phase scratch, written by the pair's own pool job and read back
 	// at the phase barrier
-	phaseProbes int
-	phaseEv     Event
-	phaseHasEv  bool
+	phaseProbes     int
+	phaseSaved      int
+	phaseEv         Event
+	phaseHasEv      bool
+	phaseModelDirty bool // twin refit or reset: journal it at the barrier
 }
 
 // dev is the manager's per-device record. mu serialises instrument access
@@ -372,6 +411,7 @@ type Manager struct {
 	failedCals      int
 	lostEvents      int
 	probesSpent     int
+	probesSaved     int
 	maxWindowProbes int
 	skippedBudget   int
 	worstStaleness  float64
@@ -541,6 +581,7 @@ func (m *Manager) Status() Status {
 		FailedCals:      m.failedCals,
 		LostEvents:      m.lostEvents,
 		ProbesSpent:     m.probesSpent,
+		ProbesSaved:     m.probesSaved,
 		MaxWindowProbes: m.maxWindowProbes,
 		SkippedBudget:   m.skippedBudget,
 		WorstStaleness:  m.worstStaleness,
@@ -579,6 +620,7 @@ func (pc *pairCal) status(pol Policy) PairStatus {
 		FailedCals:     pc.failedCals,
 		LostEvents:     pc.lostEvents,
 		Probes:         pc.probes,
+		ProbesSaved:    pc.probesSaved,
 		LastCalT:       pc.lastCalT,
 		LastCheckT:     pc.lastCheckT,
 		BudgetDeferred: pc.budgetDeferred,
@@ -614,6 +656,7 @@ func (d *dev) view(pol Policy) DeviceView {
 		v.FailedCals += ps.FailedCals
 		v.LostEvents += ps.LostEvents
 		v.Probes += ps.Probes
+		v.ProbesSaved += ps.ProbesSaved
 		v.BudgetDeferred += ps.BudgetDeferred
 		if ps.LastCalT > v.LastCalT {
 			v.LastCalT = ps.LastCalT
@@ -735,7 +778,9 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 			if pc.hasCal && now-pc.lastCheckT >= m.pol.CheckInterval {
 				if admit(m.pol.CheckReserve) {
 					pc.phaseProbes = 0 // jobs that never run must account as zero
+					pc.phaseSaved = 0
 					pc.phaseHasEv = false
+					pc.phaseModelDirty = false
 					due = append(due, unit{d, pc})
 				} else {
 					rep.SkippedBudget++
@@ -751,8 +796,11 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 	// interrupted: probes recorded in the scratch fields were really spent,
 	// and history/journal writes happen here so their order never depends on
 	// scheduling.
-	persistErr := m.settlePhase(due, &rep.Checked, &rep.CheckProbes)
+	var checkSaved int
+	persistErr := m.settlePhase(due, &rep.Checked, &rep.CheckProbes, &checkSaved)
+	rep.ProbesSaved += checkSaved
 	m.account(rep.CheckProbes)
+	m.accountSaved(checkSaved)
 	reserved = 0 // check reservations became actuals above
 	if checkErr != nil {
 		return rep, checkErr
@@ -792,7 +840,9 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 		if admit(m.pol.RecalReserve) {
 			c.u.d.mu.Lock()
 			c.u.pc.phaseProbes = 0
+			c.u.pc.phaseSaved = 0
 			c.u.pc.phaseHasEv = false
+			c.u.pc.phaseModelDirty = false
 			c.u.d.mu.Unlock()
 			admitted = append(admitted, c.u)
 		} else {
@@ -814,8 +864,11 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 		}
 		return admitted[i].pc.idx < admitted[j].pc.idx
 	})
-	persistErr = m.settlePhase(admitted, &rep.Recalibrated, &rep.RecalProbes)
+	var recalSaved int
+	persistErr = m.settlePhase(admitted, &rep.Recalibrated, &rep.RecalProbes, &recalSaved)
+	rep.ProbesSaved += recalSaved
 	m.account(rep.RecalProbes)
+	m.accountSaved(recalSaved)
 	m.notePartialRecals(admitted)
 
 	m.mu.Lock()
@@ -837,12 +890,13 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 // pushes, fleet-wide counter bumps and journal writes. The first journal
 // error is returned after every unit is settled — accounting must never be
 // lost to a persistence fault.
-func (m *Manager) settlePhase(units []unit, labels *[]string, probes *int) error {
+func (m *Manager) settlePhase(units []unit, labels *[]string, probes, saved *int) error {
 	var firstErr error
 	for _, u := range units {
 		u.d.mu.Lock()
 		*labels = append(*labels, u.label())
 		*probes += u.pc.phaseProbes
+		*saved += u.pc.phaseSaved
 		if u.pc.phaseHasEv {
 			ev := u.pc.phaseEv
 			u.d.pushEvent(m.pol, ev)
@@ -851,9 +905,26 @@ func (m *Manager) settlePhase(units []unit, labels *[]string, probes *int) error
 				firstErr = err
 			}
 		}
+		if u.pc.phaseModelDirty {
+			if err := m.saveModel(u.d, u.pc); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		u.d.mu.Unlock()
 	}
 	return firstErr
+}
+
+// saveModel journals a pair's surrogate twin under its own record — models
+// are ~100 KB binary blobs, far too heavy to ride along in the per-event
+// device snapshot. Callers hold the owning dev's mu.
+func (m *Manager) saveModel(d *dev, pc *pairCal) error {
+	st := m.journalStore()
+	if st == nil || pc.model == nil {
+		return nil
+	}
+	key := fmt.Sprintf("fleet/%s/%d", d.id, pc.idx)
+	return st.Put(store.KindSurrogateModel, key, pc.model.Encode())
 }
 
 // notePartialRecals counts devices whose recalibrated pairs this tick were a
@@ -899,6 +970,18 @@ func (m *Manager) bumpEvent(ev Event) {
 	}
 }
 
+// accountSaved folds surrogate-served probes into the fleet total. Saved
+// probes never touch the budget window: the budget bounds instrument time,
+// and a twin-served probe costs none.
+func (m *Manager) accountSaved(saved int) {
+	if saved == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.probesSaved += saved
+	m.mu.Unlock()
+}
+
 // account charges actually-spent probes to the window and fleet totals.
 func (m *Manager) account(probes int) {
 	if probes == 0 {
@@ -930,6 +1013,46 @@ func (m *Manager) eligible(pc *pairCal, now float64) bool {
 	return now-pc.lastAttemptT >= m.pol.Cooldown
 }
 
+// probeSrc returns the instrument a scheduling job should probe through.
+// With SurrogateThreshold unset that is the pair instrument itself; with it
+// set, the pair's twin (lazily created) fronts the instrument as a learning
+// Hybrid, and the returned handle exposes the phase's hit count. Callers
+// hold d.mu.
+func (m *Manager) probeSrc(pc *pairCal) (pairInstrument, *surrogate.Hybrid) {
+	if m.pol.SurrogateThreshold <= 0 {
+		return pc.inst, nil
+	}
+	if pc.model == nil {
+		pc.model = surrogate.New(pc.win)
+	}
+	h := &surrogate.Hybrid{
+		Model:     pc.model,
+		Inner:     pc.inst,
+		Threshold: m.pol.SurrogateThreshold,
+		Learn:     true,
+	}
+	return h, h
+}
+
+// resetModel discards a pair's twin after its world model proved wrong (lines
+// lost, extraction failed) and marks it for journalling; callers hold d.mu.
+func (pc *pairCal) resetModel() {
+	if pc.model != nil {
+		pc.model.Reset()
+		pc.phaseModelDirty = true
+	}
+}
+
+// settleSaved folds the phase's surrogate hits into the pair counters;
+// callers hold d.mu.
+func (pc *pairCal) settleSaved(hyb *surrogate.Hybrid) {
+	pc.phaseSaved = 0
+	if hyb != nil {
+		pc.phaseSaved = hyb.Hits()
+		pc.probesSaved += pc.phaseSaved
+	}
+}
+
 // checkPair runs one freshness spot-check. The outcome is stashed in the
 // pair's phase scratch; history, counters and journal writes happen at the
 // phase barrier so their order is deterministic.
@@ -937,10 +1060,12 @@ func (m *Manager) checkPair(ctx context.Context, d *dev, pc *pairCal, now float6
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	before := pc.inst.Stats().UniqueProbes
-	vr, err := virtualgate.Verify(ctx, pc.inst, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, m.checkConfig())
+	src, hyb := m.probeSrc(pc)
+	vr, err := virtualgate.Verify(ctx, src, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, m.checkConfig())
 	probes := pc.inst.Stats().UniqueProbes - before
 	pc.phaseProbes = probes
 	pc.probes += probes
+	pc.settleSaved(hyb)
 	pc.checks++
 	pc.lastCheckT = now
 	if err != nil {
@@ -948,12 +1073,14 @@ func (m *Manager) checkPair(ctx context.Context, d *dev, pc *pairCal, now float6
 			return err // cancellation or instrument fault: abort the tick
 		}
 		// Lines lost: the matrix (or the knee it is anchored to) is so stale
-		// the short scans miss the transitions entirely.
+		// the short scans miss the transitions entirely. The twin learned the
+		// same stale world — discard it with the matrix.
+		pc.resetModel()
 		pc.lost = true
 		pc.score = LostStaleness
 		pc.scoreT = now
 		pc.lostEvents++
-		pc.phaseEv = Event{T: now, Kind: "check", Pair: pc.idx, Staleness: pc.score, Probes: probes, Err: err.Error()}
+		pc.phaseEv = Event{T: now, Kind: "check", Pair: pc.idx, Staleness: pc.score, Probes: probes, ProbesSaved: pc.phaseSaved, Err: err.Error()}
 		pc.phaseHasEv = true
 		return nil
 	}
@@ -963,7 +1090,7 @@ func (m *Manager) checkPair(ctx context.Context, d *dev, pc *pairCal, now float6
 	if pc.score > pc.maxFinite {
 		pc.maxFinite = pc.score
 	}
-	pc.phaseEv = Event{T: now, Kind: "check", Pair: pc.idx, Staleness: pc.score, Probes: probes, OK: pc.score < m.pol.StaleThreshold}
+	pc.phaseEv = Event{T: now, Kind: "check", Pair: pc.idx, Staleness: pc.score, Probes: probes, ProbesSaved: pc.phaseSaved, OK: pc.score < m.pol.StaleThreshold}
 	pc.phaseHasEv = true
 	return nil
 }
@@ -1006,9 +1133,146 @@ func (m *Manager) scoreResult(pc *pairCal, vr *virtualgate.VerifyResult) float64
 	return score
 }
 
-// calibratePair runs a full extraction (and a baseline spot-check) on one
-// pair — for a chain device, only this pair's window is re-measured; the
-// neighbours keep their matrices.
+// Delta-recalibration scan geometry: three crossings per line, scanned with
+// a wider window than a spot-check (the line has, by definition of being
+// recalibrated, moved by about the tolerance — the scan must still straddle
+// it) but far narrower than a re-raster.
+var deltaAlongFracs = []float64{0.25, 0.5, 0.75}
+
+const (
+	deltaScanFrac = 0.08
+	// deltaWideScanFrac is the one-shot live rescan width used when the
+	// twin-first delta scan cannot find a line: the line has escaped the
+	// twin's guard band, so the stale model would mask the crossing — the
+	// retry probes the instrument directly over a doubled straddle.
+	deltaWideScanFrac = 0.16
+	// deltaBaseScanFrac is the post-delta baseline verify's scan half-width:
+	// the lines were located moments ago, so the reference positions only
+	// need a short straddle, not the full spot-check width.
+	deltaBaseScanFrac = 0.04
+)
+
+// medianFloat returns the median of vs; vs is scratch and may be reordered.
+func medianFloat(vs []float64) float64 {
+	sort.Float64s(vs)
+	return vs[len(vs)/2]
+}
+
+// deltaRecal is the twin-enabled cheap recalibration: instead of a full
+// re-raster, re-locate both transition lines with a few extraction-grade
+// cross scans around their last known positions, refit the slopes from the
+// measured crossings, and recompute the matrix and knee. The twin then gets
+// the measured shape installed directly (SetLine), recentring its guard band
+// on the fresh lines. Returns ok=false — caller falls back to the full
+// raster — when the lines cannot be re-located or the refit geometry is
+// degenerate; a non-ErrVerify error aborts the tick. Callers hold d.mu.
+func (m *Manager) deltaRecal(ctx context.Context, pc *pairCal, src pairInstrument) (bool, error) {
+	cfg := virtualgate.VerifyConfig{
+		AlongFracs:   deltaAlongFracs,
+		ScanFrac:     deltaScanFrac,
+		MaxShiftFrac: m.pol.MaxShiftFrac,
+	}
+	vr, err := virtualgate.Verify(ctx, src, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, cfg)
+	if errors.Is(err, virtualgate.ErrVerify) {
+		// A line escaped the twin's guard band, so the stale model masks
+		// its crossing: rescan once, wider and fully live.
+		cfg.ScanFrac = deltaWideScanFrac
+		vr, err = virtualgate.Verify(ctx, pc.inst, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, cfg)
+	}
+	if err != nil {
+		if errors.Is(err, virtualgate.ErrVerify) {
+			return false, nil
+		}
+		return false, err
+	}
+	inv, err := pc.matrix.Inverse()
+	if err != nil {
+		return false, nil
+	}
+	// Map the measured virtual-coordinate crossings back to real voltages:
+	// three points on each (possibly moved) line.
+	eu1, eu2 := pc.matrix.Apply(pc.win.V1Min, pc.win.V2Min)
+	ku1, ku2 := pc.matrix.Apply(pc.kneeV1, pc.kneeV2)
+	steepPts := make([]fitting.Vec2, 0, len(cfg.AlongFracs))
+	shallowPts := make([]fitting.Vec2, 0, len(cfg.AlongFracs))
+	for i, f := range cfg.AlongFracs {
+		x, y := inv.Apply(vr.SteepPositions[i], eu2+f*(ku2-eu2))
+		steepPts = append(steepPts, fitting.Vec2{X: x, Y: y})
+		x, y = inv.Apply(eu1+f*(ku1-eu1), vr.ShallowPositions[i])
+		shallowPts = append(shallowPts, fitting.Vec2{X: x, Y: y})
+	}
+	// Refit each line through its crossings — the steep one as x(y), like
+	// the extraction pipeline, to stay conditioned near vertical.
+	swapped := make([]fitting.Vec2, len(steepPts))
+	for i, p := range steepPts {
+		swapped[i] = fitting.Vec2{X: p.Y, Y: p.X}
+	}
+	// Intersecting x = c1 + d1·y (steep) with y = c2 + d2·x (shallow) gives
+	// the new knee; both inverse slopes must sit in (-1, 0) for FromSlopes.
+	solve := func(c1, d1, c2, d2 float64) (kneeX, kneeY float64, ok bool) {
+		if !(d1 > -1 && d1 < 0) || !(d2 > -1 && d2 < 0) {
+			return 0, 0, false
+		}
+		kneeX = (c1 + d1*c2) / (1 - d1*d2)
+		kneeY = c2 + d2*kneeX
+		ok = kneeX >= pc.win.V1Min && kneeX <= pc.win.V1Max &&
+			kneeY >= pc.win.V2Min && kneeY <= pc.win.V2Max
+		return kneeX, kneeY, ok
+	}
+	c1, d1, errSteep := fitting.TheilSen(swapped)
+	c2, d2, errShallow := fitting.TheilSen(shallowPts)
+	var kneeX, kneeY float64
+	ok := false
+	if errSteep == nil && errShallow == nil {
+		kneeX, kneeY, ok = solve(c1, d1, c2, d2)
+	}
+	if !ok {
+		// Three crossings are too few to always bound the slope under probe
+		// noise. Wandering drift is dominated by offset, so re-anchor the
+		// previous slopes through the measured crossings (translation-only
+		// delta) before giving up and re-rastering.
+		d1, d2 = 1/pc.steep, pc.shallow
+		var rSteep, rShallow []float64
+		for i := range steepPts {
+			rSteep = append(rSteep, steepPts[i].X-d1*steepPts[i].Y)
+			rShallow = append(rShallow, shallowPts[i].Y-d2*shallowPts[i].X)
+		}
+		c1, c2 = medianFloat(rSteep), medianFloat(rShallow)
+		if kneeX, kneeY, ok = solve(c1, d1, c2, d2); !ok {
+			return false, nil
+		}
+	}
+	steep, shallow := 1/d1, d2
+	mat, err := virtualgate.FromSlopes(steep, shallow)
+	if err != nil {
+		return false, nil
+	}
+	pc.matrix = mat
+	pc.steep, pc.shallow = steep, shallow
+	pc.kneeV1, pc.kneeV2 = kneeX, kneeY
+	if pc.model != nil {
+		line := fitting.Polyline2{
+			A: fitting.Vec2{X: c1 + d1*pc.win.V2Min, Y: pc.win.V2Min},
+			K: fitting.Vec2{X: kneeX, Y: kneeY},
+			B: fitting.Vec2{X: pc.win.V1Min, Y: c2 + d2*pc.win.V1Min},
+		}
+		// The shape was just measured live, so its uncertainty is the scan
+		// pitch, not a fit residual — keep the guard band tight.
+		rms := pc.win.StepV1() / 2
+		if err := pc.model.SetLine(surrogate.Fit{Model: line, RMS: rms}); err != nil {
+			pc.model.Reset()
+		}
+		pc.phaseModelDirty = true
+	}
+	return true, nil
+}
+
+// calibratePair re-tunes one pair — for a chain device, only this pair's
+// window is re-measured; the neighbours keep their matrices. With a warm
+// fitted twin a scheduled recalibration takes the delta path (a few cross
+// scans); cold starts, lost pairs and operator forces run the full
+// extraction raster. Either way a baseline spot-check records the freshness
+// reference.
 func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now float64, force bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -1017,22 +1281,40 @@ func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now fl
 	}
 	first := !pc.hasCal
 	before := pc.inst.Stats().UniqueProbes
-	src := csd.PixelSource{Src: pc.inst, Win: pc.win}
-	cr, err := core.Extract(src, pc.win, core.Config{})
-	if err != nil {
-		probes := pc.inst.Stats().UniqueProbes - before
-		pc.phaseProbes = probes
-		pc.probes += probes
-		pc.attempts++
-		pc.lastAttemptT = now
-		pc.failedCals++
-		pc.phaseEv = Event{T: now, Kind: "calibrate-failed", Pair: pc.idx, Staleness: pc.score, Probes: probes, Err: err.Error()}
-		pc.phaseHasEv = true
-		return nil
+	probeInst, hyb := m.probeSrc(pc)
+	// A scheduled recalibration of a still-tracked pair with a warm fitted
+	// twin only needs to re-measure where the lines went.
+	delta := false
+	if !force && !first && !pc.lost && hyb != nil && pc.model.Fitted() {
+		ok, err := m.deltaRecal(ctx, pc, probeInst)
+		if err != nil {
+			return err
+		}
+		delta = ok
 	}
-	pc.matrix = cr.Matrix
-	pc.steep, pc.shallow = cr.SteepSlope, cr.ShallowSlope
-	pc.kneeV1, pc.kneeV2 = cr.TriplePointVoltage(pc.win)
+	if !delta {
+		src := csd.PixelSource{Src: probeInst, Win: pc.win}
+		cr, err := core.Extract(src, pc.win, core.Config{})
+		if err != nil {
+			// The extraction anchors could not find the lines in what the twin
+			// and the instrument together reported — the twin is not
+			// trustworthy.
+			pc.resetModel()
+			probes := pc.inst.Stats().UniqueProbes - before
+			pc.phaseProbes = probes
+			pc.probes += probes
+			pc.settleSaved(hyb)
+			pc.attempts++
+			pc.lastAttemptT = now
+			pc.failedCals++
+			pc.phaseEv = Event{T: now, Kind: "calibrate-failed", Pair: pc.idx, Staleness: pc.score, Probes: probes, ProbesSaved: pc.phaseSaved, Err: err.Error()}
+			pc.phaseHasEv = true
+			return nil
+		}
+		pc.matrix = cr.Matrix
+		pc.steep, pc.shallow = cr.SteepSlope, cr.ShallowSlope
+		pc.kneeV1, pc.kneeV2 = cr.TriplePointVoltage(pc.win)
+	}
 	pc.hasCal = true
 	pc.lost = false
 	pc.attempts++
@@ -1050,14 +1332,29 @@ func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now fl
 		kind = "force"
 		pc.forced++
 	}
-	ev := Event{T: now, Kind: kind, Pair: pc.idx, A12: pc.matrix.A12(), A21: pc.matrix.A21()}
-	vr, verr := virtualgate.Verify(ctx, pc.inst, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, m.checkConfig())
+	// Refit the twin on the freshly-learned raster samples before the
+	// baseline verify: the guard band recentres on the new transition lines,
+	// so near-line verify probes stay live while plateau probes can be
+	// served. The delta path already installed the measured shape.
+	if !delta && pc.model != nil {
+		if ferr := pc.model.Fit(); ferr != nil {
+			pc.model.Reset()
+		}
+		pc.phaseModelDirty = true
+	}
+	ev := Event{T: now, Kind: kind, Pair: pc.idx, Delta: delta, A12: pc.matrix.A12(), A21: pc.matrix.A21()}
+	baseCfg := m.checkConfig()
+	if delta {
+		baseCfg.ScanFrac = deltaBaseScanFrac
+	}
+	vr, verr := virtualgate.Verify(ctx, probeInst, pc.win, pc.matrix, pc.kneeV1, pc.kneeV2, baseCfg)
 	if verr != nil {
 		if !errors.Is(verr, virtualgate.ErrVerify) {
 			return verr
 		}
 		// Extraction succeeded but the check scans cannot see the lines —
 		// keep the sentinel so the pair stays first in line.
+		pc.resetModel()
 		pc.baseSteep, pc.baseShallow = nil, nil
 		pc.lost = true
 		pc.score = LostStaleness
@@ -1081,8 +1378,10 @@ func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now fl
 	probes := pc.inst.Stats().UniqueProbes - before
 	pc.phaseProbes = probes
 	pc.probes += probes
+	pc.settleSaved(hyb)
 	ev.Staleness = pc.score
 	ev.Probes = probes
+	ev.ProbesSaved = pc.phaseSaved
 	pc.phaseEv = ev
 	pc.phaseHasEv = true
 	return nil
@@ -1155,7 +1454,9 @@ func (m *Manager) forcePairs(ctx context.Context, id string, pairIdx []int) (Eve
 		}
 		pc := d.pairs[i]
 		pc.phaseProbes = 0
+		pc.phaseSaved = 0
 		pc.phaseHasEv = false
+		pc.phaseModelDirty = false
 		units = append(units, unit{d, pc})
 	}
 	d.mu.Unlock()
@@ -1163,9 +1464,10 @@ func (m *Manager) forcePairs(ctx context.Context, id string, pairIdx []int) (Eve
 		return m.calibratePair(jctx, units[i].d, units[i].pc, now, true)
 	})
 	var labels []string
-	probes := 0
-	persistErr := m.settlePhase(units, &labels, &probes)
+	probes, saved := 0, 0
+	persistErr := m.settlePhase(units, &labels, &probes, &saved)
 	m.account(probes)
+	m.accountSaved(saved)
 	if err != nil {
 		return Event{}, err
 	}

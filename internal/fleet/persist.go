@@ -22,10 +22,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/surrogate"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
@@ -55,6 +58,7 @@ type persistedPair struct {
 	FailedCals     int              `json:"failedCals"`
 	LostEvents     int              `json:"lostEvents"`
 	Probes         int              `json:"probes"`
+	ProbesSaved    int              `json:"probesSaved,omitempty"`
 	BudgetDeferred int              `json:"budgetDeferred"`
 }
 
@@ -91,6 +95,7 @@ type persistedClock struct {
 	FailedCals      int     `json:"failedCals"`
 	LostEvents      int     `json:"lostEvents"`
 	ProbesSpent     int     `json:"probesSpent"`
+	ProbesSaved     int     `json:"probesSaved,omitempty"`
 	MaxWindowProbes int     `json:"maxWindowProbes"`
 	SkippedBudget   int     `json:"skippedBudget"`
 	WorstStaleness  float64 `json:"worstStaleness"`
@@ -110,6 +115,7 @@ func (pc *pairCal) persistSnapshot() persistedPair {
 		Attempts: pc.attempts, MaxFinite: pc.maxFinite,
 		Checks: pc.checks, Calibrations: pc.calibrations, Forced: pc.forced,
 		FailedCals: pc.failedCals, LostEvents: pc.lostEvents, Probes: pc.probes,
+		ProbesSaved:    pc.probesSaved,
 		BudgetDeferred: pc.budgetDeferred,
 	}
 }
@@ -127,6 +133,7 @@ func (p persistedPair) restore(pc *pairCal) {
 	pc.maxFinite = p.MaxFinite
 	pc.checks, pc.calibrations, pc.forced = p.Checks, p.Calibrations, p.Forced
 	pc.failedCals, pc.lostEvents, pc.probes = p.FailedCals, p.LostEvents, p.Probes
+	pc.probesSaved = p.ProbesSaved
 	pc.budgetDeferred = p.BudgetDeferred
 }
 
@@ -194,6 +201,7 @@ func (m *Manager) AttachStore(st *store.Store) error {
 		m.failedCals = pc.FailedCals
 		m.lostEvents = pc.LostEvents
 		m.probesSpent = pc.ProbesSpent
+		m.probesSaved = pc.ProbesSaved
 		m.maxWindowProbes = pc.MaxWindowProbes
 		m.skippedBudget = pc.SkippedBudget
 		m.worstStaleness = pc.WorstStaleness
@@ -229,8 +237,40 @@ func (m *Manager) AttachStore(st *store.Store) error {
 		m.order = append(m.order, pd.ID)
 	}
 	sort.Strings(m.order)
+	m.restoreModels(st)
 	m.journal = st
 	return nil
+}
+
+// restoreModels reattaches persisted surrogate twins ("fleet/<id>/<pair>"
+// KindSurrogateModel records) to their restored pairs. A missing, foreign
+// (the extraction service's "sim/..." and "chain/..." keys share the kind)
+// or undecodable record just leaves the pair twinless — it relearns from its
+// next probes. Callers hold m.mu.
+func (m *Manager) restoreModels(st *store.Store) {
+	for _, rec := range st.Records(store.KindSurrogateModel) {
+		rest, isFleet := strings.CutPrefix(rec.Key, "fleet/")
+		if !isFleet {
+			continue
+		}
+		slash := strings.LastIndexByte(rest, '/')
+		if slash < 0 {
+			continue
+		}
+		pair, err := strconv.Atoi(rest[slash+1:])
+		if err != nil {
+			continue
+		}
+		d, ok := m.devices[rest[:slash]]
+		if !ok || pair < 0 || pair >= len(d.pairs) {
+			continue
+		}
+		model, err := surrogate.Decode(rec.Data)
+		if err != nil || model.Win() != d.pairs[pair].win {
+			continue
+		}
+		d.pairs[pair].model = model
+	}
 }
 
 // journalStore returns the attached journal (nil when not persisting).
@@ -279,8 +319,9 @@ func (m *Manager) clockSnapshotLocked() []byte {
 		Checks: m.checks, Calibrations: m.calibrations, Recalibrations: m.recalibrations,
 		PartialRecals: m.partialRecals,
 		Forced:        m.forced, FailedCals: m.failedCals, LostEvents: m.lostEvents,
-		ProbesSpent: m.probesSpent, MaxWindowProbes: m.maxWindowProbes,
-		SkippedBudget: m.skippedBudget, WorstStaleness: m.worstStaleness,
+		ProbesSpent: m.probesSpent, ProbesSaved: m.probesSaved,
+		MaxWindowProbes: m.maxWindowProbes,
+		SkippedBudget:   m.skippedBudget, WorstStaleness: m.worstStaleness,
 	}
 	data, _ := json.Marshal(pc)
 	return data

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/sched"
+	"github.com/fastvg/fastvg/internal/surrogate"
+)
+
+// surrogatePolicy is the drift-only fleet policy the surrogate tests run:
+// standard cadence, twin-first probing at the tuned threshold.
+func surrogatePolicy() Policy {
+	return Policy{CheckInterval: 1800, SurrogateThreshold: surrogate.DefaultThreshold}
+}
+
+// TestSurrogateFleetSavesProbes runs a drift-only device with twin-first
+// probing: after the first calibration trains and fits the twin, periodic
+// spot-checks and recalibration rasters must serve a substantial share of
+// probes from the model, and the savings must surface consistently at every
+// level — pair status, device view, fleet status and tick reports.
+func TestSurrogateFleetSavesProbes(t *testing.T) {
+	m := New(sched.New(2), surrogatePolicy())
+	if _, err := m.Register(wanderingSpec(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var ticksSaved int
+	for i := 0; i < 72; i++ {
+		rep, err := m.Tick(context.Background(), 300)
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		ticksSaved += rep.ProbesSaved
+	}
+
+	st := m.Status()
+	if st.ProbesSaved == 0 {
+		t.Fatal("no probes saved: the twin never served anything")
+	}
+	if ticksSaved != st.ProbesSaved {
+		t.Errorf("tick reports sum to %d saved probes, status says %d", ticksSaved, st.ProbesSaved)
+	}
+	d, ok := m.Device("wander")
+	if !ok {
+		t.Fatal("device missing")
+	}
+	if d.ProbesSaved != st.ProbesSaved {
+		t.Errorf("device saved %d, fleet total %d (single-device fleet: must match)", d.ProbesSaved, st.ProbesSaved)
+	}
+	if len(d.Pairs) != 1 || d.Pairs[0].ProbesSaved != d.ProbesSaved {
+		t.Errorf("pair status saved %v, device view %d", d.Pairs, d.ProbesSaved)
+	}
+	// The scheduler must still do its job through the twin: the wandering
+	// device crosses the threshold and is re-tuned back to health.
+	if d.Calibrations < 2 {
+		t.Errorf("calibrations = %d, want initial + at least one recalibration", d.Calibrations)
+	}
+	if d.MaxStaleness < 1 {
+		t.Errorf("max staleness %v never crossed the threshold; drift undetected through the twin", d.MaxStaleness)
+	}
+	// The twin serves plateau probes during full recalibration rasters, so a
+	// meaningful share of all probing must have been saved.
+	frac := float64(st.ProbesSaved) / float64(st.ProbesSpent+st.ProbesSaved)
+	if frac < 0.2 {
+		t.Errorf("saved fraction %.2f, want >= 0.2 of all probes", frac)
+	}
+}
+
+// TestSurrogateDeterministicAcrossWorkers is the worker-count determinism
+// guarantee extended to twin-first probing: hits, escalations and refits all
+// happen inside per-pair jobs with per-phase scratch, so the summary must be
+// byte-identical at any worker count.
+func TestSurrogateDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		m := New(sched.New(workers), surrogatePolicy())
+		cfgs, err := DefaultFleet(6, driftSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			if _, err := m.Register(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := m.Run(context.Background(), 4*3600, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(1)
+	eight := run(8)
+	if string(one) != string(eight) {
+		t.Errorf("summary differs between 1 and 8 workers:\n%s\n%s", one, eight)
+	}
+}
+
+// TestSurrogateModelsSurviveRestart abandons a journaled twin-first fleet
+// without shutdown and restores it: the trained models must come back from
+// their KindSurrogateModel records (warm twins, not cold relearning) and the
+// saved-probe counters must restore exactly.
+func TestSurrogateModelsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	pol := surrogatePolicy()
+	m1, _ := attachedManager(t, dir, pol)
+	for _, cfg := range []DeviceConfig{wanderingSpec(t, 2), quietSpec(t, 0)} {
+		if _, err := m1.Register(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runTicks(t, m1, 36, 300)
+	before := m1.Status()
+	if before.ProbesSaved == 0 {
+		t.Fatal("nothing saved before restart; test has no teeth")
+	}
+	// No Close, no flush: kill scenario.
+
+	m2, st2 := attachedManager(t, dir, pol)
+	defer st2.Close()
+	after := m2.Status()
+	if after.ProbesSaved != before.ProbesSaved {
+		t.Fatalf("fleet saved counter restored as %d, want %d", after.ProbesSaved, before.ProbesSaved)
+	}
+	for i, dv := range after.Devices {
+		if dv.ProbesSaved != before.Devices[i].ProbesSaved {
+			t.Fatalf("device %s saved counter %d, want %d", dv.ID, dv.ProbesSaved, before.Devices[i].ProbesSaved)
+		}
+	}
+	// The twins themselves must be warm: fitted models with the pre-restart
+	// training set attached to every calibrated pair.
+	m2.mu.Lock()
+	for _, id := range m2.order {
+		d := m2.devices[id]
+		d.mu.Lock()
+		for _, pc := range d.pairs {
+			if !pc.hasCal {
+				continue
+			}
+			if pc.model == nil {
+				t.Errorf("device %s pair %d restored without its twin", id, pc.idx)
+			} else if !pc.model.Fitted() || pc.model.Samples() == 0 {
+				t.Errorf("device %s pair %d twin restored cold: fitted=%v samples=%d", id, pc.idx, pc.model.Fitted(), pc.model.Samples())
+			}
+		}
+		d.mu.Unlock()
+	}
+	m2.mu.Unlock()
+
+	// A warm twin keeps saving immediately: the first post-restart check
+	// window must serve probes from the restored model.
+	savedBefore := after.ProbesSaved
+	runTicks(t, m2, 12, 300)
+	if got := m2.Status().ProbesSaved; got <= savedBefore {
+		t.Errorf("restored twins served nothing: saved %d before, %d after an hour", savedBefore, got)
+	}
+}

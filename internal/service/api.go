@@ -22,9 +22,20 @@ import (
 //	POST   /v1/sessions        open a live sim session from a device spec
 //	GET    /v1/sessions        list open sessions
 //	DELETE /v1/sessions/{id}   close a session
-//	GET    /v1/stats           cache / scheduler / job / session accounting
+//	GET    /v1/surrogate       list trained digital twins (key order)
+//	POST   /v1/surrogate/train retrain twins from the recorded probe traces
+//	GET    /v1/stats           cache / scheduler / job / session / surrogate accounting
 //	GET    /v1/healthz         liveness, uptime and drain state
 //	GET    /healthz            liveness (legacy alias)
+//
+// A sim or chainSim spec with "surrogate": {"threshold": 0.35} probes
+// twin-first: the device's learned twin (internal/surrogate) serves
+// high-confidence probes and only the rest reach the simulated instrument;
+// escalated measurements train the twin further. Results carry the
+// serve/escalate split in their "surrogate" report. Surrogate jobs bypass
+// the result cache — their outcome advances twin state — and with tracing on
+// their traces embed the twin snapshot, so vgxreplay reproduces them bit for
+// bit.
 //
 // Job kinds include "chain": an N-dot chain extraction against a chainSim
 // spec target, decomposed into concurrent pair extractions (see
@@ -132,6 +143,19 @@ func (s *Service) Handler() http.Handler {
 		reply(w, http.StatusOK, map[string]any{"closed": true})
 	})
 
+	mux.HandleFunc("GET /v1/surrogate", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]any{"twins": s.Surrogates()})
+	})
+
+	mux.HandleFunc("POST /v1/surrogate/train", func(w http.ResponseWriter, r *http.Request) {
+		fed, err := s.TrainSurrogates()
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{"trained": fed})
+	})
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		body := map[string]any{
@@ -140,6 +164,7 @@ func (s *Service) Handler() http.Handler {
 			"scheduler": st.Scheduler,
 			"jobs":      st.Jobs,
 			"sessions":  st.Sessions,
+			"surrogate": st.Surrogate,
 		}
 		if st.Store != nil {
 			body["store"] = st.Store

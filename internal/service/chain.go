@@ -17,6 +17,7 @@ import (
 	"github.com/fastvg/fastvg/internal/chainx"
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/rays"
+	"github.com/fastvg/fastvg/internal/surrogate"
 	"github.com/fastvg/fastvg/internal/trace"
 )
 
@@ -48,6 +49,50 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 			return rec
 		}
 	}
+	// Surrogate-enabled chain jobs probe every pair twin-first: the pair's
+	// twin is acquired (and held) for the whole job, snapshotted into the
+	// pair's trace meta before any probe, and the Hybrid wraps outside the
+	// recorder so the trace holds exactly the escalated probes.
+	var (
+		twinKeys []string
+		twins    []*twin
+		hybs     []*surrogate.Hybrid
+		snaps    []*trace.SurrogateMeta
+	)
+	if sur := nreq.ChainSim.Surrogate; sur != nil && sur.Threshold > 0 {
+		n := src.Dots() - 1
+		twinKeys = make([]string, n)
+		twins = make([]*twin, n)
+		hybs = make([]*surrogate.Hybrid, n)
+		snaps = make([]*trace.SurrogateMeta, n)
+		defer func() {
+			for _, tw := range twins {
+				if tw != nil {
+					tw.mu.Unlock()
+				}
+			}
+		}()
+		for i := 0; i < n; i++ {
+			key, err := chainTwinKey(*nreq.ChainSim, i)
+			if err != nil {
+				return err
+			}
+			twinKeys[i] = key
+			twins[i] = s.acquireTwin(key, nreq.Chain.Windows[i])
+			if s.traceDir != "" {
+				snaps[i] = &trace.SurrogateMeta{Model: twins[i].model.Encode(), Threshold: sur.Threshold, Learn: !sur.NoLearn}
+			}
+		}
+		prev := cfg.Wrap
+		cfg.Wrap = func(pair int, inst chainx.PairInstrument) chainx.PairInstrument {
+			if prev != nil {
+				inst = prev(pair, inst)
+			}
+			h := &surrogate.Hybrid{Model: twins[pair].model, Inner: inst, Threshold: sur.Threshold, Learn: !sur.NoLearn}
+			hybs[pair] = h // distinct index per planner goroutine: race-free
+			return h
+		}
+	}
 	t0 := time.Now()
 	cres, err := chainx.Extract(ctx, s.pool, src, cfg)
 	if err != nil {
@@ -57,6 +102,15 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 	res.Probes = cres.Probes
 	res.ExperimentS = cres.ExperimentS
 	rep := &ChainReport{Dots: cres.Dots, Pairs: cres.Pairs, BudgetDenied: cres.BudgetDenied}
+	if hybs != nil {
+		rep.Surrogate = make([]SurrogateReport, len(hybs))
+		for i, h := range hybs {
+			if h == nil {
+				continue // pair denied before its instrument was wrapped
+			}
+			rep.Surrogate[i] = *s.settleTwin(twinKeys[i], twins[i], h)
+		}
+	}
 	if cres.Chain != nil {
 		rep.A12 = append([]float64(nil), cres.Chain.A12...)
 		rep.A21 = append([]float64(nil), cres.Chain.A21...)
@@ -79,7 +133,11 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 			len(failed), len(cres.Pairs), failed[0], cres.Pairs[failed[0]].Error)
 	}
 	for pair, rec := range recorders {
-		if err := s.writeChainPairTrace(rec, nreq, hash, src, pair, &cres.Pairs[pair]); err != nil {
+		var sur *trace.SurrogateMeta
+		if snaps != nil {
+			sur = snaps[pair]
+		}
+		if err := s.writeChainPairTrace(rec, nreq, hash, src, pair, &cres.Pairs[pair], sur); err != nil {
 			s.persistErrs.Add(1)
 		}
 	}
@@ -89,7 +147,7 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 // writeChainPairTrace renders one pair's probe trace. The trace carries the
 // full normalized chain request plus the pair index, so vgxreplay re-executes
 // exactly that pair's escalation ladder against the recorded samples.
-func (s *Service) writeChainPairTrace(rec *trace.Recorder, nreq Request, hash string, src *chainx.SpecSource, pair int, pres *chainx.PairResult) error {
+func (s *Service) writeChainPairTrace(rec *trace.Recorder, nreq Request, hash string, src *chainx.SpecSource, pair int, pres *chainx.PairResult, sur *trace.SurrogateMeta) error {
 	reqJSON, err := json.Marshal(nreq)
 	if err != nil {
 		return err
@@ -106,6 +164,7 @@ func (s *Service) writeChainPairTrace(rec *trace.Recorder, nreq Request, hash st
 		Result:           resJSON,
 		Window:           src.Windows()[pair],
 		Pair:             &p,
+		Surrogate:        sur,
 		Truth:            &trace.Truth{Steep: steep, Shallow: shallow},
 		BaseUniqueProbes: rec.Base().UniqueProbes,
 		BaseRawCalls:     rec.Base().RawCalls,

@@ -330,8 +330,20 @@ func (r Request) Normalized() (Request, error) {
 
 // Cacheable reports whether the request's result is a pure function of the
 // request itself. Session jobs depend on (and advance) live instrument
-// state, so they bypass the result cache.
-func (r Request) Cacheable() bool { return r.Session == "" }
+// state, so they bypass the result cache; surrogate-enabled jobs do the same
+// with twin state (the probe split depends on how trained the twin is).
+func (r Request) Cacheable() bool { return r.Session == "" && !r.surrogateActive() }
+
+// surrogateActive reports whether the request asks for twin-first probing.
+func (r Request) surrogateActive() bool {
+	if r.Sim != nil && r.Sim.Surrogate != nil && r.Sim.Surrogate.Threshold > 0 {
+		return true
+	}
+	if r.ChainSim != nil && r.ChainSim.Surrogate != nil && r.ChainSim.Surrogate.Threshold > 0 {
+		return true
+	}
+	return false
+}
 
 // Canonical returns the canonical JSON encoding of the normalized request.
 // encoding/json emits struct fields in declaration order, so the encoding is
@@ -387,6 +399,10 @@ type ChainReport struct {
 	Pairs []chainx.PairResult `json:"pairs"`
 	// BudgetDenied counts pairs the probe-budget accountant refused.
 	BudgetDenied int `json:"budgetDenied,omitempty"`
+	// Surrogate holds the per-pair twin reports of a surrogate-enabled chain
+	// job, in pair order; a zero-keyed entry marks a pair never probed
+	// (budget-denied before its instrument was wrapped).
+	Surrogate []SurrogateReport `json:"surrogate,omitempty"`
 }
 
 // Result is the serialisable outcome of a job. Cached results are immutable;
@@ -424,7 +440,8 @@ type Result struct {
 	SteepErrDeg   float64 `json:"steepErrDeg,omitempty"`
 	ShallowErrDeg float64 `json:"shallowErrDeg,omitempty"`
 
-	Window *csd.Window   `json:"window,omitempty"` // windowfind proposal
-	Verify *VerifyReport `json:"verify,omitempty"` // verify-job check
-	Chain  *ChainReport  `json:"chain,omitempty"`  // chain-job per-pair results
+	Window    *csd.Window      `json:"window,omitempty"`    // windowfind proposal
+	Verify    *VerifyReport    `json:"verify,omitempty"`    // verify-job check
+	Chain     *ChainReport     `json:"chain,omitempty"`     // chain-job per-pair results
+	Surrogate *SurrogateReport `json:"surrogate,omitempty"` // twin-first probing split
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/qflow"
 	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/surrogate"
 	"github.com/fastvg/fastvg/internal/trace"
 )
 
@@ -56,7 +57,9 @@ func (s *Service) persistResult(nreq Request, hash string, res *Result) {
 }
 
 // writeTrace renders and writes the probe trace of one executed extraction.
-func (s *Service) writeTrace(rec *trace.Recorder, nreq Request, hash string, win csd.Window, truth *qflow.Truth, res *Result) error {
+// sur, when non-nil, records the surrogate composition (twin snapshot and
+// escalation knobs) that sat between the pipeline and this recorder.
+func (s *Service) writeTrace(rec *trace.Recorder, nreq Request, hash string, win csd.Window, truth *qflow.Truth, res *Result, sur *trace.SurrogateMeta) error {
 	reqJSON, err := json.Marshal(nreq)
 	if err != nil {
 		return err
@@ -70,6 +73,7 @@ func (s *Service) writeTrace(rec *trace.Recorder, nreq Request, hash string, win
 		Request:          reqJSON,
 		Result:           resJSON,
 		Window:           win,
+		Surrogate:        sur,
 		BaseUniqueProbes: rec.Base().UniqueProbes,
 		BaseRawCalls:     rec.Base().RawCalls,
 		BaseVirtualNS:    int64(rec.Base().Virtual),
@@ -158,6 +162,11 @@ func CompareResults(reproduced, recorded *Result) []string {
 	} else if reproduced.Chain != nil {
 		diffs = append(diffs, compareChainReports(reproduced.Chain, recorded.Chain)...)
 	}
+	if (reproduced.Surrogate == nil) != (recorded.Surrogate == nil) {
+		diffs = append(diffs, "surrogate presence differs")
+	} else if reproduced.Surrogate != nil && *reproduced.Surrogate != *recorded.Surrogate {
+		diffs = append(diffs, fmt.Sprintf("surrogate report: %+v != recorded %+v", *reproduced.Surrogate, *recorded.Surrogate))
+	}
 	return diffs
 }
 
@@ -183,6 +192,15 @@ func compareChainReports(got, want *ChainReport) []string {
 	}
 	if len(got.A12) != len(want.A12) {
 		diffs = append(diffs, fmt.Sprintf("chain composed length: %d != recorded %d", len(got.A12), len(want.A12)))
+	}
+	if len(got.Surrogate) != len(want.Surrogate) {
+		diffs = append(diffs, fmt.Sprintf("chain surrogate reports: %d != recorded %d", len(got.Surrogate), len(want.Surrogate)))
+	} else {
+		for i := range got.Surrogate {
+			if got.Surrogate[i] != want.Surrogate[i] {
+				diffs = append(diffs, fmt.Sprintf("chain surrogate[%d]: %+v != recorded %+v", i, got.Surrogate[i], want.Surrogate[i]))
+			}
+		}
 	}
 	return diffs
 }
@@ -255,9 +273,33 @@ func ReplayTrace(path string) (*ReplayOutcome, error) {
 		Session:   nreq.Session,
 		Hash:      meta.Hash,
 	}
+	// A surrogate trace holds only the escalated probes: rebuild the same
+	// Hybrid over the recorded twin snapshot so every serve/escalate decision
+	// replays identically and the replayer sees exactly the recorded stream.
+	var inst accountant = rp
+	var hyb *surrogate.Hybrid
+	if meta.Surrogate != nil {
+		model, err := surrogate.Decode(meta.Surrogate.Model)
+		if err != nil {
+			return nil, fmt.Errorf("service: trace surrogate model: %w", err)
+		}
+		hyb = &surrogate.Hybrid{Model: model, Inner: rp, Threshold: meta.Surrogate.Threshold, Learn: meta.Surrogate.Learn}
+		inst = hyb
+	}
 	out := &ReplayOutcome{Source: path, Kind: nreq.Kind, Hash: meta.Hash, Recorded: &recorded}
-	if err := runPipelines(context.Background(), nreq, rp, meta.Window, truth, res); err != nil {
+	if err := runPipelines(context.Background(), nreq, inst, meta.Window, truth, res); err != nil {
 		return nil, err
+	}
+	if hyb != nil && nreq.Sim != nil {
+		// Mirror settleTwin's post-job refit so Cells/Fitted reproduce.
+		if hyb.Learn {
+			_ = hyb.Model.Fit()
+		}
+		key, err := specTwinKey(*nreq.Sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Surrogate = surrogateReport(key, hyb)
 	}
 	out.Reproduced = res
 	out.Diffs = CompareResults(res, &recorded)
@@ -284,7 +326,15 @@ func replayChainPairTrace(path string, meta trace.Meta, samples []trace.Sample, 
 	}
 	out := &ReplayOutcome{Source: path, Kind: nreq.Kind, Hash: meta.Hash, Pair: meta.Pair}
 	rp := trace.NewReplayer(meta, samples)
-	pres, err := replayChainPair(context.Background(), nreq, pair, rp, meta.Window)
+	var inst chainx.PairInstrument = rp
+	if meta.Surrogate != nil {
+		model, err := surrogate.Decode(meta.Surrogate.Model)
+		if err != nil {
+			return nil, fmt.Errorf("service: trace surrogate model: %w", err)
+		}
+		inst = &surrogate.Hybrid{Model: model, Inner: rp, Threshold: meta.Surrogate.Threshold, Learn: meta.Surrogate.Learn}
+	}
+	pres, err := replayChainPair(context.Background(), nreq, pair, inst, meta.Window)
 	if err != nil {
 		return nil, err
 	}

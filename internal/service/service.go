@@ -68,6 +68,11 @@ type Service struct {
 
 	persistErrs atomic.Int64 // journal/trace writes that failed (results still served)
 
+	// twins is the surrogate twin registry (see surrogate.go); twinMu guards
+	// the map only — each twin has its own job-duration mutex.
+	twinMu sync.Mutex
+	twins  map[string]*twin
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // submission order, for listing
@@ -136,6 +141,8 @@ type Stats struct {
 	Scheduler sched.Stats    `json:"scheduler"`
 	Jobs      map[string]int `json:"jobs"`     // job count per status
 	Sessions  int            `json:"sessions"` // open sessions
+	// Surrogate aggregates the twin registry (models, serving counters).
+	Surrogate SurrogateStats `json:"surrogate"`
 	// Store reports the journal accounting when the service is durable.
 	Store *store.Stats `json:"store,omitempty"`
 	// PersistErrs counts journal/trace writes that failed; results were
@@ -166,6 +173,7 @@ func New(cfg Config) (*Service, error) {
 		started:    time.Now(),
 		jobHistory: history,
 		jobs:       make(map[string]*job),
+		twins:      make(map[string]*twin),
 	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, store.Options{CompactEvery: cfg.CompactEvery})
@@ -183,6 +191,7 @@ func New(cfg Config) (*Service, error) {
 			}
 			s.cache.seed(rec.Key, cr.Result)
 		}
+		s.restoreTwins(st)
 		if err := s.fleet.AttachStore(st); err != nil {
 			st.Close()
 			return nil, err
@@ -259,6 +268,7 @@ func (s *Service) Stats() Stats {
 		Scheduler:   s.pool.Stats(),
 		Jobs:        counts,
 		Sessions:    s.reg.SessionCount(),
+		Surrogate:   s.surrogateStats(),
 		PersistErrs: s.persistErrs.Load(),
 	}
 	if s.store != nil {
@@ -547,7 +557,11 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 			return nil, err
 		}
 		truth := qflow.Truth{SteepSlope: nreq.Sim.SteepSlope, ShallowSlope: nreq.Sim.ShallowSlope}
-		if err := s.runInstrumented(ctx, nreq, hash, inst, win, &truth, res); err != nil {
+		run := s.runInstrumented
+		if sur := nreq.Sim.Surrogate; sur != nil && sur.Threshold > 0 {
+			run = s.runSurrogate
+		}
+		if err := run(ctx, nreq, hash, inst, win, &truth, res); err != nil {
 			return nil, err
 		}
 	default:
@@ -578,7 +592,7 @@ func (s *Service) runInstrumented(ctx context.Context, nreq Request, hash string
 	if err := runPipelines(ctx, nreq, rec, win, truth, res); err != nil {
 		return err
 	}
-	if err := s.writeTrace(rec, nreq, hash, win, truth, res); err != nil {
+	if err := s.writeTrace(rec, nreq, hash, win, truth, res, nil); err != nil {
 		s.persistErrs.Add(1)
 	}
 	return nil

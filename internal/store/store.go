@@ -46,6 +46,12 @@ const (
 	// behind a chain job's cache entry, so individual pair matrices are
 	// addressable (and auditable) without decoding the whole chain result.
 	KindChainPair Kind = 5
+	// KindSurrogateModel is one trained surrogate twin
+	// (internal/surrogate.Model.Encode), keyed by the service's device key —
+	// "sim/<spec hash>" or "chain/<spec hash>/<pair index>". A restarted
+	// daemon warm-starts its twins from these instead of retraining from
+	// traces.
+	KindSurrogateModel Kind = 6
 )
 
 // Audit reports whether records of this kind accumulate as an event log

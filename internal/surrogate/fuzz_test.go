@@ -1,0 +1,42 @@
+package surrogate
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+)
+
+// FuzzModelDecode mirrors the store's FuzzFrameDecode for the surrogate
+// model codec: Decode must never panic on arbitrary bytes, and every model
+// it does accept must have a stable encoding (decode → encode → decode →
+// encode reproduces the same bytes; byte-level comparison of the input
+// would wrongly reject non-minimal varints the decoder legitimately
+// accepts).
+func FuzzModelDecode(f *testing.F) {
+	win := csd.NewSquareWindow(0, 0, 50, 16)
+	empty := New(win)
+	f.Add([]byte{})
+	f.Add(empty.Encode())
+	m := New(win)
+	for i := 0; i < 16; i++ {
+		m.Add(win.V1At(i), win.V2At(i%4), float64(i))
+	}
+	m.setFit(&Fit{})
+	f.Add(m.Encode())
+	f.Add(m.Encode()[:20])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		enc := m.Encode()
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded model rejected: %v", err)
+		}
+		if !bytes.Equal(m2.Encode(), enc) {
+			t.Fatal("encoding not stable across a decode round trip")
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Streaming trace iteration. A Scanner walks one trace file's samples
+// frame by frame without loading the whole file; ForEach walks every trace
+// under a directory. Surrogate training reads entire trace directories —
+// possibly far larger than memory — which is why this exists alongside the
+// load-everything Read/Decode pair.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/fastvg/fastvg/internal/store"
+)
+
+// Scanner iterates one trace file's samples in recorded order, decoding one
+// CRC frame (at most samplesPerFrame samples) at a time.
+//
+//	sc, err := trace.OpenScanner(path)
+//	defer sc.Close()
+//	for sc.Next() {
+//		s := sc.Sample()
+//		...
+//	}
+//	err = sc.Err()
+type Scanner struct {
+	f    *os.File
+	br   *bufio.Reader
+	meta Meta
+	buf  []Sample
+	idx  int
+	cur  Sample
+	err  error
+}
+
+// OpenScanner opens a trace file and decodes its meta frame; samples are
+// then streamed via Next.
+func OpenScanner(path string) (*Scanner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	if err := store.ReadFileHeader(br, store.TraceMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	mb, err := store.ReadFrame(br)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if mb == nil {
+		f.Close()
+		return nil, errors.New("trace: missing meta frame")
+	}
+	var meta Meta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: meta: %w", err)
+	}
+	return &Scanner{f: f, br: br, meta: meta}, nil
+}
+
+// Meta returns the trace's meta frame.
+func (s *Scanner) Meta() Meta { return s.meta }
+
+// Next advances to the next sample, reporting false at the end of the file
+// or on error (check Err to tell the two apart).
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.idx >= len(s.buf) {
+		payload, err := store.ReadFrame(s.br)
+		if err != nil {
+			s.err = fmt.Errorf("trace: %w", err)
+			return false
+		}
+		if payload == nil {
+			return false
+		}
+		buf, err := decodeSamples(payload, s.buf[:0])
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.buf, s.idx = buf, 0
+	}
+	s.cur = s.buf[s.idx]
+	s.idx++
+	return true
+}
+
+// Sample returns the sample Next advanced to.
+func (s *Scanner) Sample() Sample { return s.cur }
+
+// Err returns the first decode error, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Close releases the underlying file.
+func (s *Scanner) Close() error { return s.f.Close() }
+
+// ForEach streams every sample of every trace under dir, in List order.
+// keep, when non-nil, filters whole traces by meta before any sample frame
+// of theirs is read; fn receives the owning trace's meta alongside each
+// sample and aborts the walk by returning an error.
+func ForEach(dir string, keep func(*Meta) bool, fn func(*Meta, Sample) error) error {
+	paths, err := List(dir)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		sc, err := OpenScanner(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		meta := sc.Meta()
+		if keep != nil && !keep(&meta) {
+			sc.Close()
+			continue
+		}
+		for sc.Next() {
+			if err := fn(&meta, sc.Sample()); err != nil {
+				sc.Close()
+				return err
+			}
+		}
+		err = sc.Err()
+		sc.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}

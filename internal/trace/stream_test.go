@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/csd"
+)
+
+func sampleTrace(n int, pair *int) (Meta, []Sample) {
+	meta := Meta{
+		Hash:   "deadbeef",
+		Window: csd.NewSquareWindow(0, 0, 50, 10),
+		Pair:   pair,
+	}
+	var samples []Sample
+	for i := 0; i < n; i++ {
+		samples = append(samples, Sample{
+			V:         []float64{float64(i), float64(i) / 2},
+			I:         math.Sqrt(float64(i + 1)),
+			Unique:    i%3 != 0,
+			VirtualNS: int64(i) * 50e6,
+		})
+	}
+	return meta, samples
+}
+
+// The Scanner must yield exactly what the load-everything path decodes, in
+// order, including across the samplesPerFrame frame boundary.
+func TestScannerMatchesRead(t *testing.T) {
+	dir := t.TempDir()
+	meta, samples := sampleTrace(samplesPerFrame*2+17, nil)
+	path, err := Write(dir, meta, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := OpenScanner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if sc.Meta().Hash != meta.Hash || sc.Meta().Window != meta.Window {
+		t.Fatalf("scanner meta %+v", sc.Meta())
+	}
+	var got []Sample
+	for sc.Next() {
+		got = append(got, sc.Sample())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d samples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i].I) != math.Float64bits(want[i].I) ||
+			got[i].Unique != want[i].Unique || got[i].VirtualNS != want[i].VirtualNS ||
+			len(got[i].V) != len(want[i].V) || got[i].V[0] != want[i].V[0] || got[i].V[1] != want[i].V[1] {
+			t.Fatalf("sample %d diverged: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScannerRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	meta, samples := sampleTrace(100, nil)
+	path, err := Write(dir, meta, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut"+Ext)
+	if err := os.WriteFile(cut, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := OpenScanner(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	for sc.Next() {
+	}
+	if sc.Err() == nil {
+		t.Fatal("scanner accepted a torn trace")
+	}
+}
+
+// ForEach must visit every sample of kept traces and skip filtered ones
+// without reading their sample frames.
+func TestForEachFilters(t *testing.T) {
+	dir := t.TempDir()
+	pair := 1
+	metaA, samplesA := sampleTrace(40, nil)
+	metaB, samplesB := sampleTrace(60, &pair)
+	metaB.Hash = "cafe"
+	if _, err := Write(dir, metaA, samplesA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(dir, metaB, samplesB); err != nil {
+		t.Fatal(err)
+	}
+
+	count := 0
+	err := ForEach(dir, func(m *Meta) bool { return m.Pair == nil }, func(m *Meta, s Sample) error {
+		if m.Hash != metaA.Hash {
+			t.Fatalf("visited filtered trace %q", m.Hash)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(samplesA) {
+		t.Fatalf("visited %d samples, want %d", count, len(samplesA))
+	}
+}

@@ -83,6 +83,22 @@ type Meta struct {
 	BaseUniqueProbes int   `json:"baseUniqueProbes,omitempty"`
 	BaseRawCalls     int   `json:"baseRawCalls,omitempty"`
 	BaseVirtualNS    int64 `json:"baseVirtualNS,omitempty"`
+	// Surrogate, when set, records that a surrogate.Hybrid sat between the
+	// pipeline and the Recorder, so the sample stream holds only the
+	// escalated probes; replay rebuilds the same Hybrid from the snapshot.
+	Surrogate *SurrogateMeta `json:"surrogate,omitempty"`
+}
+
+// SurrogateMeta captures the surrogate composition active while recording:
+// the twin's encoded snapshot as of recording start plus the escalation
+// knobs. Rebuilding the same Hybrid over a Replayer reproduces the same
+// serve/escalate decisions — the twin's evolution is deterministic in the
+// escalated currents, which the trace holds — so surrogate extractions
+// replay bit-identically.
+type SurrogateMeta struct {
+	Model     []byte  `json:"model"` // surrogate.Model.Encode at recording start
+	Threshold float64 `json:"threshold"`
+	Learn     bool    `json:"learn,omitempty"`
 }
 
 // Instrument is what a Recorder wraps: two-gate probing with cost

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh — run the probe-path benchmark trajectory and emit
 # BENCH_probe.json, then the fleet-recalibration benchmark (BENCH_fleet.json),
-# the durable-store / trace-replay benchmarks (BENCH_store.json) and the
-# n-dot chain extraction benchmarks (BENCH_chain.json).
+# the durable-store / trace-replay benchmarks (BENCH_store.json), the
+# n-dot chain extraction benchmarks (BENCH_chain.json) and the surrogate
+# digital-twin benchmarks (BENCH_surrogate.json).
 #
 # Usage:
 #   scripts/bench.sh [-o BENCH_probe.json] [-f BENCH_fleet.json] [-t benchtime]
@@ -261,3 +262,70 @@ JSON
 JSON
 } > "$chain_out"
 echo "wrote $chain_out"
+# ---- surrogate digital twin → BENCH_surrogate.json ------------------------
+# BenchmarkFleetSurrogateRecalibration runs the same drift-only fleet loop
+# all-live and twin-first and compares steady-state probes per matrix
+# refresh — the headline: how many live probes a trained twin saves per
+# recalibration. BenchmarkSurrogateEscalation scales the drift amplitude and
+# reports the share of probing that must stay live; BenchmarkSurrogateProbe
+# is the raw model-vs-simulator probe latency.
+wraw=$(go test ./internal/fleet/ -run '^$' -bench 'FleetSurrogateRecalibration|SurrogateEscalation' \
+  -benchtime "$benchtime" 2>&1)
+echo "$wraw"
+uraw=$(go test ./internal/surrogate/ -run '^$' -bench 'SurrogateProbe' \
+  -benchtime "$benchtime" 2>&1)
+echo "$uraw"
+
+wmetric() { # wmetric <bench-suffix> <unit>
+  echo "$wraw" | awk -v b="$1" -v u="$2" \
+    '$1 ~ b"(-|$)" {for (i=2;i<NF;i++) if ($(i+1)==u) {print $i; exit}}'
+}
+uns() {
+  echo "$uraw" | awk -v b="BenchmarkSurrogateProbe/$1" '$1 ~ b"(-|$)" {print $3; exit}'
+}
+
+live_ppr=$(wmetric "BenchmarkFleetSurrogateRecalibration/live" "probes/recal")
+twin_ppr=$(wmetric "BenchmarkFleetSurrogateRecalibration/surrogate" "probes/recal")
+twin_saved=$(wmetric "BenchmarkFleetSurrogateRecalibration/surrogate" "saved-frac")
+
+surrogate_out="BENCH_surrogate.json"
+{
+  cat <<JSON
+{
+  "schema": "fastvg-bench-surrogate/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "gomaxprocs": $(nproc),
+  "benchtime": "$benchtime",
+  "scenario": "8 wandering (drift-only) fleet devices, 2 virtual hours warm-up then 8 measured, 1800 s check interval; all-live vs twin-first at the default threshold",
+  "units": {
+    "live_probes_per_recal / surrogate_probes_per_recal": "live instrument probes per successful matrix refresh, spot-checks amortised in",
+    "probe_reduction": "live / surrogate — the headline probe saving of twin-first recalibration",
+    "surrogate_saved_frac": "share of all steady-state probing served by twins instead of the instrument",
+    "escalation_rate_by_drift": "live share of probing as the wandering drift amplitude scales (0 = static device)",
+    "probe_twin_ns / probe_sim_ns": "one surrogate model prediction vs one simulated-instrument probe"
+  },
+  "after": {
+    "live_probes_per_recal": ${live_ppr:-null},
+    "surrogate_probes_per_recal": ${twin_ppr:-null},
+    "probe_reduction": $(awk -v l="${live_ppr:-0}" -v s="${twin_ppr:-1}" 'BEGIN {printf "%.2f", l / s}'),
+    "surrogate_saved_frac": ${twin_saved:-null},
+    "escalation_rate_by_drift": {
+JSON
+  first=1
+  for drift in 0.00 0.06 0.12 0.24; do
+    rate=$(wmetric "BenchmarkSurrogateEscalation/drift=$drift" "escalation-rate")
+    [ "$first" = 1 ] && first=0 || echo ","
+    printf '      "%s": %s' "$drift" "${rate:-null}"
+  done
+  cat <<JSON
+
+    },
+    "probe_twin_ns": $(uns twin | awk '{printf "%s", $1+0}'),
+    "probe_sim_ns": $(uns sim | awk '{printf "%s", $1+0}')
+  }
+}
+JSON
+} > "$surrogate_out"
+echo "wrote $surrogate_out"
