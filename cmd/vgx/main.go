@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		csdIdx   = flag.Int("csd", 0, "benchmark CSD index (1-12); 0 = use -sim")
-		method   = flag.String("method", "fast", "extraction method: fast, baseline, rays or adaptive")
+		method   = flag.String("method", "fast", "extraction method: fast, baseline, rays, adaptive or infogain")
 		sim      = flag.Bool("sim", false, "extract from a freshly simulated device")
 		steep    = flag.Float64("steep", -8, "simulated steep-line slope")
 		shallow  = flag.Float64("shallow", -0.12, "simulated shallow-line slope")
@@ -107,6 +107,8 @@ func runMethod(method string, inst fastvg.Instrument, win fastvg.Window) (*fastv
 		return fastvg.ExtractRays(inst, win, fastvg.RayOptions{})
 	case "adaptive":
 		return fastvg.ExtractAdaptive(inst, win, fastvg.AdaptiveOptions{})
+	case "infogain":
+		return fastvg.ExtractInfoGain(inst, win, fastvg.InfoGainOptions{})
 	default:
 		log.Fatalf("unknown method %q", method)
 		return nil, nil

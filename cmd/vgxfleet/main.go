@@ -42,6 +42,7 @@ func main() {
 		budget    = flag.Int("budget", 180000, "fleet probe budget per day (0 = unlimited)")
 		cooldown  = flag.Float64("cooldown", 1800, "per-device recalibration cooldown, seconds")
 		surrogate = flag.Float64("surrogate", 0, "surrogate confidence threshold (0 = all probes live)")
+		infoGain  = flag.Bool("infogain", false, "guide scheduled recalibrations with the active infogain scheduler (warm priors from the last geometry)")
 		seed      = flag.Uint64("seed", 1, "fleet seed (device geometry, noise and drift)")
 		workers   = flag.Int("workers", 0, "worker-pool slots (0 = one per CPU); does not affect results")
 		asJSON    = flag.Bool("json", false, "emit the summary as JSON")
@@ -55,6 +56,7 @@ func main() {
 		Budget:             *budget,
 		BudgetWindow:       *day,
 		SurrogateThreshold: *surrogate,
+		InfoGain:           *infoGain,
 	}
 	mgr := fleet.New(sched.New(*workers), pol)
 	cfgs, err := fleet.DefaultFleet(*devices, *seed)

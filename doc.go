@@ -33,7 +33,7 @@
 // Beyond single library calls, the package ships an extraction service
 // (internal/service, re-exported here as Service) for workloads where
 // extractions arrive as traffic: a typed job model over every pipeline
-// (fast, baseline, rays, adaptive, windowfind, verify), a bounded
+// (fast, baseline, rays, adaptive, infogain, windowfind, verify), a bounded
 // worker-pool scheduler with per-job contexts and deterministic batch
 // ordering, a deduplicating LRU result cache keyed by canonical request
 // hashes — identical submissions cost zero re-extraction and concurrent
@@ -145,6 +145,44 @@
 // devices (BENCH_surrogate.json). Twins journal into the store for
 // warm-starts, and traces of surrogate jobs carry the pre-extraction twin
 // snapshot so replay reproduces the hybrid's decisions bit for bit.
+//
+// # Active probing
+//
+// ExtractInfoGain (internal/infogain) replaces raster scanning with a
+// Bayesian active scheduler. Each transition line carries a posterior over
+// its geometry — a discrete grid of (offset, slope, bend) hypotheses whose
+// slope axis maps linearly onto the line's virtualization-matrix entry —
+// seeded from a handful of short coarse scans, or narrowed from the start
+// by a warm prior (an earlier extraction's slopes and triple point). Every
+// probe is chosen to maximise the expected reduction of the posterior
+// variance of that matrix entry: candidate cells are σ-quantiles of the
+// predicted crossing along a fan of scan lines, scored in closed form from
+// the posterior's prefix sums. A probe's bright/dark label then multiplies
+// in a noise-tempered likelihood, so no single noisy sample can kill the
+// true hypothesis.
+//
+// The stopping rule is statistical, not positional: extraction ends when
+// each entry's 95% confidence interval is at most Config.TargetCI (default
+// 0.030). Windows whose pixel lattice cannot support the target — a short
+// lever arm bounds the achievable CI from below — are detected by the
+// expected-gain test: when no candidate offers gain, the line is at its
+// information floor, and the extraction still succeeds if both floors sit
+// within 2× the target, else it reports ErrNoConverge. That error is a
+// deterministic pipeline outcome, so the chain planner's infogain-first
+// ladder (chainx.InfoGainLadder: infogain → fast → adaptive → rays)
+// escalates such pairs to the raster method instead of failing the chain.
+//
+// The scheduler probes only through the instrument contract and makes every
+// decision deterministically, so infogain jobs (service kind "infogain")
+// record and replay bit-for-bit like every other pipeline, are cacheable
+// under the canonical request hash, and chain extractions stay bit-identical
+// at any worker count. The fleet mounts it through FleetPolicy.InfoGain:
+// scheduled recalibrations re-locate a drifted pair's lines warm-started
+// from its last known geometry for a fraction of a re-raster. On the
+// default double-dot window the scheduler needs ~70 probes to beat the fast
+// method's accuracy (~1030–1100 probes) — a ~15× probe cut
+// (BENCH_infogain.json); the posterior update and candidate scoring are
+// allocation-free on the hot path.
 //
 // # Persistence & replay
 //

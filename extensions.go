@@ -6,6 +6,7 @@ import (
 	"github.com/fastvg/fastvg/internal/autotune"
 	"github.com/fastvg/fastvg/internal/core"
 	"github.com/fastvg/fastvg/internal/csd"
+	"github.com/fastvg/fastvg/internal/infogain"
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
@@ -74,6 +75,66 @@ func ExtractAdaptive(inst Instrument, win Window, opts AdaptiveOptions) (*Extrac
 		Detail:           fine,
 	}
 	ext.TripleV1, ext.TripleV2 = fine.TriplePointVoltage(win)
+	fillCost(ext, inst, before)
+	return ext, nil
+}
+
+// InfoGainOptions tunes ExtractInfoGain; the zero value uses the package
+// defaults (CI target 0.030 on each matrix entry, 500-probe cap).
+type InfoGainOptions struct {
+	TargetCI  float64 // stop when each matrix entry's 95% CI is this wide; default 0.030
+	MaxProbes int     // active-probe cap before giving up; default 500
+	NoiseEps  float64 // assumed probe mislabel probability; default 0.08
+	// Prior warm-starts the posterior from an earlier extraction of the
+	// same pair: slopes plus triple point narrow the hypothesis grids and
+	// the seed scans. Nil starts cold.
+	Prior *InfoGainPrior
+}
+
+// InfoGainPrior carries an earlier geometry for warm-started scheduling.
+type InfoGainPrior struct {
+	SteepSlope   float64 // dV2/dV1, as reported by any extraction
+	ShallowSlope float64
+	TripleV1     float64 // triple-point gate voltages
+	TripleV2     float64
+}
+
+func infoGainConfig(o InfoGainOptions) infogain.Config {
+	cfg := infogain.Config{
+		TargetCI:  o.TargetCI,
+		MaxProbes: o.MaxProbes,
+		NoiseEps:  o.NoiseEps,
+	}
+	if p := o.Prior; p != nil {
+		cfg.Prior = &infogain.Prior{
+			SteepSlope:   p.SteepSlope,
+			ShallowSlope: p.ShallowSlope,
+			TripleV1:     p.TripleV1,
+			TripleV2:     p.TripleV2,
+		}
+	}
+	return cfg
+}
+
+// ExtractInfoGain runs the Bayesian active scheduler: a posterior over each
+// transition line's geometry is seeded from short coarse scans (or a prior
+// extraction), then each probe goes to the cell with the largest expected
+// posterior-variance reduction until the matrix-entry CI target is met. On
+// the default double-dot window it needs an order of magnitude fewer probes
+// than Extract; it returns ErrNoConverge-wrapped errors when the window's
+// information floor sits above the target.
+func ExtractInfoGain(inst Instrument, win Window, opts InfoGainOptions) (*Extraction, error) {
+	before := statsOf(inst)
+	res, err := infogain.Extract(csd.PixelSource{Src: inst, Win: win}, win, infoGainConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	ext := &Extraction{
+		Matrix:       res.Matrix,
+		SteepSlope:   res.SteepSlope,
+		ShallowSlope: res.ShallowSlope,
+	}
+	ext.TripleV1, ext.TripleV2 = res.TriplePointVoltage(win)
 	fillCost(ext, inst, before)
 	return ext, nil
 }

@@ -37,6 +37,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/evalx"
+	"github.com/fastvg/fastvg/internal/infogain"
 	"github.com/fastvg/fastvg/internal/qflow"
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/sched"
@@ -51,12 +52,13 @@ const (
 	MethodFast     Method = "fast"     // the paper's method (core.Extract)
 	MethodAdaptive Method = "adaptive" // coarse-to-fine fast extraction
 	MethodRays     Method = "rays"     // ray-casting comparison method
+	MethodInfoGain Method = "infogain" // Bayesian active probe scheduling
 )
 
 // ValidMethod reports whether m names a known pair method.
 func ValidMethod(m Method) bool {
 	switch m {
-	case MethodFast, MethodAdaptive, MethodRays:
+	case MethodFast, MethodAdaptive, MethodRays, MethodInfoGain:
 		return true
 	}
 	return false
@@ -64,9 +66,18 @@ func ValidMethod(m Method) bool {
 
 // DefaultLadder is the default per-pair escalation: the paper's fast method
 // first, the coarse-to-fine pass when its anchors fail, and the ray fan as
-// the last resort (it needs no anchor structure at all).
+// the last resort (it needs no anchor structure at all). It is unchanged by
+// the infogain rung so existing canonical request hashes stay stable; use
+// InfoGainLadder to opt in.
 func DefaultLadder() []Method {
 	return []Method{MethodFast, MethodAdaptive, MethodRays}
+}
+
+// InfoGainLadder is the active-probing escalation: the infogain scheduler
+// first — an order of magnitude fewer probes on quiet devices — falling
+// back to the paper's sweeps when the posterior fails to converge.
+func InfoGainLadder() []Method {
+	return []Method{MethodInfoGain, MethodFast, MethodAdaptive, MethodRays}
 }
 
 // DefaultAttemptReserve is the probe reservation per escalation attempt: at
@@ -114,10 +125,12 @@ type Config struct {
 	AttemptReserve int
 
 	// Fast tunes the fast and adaptive methods; CoarseFactor the adaptive
-	// coarse pass (0 uses the core default); Rays the ray method.
+	// coarse pass (0 uses the core default); Rays the ray method; InfoGain
+	// the active probe scheduler.
 	Fast         core.Config
 	CoarseFactor int
 	Rays         rays.Config
+	InfoGain     infogain.Config
 
 	// Wrap, if non-nil, wraps each pair's instrument before probing — the
 	// extraction service's per-pair trace recording hook.
@@ -401,6 +414,14 @@ func runMethod(ctx context.Context, m Method, inst PairInstrument, win csd.Windo
 			return nil, err
 		}
 		return &pairFit{matrix: rr.Matrix, steep: rr.SteepSlope, shallow: rr.ShallowSlope}, nil
+	case MethodInfoGain:
+		ir, err := infogain.Extract(src, win, cfg.InfoGain)
+		if err != nil {
+			return nil, err
+		}
+		fit := &pairFit{matrix: ir.Matrix, steep: ir.SteepSlope, shallow: ir.ShallowSlope}
+		fit.tripleV1, fit.tripleV2 = ir.TriplePointVoltage(win)
+		return fit, nil
 	}
 	return nil, fmt.Errorf("chainx: unknown method %q", m)
 }

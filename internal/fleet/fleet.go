@@ -50,6 +50,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/fitting"
+	"github.com/fastvg/fastvg/internal/infogain"
 	"github.com/fastvg/fastvg/internal/sched"
 	"github.com/fastvg/fastvg/internal/store"
 	"github.com/fastvg/fastvg/internal/surrogate"
@@ -92,6 +93,14 @@ type Policy struct {
 	// Cooldown is the minimum virtual time (seconds) between recalibration
 	// attempts of one pair, the second hysteresis guard; default 1800.
 	Cooldown float64 `json:"cooldown,omitempty"`
+	// InfoGain, when true, routes scheduled pair re-extractions through the
+	// Bayesian active probe scheduler (internal/infogain), warm-started on
+	// the pair's last known line geometry — a guided re-location scan that
+	// needs an order of magnitude fewer probes than the full extraction
+	// raster. Infogain failures (posterior non-convergence, seeding misses)
+	// fall back to the raster; first calibrations and operator forces always
+	// run the raster.
+	InfoGain bool `json:"infoGain,omitempty"`
 	// SurrogateThreshold, when positive, probes every pair surrogate-first:
 	// a learned digital twin (internal/surrogate) answers spot-check and
 	// re-extraction probes whose confidence clears the threshold, and only
@@ -189,11 +198,14 @@ type Event struct {
 	ProbesSaved int `json:"probesSaved,omitempty"`
 	// Delta marks a recalibration that re-located the lines with a few
 	// cross scans instead of a full re-raster — the twin-enabled cheap path.
-	Delta bool    `json:"delta,omitempty"`
-	OK    bool    `json:"ok"`
-	A12   float64 `json:"a12,omitempty"` // matrix after (re)calibration events
-	A21   float64 `json:"a21,omitempty"`
-	Err   string  `json:"err,omitempty"`
+	Delta bool `json:"delta,omitempty"`
+	// InfoGain marks a recalibration served by the active probe scheduler's
+	// guided re-location scan instead of the full raster.
+	InfoGain bool    `json:"infoGain,omitempty"`
+	OK       bool    `json:"ok"`
+	A12      float64 `json:"a12,omitempty"` // matrix after (re)calibration events
+	A21      float64 `json:"a21,omitempty"`
+	Err      string  `json:"err,omitempty"`
 }
 
 // Device states reported by DeviceView.State and PairStatus.State.
@@ -1292,7 +1304,28 @@ func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now fl
 		}
 		delta = ok
 	}
-	if !delta {
+	// A scheduled recalibration under the InfoGain policy re-locates the
+	// lines with the active probe scheduler, warm-started on the pair's last
+	// known geometry; a deterministic infogain failure falls through to the
+	// full raster below.
+	guided := false
+	if !delta && m.pol.InfoGain && !force && !first {
+		igCfg := infogain.Config{}
+		if !pc.lost {
+			igCfg.Prior = &infogain.Prior{
+				SteepSlope: pc.steep, ShallowSlope: pc.shallow,
+				TripleV1: pc.kneeV1, TripleV2: pc.kneeV2,
+			}
+		}
+		src := csd.PixelSource{Src: probeInst, Win: pc.win}
+		if ir, ierr := infogain.Extract(src, pc.win, igCfg); ierr == nil {
+			pc.matrix = ir.Matrix
+			pc.steep, pc.shallow = ir.SteepSlope, ir.ShallowSlope
+			pc.kneeV1, pc.kneeV2 = ir.TriplePointVoltage(pc.win)
+			guided = true
+		}
+	}
+	if !delta && !guided {
 		src := csd.PixelSource{Src: probeInst, Win: pc.win}
 		cr, err := core.Extract(src, pc.win, core.Config{})
 		if err != nil {
@@ -1342,7 +1375,7 @@ func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now fl
 		}
 		pc.phaseModelDirty = true
 	}
-	ev := Event{T: now, Kind: kind, Pair: pc.idx, Delta: delta, A12: pc.matrix.A12(), A21: pc.matrix.A21()}
+	ev := Event{T: now, Kind: kind, Pair: pc.idx, Delta: delta, InfoGain: guided, A12: pc.matrix.A12(), A21: pc.matrix.A21()}
 	baseCfg := m.checkConfig()
 	if delta {
 		baseCfg.ScanFrac = deltaBaseScanFrac

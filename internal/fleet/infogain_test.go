@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/sched"
+)
+
+// TestInfoGainGuidedRecalibration: with the policy on, scheduled
+// recalibrations run the active scheduler warm-started from the pair's last
+// geometry, the history marks them, and they cost a fraction of a raster
+// re-extraction.
+func TestInfoGainGuidedRecalibration(t *testing.T) {
+	m := New(sched.New(2), Policy{CheckInterval: 1800, InfoGain: true})
+	if _, err := m.Register(wanderingSpec(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	runTicks(t, m, 72, 300)
+
+	evs, ok := m.History("wander")
+	if !ok {
+		t.Fatal("no wandering history")
+	}
+	guided := 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case "calibrate", "force":
+			// First calibrations and forces are always full rasters.
+			if ev.InfoGain {
+				t.Errorf("%s event marked as guided: %+v", ev.Kind, ev)
+			}
+		case "recalibrate":
+			if ev.InfoGain {
+				guided++
+			}
+		}
+	}
+	if guided == 0 {
+		t.Fatalf("no guided recalibrations in six virtual hours; events: %+v", evs)
+	}
+
+	d, _ := m.Device("wander")
+	if d.Calibrations < 2 {
+		t.Fatalf("calibrations = %d, want initial + guided recals", d.Calibrations)
+	}
+	// A full 100x100 raster calibration costs ~1000 probes; guided recals
+	// keep the per-device average well below two rasters' worth even after
+	// several recalibrations.
+	if d.Probes > 1500+1100*(d.Calibrations-1) {
+		t.Errorf("probes = %d over %d calibrations: guided recals did not save", d.Probes, d.Calibrations)
+	}
+}
+
+// TestInfoGainDeterministicAcrossWorkers extends the fleet determinism
+// contract to guided recalibration: byte-identical summaries at any worker
+// count with the policy on.
+func TestInfoGainDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		m := New(sched.New(workers), Policy{CheckInterval: 1800, InfoGain: true})
+		cfgs, err := DefaultFleet(6, driftSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			if _, err := m.Register(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, err := m.Run(context.Background(), 4*3600, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(1)
+	eight := run(8)
+	if string(one) != string(eight) {
+		t.Errorf("summary differs between 1 and 8 workers:\n%s\n%s", one, eight)
+	}
+}

@@ -170,6 +170,9 @@ func (s *Service) Handler() http.Handler {
 			body["store"] = st.Store
 			body["persistErrs"] = st.PersistErrs
 		}
+		if len(st.MethodProbes) > 0 {
+			body["methodProbes"] = st.MethodProbes
+		}
 		reply(w, http.StatusOK, body)
 	})
 

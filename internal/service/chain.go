@@ -36,6 +36,7 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 		Fast:         coreConfig(nreq.Fast),
 		CoarseFactor: nreq.Fast.CoarseFactor,
 		Rays:         rays.Config{NumRays: nreq.Rays.NumRays, DropSigma: nreq.Rays.DropSigma},
+		InfoGain:     infogainConfig(nreq.InfoGain),
 	}
 	var recMu sync.Mutex
 	var recorders map[int]*trace.Recorder
@@ -184,6 +185,7 @@ func replayChainPair(ctx context.Context, nreq Request, pair int, inst chainx.Pa
 		Fast:         coreConfig(nreq.Fast),
 		CoarseFactor: nreq.Fast.CoarseFactor,
 		Rays:         rays.Config{NumRays: nreq.Rays.NumRays, DropSigma: nreq.Rays.DropSigma},
+		InfoGain:     infogainConfig(nreq.InfoGain),
 	}
 	return chainx.ExtractPair(ctx, pair, inst, win, cfg)
 }

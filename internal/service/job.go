@@ -18,6 +18,7 @@ import (
 	"github.com/fastvg/fastvg/internal/core"
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
+	"github.com/fastvg/fastvg/internal/infogain"
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
@@ -34,16 +35,17 @@ const (
 	KindWindowFind Kind = "windowfind" // scan-window search (autotune)
 	KindVerify     Kind = "verify"     // fast extraction + on-device matrix check
 	KindChain      Kind = "chain"      // N-dot chain extraction (internal/chainx planner)
+	KindInfoGain   Kind = "infogain"   // Bayesian active probe scheduling (internal/infogain)
 )
 
 // Kinds lists every valid job kind.
 func Kinds() []Kind {
-	return []Kind{KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify, KindChain}
+	return []Kind{KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify, KindChain, KindInfoGain}
 }
 
 func (k Kind) valid() bool {
 	switch k {
-	case KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify, KindChain:
+	case KindFast, KindBaseline, KindRays, KindAdaptive, KindWindowFind, KindVerify, KindChain, KindInfoGain:
 		return true
 	}
 	return false
@@ -70,6 +72,23 @@ type BaselineOptions struct {
 type RayOptions struct {
 	NumRays   int     `json:"numRays,omitempty"`   // default 24
 	DropSigma float64 `json:"dropSigma,omitempty"` // default 6
+}
+
+// InfoGainOptions tunes infogain jobs (and the infogain rung of a chain
+// ladder that includes it). Zero fields use the infogain package defaults.
+type InfoGainOptions struct {
+	// TargetCI is the stopping rule: each matrix entry's 95% confidence
+	// interval must be at most this wide. Default infogain.DefaultTargetCI.
+	TargetCI float64 `json:"targetCI,omitempty"`
+	// MaxProbes caps the active-phase probes before the scheduler gives up
+	// and escalates. Default infogain.DefaultMaxProbes.
+	MaxProbes int `json:"maxProbes,omitempty"`
+	// NoiseEps is the assumed probe mislabel probability. Default
+	// infogain.DefaultNoiseEps.
+	NoiseEps float64 `json:"noiseEps,omitempty"`
+	// MinProbes is the minimum active probes per line before stopping may
+	// fire. Default infogain.DefaultMinProbes.
+	MinProbes int `json:"minProbes,omitempty"`
 }
 
 // WindowFindOptions bounds a windowfind job's coarse search.
@@ -125,6 +144,7 @@ type Request struct {
 	WindowFind *WindowFindOptions `json:"windowFind,omitempty"`
 	Verify     *VerifyOptions     `json:"verify,omitempty"`
 	Chain      *ChainOptions      `json:"chain,omitempty"`
+	InfoGain   *InfoGainOptions   `json:"infoGain,omitempty"`
 }
 
 // SuiteSize is the qflow benchmark count (Table 1's 12 CSDs).
@@ -243,6 +263,25 @@ func (r Request) Normalized() (Request, error) {
 		}
 		return &f
 	}
+	infoGain := func() *InfoGainOptions {
+		io := InfoGainOptions{}
+		if r.InfoGain != nil {
+			io = *r.InfoGain
+		}
+		if io.TargetCI == 0 {
+			io.TargetCI = infogain.DefaultTargetCI
+		}
+		if io.MaxProbes == 0 {
+			io.MaxProbes = infogain.DefaultMaxProbes
+		}
+		if io.NoiseEps == 0 {
+			io.NoiseEps = infogain.DefaultNoiseEps
+		}
+		if io.MinProbes == 0 {
+			io.MinProbes = infogain.DefaultMinProbes
+		}
+		return &io
+	}
 	switch r.Kind {
 	case KindFast:
 		n.Fast = fast()
@@ -270,6 +309,8 @@ func (r Request) Normalized() (Request, error) {
 			ro.DropSigma = rays.DefaultDropSigma
 		}
 		n.Rays = &ro
+	case KindInfoGain:
+		n.InfoGain = infoGain()
 	case KindWindowFind:
 		wf := *r.WindowFind
 		if wf.Pixels == 0 {
@@ -309,6 +350,15 @@ func (r Request) Normalized() (Request, error) {
 			co.Methods = append([]chainx.Method(nil), co.Methods...)
 		}
 		n.Chain = &co
+		// The infogain rung's knobs enter the canonical hash only when the
+		// ladder actually includes it, so pre-existing chain request hashes
+		// are unchanged.
+		for _, m := range co.Methods {
+			if m == chainx.MethodInfoGain {
+				n.InfoGain = infoGain()
+				break
+			}
+		}
 		n.Fast = fast()
 		if n.Fast.CoarseFactor == 0 {
 			n.Fast.CoarseFactor = core.DefaultCoarseFactor

@@ -19,6 +19,7 @@ import (
 	"github.com/fastvg/fastvg/internal/evalx"
 	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/imaging"
+	"github.com/fastvg/fastvg/internal/infogain"
 	"github.com/fastvg/fastvg/internal/qflow"
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/sched"
@@ -67,6 +68,13 @@ type Service struct {
 	jobHistory int
 
 	persistErrs atomic.Int64 // journal/trace writes that failed (results still served)
+
+	// methodProbes accumulates executed probes per extraction method
+	// (fast/adaptive/rays/infogain/...): scalar jobs count under their
+	// kind's method, chain jobs under each escalation attempt's method.
+	// Cache hits count nothing — the map reflects real instrument work.
+	methodMu     sync.Mutex
+	methodProbes map[string]int64
 
 	// twins is the surrogate twin registry (see surrogate.go); twinMu guards
 	// the map only — each twin has its own job-duration mutex.
@@ -143,6 +151,9 @@ type Stats struct {
 	Sessions  int            `json:"sessions"` // open sessions
 	// Surrogate aggregates the twin registry (models, serving counters).
 	Surrogate SurrogateStats `json:"surrogate"`
+	// MethodProbes reports executed probes per extraction method
+	// (fast/adaptive/rays/infogain/...) across scalar and chain jobs.
+	MethodProbes map[string]int64 `json:"methodProbes,omitempty"`
 	// Store reports the journal accounting when the service is durable.
 	Store *store.Stats `json:"store,omitempty"`
 	// PersistErrs counts journal/trace writes that failed; results were
@@ -166,14 +177,15 @@ func New(cfg Config) (*Service, error) {
 	}
 	pool := sched.New(cfg.Workers)
 	s := &Service{
-		pool:       pool,
-		cache:      newResultCache(cfg.CacheSize),
-		reg:        reg,
-		fleet:      fleet.New(pool, cfg.Fleet),
-		started:    time.Now(),
-		jobHistory: history,
-		jobs:       make(map[string]*job),
-		twins:      make(map[string]*twin),
+		pool:         pool,
+		cache:        newResultCache(cfg.CacheSize),
+		reg:          reg,
+		fleet:        fleet.New(pool, cfg.Fleet),
+		started:      time.Now(),
+		jobHistory:   history,
+		jobs:         make(map[string]*job),
+		twins:        make(map[string]*twin),
+		methodProbes: make(map[string]int64),
 	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, store.Options{CompactEvery: cfg.CompactEvery})
@@ -263,13 +275,20 @@ func (s *Service) Stats() Stats {
 		counts[string(j.view().Status)]++
 	}
 	s.mu.Unlock()
+	s.methodMu.Lock()
+	methods := make(map[string]int64, len(s.methodProbes))
+	for m, p := range s.methodProbes {
+		methods[m] = p
+	}
+	s.methodMu.Unlock()
 	st := Stats{
-		Cache:       s.cache.Stats(),
-		Scheduler:   s.pool.Stats(),
-		Jobs:        counts,
-		Sessions:    s.reg.SessionCount(),
-		Surrogate:   s.surrogateStats(),
-		PersistErrs: s.persistErrs.Load(),
+		Cache:        s.cache.Stats(),
+		Scheduler:    s.pool.Stats(),
+		Jobs:         counts,
+		Sessions:     s.reg.SessionCount(),
+		Surrogate:    s.surrogateStats(),
+		MethodProbes: methods,
+		PersistErrs:  s.persistErrs.Load(),
 	}
 	if s.store != nil {
 		ss := s.store.Stats()
@@ -577,7 +596,29 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 			return nil, err
 		}
 	}
+	s.countMethodProbes(res)
 	return res, nil
+}
+
+// countMethodProbes folds one executed result into the per-method probe
+// accounting: chain jobs attribute each escalation attempt to its method,
+// scalar jobs their whole probe count to the kind's method.
+func (s *Service) countMethodProbes(res *Result) {
+	s.methodMu.Lock()
+	defer s.methodMu.Unlock()
+	if res.Chain != nil {
+		for i := range res.Chain.Pairs {
+			for _, att := range res.Chain.Pairs[i].Attempts {
+				s.methodProbes[string(att.Method)] += int64(att.Probes)
+			}
+		}
+		return
+	}
+	method := string(res.Kind)
+	if res.Kind == KindVerify {
+		method = string(KindFast) // a verify job's extraction is the fast method
+	}
+	s.methodProbes[method] += int64(res.Probes)
 }
 
 // runInstrumented executes the request's pipeline against inst, recording a
@@ -659,6 +700,14 @@ func runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Wi
 			steep, shallow = rr.SteepSlope, rr.ShallowSlope
 			matrix = &rr.Matrix
 		}
+	case KindInfoGain:
+		var ir *infogain.Result
+		ir, err = infogain.Extract(src, win, infogainConfig(nreq.InfoGain))
+		if err == nil {
+			steep, shallow = ir.SteepSlope, ir.ShallowSlope
+			matrix = &ir.Matrix
+			res.TripleV1, res.TripleV2 = ir.TriplePointVoltage(win)
+		}
 	case KindWindowFind:
 		wf := nreq.WindowFind
 		var ar *autotune.Result
@@ -711,6 +760,20 @@ func coreConfig(f *FastOptions) core.Config {
 	cfg.Anchors.DiagonalPoints = f.DiagonalProbes
 	cfg.Anchors.GaussSigmaFrac = f.GaussSigmaFrac
 	return cfg
+}
+
+// infogainConfig maps the job options onto the infogain package config; a
+// nil options block (a chain ladder without the rung) runs the defaults.
+func infogainConfig(o *InfoGainOptions) infogain.Config {
+	if o == nil {
+		return infogain.Config{}
+	}
+	return infogain.Config{
+		TargetCI:  o.TargetCI,
+		MaxProbes: o.MaxProbes,
+		NoiseEps:  o.NoiseEps,
+		MinProbes: o.MinProbes,
+	}
 }
 
 func baselineConfig(b *BaselineOptions) baseline.Config {

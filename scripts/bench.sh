@@ -2,8 +2,9 @@
 # bench.sh — run the probe-path benchmark trajectory and emit
 # BENCH_probe.json, then the fleet-recalibration benchmark (BENCH_fleet.json),
 # the durable-store / trace-replay benchmarks (BENCH_store.json), the
-# n-dot chain extraction benchmarks (BENCH_chain.json) and the surrogate
-# digital-twin benchmarks (BENCH_surrogate.json).
+# n-dot chain extraction benchmarks (BENCH_chain.json), the surrogate
+# digital-twin benchmarks (BENCH_surrogate.json) and the active-probing
+# scheduler benchmarks (BENCH_infogain.json).
 #
 # Usage:
 #   scripts/bench.sh [-o BENCH_probe.json] [-f BENCH_fleet.json] [-t benchtime]
@@ -329,3 +330,68 @@ JSON
 JSON
 } > "$surrogate_out"
 echo "wrote $surrogate_out"
+# ---- active-probing scheduler → BENCH_infogain.json ------------------------
+# BenchmarkInfoGainVsFast runs the fast raster and the Bayesian active
+# scheduler on identically spec'd default double-dot windows (4 seeds each)
+# per noise preset and reports mean probes and matrix error for both; the
+# headline "probe_cut" is fast probes / infogain probes at no worse error.
+# BenchmarkInfoGainCurve traces probes spent and error reached as the CI
+# target tightens — the probes-to-target-accuracy curve.
+iraw=$(go test ./internal/infogain/ -run '^$' -bench 'InfoGainVsFast|InfoGainCurve' \
+  -benchtime "$benchtime" 2>&1)
+echo "$iraw"
+
+imetric() { # imetric <bench-path> <unit>
+  echo "$iraw" | awk -v b="$1" -v u="$2" \
+    '$1 ~ b"(-|$)" {for (i=2;i<NF;i++) if ($(i+1)==u) {print $i; exit}}'
+}
+
+infogain_out="BENCH_infogain.json"
+{
+  cat <<JSON
+{
+  "schema": "fastvg-bench-infogain/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "benchtime": "$benchtime",
+  "scenario": "default 100x100 double-dot window, 4 seeds per preset; fast raster extraction vs Bayesian active scheduler at the default 0.030 CI target, plus the probes-vs-accuracy curve at looser targets",
+  "units": {
+    "fast_probes / infogain_probes": "mean distinct configurations measured per extraction",
+    "fast_err / infogain_err": "mean max-abs matrix-entry error vs the analytic truth",
+    "probe_cut": "fast_probes / infogain_probes at no worse error — the headline",
+    "curve": "per CI target: mean probes spent and error reached"
+  },
+  "after": {
+JSON
+  first=1
+  for preset in noiseless white lab; do
+    [ "$first" = 1 ] && first=0 || echo ","
+    cat <<JSON
+    "$preset": {
+      "fast_probes": $(imetric "BenchmarkInfoGainVsFast/$preset" "fast-probes" | awk '{print $1+0}'),
+      "fast_err": $(imetric "BenchmarkInfoGainVsFast/$preset" "fast-err" | awk '{print $1+0}'),
+      "infogain_probes": $(imetric "BenchmarkInfoGainVsFast/$preset" "ig-probes" | awk '{print $1+0}'),
+      "infogain_err": $(imetric "BenchmarkInfoGainVsFast/$preset" "ig-err" | awk '{print $1+0}'),
+      "probe_cut": $(imetric "BenchmarkInfoGainVsFast/$preset" "probe-cut" | awk '{print $1+0}'),
+      "curve": {
+JSON
+    cfirst=1
+    for ci in 0.090 0.060 0.045 0.030; do
+      [ "$cfirst" = 1 ] && cfirst=0 || echo ","
+      printf '        "%s": { "probes": %s, "err": %s }' "$ci" \
+        "$(imetric "BenchmarkInfoGainCurve/$preset/ci=$ci" "probes" | awk '{print $1+0}')" \
+        "$(imetric "BenchmarkInfoGainCurve/$preset/ci=$ci" "err" | awk '{print $1+0}')"
+    done
+    cat <<JSON
+
+      }
+    }
+JSON
+  done
+  cat <<JSON
+  }
+}
+JSON
+} > "$infogain_out"
+echo "wrote $infogain_out"

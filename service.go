@@ -47,6 +47,7 @@ const (
 	JobWindowFind = service.KindWindowFind
 	JobVerify     = service.KindVerify
 	JobChain      = service.KindChain
+	JobInfoGain   = service.KindInfoGain
 )
 
 // ChainJobOptions tunes a chain job: per-pair windows, escalation ladder
