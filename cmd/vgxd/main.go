@@ -22,6 +22,7 @@
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"kind":"chain","chainSim":{"dots":8,"seed":5}}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/v1/fleet/devices -d '{"id":"lab-a","spec":{"seed":5}}'
 //	curl -s -X POST localhost:8080/v1/fleet/devices -d '{"id":"arr-a","chain":{"dots":4,"seed":5}}'
 //	curl -s -X POST localhost:8080/v1/fleet/devices/arr-a/recalibrate?pair=1
@@ -41,6 +42,18 @@
 // restarts), listed at GET /v1/surrogate, and retrainable from recorded
 // traces via POST /v1/surrogate/train.
 //
+// Observability: GET /metrics serves the Prometheus text exposition of
+// every vgx_* metric family; -max-queue-depth sheds load with 429 once
+// that many submissions are queued; -pprof mounts the net/http/pprof
+// handlers under /debug/pprof/ on the same listener:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//	curl -s localhost:8080/debug/pprof/trace?seconds=5 > trace.out
+//
+// Logs are structured (log/slog): -log-format text (default) or json.
+// Every request line carries the request's X-Request-ID (caller-sent or
+// generated), the same ID recorded in the job's span tree.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the HTTP server stops
 // accepting connections, then the extraction service drains — running jobs
 // finish, queued jobs settle as cancelled, sessions close — bounded by
@@ -51,8 +64,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,54 +77,122 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "extraction worker-pool slots (0 = one per CPU)")
-		cache   = flag.Int("cache", 1024, "result-cache capacity in entries")
-		drain   = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown bound for connections and running jobs")
-		dataDir = flag.String("data-dir", "", "journal directory: persist cache + fleet state across restarts")
-		traces  = flag.Bool("record-traces", false, "record probe traces of every extraction under <data-dir>/traces (requires -data-dir)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "extraction worker-pool slots (0 = one per CPU)")
+		cache     = flag.Int("cache", 1024, "result-cache capacity in entries")
+		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful-shutdown bound for connections and running jobs")
+		dataDir   = flag.String("data-dir", "", "journal directory: persist cache + fleet state across restarts")
+		traces    = flag.Bool("record-traces", false, "record probe traces of every extraction under <data-dir>/traces (requires -data-dir)")
+		maxQueue  = flag.Int("max-queue-depth", 0, "shed submissions with 429 once this many are queued for a worker slot (0 = never)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logJobs   = flag.Bool("log-requests", true, "log one structured line per API request")
 	)
 	flag.Parse()
+	logger := newLogger(*logFormat)
+	slog.SetDefault(logger)
 
 	svc, err := fastvg.NewService(fastvg.ServiceConfig{
 		Workers: *workers, CacheSize: *cache,
 		DataDir: *dataDir, RecordTraces: *traces,
+		MaxQueueDepth: *maxQueue,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	if *dataDir != "" {
-		log.Printf("vgxd: durable: journaling to %s (traces: %v)", *dataDir, *traces)
+		logger.Info("durable mode", "dataDir", *dataDir, "recordTraces", *traces)
+	}
+	handler := fastvg.ServiceHandler(svc)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	if *logJobs {
+		handler = accessLog(logger, handler)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           fastvg.ServiceHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("vgxd: serving extraction API on %s", *addr)
+	logger.Info("serving extraction API", "addr", *addr, "workers", *workers, "maxQueueDepth", *maxQueue)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case sig := <-stop:
-		log.Printf("vgxd: %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// Stop accepting connections first, then drain the extraction
 		// scheduler (running jobs finish, queued jobs are released) and
 		// close the instrument sessions.
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Fatal(err)
-		}
-		if err := svc.Close(ctx); err != nil {
-			log.Printf("vgxd: drain incomplete: %v", err)
+			logger.Error("shutdown failed", "err", err)
 			os.Exit(1)
 		}
-		log.Print("vgxd: drained cleanly")
+		if err := svc.Close(ctx); err != nil {
+			logger.Error("drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained cleanly")
 	}
+}
+
+// newLogger builds the slog handler for -log-format; unknown formats get
+// text with a warning after the logger exists.
+func newLogger(format string) *slog.Logger {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil))
+	default:
+		l := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		l.Warn("unknown -log-format, using text", "format", format)
+		return l
+	}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog logs one structured line per request: method, path, status,
+// duration and the request ID the service echoed (X-Request-ID).
+func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"durMs", float64(time.Since(start).Microseconds())/1000,
+			"reqID", sw.Header().Get("X-Request-ID"),
+		)
+	})
 }

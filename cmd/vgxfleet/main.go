@@ -24,7 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"github.com/fastvg/fastvg/internal/fleet"
@@ -47,8 +47,15 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool slots (0 = one per CPU); does not affect results")
 		asJSON    = flag.Bool("json", false, "emit the summary as JSON")
 		verbose   = flag.Bool("v", false, "log every tick that checked or recalibrated something")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	logger := newLogger(*logFormat)
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	pol := fleet.Policy{
 		CheckInterval:      *check,
@@ -61,12 +68,12 @@ func main() {
 	mgr := fleet.New(sched.New(*workers), pol)
 	cfgs, err := fleet.DefaultFleet(*devices, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal("vgxfleet", err)
 	}
 	cfgs = append(cfgs, fleet.DefaultChainFleet(*chains, *chainDots, *seed)...)
 	for _, cfg := range cfgs {
 		if _, err := mgr.Register(cfg); err != nil {
-			log.Fatal(err)
+			fatal("vgxfleet", err)
 		}
 	}
 
@@ -77,7 +84,7 @@ func main() {
 		for i := 0; i < ticks; i++ {
 			rep, err := mgr.Tick(ctx, *tick)
 			if err != nil {
-				log.Fatal(err)
+				fatal("vgxfleet", err)
 			}
 			if len(rep.Checked) > 0 || len(rep.Recalibrated) > 0 {
 				fmt.Printf("t=%7.0fs checked=%d recal=%v probes=%d+%d skipped=%d\n",
@@ -89,7 +96,7 @@ func main() {
 	} else {
 		sum, err = mgr.Run(ctx, *day, *tick)
 		if err != nil {
-			log.Fatal(err)
+			fatal("vgxfleet", err)
 		}
 	}
 
@@ -97,7 +104,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sum); err != nil {
-			log.Fatal(err)
+			fatal("vgxfleet", err)
 		}
 		return
 	}
@@ -135,4 +142,12 @@ func printSummary(s *fleet.Summary) {
 			s.ProbesSaved, total, 100*float64(s.ProbesSaved)/float64(total))
 	}
 	fmt.Printf("worst finite staleness observed: %.3f\n", s.WorstStaleness)
+}
+
+// newLogger builds the slog handler for -log-format.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

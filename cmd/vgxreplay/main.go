@@ -17,11 +17,19 @@
 //     against a fresh simulated instrument and diffed against the journaled
 //     result — the regression test that the whole stack is deterministic.
 //
+// A durable daemon also journals one timing span tree per executed job
+// (where the job spent wall-clock and virtual instrument time, per
+// pipeline / chain pair / probe batch); -spans prints every recorded
+// tree instead of replaying:
+//
+//	vgxreplay -data-dir /var/lib/vgxd -spans
+//
 // Usage:
 //
 //	vgxreplay -trace data/traces/0a1b2c….fvgt
 //	vgxreplay -data-dir /var/lib/vgxd
 //	vgxreplay -data-dir /var/lib/vgxd -journal=false   # traces only
+//	vgxreplay -data-dir /var/lib/vgxd -spans           # dump span trees
 //
 // Exit status 1 when any replay mismatches. Run it against a stopped
 // daemon's data dir (the journal open may truncate a torn tail, exactly as
@@ -33,7 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -46,20 +54,54 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "replay a daemon data dir: every trace under <dir>/traces, plus the journal")
 		journal   = flag.Bool("journal", true, "with -data-dir, also re-execute journaled extractions against fresh instruments")
 		workers   = flag.Int("workers", 0, "worker-pool slots for journal re-execution (0 = one per CPU)")
+		spans     = flag.Bool("spans", false, "with -data-dir, print the journaled job span trees instead of replaying")
 		asJSON    = flag.Bool("json", false, "emit outcomes as JSON")
 		verbose   = flag.Bool("v", false, "print every outcome, not just mismatches")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	logger := newLogger(*logFormat)
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 	if *tracePath == "" && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: vgxreplay -trace file | -data-dir dir [-journal=false]")
+		fmt.Fprintln(os.Stderr, "usage: vgxreplay -trace file | -data-dir dir [-journal=false] [-spans]")
 		os.Exit(2)
+	}
+
+	if *spans {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "vgxreplay: -spans requires -data-dir")
+			os.Exit(2)
+		}
+		recs, err := fastvg.LoadSpans(*dataDir)
+		if err != nil {
+			fatal("loading spans", err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(recs); err != nil {
+				fatal("encoding spans", err)
+			}
+			return
+		}
+		for _, r := range recs {
+			fmt.Printf("%s\n", r.Hash)
+			r.Span.Render(os.Stdout)
+		}
+		fmt.Printf("vgxreplay: %d span trees\n", len(recs))
+		return
 	}
 
 	var outs []fastvg.ReplayOutcome
 	replayTrace := func(path string) {
 		out, err := fastvg.ReplayTrace(path)
 		if err != nil {
-			log.Fatalf("vgxreplay: %s: %v", path, err)
+			logger.Error("trace replay failed", "path", path, "err", err)
+			os.Exit(1)
 		}
 		outs = append(outs, *out)
 	}
@@ -69,7 +111,7 @@ func main() {
 	if *dataDir != "" {
 		paths, err := fastvg.ListTraces(filepath.Join(*dataDir, "traces"))
 		if err != nil {
-			log.Fatalf("vgxreplay: %v", err)
+			fatal("listing traces", err)
 		}
 		for _, p := range paths {
 			replayTrace(p)
@@ -77,7 +119,7 @@ func main() {
 		if *journal {
 			jouts, err := fastvg.ReplayJournal(context.Background(), *dataDir, *workers)
 			if err != nil {
-				log.Fatalf("vgxreplay: journal: %v", err)
+				fatal("journal replay failed", err)
 			}
 			outs = append(outs, jouts...)
 		}
@@ -101,7 +143,7 @@ func main() {
 			"outcomes": outs,
 			"matched":  matched, "mismatched": mismatched, "skipped": skipped,
 		}); err != nil {
-			log.Fatal(err)
+			fatal("encoding outcomes", err)
 		}
 	} else {
 		for _, o := range outs {
@@ -138,4 +180,12 @@ func main() {
 	if mismatched > 0 {
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the slog handler for -log-format.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

@@ -208,6 +208,32 @@
 // the library). Recorded device responses thereby become regression tests:
 // any divergence is an extraction-code change or a corrupted recording.
 //
+// # Observability
+//
+// Package internal/telemetry is the dependency-free observability core: a
+// metrics registry (counters, gauges, fixed-bucket histograms — all
+// vgx_*-prefixed, registration-linted, updated with single atomic
+// operations and zero allocations) rendered in Prometheus text format at
+// vgxd's GET /metrics, and a span tracer recording one
+// job→pipeline→pair→probes timing tree per executed job. Every span
+// carries wall-clock time next to virtual simulated-instrument time —
+// the gap between the two is the paper's argument, so both are
+// first-class. Durable services journal the trees by request hash;
+// `vgxreplay -spans` dumps them, GET /v1/spans serves them live, and
+// LoadSpans reads them from the library. Exposition is deterministic
+// (families by name, series by key-sorted label signature): a fixed job
+// set leaves byte-identical /metrics text at any worker count.
+//
+// ServiceConfig.MaxQueueDepth (vgxd -max-queue-depth) sheds submissions
+// with ErrServiceOverloaded — HTTP 429 plus Retry-After — once that many
+// jobs are queued, while cache hits are still served. The daemons log
+// structured lines (log/slog, -log-format text|json) carrying each
+// request's X-Request-ID, which is echoed on responses and recorded as
+// the req_id attribute of the job's span tree. vgxd -pprof mounts
+// net/http/pprof on the service listener. ServiceConfig.DisableTelemetry
+// turns off the timed parts (spans, latency histograms) while keeping
+// the counters /v1/stats is built from.
+//
 // # Performance
 //
 // The probe hot path — one simulated getCurrent — is allocation-free in
@@ -228,9 +254,10 @@
 //
 // Benchmarks live in internal/device (BenchmarkProbeScalar and
 // BenchmarkProbeBatch must report 0 allocs/op, BenchmarkGridRender* track
-// full-window renders); scripts/bench.sh runs them and writes the
-// BENCH_probe.json trajectory, whose "before" block preserves the
-// pre-batch-path baseline. See README.md's Performance section for
+// full-window renders, BenchmarkProbeBare vs BenchmarkProbeCounted gates
+// telemetry overhead on the probe path at <2%); scripts/bench.sh runs
+// them and writes the BENCH_probe.json trajectory, whose "before" block
+// preserves the pre-batch-path baseline, plus BENCH_telemetry.json. See README.md's Performance section for
 // representative numbers.
 //
 // See examples/ for runnable programs: a quick start, quadruple-dot chain

@@ -428,6 +428,10 @@ type Manager struct {
 	skippedBudget   int
 	worstStaleness  float64
 
+	// tel mirrors the counters above into a telemetry registry; nil until
+	// AttachTelemetry, and attached before traffic so no event is missed.
+	tel *fleetTelemetry
+
 	tickMu sync.Mutex // serialises Tick/Run: there is one virtual clock
 }
 
@@ -547,6 +551,10 @@ func (m *Manager) Register(cfg DeviceConfig) (DeviceView, error) {
 	m.devices[id] = d
 	m.order = append(m.order, id)
 	sort.Strings(m.order)
+	if m.tel != nil {
+		m.tel.devices.Set(float64(len(m.order)))
+		m.tel.pairs.Add(float64(len(d.pairs)))
+	}
 	return d.view(m.pol), nil
 }
 
@@ -885,6 +893,9 @@ func (m *Manager) Tick(ctx context.Context, dt float64) (TickReport, error) {
 
 	m.mu.Lock()
 	m.skippedBudget += rep.SkippedBudget
+	if m.tel != nil {
+		m.tel.skippedBudget.Add(int64(rep.SkippedBudget))
+	}
 	m.mu.Unlock()
 	if recalErr != nil {
 		return rep, recalErr
@@ -957,6 +968,9 @@ func (m *Manager) notePartialRecals(admitted []unit) {
 	if partial > 0 {
 		m.mu.Lock()
 		m.partialRecals += partial
+		if m.tel != nil {
+			m.tel.partialRecals.Add(int64(partial))
+		}
 		m.mu.Unlock()
 	}
 }
@@ -991,6 +1005,9 @@ func (m *Manager) accountSaved(saved int) {
 	}
 	m.mu.Lock()
 	m.probesSaved += saved
+	if m.tel != nil {
+		m.tel.probesSaved.Add(int64(saved))
+	}
 	m.mu.Unlock()
 }
 
@@ -1005,6 +1022,9 @@ func (m *Manager) account(probes int) {
 		m.maxWindowProbes = m.budgetUsed
 	}
 	m.probesSpent += probes
+	if m.tel != nil {
+		m.tel.probes.Add(int64(probes))
+	}
 	m.mu.Unlock()
 }
 
@@ -1042,6 +1062,9 @@ func (m *Manager) probeSrc(pc *pairCal) (pairInstrument, *surrogate.Hybrid) {
 		Inner:     pc.inst,
 		Threshold: m.pol.SurrogateThreshold,
 		Learn:     true,
+	}
+	if m.tel != nil {
+		h.Metrics = m.tel.sur
 	}
 	return h, h
 }
@@ -1311,6 +1334,9 @@ func (m *Manager) calibratePair(ctx context.Context, d *dev, pc *pairCal, now fl
 	guided := false
 	if !delta && m.pol.InfoGain && !force && !first {
 		igCfg := infogain.Config{}
+		if m.tel != nil {
+			igCfg.Metrics = m.tel.ig
+		}
 		if !pc.lost {
 			igCfg.Prior = &infogain.Prior{
 				SteepSlope: pc.steep, ShallowSlope: pc.shallow,
@@ -1433,6 +1459,12 @@ func (m *Manager) bumpCheck(score float64) {
 	m.checks++
 	if score > m.worstStaleness && score < LostStaleness {
 		m.worstStaleness = score
+		if m.tel != nil {
+			m.tel.worstStaleness.Set(score)
+		}
+	}
+	if m.tel != nil {
+		m.tel.checks.Inc()
 	}
 	m.mu.Unlock()
 }
@@ -1441,12 +1473,19 @@ func (m *Manager) bumpLost() {
 	m.mu.Lock()
 	m.checks++
 	m.lostEvents++
+	if m.tel != nil {
+		m.tel.checks.Inc()
+		m.tel.lost.Inc()
+	}
 	m.mu.Unlock()
 }
 
 func (m *Manager) bumpFailed() {
 	m.mu.Lock()
 	m.failedCals++
+	if m.tel != nil {
+		m.tel.failed.Inc()
+	}
 	m.mu.Unlock()
 }
 
@@ -1459,6 +1498,16 @@ func (m *Manager) bumpCalibration(first, force bool) {
 		m.calibrations++
 	default:
 		m.recalibrations++
+	}
+	if m.tel != nil {
+		switch {
+		case force:
+			m.tel.forced.Inc()
+		case first:
+			m.tel.calibrations.Inc()
+		default:
+			m.tel.recalibrations.Inc()
+		}
 	}
 	m.mu.Unlock()
 }

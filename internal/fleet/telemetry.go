@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"github.com/fastvg/fastvg/internal/infogain"
+	"github.com/fastvg/fastvg/internal/surrogate"
+	"github.com/fastvg/fastvg/internal/telemetry"
+)
+
+// Telemetry bundles what a fleet needs to become observable: the
+// registry for its own vgx_fleet_* families plus the process-wide
+// surrogate and infogain metric sets, which are registered once by
+// whoever owns the registry (the extraction service, or a standalone
+// runner) and shared here so fleet-driven probes and guided recals
+// count into the same totals as interactive jobs.
+type Telemetry struct {
+	Reg       *telemetry.Registry
+	Surrogate *surrogate.Metrics
+	InfoGain  *infogain.Metrics
+}
+
+// fleetTelemetry is the registered vgx_fleet_* family set, mirroring
+// the Manager's mutex-guarded counters. Increments happen inside the
+// same critical sections that bump the counters they shadow, so the
+// registry view can never drift from /v1/fleet.
+type fleetTelemetry struct {
+	sur *surrogate.Metrics
+	ig  *infogain.Metrics
+
+	checks         *telemetry.Counter
+	calibrations   *telemetry.Counter
+	recalibrations *telemetry.Counter
+	partialRecals  *telemetry.Counter
+	forced         *telemetry.Counter
+	failed         *telemetry.Counter
+	lost           *telemetry.Counter
+	skippedBudget  *telemetry.Counter
+	probes         *telemetry.Counter
+	probesSaved    *telemetry.Counter
+
+	devices        *telemetry.Gauge
+	pairs          *telemetry.Gauge
+	worstStaleness *telemetry.Gauge
+}
+
+// AttachTelemetry registers the vgx_fleet_* families and starts
+// mirroring the manager's accounting into them. Attach once, before
+// traffic; counters only see events from that point on, while gauges
+// are primed from the current (possibly warm-started) state.
+func (m *Manager) AttachTelemetry(t Telemetry) {
+	reg := t.Reg
+	ft := &fleetTelemetry{
+		sur:            t.Surrogate,
+		ig:             t.InfoGain,
+		checks:         reg.Counter("vgx_fleet_checks_total", "Staleness spot-checks performed."),
+		calibrations:   reg.Counter("vgx_fleet_calibrations_total", "Successful first calibrations."),
+		recalibrations: reg.Counter("vgx_fleet_recalibrations_total", "Successful scheduled recalibrations."),
+		partialRecals:  reg.Counter("vgx_fleet_partial_recals_total", "Devices recalibrated on a strict subset of their pairs in one tick."),
+		forced:         reg.Counter("vgx_fleet_forced_total", "Operator-forced recalibrations."),
+		failed:         reg.Counter("vgx_fleet_failed_calibrations_total", "Calibration attempts that failed."),
+		lost:           reg.Counter("vgx_fleet_lost_checks_total", "Spot-checks that found the lines lost."),
+		skippedBudget:  reg.Counter("vgx_fleet_budget_skipped_total", "Admissions deferred because the probe budget window was exhausted."),
+		probes:         reg.Counter("vgx_fleet_probes_total", "Live instrument probes spent by fleet work."),
+		probesSaved:    reg.Counter("vgx_fleet_probes_saved_total", "Probes served by surrogate twins instead of instruments."),
+		devices:        reg.Gauge("vgx_fleet_devices", "Registered devices."),
+		pairs:          reg.Gauge("vgx_fleet_pairs", "Scheduling units (adjacent pairs) across the fleet."),
+		worstStaleness: reg.Gauge("vgx_fleet_staleness_worst", "Worst finite staleness score any spot-check has seen."),
+	}
+	m.mu.Lock()
+	m.tel = ft
+	ft.devices.Set(float64(len(m.order)))
+	npairs := 0
+	for _, d := range m.devices {
+		npairs += len(d.pairs)
+	}
+	ft.pairs.Set(float64(npairs))
+	ft.worstStaleness.Set(m.worstStaleness)
+	m.mu.Unlock()
+}

@@ -61,6 +61,7 @@ import (
 
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/fitting"
+	"github.com/fastvg/fastvg/internal/telemetry"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
 
@@ -130,6 +131,27 @@ type Config struct {
 	// calibration — and narrows the seeding scans around the predicted
 	// crossings, cutting the probes spent rediscovering what is known.
 	Prior *Prior
+	// Metrics, when non-nil, counts extraction outcomes in a telemetry
+	// registry. It is live-serving state, not part of the extraction
+	// recipe: it never enters request hashing or trace encoding, and
+	// replay paths leave it nil so reruns don't inflate live counters.
+	Metrics *Metrics `json:"-"`
+}
+
+// Metrics is the vgx_infogain_* family set.
+type Metrics struct {
+	Extractions      *telemetry.Counter
+	CIMisses         *telemetry.Counter
+	ProbesToConverge *telemetry.Histogram
+}
+
+// NewMetrics registers the vgx_infogain_* families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Extractions:      reg.Counter("vgx_infogain_extractions_total", "Active-scheduler extractions that converged."),
+		CIMisses:         reg.Counter("vgx_infogain_ci_misses_total", "Extractions that missed the CI target (budget exhausted or information floor)."),
+		ProbesToConverge: reg.Histogram("vgx_infogain_probes_to_converge", "Total probes (seed + active) of converged extractions.", telemetry.ProbeBuckets),
+	}
 }
 
 // Prior is externally known line geometry used to warm-start the posterior.
@@ -221,13 +243,27 @@ func Extract(src Source, win csd.Window, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s := NewScheduler(win, cfg)
-	if err := s.Seed(src); err != nil {
+	err := s.Seed(src)
+	if err == nil {
+		err = s.Run(src)
+	}
+	var res *Result
+	if err == nil {
+		res, err = s.Finish()
+	}
+	if m := cfg.Metrics; m != nil {
+		switch {
+		case err == nil:
+			m.Extractions.Inc()
+			m.ProbesToConverge.Observe(float64(res.SeedProbes + res.ActiveProbes))
+		case errors.Is(err, ErrNoConverge):
+			m.CIMisses.Inc()
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
-	if err := s.Run(src); err != nil {
-		return nil, err
-	}
-	return s.Finish()
+	return res, nil
 }
 
 // Scheduler is the reusable active-probing state machine behind Extract,

@@ -12,6 +12,9 @@ import (
 	"errors"
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
 )
 
 // ErrClosed is returned by Submit after the pool has been closed.
@@ -37,11 +40,50 @@ type Pool struct {
 
 	closed    atomic.Bool
 	running   atomic.Int64
+	queued    atomic.Int64
 	submitted atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
+
+	met atomic.Pointer[Metrics]
 }
+
+// Metrics mirrors the pool's accounting into a telemetry registry.
+// Counters track lifecycle events, gauges the instantaneous state, and
+// the two histograms queue-wait and run latency. Timing is only
+// measured when metrics are attached, so an uninstrumented pool pays
+// nothing beyond its existing atomics.
+type Metrics struct {
+	Submitted *telemetry.Counter
+	Completed *telemetry.Counter
+	Failed    *telemetry.Counter
+	Cancelled *telemetry.Counter
+	Running   *telemetry.Gauge
+	Queued    *telemetry.Gauge
+	QueueWait *telemetry.Histogram
+	Run       *telemetry.Histogram
+}
+
+// NewMetrics registers the vgx_sched_* family set on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Submitted: reg.Counter("vgx_sched_submitted_total", "Jobs handed to the pool."),
+		Completed: reg.Counter("vgx_sched_completed_total", "Jobs that ran to completion (any outcome)."),
+		Failed:    reg.Counter("vgx_sched_failed_total", "Completed jobs that returned an error."),
+		Cancelled: reg.Counter("vgx_sched_cancelled_total", "Jobs cancelled before acquiring a slot."),
+		Running:   reg.Gauge("vgx_sched_running", "Jobs currently holding a slot."),
+		Queued:    reg.Gauge("vgx_sched_queued", "Jobs waiting for a slot."),
+		QueueWait: reg.Histogram("vgx_sched_queue_wait_seconds", "Time from submission to slot acquisition.", telemetry.SecondsBuckets),
+		Run:       reg.Histogram("vgx_sched_run_seconds", "Time a job held its slot.", telemetry.SecondsBuckets),
+	}
+}
+
+// SetMetrics attaches m to the pool; nil detaches. Attach before
+// serving traffic — counters only see events after attachment. The
+// workers gauge, if wanted, is the caller's to register (it is
+// configuration, not state).
+func (p *Pool) SetMetrics(m *Metrics) { p.met.Store(m) }
 
 // New returns a pool with the given number of slots; workers <= 0 means
 // one slot per available CPU.
@@ -58,6 +100,11 @@ func New(workers int) *Pool {
 
 // Workers returns the pool's slot count.
 func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Queued returns the number of jobs waiting for a slot. It is not part
+// of Stats to keep the /v1/stats wire shape stable; the load-shedding
+// gate and the vgx_sched_queued gauge read it directly.
+func (p *Pool) Queued() int { return int(p.queued.Load()) }
 
 // Stats returns a snapshot of the pool's accounting.
 func (p *Pool) Stats() Stats {
@@ -87,47 +134,88 @@ type Task struct {
 // that is additionally cancelled by Task.Cancel. Submit never blocks; the
 // job waits for a free slot in its own goroutine.
 func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)) *Task {
+	met := p.met.Load()
 	p.submitted.Add(1)
+	if met != nil {
+		met.Submitted.Inc()
+	}
+	cancelled := func() {
+		p.cancelled.Add(1)
+		if met != nil {
+			met.Cancelled.Inc()
+		}
+	}
 	if p.closed.Load() {
 		t := &Task{done: make(chan struct{}), cancel: func() {}, err: ErrClosed}
-		p.cancelled.Add(1)
+		cancelled()
 		close(t.done)
 		return t
 	}
 	jctx, cancel := context.WithCancel(ctx)
 	t := &Task{done: make(chan struct{}), cancel: cancel}
+	var queuedAt time.Time
+	if met != nil {
+		queuedAt = time.Now()
+	}
+	p.queued.Add(1)
+	if met != nil {
+		met.Queued.Add(1)
+	}
 	go func() {
 		defer close(t.done)
 		defer cancel()
+		dequeue := func() {
+			p.queued.Add(-1)
+			if met != nil {
+				met.Queued.Add(-1)
+			}
+		}
 		select {
 		case p.sem <- struct{}{}:
+			dequeue()
 			// The select picks randomly when a slot and the close signal are
 			// ready together; re-check so a job queued before Close can never
 			// start after it.
 			if p.closed.Load() {
 				<-p.sem
 				t.err = ErrClosed
-				p.cancelled.Add(1)
+				cancelled()
 				return
 			}
 		case <-jctx.Done():
+			dequeue()
 			t.err = context.Cause(jctx)
-			p.cancelled.Add(1)
+			cancelled()
 			return
 		case <-p.closeCh:
+			dequeue()
 			t.err = ErrClosed
-			p.cancelled.Add(1)
+			cancelled()
 			return
 		}
 		p.running.Add(1)
+		var startedAt time.Time
+		if met != nil {
+			met.QueueWait.Observe(time.Since(queuedAt).Seconds())
+			met.Running.Add(1)
+			startedAt = time.Now()
+		}
 		defer func() {
 			p.running.Add(-1)
 			<-p.sem
 		}()
 		t.value, t.err = fn(jctx)
 		p.completed.Add(1)
+		if met != nil {
+			met.Run.Observe(time.Since(startedAt).Seconds())
+			met.Running.Add(-1)
+			met.Completed.Inc()
+		}
 		if t.err != nil {
 			p.failed.Add(1)
+			if met != nil {
+				met.Failed.Inc()
+			}
 		}
 	}()
 	return t

@@ -9,6 +9,7 @@ import (
 
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/fleet"
+	"github.com/fastvg/fastvg/internal/telemetry"
 )
 
 // Handler returns the service's HTTP API, the surface cmd/vgxd serves:
@@ -25,8 +26,19 @@ import (
 //	GET    /v1/surrogate       list trained digital twins (key order)
 //	POST   /v1/surrogate/train retrain twins from the recorded probe traces
 //	GET    /v1/stats           cache / scheduler / job / session / surrogate accounting
+//	GET    /v1/spans           request hashes with journaled span trees (durable services)
+//	GET    /v1/spans/{hash}    one job's journaled span tree (JSON)
 //	GET    /v1/healthz         liveness, uptime and drain state
 //	GET    /healthz            liveness (legacy alias)
+//	GET    /metrics            Prometheus text exposition of every vgx_* family
+//
+// Every response echoes an X-Request-ID header (the caller's, if sent, else
+// a generated one); the ID rides the request context into job execution and
+// is recorded as the req_id attribute of the job's span tree.
+//
+// With Config.MaxQueueDepth set, submissions that would queue past the
+// limit fail fast with 429 and a Retry-After header; cache hits and
+// coalesced joins are still served under overload.
 //
 // A sim or chainSim spec with "surrogate": {"threshold": 0.35} probes
 // twin-first: the device's learned twin (internal/surrogate) serves
@@ -65,7 +77,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		jv, err := s.Submit(r.Context(), req)
 		if err != nil {
-			fail(w, http.StatusBadRequest, err)
+			failErr(w, err)
 			return
 		}
 		reply(w, http.StatusAccepted, jv)
@@ -288,6 +300,21 @@ func (s *Service) Handler() http.Handler {
 		reply(w, http.StatusOK, map[string]any{"now": s.fleet.Now(), "reports": reports})
 	})
 
+	mux.HandleFunc("GET /v1/spans", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]any{"hashes": s.SpanHashes()})
+	})
+
+	mux.HandleFunc("GET /v1/spans/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := s.SpanTree(r.PathValue("hash"))
+		if !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("no span tree for %q", r.PathValue("hash")))
+			return
+		}
+		reply(w, http.StatusOK, sp)
+	})
+
+	mux.Handle("GET /metrics", telemetry.Handler(s.metrics.reg))
+
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := s.Health()
 		code := http.StatusOK
@@ -301,7 +328,17 @@ func (s *Service) Handler() http.Handler {
 		reply(w, http.StatusOK, map[string]any{"ok": true})
 	})
 
-	return mux
+	// Request-ID middleware: adopt the caller's X-Request-ID (or mint a
+	// process-local one), echo it on the response and thread it through the
+	// request context into job execution and span output.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 128 {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		mux.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+	})
 }
 
 // decode parses a JSON body, rejecting unknown fields so client typos
@@ -324,4 +361,15 @@ func reply(w http.ResponseWriter, code int, v any) {
 
 func fail(w http.ResponseWriter, code int, err error) {
 	reply(w, code, map[string]any{"error": err.Error()})
+}
+
+// failErr maps service errors onto status codes: overload sheds with 429
+// and a Retry-After hint, everything else is a caller error.
+func failErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		w.Header().Set("Retry-After", "1")
+		fail(w, http.StatusTooManyRequests, err)
+		return
+	}
+	fail(w, http.StatusBadRequest, err)
 }

@@ -5,9 +5,14 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
 )
 
-// CacheStats is a snapshot of the result cache's accounting.
+// CacheStats is a snapshot of the result cache's accounting. Counter
+// values are read from the telemetry registry's vgx_service_cache_*
+// families — /v1/stats and GET /metrics report the same numbers by
+// construction.
 type CacheStats struct {
 	Capacity  int   `json:"capacity"`
 	Entries   int   `json:"entries"`
@@ -39,13 +44,20 @@ type flight struct {
 // while the first is still extracting wait for that one execution instead of
 // starting their own. Errors are not cached — a failed extraction re-runs on
 // the next request.
+//
+// Accounting lives in telemetry counters (registered by serviceMetrics);
+// coalesced is gauge-typed because abandoned joins un-count themselves.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	inflight map[string]*flight
-	stats    CacheStats
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	coalesced *telemetry.Counter
+	evictions *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -53,15 +65,19 @@ type cacheEntry struct {
 	res *Result
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, m *serviceMetrics) *resultCache {
 	if capacity <= 0 {
 		capacity = 1024
 	}
 	return &resultCache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		capacity:  capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		inflight:  make(map[string]*flight),
+		hits:      m.cacheHits,
+		misses:    m.cacheMisses,
+		coalesced: m.cacheCoalesced,
+		evictions: m.cacheEvictions,
 	}
 }
 
@@ -79,22 +95,18 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() (*Result, er
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
 			c.ll.MoveToFront(el)
-			c.stats.Hits++
 			res := el.Value.(*cacheEntry).res
 			c.mu.Unlock()
+			c.hits.Inc()
 			return res, true, nil
 		}
 		if fl, ok := c.inflight[key]; ok {
-			c.stats.Coalesced++
 			c.mu.Unlock()
+			c.coalesced.Inc()
 			// Joins that end up not being served (abandoned wait, owner
 			// cancelled and re-driven, flight error) un-count themselves so
 			// one logical lookup never contributes twice to the hit rate.
-			uncount := func() {
-				c.mu.Lock()
-				c.stats.Coalesced--
-				c.mu.Unlock()
-			}
+			uncount := func() { c.coalesced.Add(-1) }
 			select {
 			case <-fl.done:
 				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
@@ -113,8 +125,8 @@ func (c *resultCache) Do(ctx context.Context, key string, fn func() (*Result, er
 		}
 		fl := &flight{done: make(chan struct{})}
 		c.inflight[key] = fl
-		c.stats.Misses++
 		c.mu.Unlock()
+		c.misses.Inc()
 
 		fl.res, fl.err = fn()
 
@@ -150,6 +162,13 @@ func (c *resultCache) Get(key string) (*Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// Len returns the resident entry count (the cache-entries gauge).
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
 // insert adds a completed result, evicting from the LRU tail. Caller holds mu.
 func (c *resultCache) insert(key string, res *Result) {
 	if el, ok := c.items[key]; ok {
@@ -162,16 +181,21 @@ func (c *resultCache) insert(key string, res *Result) {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
 		delete(c.items, tail.Value.(*cacheEntry).key)
-		c.stats.Evictions++
+		c.evictions.Inc()
 	}
 }
 
 // Stats returns a snapshot of the cache accounting.
 func (c *resultCache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Capacity = c.capacity
-	s.Entries = c.ll.Len()
-	return s
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.capacity,
+		Entries:   entries,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Evictions: c.evictions.Value(),
+	}
 }

@@ -8,13 +8,15 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
 )
 
 func res(kind Kind) *Result { return &Result{Kind: kind} }
 
 // TestCacheHitMiss checks basic hit/miss accounting.
 func TestCacheHitMiss(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, newServiceMetrics(telemetry.NewRegistry()))
 	ctx := context.Background()
 	calls := 0
 	fn := func() (*Result, error) { calls++; return res(KindFast), nil }
@@ -39,7 +41,7 @@ func TestCacheHitMiss(t *testing.T) {
 
 // TestCacheLRUEviction checks the least-recently-used entry is evicted.
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, newServiceMetrics(telemetry.NewRegistry()))
 	ctx := context.Background()
 	fill := func(key string) {
 		if _, _, err := c.Do(ctx, key, func() (*Result, error) { return res(KindFast), nil }); err != nil {
@@ -66,7 +68,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // TestCacheCoalescing checks concurrent identical lookups run the function
 // once and everyone else attaches to that flight.
 func TestCacheCoalescing(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, newServiceMetrics(telemetry.NewRegistry()))
 	ctx := context.Background()
 	const waiters = 16
 
@@ -123,7 +125,7 @@ func TestCacheCoalescing(t *testing.T) {
 // TestCacheErrorNotCached checks failed computations are retried, not
 // served from cache.
 func TestCacheErrorNotCached(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, newServiceMetrics(telemetry.NewRegistry()))
 	ctx := context.Background()
 	boom := errors.New("boom")
 	calls := 0
@@ -141,7 +143,7 @@ func TestCacheErrorNotCached(t *testing.T) {
 // TestCacheConcurrentDistinctKeys hammers the cache from many goroutines to
 // give the race detector surface area.
 func TestCacheConcurrentDistinctKeys(t *testing.T) {
-	c := newResultCache(32)
+	c := newResultCache(32, newServiceMetrics(telemetry.NewRegistry()))
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

@@ -18,6 +18,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/surrogate"
+	"github.com/fastvg/fastvg/internal/telemetry"
 	"github.com/fastvg/fastvg/internal/trace"
 )
 
@@ -37,6 +38,11 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 		CoarseFactor: nreq.Fast.CoarseFactor,
 		Rays:         rays.Config{NumRays: nreq.Rays.NumRays, DropSigma: nreq.Rays.DropSigma},
 		InfoGain:     infogainConfig(nreq.InfoGain),
+	}
+	if s.telemetryOn {
+		// Infogain rungs inside the ladder count into the live families; the
+		// replay path (replayChainPair) leaves Metrics nil by construction.
+		cfg.InfoGain.Metrics = s.metrics.ig
 	}
 	var recMu sync.Mutex
 	var recorders map[int]*trace.Recorder
@@ -90,9 +96,16 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 				inst = prev(pair, inst)
 			}
 			h := &surrogate.Hybrid{Model: twins[pair].model, Inner: inst, Threshold: sur.Threshold, Learn: !sur.NoLearn}
+			if s.telemetryOn {
+				h.Metrics = s.metrics.sur
+			}
 			hybs[pair] = h // distinct index per planner goroutine: race-free
 			return h
 		}
+	}
+	var psp *telemetry.Span
+	if parent := telemetry.SpanFromContext(ctx); parent != nil {
+		psp = parent.Child("pipeline", telemetry.Attr{K: "method", V: "chain"})
 	}
 	t0 := time.Now()
 	cres, err := chainx.Extract(ctx, s.pool, src, cfg)
@@ -102,6 +115,23 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 	res.ComputeS = time.Since(t0).Seconds()
 	res.Probes = cres.Probes
 	res.ExperimentS = cres.ExperimentS
+	if psp != nil {
+		// Pair spans are synthesized from the planner's per-pair accounting
+		// after the fact (deterministic order, no hot-path wrapping); their
+		// virtual durations are real, their wall windows are not measured.
+		psp.End()
+		psp.SetVirtual(secondsToNS(cres.ExperimentS))
+		for i := range cres.Pairs {
+			p := &cres.Pairs[i]
+			ps := psp.Child("pair",
+				telemetry.AttrInt("pair", int64(i)),
+				telemetry.Attr{K: "method", V: string(p.Method)},
+				telemetry.AttrInt("attempts", int64(len(p.Attempts))))
+			ps.SetVirtual(secondsToNS(p.ExperimentS))
+			pb := ps.Child("probes", telemetry.AttrInt("count", int64(p.Probes)))
+			pb.SetVirtual(secondsToNS(p.ExperimentS))
+		}
+	}
 	rep := &ChainReport{Dots: cres.Dots, Pairs: cres.Pairs, BudgetDenied: cres.BudgetDenied}
 	if hybs != nil {
 		rep.Surrogate = make([]SurrogateReport, len(hybs))
@@ -139,7 +169,7 @@ func (s *Service) runChain(ctx context.Context, nreq Request, hash string, res *
 			sur = snaps[pair]
 		}
 		if err := s.writeChainPairTrace(rec, nreq, hash, src, pair, &cres.Pairs[pair], sur); err != nil {
-			s.persistErrs.Add(1)
+			s.metrics.persistErrs.Inc()
 		}
 	}
 	return nil

@@ -40,7 +40,7 @@ func (s *Service) persistResult(nreq Request, hash string, res *Result) {
 		err = s.store.Put(store.KindCacheEntry, hash, data)
 	}
 	if err != nil {
-		s.persistErrs.Add(1)
+		s.metrics.persistErrs.Inc()
 	}
 	if res.Chain == nil {
 		return
@@ -51,7 +51,7 @@ func (s *Service) persistResult(nreq Request, hash string, res *Result) {
 			err = s.store.Put(store.KindChainPair, fmt.Sprintf("%s/%d", hash, i), data)
 		}
 		if err != nil {
-			s.persistErrs.Add(1)
+			s.metrics.persistErrs.Inc()
 		}
 	}
 }

@@ -8,7 +8,6 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/fastvg/fastvg/internal/autotune"
@@ -24,6 +23,7 @@ import (
 	"github.com/fastvg/fastvg/internal/rays"
 	"github.com/fastvg/fastvg/internal/sched"
 	"github.com/fastvg/fastvg/internal/store"
+	"github.com/fastvg/fastvg/internal/telemetry"
 	"github.com/fastvg/fastvg/internal/trace"
 	"github.com/fastvg/fastvg/internal/virtualgate"
 )
@@ -52,7 +52,27 @@ type Config struct {
 	// CompactEvery overrides the journal's appends-between-compactions
 	// cadence; 0 uses the store default.
 	CompactEvery int
+
+	// Telemetry, when set, registers every metric family on the given
+	// registry instead of a private one — embedders that expose one
+	// /metrics endpoint for several components share a registry this way.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry turns off the timed instrumentation (per-task pool
+	// latency, job latency histograms, span recording, per-probe surrogate
+	// accounting). Counters keep working — /v1/stats reads them — but the
+	// probe and task hot paths run exactly as they would without the
+	// telemetry subsystem. Used by the overhead benchmarks.
+	DisableTelemetry bool
+	// MaxQueueDepth sheds load: when more than this many submissions are
+	// waiting for a worker slot, new extractions fail fast with
+	// ErrOverloaded (HTTP 429) instead of queueing. Cache hits and
+	// coalesced joins are still served. 0 means never shed.
+	MaxQueueDepth int
 }
+
+// ErrOverloaded rejects new extractions when the worker-pool queue is at
+// Config.MaxQueueDepth; the API layer maps it to 429 with a Retry-After.
+var ErrOverloaded = errors.New("service: overloaded, queue depth limit reached")
 
 // Service is the extraction server core: it schedules jobs on a bounded
 // worker pool, deduplicates identical work through the result cache, and
@@ -67,14 +87,13 @@ type Service struct {
 	started    time.Time
 	jobHistory int
 
-	persistErrs atomic.Int64 // journal/trace writes that failed (results still served)
-
-	// methodProbes accumulates executed probes per extraction method
-	// (fast/adaptive/rays/infogain/...): scalar jobs count under their
-	// kind's method, chain jobs under each escalation attempt's method.
-	// Cache hits count nothing — the map reflects real instrument work.
-	methodMu     sync.Mutex
-	methodProbes map[string]int64
+	// metrics is the registered metric surface (see metrics.go); always
+	// present. telemetryOn gates the timed parts — latency histograms,
+	// span recording, per-probe surrogate accounting — while the counters
+	// behind /v1/stats run unconditionally.
+	metrics     *serviceMetrics
+	telemetryOn bool
+	maxQueue    int // shed threshold; 0 = never
 
 	// twins is the surrogate twin registry (see surrogate.go); twinMu guards
 	// the map only — each twin has its own job-duration mutex.
@@ -175,22 +194,40 @@ func New(cfg Config) (*Service, error) {
 	if history <= 0 {
 		history = 4096
 	}
+	treg := cfg.Telemetry
+	if treg == nil {
+		treg = telemetry.NewRegistry()
+	}
+	m := newServiceMetrics(treg)
 	pool := sched.New(cfg.Workers)
+	telemetryOn := !cfg.DisableTelemetry
+	if telemetryOn {
+		pool.SetMetrics(m.sched)
+	}
 	s := &Service{
-		pool:         pool,
-		cache:        newResultCache(cfg.CacheSize),
-		reg:          reg,
-		fleet:        fleet.New(pool, cfg.Fleet),
-		started:      time.Now(),
-		jobHistory:   history,
-		jobs:         make(map[string]*job),
-		twins:        make(map[string]*twin),
-		methodProbes: make(map[string]int64),
+		pool:        pool,
+		cache:       newResultCache(cfg.CacheSize, m),
+		reg:         reg,
+		fleet:       fleet.New(pool, cfg.Fleet),
+		started:     time.Now(),
+		jobHistory:  history,
+		metrics:     m,
+		telemetryOn: telemetryOn,
+		maxQueue:    cfg.MaxQueueDepth,
+		jobs:        make(map[string]*job),
+		twins:       make(map[string]*twin),
+	}
+	m.attachReaders(pool, s.cache)
+	if telemetryOn {
+		s.fleet.AttachTelemetry(m.fleetTelemetry())
 	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, store.Options{CompactEvery: cfg.CompactEvery})
 		if err != nil {
 			return nil, err
+		}
+		if telemetryOn {
+			st.SetMetrics(m.store)
 		}
 		// Warm-start the cache oldest-first so the LRU order matches the
 		// journal's write order; entries past the cache capacity evict in
@@ -220,6 +257,10 @@ func New(cfg Config) (*Service, error) {
 
 // Registry exposes the instrument registry (sessions, benchmarks).
 func (s *Service) Registry() *Registry { return s.reg }
+
+// Telemetry exposes the metric registry backing GET /metrics, so
+// embedders can register their own families alongside the service's.
+func (s *Service) Telemetry() *telemetry.Registry { return s.metrics.reg }
 
 // Fleet exposes the fleet calibration manager. Fleet measurement work runs
 // on the same worker pool as interactive extraction jobs, so a monitoring
@@ -275,20 +316,14 @@ func (s *Service) Stats() Stats {
 		counts[string(j.view().Status)]++
 	}
 	s.mu.Unlock()
-	s.methodMu.Lock()
-	methods := make(map[string]int64, len(s.methodProbes))
-	for m, p := range s.methodProbes {
-		methods[m] = p
-	}
-	s.methodMu.Unlock()
 	st := Stats{
 		Cache:        s.cache.Stats(),
 		Scheduler:    s.pool.Stats(),
 		Jobs:         counts,
 		Sessions:     s.reg.SessionCount(),
 		Surrogate:    s.surrogateStats(),
-		MethodProbes: methods,
-		PersistErrs:  s.persistErrs.Load(),
+		MethodProbes: s.metrics.methodProbes.Snapshot(),
+		PersistErrs:  s.metrics.persistErrs.Value(),
 	}
 	if s.store != nil {
 		ss := s.store.Stats()
@@ -321,6 +356,9 @@ func (s *Service) Run(ctx context.Context, req Request) (*Result, error) {
 // fire for cache hits or coalesced joins).
 func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStart func()) (*Result, error) {
 	runPooled := func() (*Result, error) {
+		if err := s.admit(); err != nil {
+			return nil, err
+		}
 		v, err := s.pool.Submit(ctx, func(jctx context.Context) (any, error) {
 			if onStart != nil {
 				onStart()
@@ -341,6 +379,9 @@ func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStar
 		runPooled = func() (*Result, error) {
 			if s.pool.Closed() {
 				return nil, sched.ErrClosed
+			}
+			if err := s.admit(); err != nil {
+				return nil, err
 			}
 			if onStart != nil {
 				onStart()
@@ -382,6 +423,14 @@ func (s *Service) Submit(ctx context.Context, req Request) (JobView, error) {
 	hash, err := hashNormalized(nreq)
 	if err != nil {
 		return JobView{}, err
+	}
+	// Shed at submission so the caller sees the 429, but only when the
+	// request would actually occupy a queue slot — a cached result is
+	// served regardless of load.
+	if _, cached := s.cache.Get(hash); !cached || !nreq.Cacheable() {
+		if err := s.admit(); err != nil {
+			return JobView{}, err
+		}
 	}
 	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	j := &job{req: nreq, hash: hash, status: StatusQueued, cancel: cancel,
@@ -545,12 +594,67 @@ func Table1Requests() []Request {
 	return reqs
 }
 
-// runJob executes one normalized request against its instrument. It is the
-// only place extraction pipelines are invoked.
+// admit applies the load-shedding gate: callers about to occupy or queue
+// for worker slots fail fast with ErrOverloaded once the queue is at the
+// configured depth. Cache hits and coalesced joins never reach this —
+// served results stay served under overload.
+func (s *Service) admit() error {
+	if s.maxQueue > 0 && s.pool.Queued() >= s.maxQueue {
+		s.metrics.shed.Inc()
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// runJob wraps one job execution in the telemetry envelope: the in-flight
+// gauge and per-kind counters always; the latency histogram, live-metric
+// context and span tree when telemetry is on. Spans are journaled under
+// the request hash as soon as the job settles.
 func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	m := s.metrics
+	m.inflight.Add(1)
+	var start time.Time
+	if s.telemetryOn {
+		start = time.Now()
+		ctx = withLiveMetrics(ctx, m)
+	}
+	var sp *telemetry.Span
+	if s.spansOn() {
+		attrs := []telemetry.Attr{{K: "kind", V: string(nreq.Kind)}, {K: "hash", V: shortHash(hash)}}
+		if id := RequestIDFrom(ctx); id != "" {
+			attrs = append(attrs, telemetry.Attr{K: "req_id", V: id})
+		}
+		sp = telemetry.StartSpan("job", attrs...)
+		ctx = telemetry.ContextWithSpan(ctx, sp)
+	}
+	res, err := s.runJobKind(ctx, nreq, hash)
+	m.inflight.Add(-1)
+	m.jobs.With(string(nreq.Kind)).Inc()
+	if err != nil {
+		m.jobErrors.Inc()
+	}
+	if s.telemetryOn {
+		m.jobSeconds.With(string(nreq.Kind)).Observe(time.Since(start).Seconds())
+	}
+	if sp != nil {
+		sp.End()
+		if err != nil {
+			sp.AddAttr(telemetry.Attr{K: "error", V: err.Error()})
+		} else {
+			sp.SetVirtual(secondsToNS(res.ExperimentS))
+			sp.AddAttr(telemetry.AttrInt("probes", int64(res.Probes)))
+		}
+		s.journalSpan(hash, sp)
+	}
+	return res, err
+}
+
+// runJobKind executes one normalized request against its instrument. It is
+// the only place extraction pipelines are invoked.
+func (s *Service) runJobKind(ctx context.Context, nreq Request, hash string) (*Result, error) {
 	res := &Result{
 		Kind:      nreq.Kind,
 		Benchmark: nreq.Benchmark,
@@ -601,15 +705,16 @@ func (s *Service) runJob(ctx context.Context, nreq Request, hash string) (*Resul
 }
 
 // countMethodProbes folds one executed result into the per-method probe
-// accounting: chain jobs attribute each escalation attempt to its method,
-// scalar jobs their whole probe count to the kind's method.
+// accounting (vgx_service_probes_total{method}): chain jobs attribute each
+// escalation attempt to its method, scalar jobs their whole probe count to
+// the kind's method. Cache hits count nothing — the family reflects real
+// instrument work.
 func (s *Service) countMethodProbes(res *Result) {
-	s.methodMu.Lock()
-	defer s.methodMu.Unlock()
+	vec := s.metrics.methodProbes
 	if res.Chain != nil {
 		for i := range res.Chain.Pairs {
 			for _, att := range res.Chain.Pairs[i].Attempts {
-				s.methodProbes[string(att.Method)] += int64(att.Probes)
+				vec.With(string(att.Method)).Add(int64(att.Probes))
 			}
 		}
 		return
@@ -618,7 +723,7 @@ func (s *Service) countMethodProbes(res *Result) {
 	if res.Kind == KindVerify {
 		method = string(KindFast) // a verify job's extraction is the fast method
 	}
-	s.methodProbes[method] += int64(res.Probes)
+	vec.With(method).Add(int64(res.Probes))
 }
 
 // runInstrumented executes the request's pipeline against inst, recording a
@@ -634,7 +739,7 @@ func (s *Service) runInstrumented(ctx context.Context, nreq Request, hash string
 		return err
 	}
 	if err := s.writeTrace(rec, nreq, hash, win, truth, res, nil); err != nil {
-		s.persistErrs.Add(1)
+		s.metrics.persistErrs.Inc()
 	}
 	return nil
 }
@@ -654,6 +759,12 @@ type accountant interface {
 func runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Window, truth *qflow.Truth, res *Result) error {
 	before := inst.Stats()
 	src := csd.PixelSource{Src: inst, Win: win}
+	// Live jobs carry a span and the service metric set on ctx; replay
+	// carries neither, so a replayed extraction records and counts nothing.
+	var psp *telemetry.Span
+	if parent := telemetry.SpanFromContext(ctx); parent != nil {
+		psp = parent.Child("pipeline", telemetry.Attr{K: "method", V: string(nreq.Kind)})
+	}
 	t0 := time.Now()
 	var err error
 	var steep, shallow float64
@@ -701,8 +812,12 @@ func runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Wi
 			matrix = &rr.Matrix
 		}
 	case KindInfoGain:
+		igCfg := infogainConfig(nreq.InfoGain)
+		if m := liveMetricsFrom(ctx); m != nil {
+			igCfg.Metrics = m.ig
+		}
 		var ir *infogain.Result
-		ir, err = infogain.Extract(src, win, infogainConfig(nreq.InfoGain))
+		ir, err = infogain.Extract(src, win, igCfg)
 		if err == nil {
 			steep, shallow = ir.SteepSlope, ir.ShallowSlope
 			matrix = &ir.Matrix
@@ -725,6 +840,13 @@ func runPipelines(ctx context.Context, nreq Request, inst accountant, win csd.Wi
 	res.ExperimentS = (after.Virtual - before.Virtual).Seconds()
 	if total := win.Cols * win.Rows; total > 0 {
 		res.ProbePct = 100 * float64(res.Probes) / float64(total)
+	}
+	if psp != nil {
+		// Even a failed pipeline spent its probes; record the span either way.
+		psp.End()
+		psp.SetVirtual(secondsToNS(res.ExperimentS))
+		pb := psp.Child("probes", telemetry.AttrInt("count", int64(res.Probes)))
+		pb.SetVirtual(secondsToNS(res.ExperimentS))
 	}
 	if err != nil {
 		// Cancellation is a property of this caller, not of the request:

@@ -149,13 +149,16 @@ func (s *Service) runSurrogate(ctx context.Context, nreq Request, hash string, i
 		backend = rec
 	}
 	hyb := &surrogate.Hybrid{Model: tw.model, Inner: backend, Threshold: sur.Threshold, Learn: !sur.NoLearn}
+	if s.telemetryOn {
+		hyb.Metrics = s.metrics.sur
+	}
 	if err := runPipelines(ctx, nreq, hyb, win, truth, res); err != nil {
 		return err
 	}
 	res.Surrogate = s.settleTwin(key, tw, hyb)
 	if rec != nil {
 		if err := s.writeTrace(rec, nreq, hash, win, truth, res, meta); err != nil {
-			s.persistErrs.Add(1)
+			s.metrics.persistErrs.Inc()
 		}
 	}
 	return nil
@@ -183,7 +186,7 @@ func (s *Service) persistTwin(key string, tw *twin) {
 		return
 	}
 	if err := s.store.Put(store.KindSurrogateModel, key, tw.model.Encode()); err != nil {
-		s.persistErrs.Add(1)
+		s.metrics.persistErrs.Inc()
 	}
 }
 

@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
 )
 
 // Kind namespaces journal records. State kinds are log-structured: a later
@@ -52,6 +55,10 @@ const (
 	// daemon warm-starts its twins from these instead of retraining from
 	// traces.
 	KindSurrogateModel Kind = 6
+	// KindSpan is one telemetry span tree (telemetry.Span.Encode) keyed by
+	// the request hash of the extraction it times — the newest tree per
+	// request supersedes older ones, and `vgxreplay -spans` dumps them.
+	KindSpan Kind = 7
 )
 
 // Audit reports whether records of this kind accumulate as an event log
@@ -125,6 +132,51 @@ type Store struct {
 	kinds   map[Kind]*kindState
 	stats   Stats
 	closed  bool
+	met     *Metrics
+}
+
+// Metrics mirrors the store's accounting into a telemetry registry:
+// append count and latency, compactions, and the journal's current size
+// in bytes and live records. Attach with SetMetrics before traffic.
+type Metrics struct {
+	Appends       *telemetry.Counter
+	Compactions   *telemetry.Counter
+	AppendSeconds *telemetry.Histogram
+	LogBytes      *telemetry.Gauge
+	Records       *telemetry.Gauge
+}
+
+// NewMetrics registers the vgx_store_* family set on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Appends:       reg.Counter("vgx_store_appends_total", "Records appended to the journal this process."),
+		Compactions:   reg.Counter("vgx_store_compactions_total", "Snapshot rewrites this process."),
+		AppendSeconds: reg.Histogram("vgx_store_append_seconds", "Latency of one journal append (write syscall included).", telemetry.SecondsBuckets),
+		LogBytes:      reg.Gauge("vgx_store_log_bytes", "Current journal.log size in bytes."),
+		Records:       reg.Gauge("vgx_store_records", "Live records across all kinds."),
+	}
+}
+
+// SetMetrics attaches m; nil detaches. The gauges are primed from the
+// current state so a warm-started store reports its recovered size
+// immediately.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+	if m != nil {
+		m.LogBytes.Set(float64(s.logSize))
+		m.Records.Set(float64(s.liveLocked()))
+	}
+}
+
+// liveLocked counts live records across kinds; O(number of kinds).
+func (s *Store) liveLocked() int {
+	n := 0
+	for _, ks := range s.kinds {
+		n += len(ks.entries) - ks.dead
+	}
+	return n
 }
 
 // epochRecord renders the compaction-epoch marker frame.
@@ -337,6 +389,10 @@ func (s *Store) Put(kind Kind, key string, data []byte) error {
 	if s.closed {
 		return errors.New("store: closed")
 	}
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	rec := Record{Kind: kind, Key: key, Data: append([]byte(nil), data...)}
 	s.buf = s.buf[:0]
 	s.buf = AppendFrame(s.buf, appendRecordPayload(nil, rec))
@@ -347,6 +403,12 @@ func (s *Store) Put(kind Kind, key string, data []byte) error {
 	s.apply(rec)
 	s.stats.Appends++
 	s.pending++
+	if s.met != nil {
+		s.met.AppendSeconds.Observe(time.Since(start).Seconds())
+		s.met.Appends.Inc()
+		s.met.LogBytes.Set(float64(s.logSize))
+		s.met.Records.Set(float64(s.liveLocked()))
+	}
 	if s.pending >= s.opt.CompactEvery {
 		return s.compactLocked()
 	}
@@ -462,6 +524,11 @@ func (s *Store) compactLocked() error {
 	s.logSize = int64(fileHeaderLen) + int64(len(marker))
 	s.pending = 0
 	s.stats.Compactions++
+	if s.met != nil {
+		s.met.Compactions.Inc()
+		s.met.LogBytes.Set(float64(s.logSize))
+		s.met.Records.Set(float64(s.liveLocked()))
+	}
 	// Trim in-memory audit rings to what the snapshot retained.
 	for _, k := range kinds {
 		ks := s.kinds[k]

@@ -32,6 +32,7 @@ import (
 	"github.com/fastvg/fastvg/internal/csd"
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/fitting"
+	"github.com/fastvg/fastvg/internal/telemetry"
 )
 
 // DefaultThreshold is the escalation knob value substituted by callers that
@@ -393,19 +394,53 @@ type Hybrid struct {
 	Threshold float64
 	Learn     bool
 
+	// Metrics, when non-nil, mirrors per-probe outcomes into a telemetry
+	// registry. The increments and the confidence observation are atomic
+	// and allocation-free, so the probe hot path stays hot; leave nil to
+	// pay nothing.
+	Metrics *Metrics
+
 	hits        int
 	escalations int
+}
+
+// Metrics is the vgx_surrogate_* family set, shared by every Hybrid the
+// service and fleet construct (they are per-probe totals across twins,
+// not per-twin series).
+type Metrics struct {
+	Hits        *telemetry.Counter
+	Escalations *telemetry.Counter
+	Confidence  *telemetry.Histogram
+}
+
+// NewMetrics registers the vgx_surrogate_* families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Hits:        reg.Counter("vgx_surrogate_hits_total", "Probes answered by a twin (live probes saved)."),
+		Escalations: reg.Counter("vgx_surrogate_escalations_total", "Probes that fell through to the live backend."),
+		Confidence:  reg.Histogram("vgx_surrogate_confidence", "Model confidence of each gated probe.", telemetry.UnitBuckets),
+	}
 }
 
 // GetCurrent implements device.Instrument.
 func (h *Hybrid) GetCurrent(v1, v2 float64) float64 {
 	if h.Threshold > 0 && h.Model != nil {
-		if val, conf := h.Model.Predict(v1, v2); conf >= h.Threshold {
+		val, conf := h.Model.Predict(v1, v2)
+		if h.Metrics != nil {
+			h.Metrics.Confidence.Observe(conf)
+		}
+		if conf >= h.Threshold {
 			h.hits++
+			if h.Metrics != nil {
+				h.Metrics.Hits.Inc()
+			}
 			return val
 		}
 	}
 	h.escalations++
+	if h.Metrics != nil {
+		h.Metrics.Escalations.Inc()
+	}
 	c := h.Inner.GetCurrent(v1, v2)
 	if h.Learn && h.Model != nil {
 		h.Model.Add(v1, v2, c)

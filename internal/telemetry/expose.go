@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package emits.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Expose renders every registered family as Prometheus text. Families
+// are ordered by name and series by label signature, so output for the
+// same logical state is byte-identical across processes — the property
+// the worker-count determinism test locks in.
+func (r *Registry) Expose() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := r.families[n]
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+
+		sigs := make([]string, 0, len(f.series))
+		for s := range f.series {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, s := range sigs {
+			f.series[s].expose(&b, f.name, s)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}
+
+// WriteTo writes the exposition text to w.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, r.Expose())
+	return int64(n), err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — the body behind GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately tiny reader for the text format Expose
+// emits. It exists for two consumers: the exposition golden tests (round
+// trip what we wrote) and, later, a scatter-gather front door that needs
+// to merge shard scrapes without pulling in a Prometheus client
+// dependency. It handles exactly the subset this package produces:
+// one HELP and one TYPE line per family, samples with optional labels,
+// no timestamps, no exemplars.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string            // full sample name, e.g. vgx_sched_run_seconds_bucket
+	Labels map[string]string // nil when unlabelled
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse reads Prometheus text format as produced by Expose. Families
+// are returned in input order; unknown directives or malformed lines
+// are errors (this is a strict parser for our own output, not a general
+// scrape parser).
+func Parse(r io.Reader) ([]*Family, error) {
+	var (
+		out  []*Family
+		byNm = map[string]*Family{}
+		cur  *Family
+	)
+	family := func(name string) *Family {
+		if f, ok := byNm[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byNm[name] = f
+		out = append(out, f)
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, _ := strings.Cut(rest, " ")
+			cur = family(name)
+			cur.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("telemetry: line %d: TYPE without a type", ln)
+			}
+			cur = family(name)
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("telemetry: line %d: unknown directive %q", ln, line)
+		}
+		s, base, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", ln, err)
+		}
+		// _bucket/_sum/_count samples belong to the histogram family.
+		f := cur
+		if f == nil || !strings.HasPrefix(s.Name, f.Name) {
+			f = family(base)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample splits `name{k="v",...} value` and returns the sample plus
+// the family base name (histogram suffixes stripped).
+func parseSample(line string) (Sample, string, error) {
+	var s Sample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, "", fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return s, "", fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err := parseLabels(rest[1:close])
+		if err != nil {
+			return s, "", err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, "", fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	s.Value = v
+	base := s.Name
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base = strings.TrimSuffix(base, suf)
+	}
+	return s, base, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label segment %q", body)
+		}
+		key := body[:eq]
+		// Scan the quoted value honouring backslash escapes.
+		i := eq + 2
+		var val strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(body[i])
+			i++
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		labels[key] = val.String()
+		body = body[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return labels, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// FilterFamilies returns the exposition text with every family whose
+// name matches drop removed. The determinism property test uses it to
+// strip wall-clock families (anything ending in _seconds) before
+// comparing worker counts byte for byte.
+func FilterFamilies(text string, drop func(name string) bool) string {
+	fams, err := Parse(strings.NewReader(text))
+	if err != nil {
+		return text
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		if drop(f.Name) {
+			continue
+		}
+		b.WriteString("# HELP " + f.Name + " " + f.Help + "\n")
+		b.WriteString("# TYPE " + f.Name + " " + f.Type + "\n")
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				keys := make([]string, 0, len(s.Labels))
+				for k := range s.Labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				b.WriteByte('{')
+				for i, k := range keys {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(k + `="` + escapeLabel(s.Labels[k]) + `"`)
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanTree builds a small job→pipeline→pair→probes tree, round-trips
+// it through Encode/DecodeSpan, and checks Render output.
+func TestSpanTree(t *testing.T) {
+	job := StartSpan("job", Attr{K: "kind", V: "chain"}, Attr{K: "hash", V: "ab12"})
+	pipe := job.Child("pipeline", Attr{K: "method", V: "chain"})
+	pair := pipe.Child("pair", AttrInt("pair", 0), Attr{K: "method", V: "fast"})
+	probes := pair.Child("probes", AttrInt("count", 728))
+	probes.SetVirtual(7300 * time.Millisecond)
+	probes.SetWall(580 * time.Microsecond)
+	pair.SetVirtual(7300 * time.Millisecond)
+	pair.End()
+	pipe.SetVirtual(21800 * time.Millisecond)
+	pipe.End()
+	job.SetVirtual(21800 * time.Millisecond)
+	job.End()
+
+	b, err := job.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeSpan(b)
+	if err != nil {
+		t.Fatalf("DecodeSpan: %v", err)
+	}
+	if got.Name != "job" || got.Attr("kind") != "chain" || got.Attr("hash") != "ab12" {
+		t.Errorf("root = %q attrs %v", got.Name, got.Attrs)
+	}
+	if got.VirtNS != (21800 * time.Millisecond).Nanoseconds() {
+		t.Errorf("root virtual = %d", got.VirtNS)
+	}
+	if len(got.Children) != 1 || len(got.Children[0].Children) != 1 {
+		t.Fatalf("tree shape lost: %+v", got)
+	}
+	leaf := got.Children[0].Children[0].Children[0]
+	if leaf.Name != "probes" || leaf.Attr("count") != "728" {
+		t.Errorf("leaf = %q %v", leaf.Name, leaf.Attrs)
+	}
+
+	var sb strings.Builder
+	got.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"job wall=", "virtual=21.8s kind=chain hash=ab12",
+		"\n  pipeline wall=", "\n    pair wall=",
+		"\n      probes wall=580µs virtual=7.3s count=728\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanSortChildren checks the numeric-aware attribute sort that makes
+// concurrently-appended pair children deterministic.
+func TestSpanSortChildren(t *testing.T) {
+	p := StartSpan("pipeline")
+	for _, i := range []int64{10, 2, 0, 11, 1} {
+		p.Child("pair", AttrInt("pair", i))
+	}
+	p.SortChildren("pair")
+	var order []string
+	for _, c := range p.Children {
+		order = append(order, c.Attr("pair"))
+	}
+	if got := strings.Join(order, ","); got != "0,1,2,10,11" {
+		t.Errorf("sorted order = %s, want 0,1,2,10,11", got)
+	}
+}
+
+// TestSpanContext checks the context plumbing replay paths rely on: no
+// span on a fresh context, the stored span back out, nil-safe.
+func TestSpanContext(t *testing.T) {
+	if sp := SpanFromContext(context.Background()); sp != nil {
+		t.Errorf("fresh context carries a span: %+v", sp)
+	}
+	sp := StartSpan("job")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Errorf("span lost in context round trip")
+	}
+}
+
+// TestSpanAttrHelpers checks AttrInt/AttrFloat formatting and AddAttr.
+func TestSpanAttrHelpers(t *testing.T) {
+	if a := AttrInt("n", -42); a.V != "-42" {
+		t.Errorf("AttrInt = %q", a.V)
+	}
+	if a := AttrFloat("x", 0.125); a.V != "0.125" {
+		t.Errorf("AttrFloat = %q", a.V)
+	}
+	sp := StartSpan("job")
+	sp.AddAttr(Attr{K: "err", V: "boom"})
+	if sp.Attr("err") != "boom" {
+		t.Errorf("AddAttr lost")
+	}
+	if sp.Attr("missing") != "" {
+		t.Errorf("missing attr should be empty")
+	}
+}

@@ -3,8 +3,9 @@
 # BENCH_probe.json, then the fleet-recalibration benchmark (BENCH_fleet.json),
 # the durable-store / trace-replay benchmarks (BENCH_store.json), the
 # n-dot chain extraction benchmarks (BENCH_chain.json), the surrogate
-# digital-twin benchmarks (BENCH_surrogate.json) and the active-probing
-# scheduler benchmarks (BENCH_infogain.json).
+# digital-twin benchmarks (BENCH_surrogate.json), the active-probing
+# scheduler benchmarks (BENCH_infogain.json) and the telemetry overhead
+# benchmarks (BENCH_telemetry.json).
 #
 # Usage:
 #   scripts/bench.sh [-o BENCH_probe.json] [-f BENCH_fleet.json] [-t benchtime]
@@ -395,3 +396,68 @@ JSON
 JSON
 } > "$infogain_out"
 echo "wrote $infogain_out"
+# ---- telemetry overhead → BENCH_telemetry.json -----------------------------
+# The observability acceptance gate: metric primitives must be single
+# atomics with 0 allocs/op (internal/telemetry benchmarks), and the probe
+# hot path with the worst-case per-probe instrumentation (one counter inc
+# + one histogram observe, internal/device's BenchmarkProbeCounted) must
+# stay within 2% of the bare path.
+traw=$(go test ./internal/telemetry/ -run '^$' \
+  -bench 'CounterInc|HistogramObserve|GaugeSet|Exposition' \
+  -benchmem -benchtime "$benchtime" 2>&1)
+echo "$traw"
+# 5 repetitions, minimum taken per benchmark: the overhead headline is a
+# difference of two ~90 ns numbers, and single runs on a shared machine
+# jitter by more than the 2% gate.
+praw=$(go test ./internal/device/ -run '^$' -bench 'ProbeBare|ProbeCounted' \
+  -benchmem -benchtime "$benchtime" -count 5 2>&1)
+echo "$praw"
+
+tfield()  { echo "$traw" | awk -v b="$1" '$1 ~ "^Benchmark"b"(-|$)" {print $3; exit}'; }
+tallocs() { echo "$traw" | awk -v b="$1" '$1 ~ "^Benchmark"b"(-|$)" {print $7; exit}'; }
+pfield()  { echo "$praw" | awk -v b="$1" \
+  '$1 ~ "^Benchmark"b"(-|$)" && (min == "" || $3+0 < min) {min = $3+0} END {print min}'; }
+pallocs() { echo "$praw" | awk -v b="$1" \
+  '$1 ~ "^Benchmark"b"(-|$)" && $7+0 > max {max = $7+0} END {print max+0}'; }
+
+probe_bare=$(pfield ProbeBare)
+probe_counted=$(pfield ProbeCounted)
+overhead_pct=$(awk -v a="$probe_bare" -v b="$probe_counted" \
+  'BEGIN {printf "%.2f", (a > 0 ? 100 * (b - a) / a : 0)}')
+
+telemetry_out="BENCH_telemetry.json"
+cat > "$telemetry_out" <<JSON
+{
+  "schema": "fastvg-bench-telemetry/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "benchtime": "$benchtime",
+  "scenario": "metric primitive cost (internal/telemetry), full-registry exposition render, and the scalar probe hot path bare vs with worst-case per-probe instrumentation (counter inc + histogram observe)",
+  "units": {
+    "*_ns": "ns/op",
+    "*_allocs": "allocs/op",
+    "probe_overhead_pct": "100 * (probe_counted_ns - probe_bare_ns) / probe_bare_ns"
+  },
+  "targets": {
+    "probe_overhead_pct": "< 2",
+    "counter_inc_allocs": 0,
+    "histogram_observe_allocs": 0
+  },
+  "after": {
+    "counter_inc_ns": $(tfield CounterInc),
+    "counter_inc_allocs": $(tallocs CounterInc),
+    "histogram_observe_ns": $(tfield HistogramObserve),
+    "histogram_observe_allocs": $(tallocs HistogramObserve),
+    "gauge_set_ns": $(tfield GaugeSet),
+    "gauge_set_allocs": $(tallocs GaugeSet),
+    "exposition_ns": $(tfield Exposition),
+    "probe_bare_ns": $probe_bare,
+    "probe_bare_allocs": $(pallocs ProbeBare),
+    "probe_counted_ns": $probe_counted,
+    "probe_counted_allocs": $(pallocs ProbeCounted),
+    "probe_overhead_pct": $overhead_pct
+  }
+}
+JSON
+echo "wrote $telemetry_out"

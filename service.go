@@ -6,6 +6,7 @@ import (
 
 	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/service"
+	"github.com/fastvg/fastvg/internal/telemetry"
 	"github.com/fastvg/fastvg/internal/trace"
 )
 
@@ -161,3 +162,36 @@ func ReplayJournal(ctx context.Context, dataDir string, workers int) ([]ReplayOu
 // ListTraces returns the probe-trace files under dir (a durable service
 // writes them to <DataDir>/traces), sorted by name.
 func ListTraces(dir string) ([]string, error) { return trace.List(dir) }
+
+// Observability: every service registers its metric families (counters,
+// gauges, fixed-bucket histograms — all vgx_*-prefixed) on a telemetry
+// registry exposed in Prometheus text format at GET /metrics, and, when
+// durable, journals a span tree per executed job recording where the job
+// spent wall-clock and virtual (simulated-instrument) time. See
+// internal/telemetry for the registry semantics and the metric catalogue
+// in README.md.
+
+// TelemetryRegistry is the process metric registry; obtain a service's
+// via Service.Telemetry(), or pass one in ServiceConfig.Telemetry to
+// share a registry (and one /metrics endpoint) across components.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry builds an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// JobSpan is one node of a job's recorded timing tree: name, attributes,
+// wall-clock and virtual durations, children. Render writes the indented
+// tree listing that `vgxreplay -spans` prints.
+type JobSpan = telemetry.Span
+
+// SpanRecord pairs a journaled span tree with its request hash.
+type SpanRecord = service.SpanRecord
+
+// LoadSpans reads every journaled job span tree under a durable service's
+// data dir, in hash order — the vgxreplay -spans path.
+func LoadSpans(dataDir string) ([]SpanRecord, error) { return service.LoadSpans(dataDir) }
+
+// ErrServiceOverloaded rejects submissions once the worker-pool queue is
+// at ServiceConfig.MaxQueueDepth; the HTTP API maps it to 429 with a
+// Retry-After header. Cache hits are still served under overload.
+var ErrServiceOverloaded = service.ErrOverloaded
