@@ -43,9 +43,26 @@
 // traces via POST /v1/surrogate/train.
 //
 // Observability: GET /metrics serves the Prometheus text exposition of
-// every vgx_* metric family; -max-queue-depth sheds load with 429 once
-// that many submissions are queued; -pprof mounts the net/http/pprof
-// handlers under /debug/pprof/ on the same listener:
+// every vgx_* metric family, and the daemon watches itself — a background
+// loop (-scrape-interval, default 10s) samples the registry into an
+// in-process time-series store (bounded rings, -tsdb-points each) and
+// evaluates the SLO alert catalogue over it (-no-alerts to disable).
+// Query history at GET /v1/query, the alert board at GET /v1/alerts (on a
+// durable daemon alert history survives restart via the journal), and
+// grab a flight-recorder bundle — metrics snapshot, recent tsdb windows,
+// alerts, span trees, build info, one tar.gz — at GET /debug/bundle.
+// Request latency is recorded per route pattern
+// (vgx_http_request_seconds{route}); cmd/vgxtop is the terminal dashboard
+// over these endpoints:
+//
+//	curl -s 'localhost:8080/v1/query?fn=rate&series=vgx_service_shed_total&window=60'
+//	curl -s localhost:8080/v1/alerts
+//	curl -s localhost:8080/debug/bundle > bundle.tar.gz
+//	vgxtop -addr localhost:8080
+//
+// -max-queue-depth sheds load with 429 once that many submissions are
+// queued; -pprof mounts the net/http/pprof handlers under /debug/pprof/
+// on the same listener:
 //
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
 //	curl -s localhost:8080/debug/pprof/trace?seconds=5 > trace.out
@@ -87,6 +104,9 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logJobs   = flag.Bool("log-requests", true, "log one structured line per API request")
+		scrapeInt = flag.Duration("scrape-interval", 10*time.Second, "metric-scrape cadence into the in-process tsdb (negative disables the loop)")
+		tsdbPts   = flag.Int("tsdb-points", 0, "per-series tsdb ring capacity (0 = 512)")
+		noAlerts  = flag.Bool("no-alerts", false, "disable the SLO alert rule engine (tsdb keeps scraping)")
 	)
 	flag.Parse()
 	logger := newLogger(*logFormat)
@@ -95,7 +115,9 @@ func main() {
 	svc, err := fastvg.NewService(fastvg.ServiceConfig{
 		Workers: *workers, CacheSize: *cache,
 		DataDir: *dataDir, RecordTraces: *traces,
-		MaxQueueDepth: *maxQueue,
+		MaxQueueDepth:  *maxQueue,
+		ScrapeInterval: *scrapeInt, TSDBPoints: *tsdbPts,
+		DisableAlerts: *noAlerts,
 	})
 	if err != nil {
 		logger.Error("startup failed", "err", err)
@@ -119,6 +141,9 @@ func main() {
 	if *logJobs {
 		handler = accessLog(logger, handler)
 	}
+	// Outermost so the route-labelled latency histogram times the whole
+	// stack, access logging included.
+	handler = svc.InstrumentHTTP(handler)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

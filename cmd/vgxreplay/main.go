@@ -19,10 +19,12 @@
 //
 // A durable daemon also journals one timing span tree per executed job
 // (where the job spent wall-clock and virtual instrument time, per
-// pipeline / chain pair / probe batch); -spans prints every recorded
-// tree instead of replaying:
+// pipeline / chain pair / probe batch) and every alert firing/resolved
+// transition; -spans prints the recorded trees, -alerts the alert
+// history, instead of replaying:
 //
 //	vgxreplay -data-dir /var/lib/vgxd -spans
+//	vgxreplay -data-dir /var/lib/vgxd -alerts
 //
 // Usage:
 //
@@ -30,6 +32,7 @@
 //	vgxreplay -data-dir /var/lib/vgxd
 //	vgxreplay -data-dir /var/lib/vgxd -journal=false   # traces only
 //	vgxreplay -data-dir /var/lib/vgxd -spans           # dump span trees
+//	vgxreplay -data-dir /var/lib/vgxd -alerts          # dump alert history
 //
 // Exit status 1 when any replay mismatches. Run it against a stopped
 // daemon's data dir (the journal open may truncate a torn tail, exactly as
@@ -55,6 +58,7 @@ func main() {
 		journal   = flag.Bool("journal", true, "with -data-dir, also re-execute journaled extractions against fresh instruments")
 		workers   = flag.Int("workers", 0, "worker-pool slots for journal re-execution (0 = one per CPU)")
 		spans     = flag.Bool("spans", false, "with -data-dir, print the journaled job span trees instead of replaying")
+		alerts    = flag.Bool("alerts", false, "with -data-dir, print the journaled alert firing/resolved history instead of replaying")
 		asJSON    = flag.Bool("json", false, "emit outcomes as JSON")
 		verbose   = flag.Bool("v", false, "print every outcome, not just mismatches")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
@@ -69,6 +73,30 @@ func main() {
 	if *tracePath == "" && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: vgxreplay -trace file | -data-dir dir [-journal=false] [-spans]")
 		os.Exit(2)
+	}
+
+	if *alerts {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "vgxreplay: -alerts requires -data-dir")
+			os.Exit(2)
+		}
+		evs, err := fastvg.LoadAlertHistory(*dataDir)
+		if err != nil {
+			fatal("loading alert history", err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(evs); err != nil {
+				fatal("encoding alert history", err)
+			}
+			return
+		}
+		for _, ev := range evs {
+			fmt.Printf("t=%-10.1f %-8s %-9s %s (value %g)\n", ev.AtS, ev.State, ev.Severity, ev.Rule, ev.Value)
+		}
+		fmt.Printf("vgxreplay: %d alert transitions\n", len(evs))
+		return
 	}
 
 	if *spans {

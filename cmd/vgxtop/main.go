@@ -1,0 +1,265 @@
+// Command vgxtop is the terminal dashboard over a running vgxd: it polls
+// the daemon's observability endpoints — GET /v1/query (the in-process
+// tsdb), GET /v1/alerts (the SLO rule board) and GET /v1/healthz — and
+// renders one refreshing screen of throughput, latency quantiles, system
+// gauges and firing alerts. No scrape infrastructure, no external
+// time-series database: the daemon retains its own history and vgxtop
+// just asks for it.
+//
+//	vgxtop -addr localhost:8080
+//	vgxtop -addr localhost:8080 -interval 5s -window 300
+//	vgxtop -addr localhost:8080 -once        # one plain snapshot, no ANSI
+//
+// Latency columns are histogram-quantile estimates over the lookback
+// window (linear interpolation within the fixed buckets, the same
+// estimator the alert rules use). Rates are per-second increases across
+// the window.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "vgxd address (host:port or full URL)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh cadence")
+		window   = flag.Float64("window", 60, "lookback window in seconds for rates and quantiles")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	)
+	flag.Parse()
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &client{base: base, http: &http.Client{Timeout: 5 * time.Second}}
+
+	for {
+		screen, err := render(c, *window)
+		if *once {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vgxtop: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(screen)
+			return
+		}
+		// Clear + home, then the frame; errors render in-frame so a daemon
+		// restart shows up as a banner instead of killing the dashboard.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("vgxtop: %s — %v (retrying)\n", base, err)
+		} else {
+			fmt.Print(screen)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+// getJSON fetches one endpoint into v.
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// queryResult mirrors the tsdb Result JSON shape; null values decode as
+// NaN through the pointer.
+type queryResult struct {
+	AtS    float64 `json:"atS"`
+	Values []struct {
+		Series string   `json:"series"`
+		Value  *float64 `json:"value"`
+	} `json:"values"`
+}
+
+// query runs one instant query; missing series yield an empty map.
+func (c *client) query(fn, series string, windowS, q float64) (map[string]float64, float64, error) {
+	v := url.Values{"fn": {fn}, "series": {series}}
+	if windowS > 0 {
+		v.Set("window", fmt.Sprintf("%g", windowS))
+	}
+	if fn == "quantile" {
+		v.Set("q", fmt.Sprintf("%g", q))
+	}
+	var res queryResult
+	if err := c.getJSON("/v1/query?"+v.Encode(), &res); err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]float64, len(res.Values))
+	for _, sv := range res.Values {
+		val := math.NaN()
+		if sv.Value != nil {
+			val = *sv.Value
+		}
+		out[labelOf(sv.Series)] = val
+	}
+	return out, res.AtS, nil
+}
+
+// labelOf extracts the first label value from a series key, or "" for a
+// bare series — `vgx_service_jobs_total{kind="fast"}` → "fast".
+func labelOf(series string) string {
+	i := strings.IndexByte(series, '"')
+	if i < 0 {
+		return ""
+	}
+	j := strings.IndexByte(series[i+1:], '"')
+	if j < 0 {
+		return ""
+	}
+	return series[i+1 : i+1+j]
+}
+
+// scalar collapses a single-series query to one number.
+func (c *client) scalar(fn, series string, windowS float64) float64 {
+	m, _, err := c.query(fn, series, windowS, 0)
+	if err != nil {
+		return math.NaN()
+	}
+	for _, v := range m {
+		return v
+	}
+	return math.NaN()
+}
+
+type alertBoard struct {
+	Alerts []struct {
+		Rule struct {
+			Name     string  `json:"name"`
+			Severity string  `json:"severity"`
+			ForS     float64 `json:"forS"`
+		} `json:"rule"`
+		State  string   `json:"state"`
+		Value  *float64 `json:"value"`
+		SinceS float64  `json:"sinceS"`
+	} `json:"alerts"`
+	Firing []string `json:"firing"`
+}
+
+type health struct {
+	OK       bool    `json:"ok"`
+	UptimeS  float64 `json:"uptimeS"`
+	Workers  int     `json:"workers"`
+	Running  int     `json:"running"`
+	Sessions int     `json:"sessions"`
+	Fleet    int     `json:"fleet"`
+}
+
+// render builds one dashboard frame.
+func render(c *client, window float64) (string, error) {
+	var h health
+	if err := c.getJSON("/v1/healthz", &h); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "vgxd %s  up %s  workers %d  running %d  sessions %d  fleet %d\n",
+		c.base, fmtDur(h.UptimeS), h.Workers, h.Running, h.Sessions, h.Fleet)
+
+	// Alert board first: the reason to be looking at a dashboard.
+	var ab alertBoard
+	if err := c.getJSON("/v1/alerts", &ab); err == nil {
+		if len(ab.Firing) > 0 {
+			fmt.Fprintf(&b, "\nALERTS FIRING: %s\n", strings.Join(ab.Firing, ", "))
+		} else {
+			fmt.Fprintf(&b, "\nalerts: all %d rules quiet\n", len(ab.Alerts))
+		}
+		for _, a := range ab.Alerts {
+			if a.State == "inactive" {
+				continue
+			}
+			val := "-"
+			if a.Value != nil {
+				val = fmt.Sprintf("%.3g", *a.Value)
+			}
+			fmt.Fprintf(&b, "  [%-7s] %-28s %-8s value=%s since t=%.0fs\n",
+				a.Rule.Severity, a.Rule.Name, a.State, val, a.SinceS)
+		}
+	}
+
+	// Per-kind throughput and latency: rate + p50/p99 over the window.
+	rates, atS, err := c.query("rate", "vgx_service_jobs_total", window, 0)
+	if err != nil {
+		return "", err
+	}
+	p50, _, _ := c.query("quantile", "vgx_service_job_seconds", window, 0.50)
+	p99, _, _ := c.query("quantile", "vgx_service_job_seconds", window, 0.99)
+	kinds := make([]string, 0, len(rates))
+	for k := range rates {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(&b, "\njobs (last %.0fs)            rate/s      p50        p99\n", window)
+	if len(kinds) == 0 {
+		fmt.Fprintf(&b, "  (no job history in window)\n")
+	}
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-24s %8s  %9s  %9s\n",
+			k, fmtRate(rates[k]), fmtSecs(p50[k]), fmtSecs(p99[k]))
+	}
+
+	fmt.Fprintf(&b, "\nsystem  inflight %s  saturation %s  shed/s %s  cachehit/s %s  staleness %s\n",
+		fmtNum(c.scalar("last", "vgx_service_inflight", 0)),
+		fmtNum(c.scalar("last", "vgx_sched_saturation", 0)),
+		fmtRate(c.scalar("rate", "vgx_service_shed_total", window)),
+		fmtRate(c.scalar("rate", "vgx_service_cache_hits_total", window)),
+		fmtNum(c.scalar("last", "vgx_fleet_staleness_worst", 0)))
+	fmt.Fprintf(&b, "tsdb    series %s  points %s  scrapes %s  (scrape clock t=%.1fs)\n",
+		fmtNum(c.scalar("last", "vgx_tsdb_series", 0)),
+		fmtNum(c.scalar("last", "vgx_tsdb_points", 0)),
+		fmtNum(c.scalar("last", "vgx_tsdb_scrapes", 0)), atS)
+	return b.String(), nil
+}
+
+func fmtDur(s float64) string {
+	if math.IsNaN(s) {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Truncate(time.Second).String()
+}
+
+func fmtNum(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func fmtRate(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fmtSecs(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v < 0.001:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	}
+	return fmt.Sprintf("%.2fs", v)
+}

@@ -234,6 +234,32 @@
 // turns off the timed parts (spans, latency histograms) while keeping
 // the counters /v1/stats is built from.
 //
+// # Alerting & history
+//
+// Exposition answers "what is the value now"; operating a daemon needs
+// "what has it been doing". Every service scrapes its own registry into
+// an in-process time-series store (internal/tsdb: fixed-size
+// delta-encoded rings, bounded memory forever, ~70 µs per full scrape)
+// and evaluates a declarative SLO rule catalogue (internal/alert) over
+// it on every scrape — a threshold plus for-duration state machine
+// whose firing/resolved transitions are journaled on durable services,
+// restored on restart, and readable offline (LoadAlertHistory,
+// vgxreplay -alerts). The stock catalogue (DefaultAlertRules — load
+// shedding, fleet staleness, persist errors, surrogate escalation
+// ratio, pool saturation) is replaced via ServiceConfig.AlertRules or a
+// JSON file on vgxd. Instant and range queries (last/avg/min/max/sum,
+// windowed rate, histogram quantile) are served at GET /v1/query, the
+// alert board at GET /v1/alerts, and GET /debug/bundle snapshots a
+// flight-recorder tar.gz (metrics, tsdb windows, alerts, stats, fleet
+// state, build info, span trees) for bug reports. Command vgxtop is the
+// terminal dashboard over the same endpoints.
+//
+// Scraping runs on the daemon's wall clock (ServiceConfig.ScrapeInterval,
+// vgxd -scrape-interval) or on a caller-owned clock via
+// Service.ScrapeNow(atS) — the fleet's virtual-time tests evaluate
+// alerts that way, so alert sequences are deterministic at any worker
+// count, like every other subsystem here.
+//
 // # Performance
 //
 // The probe hot path — one simulated getCurrent — is allocation-free in
@@ -257,8 +283,9 @@
 // full-window renders, BenchmarkProbeBare vs BenchmarkProbeCounted gates
 // telemetry overhead on the probe path at <2%); scripts/bench.sh runs
 // them and writes the BENCH_probe.json trajectory, whose "before" block
-// preserves the pre-batch-path baseline, plus BENCH_telemetry.json. See README.md's Performance section for
-// representative numbers.
+// preserves the pre-batch-path baseline, plus BENCH_telemetry.json and
+// BENCH_obs.json (tsdb scrape/append/query cost). See README.md's
+// Performance section for representative numbers.
 //
 // See examples/ for runnable programs: a quick start, quadruple-dot chain
 // virtualization, a noise-robustness study, a dwell-budget comparison and

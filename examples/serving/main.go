@@ -1,18 +1,27 @@
 // Serving: run the extraction service in-process, serve its HTTP API on a
 // local port, and drive it the way a client fleet would — submit the paper's
 // full Table 1 as one batch, resubmit it, and watch the result cache absorb
-// the repeat.
+// the repeat. A final act overloads a deliberately tiny daemon to show the
+// load-shedding contract from the client side: 429 + Retry-After, absorbed
+// by a bounded retry-with-backoff loop, and the same condition surfaced as
+// a typed error (fastvg.IsOverloaded) on the library path.
 //
 //	go run ./examples/serving
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	fastvg "github.com/fastvg/fastvg"
@@ -73,6 +82,150 @@ func main() {
 	fmt.Printf("\nwarm batch: served in %v (cold %v); cache hit rate %.0f%%\n",
 		warm.Round(time.Millisecond), cold.Round(time.Millisecond), 100*stats.HitRate)
 	_ = srv.Close()
+
+	overloadAct()
+}
+
+// overloadAct runs a deliberately tiny daemon (one worker, two queue
+// slots) into saturation and shows both sides of the shedding contract:
+// the HTTP client sees 429 + Retry-After and absorbs it with a bounded
+// retry loop; the library caller sees the typed ErrServiceOverloaded
+// through fastvg.IsOverloaded.
+func overloadAct() {
+	svc, err := fastvg.NewService(fastvg.ServiceConfig{Workers: 1, MaxQueueDepth: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = fastvg.CloseService(context.Background(), svc) }()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: fastvg.ServiceHandler(svc)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("\noverload: 1 worker, queue depth 2, burst of 12 distinct jobs against %s\n", base)
+
+	// Occupy the worker, then burst concurrently — a client fleet, not one
+	// polite caller. Distinct seeds defeat the cache and coalescing, so
+	// every submission wants a queue slot; baseline jobs raster a
+	// 400-pixel window (tens of ms), so the burst lands while the queue is
+	// full and most of it sheds.
+	if _, err := postJob(base, `{"kind":"baseline","sim":{"seed":1000,"pixels":400}}`); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	var shed, accepted atomic.Int64
+	for seed := 1; seed <= 12; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"kind":"baseline","sim":{"seed":%d,"pixels":400}}`, seed)
+			switch _, err := postJob(base, body); {
+			case errors.Is(err, errOverloaded):
+				shed.Add(1)
+			case err != nil:
+				log.Fatal(err)
+			default:
+				accepted.Add(1)
+			}
+		}(seed)
+	}
+	wg.Wait()
+	fmt.Printf("burst: %d accepted, %d shed with 429\n", accepted.Load(), shed.Load())
+
+	// The same request that just shed succeeds once the retry loop waits
+	// out the Retry-After hint.
+	t0 := time.Now()
+	jv, err := postJobRetry(base, `{"kind":"fast","sim":{"seed":99}}`, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retry-with-backoff: job %s accepted after %v\n", jv.ID, time.Since(t0).Round(time.Millisecond))
+
+	// Library path: the exact same condition is a typed error, not a string.
+	for seed := 200; seed < 260; seed++ {
+		_, err := svc.Submit(context.Background(), fastvg.JobRequest{Kind: fastvg.JobBaseline,
+			Sim: &fastvg.SimSpec{Seed: uint64(seed), Pixels: 400}})
+		if fastvg.IsOverloaded(err) {
+			fmt.Println("library path: Submit returned ErrServiceOverloaded (typed, retryable)")
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	log.Fatal("overload never triggered on the library path")
+}
+
+// errOverloaded is the client-side face of a 429: the request was valid,
+// the server's moment was not.
+var errOverloaded = errors.New("server overloaded (429)")
+
+// postJob submits one job; a 429 comes back as errOverloaded with the
+// server's Retry-After hint attached for the retry loop.
+func postJob(base, body string) (*fastvg.JobView, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
+		return nil, fmt.Errorf("%w (Retry-After: %s)", errOverloaded, retryAfter)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("submit: %s: %s", resp.Status, b)
+	}
+	var jv fastvg.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		return nil, err
+	}
+	return &jv, nil
+}
+
+// postJobRetry is postJob with bounded retry-with-backoff: a 429 sleeps
+// for the server's Retry-After (or an exponential fallback when the
+// header is absent) and tries again, up to maxAttempts.
+func postJobRetry(base, body string, maxAttempts int) (*fastvg.JobView, error) {
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b, _ := io.ReadAll(resp.Body)
+				return nil, fmt.Errorf("submit: %s: %s", resp.Status, b)
+			}
+			var jv fastvg.JobView
+			if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+				return nil, err
+			}
+			return &jv, nil
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if attempt >= maxAttempts {
+			return nil, fmt.Errorf("%w after %d attempts", errOverloaded, attempt)
+		}
+		delay := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if s, err := strconv.Atoi(ra); err == nil {
+				delay = time.Duration(s) * time.Second
+			}
+		}
+		fmt.Printf("  429 on attempt %d, backing off %v\n", attempt, delay)
+		time.Sleep(delay)
+		backoff *= 2
+	}
 }
 
 type batchItem struct {

@@ -1,0 +1,327 @@
+// Package alert is the SLO rule engine layered over internal/tsdb: a
+// declarative rule catalogue (threshold + for-duration over tsdb
+// queries) evaluated on whatever clock the caller owns — the daemon's
+// scrape loop or the fleet's virtual clock — with firing/resolved
+// transitions journaled through a caller-supplied callback so alert
+// history survives kill -9.
+//
+// The state machine per rule is the classic three-state one:
+//
+//	inactive --cond--> pending --held ForS--> firing --!cond--> inactive
+//
+// A rule with ForS == 0 skips pending and fires on the first true
+// evaluation. Only the pending->firing and firing->inactive edges emit
+// events; flapping inside the for-window is invisible, which is the
+// point of the for-window.
+//
+// Everything is deterministic: rules evaluate in catalogue order, on
+// caller-supplied timestamps, against a tsdb whose reads are
+// deterministic — so two daemons replaying the same virtual schedule
+// produce identical event sequences (pinned by the worker-count tests
+// in internal/service).
+package alert
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/fastvg/fastvg/internal/tsdb"
+)
+
+// Expr is one scalar-valued tsdb query: a query plus an aggregation
+// collapsing the matched series to a single number.
+type Expr struct {
+	Fn      string  `json:"fn"`                // tsdb query fn: last|avg|min|max|sum|rate|quantile
+	Series  string  `json:"series"`            // tsdb series selector
+	WindowS float64 `json:"windowS,omitempty"` // lookback window
+	Q       float64 `json:"q,omitempty"`       // quantile for fn=quantile
+	Agg     string  `json:"agg,omitempty"`     // max (default) | min | sum | avg across matched series
+}
+
+// Rule is one declarative alert: fire when Expr (optionally divided by
+// DivBy for ratio rules) compares true against Threshold continuously
+// for ForS seconds.
+type Rule struct {
+	Name      string  `json:"name"`
+	Severity  string  `json:"severity"` // "warning" | "critical"
+	Expr      Expr    `json:"expr"`
+	DivBy     *Expr   `json:"divBy,omitempty"` // optional denominator; NaN or <= 0 denominator suppresses
+	Op        string  `json:"op"`              // > | >= | < | <=
+	Threshold float64 `json:"threshold"`
+	ForS      float64 `json:"forS,omitempty"`
+	Help      string  `json:"help,omitempty"`
+}
+
+// State is a rule's position in the firing lifecycle.
+type State string
+
+// Rule lifecycle states.
+const (
+	StateInactive State = "inactive"
+	StatePending  State = "pending"
+	StateFiring   State = "firing"
+)
+
+// Event is one journaled alert transition. Only firing and resolved
+// transitions are recorded. Value is a tsdb.Value, not a raw float64:
+// a resolved edge whose expression went NaN (series vanished after a
+// restart, suppressed ratio) must still marshal — encoding/json rejects
+// NaN, and a journal hook that cannot serialise the event would drop it.
+type Event struct {
+	Rule     string     `json:"rule"`
+	Severity string     `json:"severity"`
+	State    string     `json:"state"` // "firing" | "resolved"
+	AtS      float64    `json:"atS"`   // evaluation-clock seconds
+	Value    tsdb.Value `json:"value"` // the expression value at transition
+}
+
+// Status is one rule's current standing, for GET /v1/alerts.
+type Status struct {
+	Rule    Rule       `json:"rule"`
+	State   State      `json:"state"`
+	Value   tsdb.Value `json:"value"`            // most recent evaluation
+	SinceS  float64    `json:"sinceS,omitempty"` // when the current state began
+	LastEvS float64    `json:"lastEvalS"`
+}
+
+type ruleState struct {
+	state  State
+	since  float64 // entered current state
+	value  float64 // last evaluated value
+	lastEv float64
+}
+
+// Engine evaluates a rule catalogue against a tsdb.DB. Safe for
+// concurrent use; evaluation order is catalogue order.
+type Engine struct {
+	db      *tsdb.DB
+	rules   []Rule
+	onEvent func(Event) // journal hook, may be nil; called outside the engine lock
+
+	mu      sync.Mutex
+	st      map[string]*ruleState
+	history []Event // newest last, bounded
+	histCap int
+}
+
+// New builds an engine over db with the given catalogue. onEvent, if
+// non-nil, observes every firing/resolved transition (the service
+// journals them through internal/store). Duplicate rule names are an
+// error: the journal keys history by name.
+func New(db *tsdb.DB, rules []Rule, onEvent func(Event)) (*Engine, error) {
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if r.Name == "" {
+			return nil, fmt.Errorf("alert: rule with empty name")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("alert: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		switch r.Op {
+		case ">", ">=", "<", "<=":
+		default:
+			return nil, fmt.Errorf("alert: rule %q has unknown op %q", r.Name, r.Op)
+		}
+	}
+	e := &Engine{db: db, rules: rules, onEvent: onEvent,
+		st: make(map[string]*ruleState, len(rules)), histCap: 256}
+	for _, r := range rules {
+		e.st[r.Name] = &ruleState{state: StateInactive}
+	}
+	return e, nil
+}
+
+// Rules returns the catalogue.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// evalExpr runs one scalar query; NaN means "no data".
+func (e *Engine) evalExpr(x Expr) float64 {
+	res, err := e.db.Query(tsdb.Query{Fn: x.Fn, Series: x.Series, WindowS: x.WindowS, Q: x.Q})
+	if err != nil || len(res.Values) == 0 {
+		return math.NaN()
+	}
+	agg := x.Agg
+	if agg == "" {
+		agg = "max"
+	}
+	v := float64(res.Values[0].Value)
+	sum, n := 0.0, 0
+	for _, sv := range res.Values {
+		f := float64(sv.Value)
+		if math.IsNaN(f) {
+			continue
+		}
+		sum += f
+		n++
+		switch agg {
+		case "max":
+			if math.IsNaN(v) || f > v {
+				v = f
+			}
+		case "min":
+			if math.IsNaN(v) || f < v {
+				v = f
+			}
+		}
+	}
+	switch agg {
+	case "sum":
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum
+	case "avg":
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
+	}
+	return v
+}
+
+func compare(v float64, op string, threshold float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	switch op {
+	case ">":
+		return v > threshold
+	case ">=":
+		return v >= threshold
+	case "<":
+		return v < threshold
+	case "<=":
+		return v <= threshold
+	}
+	return false
+}
+
+// Eval evaluates every rule at the given clock reading and returns the
+// transitions (possibly none) in catalogue order. Transitions are also
+// appended to history and handed to the onEvent journal hook.
+func (e *Engine) Eval(nowS float64) []Event {
+	var events []Event
+	e.mu.Lock()
+	for _, r := range e.rules {
+		v := e.evalExpr(r.Expr)
+		if r.DivBy != nil {
+			d := e.evalExpr(*r.DivBy)
+			if math.IsNaN(d) || d <= 0 {
+				v = math.NaN()
+			} else {
+				v /= d
+			}
+		}
+		st := e.st[r.Name]
+		st.value, st.lastEv = v, nowS
+		cond := compare(v, r.Op, r.Threshold)
+		switch st.state {
+		case StateInactive:
+			if cond {
+				if r.ForS <= 0 {
+					st.state, st.since = StateFiring, nowS
+					events = append(events, Event{Rule: r.Name, Severity: r.Severity, State: "firing", AtS: nowS, Value: tsdb.Value(v)})
+				} else {
+					st.state, st.since = StatePending, nowS
+				}
+			}
+		case StatePending:
+			switch {
+			case !cond:
+				st.state, st.since = StateInactive, nowS
+			case nowS-st.since >= r.ForS:
+				st.state, st.since = StateFiring, nowS
+				events = append(events, Event{Rule: r.Name, Severity: r.Severity, State: "firing", AtS: nowS, Value: tsdb.Value(v)})
+			}
+		case StateFiring:
+			if !cond {
+				st.state, st.since = StateInactive, nowS
+				events = append(events, Event{Rule: r.Name, Severity: r.Severity, State: "resolved", AtS: nowS, Value: tsdb.Value(v)})
+			}
+		}
+	}
+	e.history = append(e.history, events...)
+	if n := len(e.history) - e.histCap; n > 0 {
+		e.history = append(e.history[:0], e.history[n:]...)
+	}
+	e.mu.Unlock()
+	if e.onEvent != nil {
+		for _, ev := range events {
+			e.onEvent(ev)
+		}
+	}
+	return events
+}
+
+// Statuses returns every rule's current standing, sorted by name.
+func (e *Engine) Statuses() []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.rules))
+	for _, r := range e.rules {
+		st := e.st[r.Name]
+		out = append(out, Status{Rule: r, State: st.state, Value: tsdb.Value(st.value),
+			SinceS: st.since, LastEvS: st.lastEv})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.Name < out[j].Rule.Name })
+	return out
+}
+
+// History returns the newest max transitions (0 for all retained),
+// oldest first.
+func (e *Engine) History(max int) []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	evs := e.history
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+// Firing returns the names of currently firing rules, sorted.
+func (e *Engine) Firing() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for name, st := range e.st {
+		if st.state == StateFiring {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Restore replays journaled events (oldest first) into the engine:
+// history is refilled and each rule whose latest event is "firing"
+// resumes in the firing state, so a restart does not re-announce an
+// alert that was already firing — the next Eval either keeps it or
+// emits the resolved edge. Events for rules no longer in the catalogue
+// are kept in history but restore no state.
+func (e *Engine) Restore(events []Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.history = append(e.history, events...)
+	if n := len(e.history) - e.histCap; n > 0 {
+		e.history = append(e.history[:0], e.history[n:]...)
+	}
+	last := map[string]Event{}
+	for _, ev := range events {
+		last[ev.Rule] = ev
+	}
+	for name, ev := range last {
+		st := e.st[name]
+		if st == nil {
+			continue
+		}
+		if ev.State == "firing" {
+			st.state, st.since, st.value = StateFiring, ev.AtS, float64(ev.Value)
+		}
+	}
+}

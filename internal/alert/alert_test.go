@@ -1,0 +1,239 @@
+package alert
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
+	"github.com/fastvg/fastvg/internal/tsdb"
+)
+
+func testDB() (*telemetry.Registry, *telemetry.Gauge, *telemetry.Counter, *tsdb.DB) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("vgx_test_load", "load")
+	c := reg.Counter("vgx_test_errs_total", "errors")
+	return reg, g, c, tsdb.New(reg, tsdb.Options{Capacity: 64})
+}
+
+func TestRuleLifecycle(t *testing.T) {
+	_, g, _, db := testDB()
+	var journal []Event
+	eng, err := New(db, []Rule{{
+		Name: "load-high", Severity: "warning",
+		Expr: Expr{Fn: "last", Series: "vgx_test_load"},
+		Op:   ">", Threshold: 5, ForS: 20,
+	}}, func(ev Event) { journal = append(journal, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(atS, load float64) []Event {
+		g.Set(load)
+		db.Scrape(atS)
+		return eng.Eval(atS)
+	}
+
+	if evs := step(10, 1); len(evs) != 0 {
+		t.Fatalf("t=10: %+v", evs)
+	}
+	// Condition true: pending, not yet firing.
+	if evs := step(20, 9); len(evs) != 0 {
+		t.Fatalf("t=20: %+v", evs)
+	}
+	if st := eng.Statuses()[0]; st.State != StatePending || st.SinceS != 20 {
+		t.Fatalf("status after t=20: %+v", st)
+	}
+	// Still inside the for-window.
+	if evs := step(30, 9); len(evs) != 0 {
+		t.Fatalf("t=30: %+v", evs)
+	}
+	// Held 20s: fires.
+	evs := step(40, 9)
+	if len(evs) != 1 || evs[0].State != "firing" || evs[0].AtS != 40 || evs[0].Value != 9 {
+		t.Fatalf("t=40: %+v", evs)
+	}
+	if got := eng.Firing(); len(got) != 1 || got[0] != "load-high" {
+		t.Fatalf("Firing = %v", got)
+	}
+	// Stays firing without re-announcing.
+	if evs := step(50, 9); len(evs) != 0 {
+		t.Fatalf("t=50: %+v", evs)
+	}
+	// Drops below: resolved.
+	evs = step(60, 1)
+	if len(evs) != 1 || evs[0].State != "resolved" {
+		t.Fatalf("t=60: %+v", evs)
+	}
+	if len(eng.Firing()) != 0 {
+		t.Fatal("still firing after resolve")
+	}
+	if len(journal) != 2 {
+		t.Fatalf("journal = %+v", journal)
+	}
+	if h := eng.History(0); len(h) != 2 || h[0].State != "firing" || h[1].State != "resolved" {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestPendingResets(t *testing.T) {
+	_, g, _, db := testDB()
+	eng, _ := New(db, []Rule{{
+		Name: "load-high", Severity: "warning",
+		Expr: Expr{Fn: "last", Series: "vgx_test_load"},
+		Op:   ">", Threshold: 5, ForS: 30,
+	}}, nil)
+	step := func(atS, load float64) []Event {
+		g.Set(load)
+		db.Scrape(atS)
+		return eng.Eval(atS)
+	}
+	step(10, 9) // pending since 10
+	step(20, 1) // back to inactive
+	step(30, 9) // pending since 30
+	// 25s held — a naive engine counting from t=10 would fire here.
+	if evs := step(55, 9); len(evs) != 0 {
+		t.Fatalf("fired before the for-window was re-held: %+v", evs)
+	}
+	if evs := step(60, 9); len(evs) != 1 {
+		t.Fatalf("t=60: %+v", evs)
+	}
+}
+
+func TestZeroForFiresImmediately(t *testing.T) {
+	_, _, c, db := testDB()
+	eng, _ := New(db, []Rule{{
+		Name: "errors", Severity: "critical",
+		Expr: Expr{Fn: "rate", Series: "vgx_test_errs_total", WindowS: 60},
+		Op:   ">", Threshold: 0,
+	}}, nil)
+	db.Scrape(10)
+	eng.Eval(10) // single point: rate is NaN, no event
+	c.Add(5)
+	db.Scrape(20)
+	evs := eng.Eval(20)
+	if len(evs) != 1 || evs[0].State != "firing" {
+		t.Fatalf("evs = %+v", evs)
+	}
+	if evs[0].Value != 0.5 {
+		t.Errorf("rate = %v, want 0.5", evs[0].Value)
+	}
+}
+
+func TestRatioRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	esc := reg.Counter("vgx_test_esc_total", "e")
+	hit := reg.Counter("vgx_test_hit_total", "h")
+	db := tsdb.New(reg, tsdb.Options{})
+	eng, _ := New(db, []Rule{{
+		Name: "ratio", Severity: "warning",
+		Expr:  Expr{Fn: "rate", Series: "vgx_test_esc_total", WindowS: 100},
+		DivBy: &Expr{Fn: "rate", Series: "vgx_test_hit_total", WindowS: 100},
+		Op:    ">", Threshold: 1,
+	}}, nil)
+	db.Scrape(0)
+	eng.Eval(0)
+	// More escalations than hits: ratio 3.
+	esc.Add(30)
+	hit.Add(10)
+	db.Scrape(10)
+	if evs := eng.Eval(10); len(evs) != 1 {
+		t.Fatalf("ratio did not fire: %+v", evs)
+	}
+	// Denominator goes flat: NaN suppresses rather than fires.
+	esc.Add(30)
+	db2 := tsdb.New(reg, tsdb.Options{})
+	eng2, _ := New(db2, []Rule{eng.Rules()[0]}, nil)
+	db2.Scrape(0)
+	db2.Scrape(10) // hit rate over this window is 0
+	if evs := eng2.Eval(10); len(evs) != 0 {
+		t.Fatalf("zero denominator fired: %+v", evs)
+	}
+	if st := eng2.Statuses()[0]; !math.IsNaN(float64(st.Value)) {
+		t.Errorf("value with zero denominator = %v, want NaN", st.Value)
+	}
+}
+
+func TestRestore(t *testing.T) {
+	_, g, _, db := testDB()
+	rules := []Rule{{
+		Name: "load-high", Severity: "warning",
+		Expr: Expr{Fn: "last", Series: "vgx_test_load"},
+		Op:   ">", Threshold: 5,
+	}}
+	journaled := []Event{
+		{Rule: "load-high", Severity: "warning", State: "firing", AtS: 40, Value: 9},
+		{Rule: "gone-rule", Severity: "warning", State: "firing", AtS: 41, Value: 1},
+	}
+	eng, _ := New(db, rules, nil)
+	eng.Restore(journaled)
+	if got := eng.Firing(); len(got) != 1 || got[0] != "load-high" {
+		t.Fatalf("Firing after restore = %v", got)
+	}
+	if h := eng.History(0); len(h) != 2 {
+		t.Fatalf("history after restore = %+v", h)
+	}
+	// Condition still true on the next eval: no duplicate firing event.
+	g.Set(9)
+	db.Scrape(50)
+	if evs := eng.Eval(50); len(evs) != 0 {
+		t.Fatalf("re-announced after restore: %+v", evs)
+	}
+	// Condition false: emits the resolved edge the crash swallowed.
+	g.Set(1)
+	db.Scrape(60)
+	evs := eng.Eval(60)
+	if len(evs) != 1 || evs[0].State != "resolved" {
+		t.Fatalf("resolve after restore: %+v", evs)
+	}
+
+	// A firing->resolved pair restores to inactive.
+	eng2, _ := New(db, rules, nil)
+	eng2.Restore([]Event{
+		{Rule: "load-high", State: "firing", AtS: 40},
+		{Rule: "load-high", State: "resolved", AtS: 45},
+	})
+	if len(eng2.Firing()) != 0 {
+		t.Fatal("resolved alert restored as firing")
+	}
+}
+
+func TestAggAcrossSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cv := reg.CounterVec("vgx_test_kinds_total", "k", "kind")
+	db := tsdb.New(reg, tsdb.Options{})
+	cv.With("a").Add(1)
+	cv.With("b").Add(10)
+	db.Scrape(1)
+	eng, _ := New(db, []Rule{
+		{Name: "max", Expr: Expr{Fn: "last", Series: "vgx_test_kinds_total"}, Op: ">", Threshold: 9},
+		{Name: "sum", Expr: Expr{Fn: "last", Series: "vgx_test_kinds_total", Agg: "sum"}, Op: ">", Threshold: 10.5},
+		{Name: "min", Expr: Expr{Fn: "last", Series: "vgx_test_kinds_total", Agg: "min"}, Op: "<", Threshold: 2},
+		{Name: "avg", Expr: Expr{Fn: "last", Series: "vgx_test_kinds_total", Agg: "avg"}, Op: ">=", Threshold: 5.5},
+	}, nil)
+	evs := eng.Eval(1)
+	if len(evs) != 4 {
+		t.Fatalf("evs = %+v, want all four aggregations to fire", evs)
+	}
+}
+
+func TestCatalogueValidation(t *testing.T) {
+	_, _, _, db := testDB()
+	if _, err := New(db, []Rule{{Name: "", Op: ">"}}, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New(db, []Rule{
+		{Name: "a", Op: ">"}, {Name: "a", Op: ">"},
+	}, nil); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := New(db, []Rule{{Name: "a", Op: "=="}}, nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	_, _, _, db := testDB()
+	if _, err := New(db, DefaultRules(), nil); err != nil {
+		t.Fatalf("DefaultRules invalid: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package alert
+
+// DefaultRules is the stock SLO catalogue for a wired daemon. The
+// thresholds lean conservative — they flag conditions that are
+// unambiguously wrong (shedding at all, journal writes failing, the
+// worst fleet pair far past its re-probe threshold) rather than tuning
+// noise. Deployments with different tolerances replace the catalogue
+// through service.Config.AlertRules.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:     "service-shedding",
+			Severity: "warning",
+			Expr:     Expr{Fn: "rate", Series: "vgx_service_shed_total", WindowS: 60},
+			Op:       ">", Threshold: 0,
+			Help: "The admission gate is rejecting jobs with 429/ErrOverloaded: the queue-depth limit was hit within the last minute.",
+		},
+		{
+			Name:     "fleet-staleness-worst",
+			Severity: "warning",
+			Expr:     Expr{Fn: "last", Series: "vgx_fleet_staleness_worst"},
+			Op:       ">", Threshold: 3,
+			Help: "A spot-check found a pair more than 3x past the re-extraction threshold: the scheduler is falling behind drift.",
+		},
+		{
+			Name:     "service-persist-errors",
+			Severity: "critical",
+			Expr:     Expr{Fn: "rate", Series: "vgx_service_persist_errors_total", WindowS: 300},
+			Op:       ">", Threshold: 0,
+			Help: "Journal/trace writes are failing; results are served but state will not survive restart.",
+		},
+		{
+			Name:     "surrogate-escalation-ratio",
+			Severity: "warning",
+			Expr:     Expr{Fn: "rate", Series: "vgx_surrogate_escalations_total", WindowS: 300},
+			DivBy:    &Expr{Fn: "rate", Series: "vgx_surrogate_hits_total", WindowS: 300},
+			Op:       ">", Threshold: 1, ForS: 60,
+			Help: "The digital twin is escalating to live probes more often than it answers: the surrogate has stopped paying for itself.",
+		},
+		{
+			Name:     "pool-saturated",
+			Severity: "warning",
+			Expr:     Expr{Fn: "avg", Series: "vgx_sched_saturation", WindowS: 60},
+			Op:       ">=", Threshold: 2, ForS: 30,
+			Help: "The worker pool has held a queue at least as deep as the pool itself for 30s: throughput is the bottleneck.",
+		},
+	}
+}

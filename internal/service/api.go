@@ -10,6 +10,7 @@ import (
 	"github.com/fastvg/fastvg/internal/device"
 	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/telemetry"
+	"github.com/fastvg/fastvg/internal/tsdb"
 )
 
 // Handler returns the service's HTTP API, the surface cmd/vgxd serves:
@@ -28,6 +29,12 @@ import (
 //	GET    /v1/stats           cache / scheduler / job / session / surrogate accounting
 //	GET    /v1/spans           request hashes with journaled span trees (durable services)
 //	GET    /v1/spans/{hash}    one job's journaled span tree (JSON)
+//	GET    /v1/query           instant/range query over the in-process tsdb
+//	                           (?fn=last|avg|min|max|sum|rate|quantile|range,
+//	                           ?series=<sample or family>, ?window=S, ?q=P)
+//	GET    /v1/alerts          alert rule statuses, firing set and recent history
+//	GET    /debug/bundle       flight-recorder bundle (tar.gz: metrics, tsdb
+//	                           windows, alerts, span trees, fleet + build info)
 //	GET    /v1/healthz         liveness, uptime and drain state
 //	GET    /healthz            liveness (legacy alias)
 //	GET    /metrics            Prometheus text exposition of every vgx_* family
@@ -297,7 +304,67 @@ func (s *Service) Handler() http.Handler {
 			}
 			reports = append(reports, rep)
 		}
+		// Tick-driven scrape: the tsdb and alert engine advance on the
+		// same virtual instant the fleet just reached, so replaying a
+		// tick schedule replays the alert sequence exactly.
+		s.ScrapeNow(s.fleet.Now())
 		reply(w, http.StatusOK, map[string]any{"now": s.fleet.Now(), "reports": reports})
+	})
+
+	// The observability surface: instant/range queries over the scraped
+	// tsdb, the alert board, and the flight-recorder bundle.
+	//
+	//	GET /v1/query?fn=rate&series=vgx_service_shed_total&window=60
+	//	GET /v1/query?fn=quantile&series=vgx_service_job_seconds&window=300&q=0.99
+	//	GET /v1/alerts
+	//	GET /debug/bundle
+	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		qs := r.URL.Query()
+		q := tsdb.Query{Fn: qs.Get("fn"), Series: qs.Get("series")}
+		if v := qs.Get("window"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fail(w, http.StatusBadRequest, fmt.Errorf("bad window %q", v))
+				return
+			}
+			q.WindowS = f
+		}
+		if v := qs.Get("q"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fail(w, http.StatusBadRequest, fmt.Errorf("bad q %q", v))
+				return
+			}
+			q.Q = f
+		}
+		res, err := s.obs.db.Query(q)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		reply(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		eng := s.AlertEngine()
+		if eng == nil {
+			fail(w, http.StatusNotFound, errors.New("alerts disabled"))
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{
+			"alerts":  eng.Statuses(),
+			"firing":  eng.Firing(),
+			"history": eng.History(64),
+		})
+	})
+
+	mux.HandleFunc("GET /debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", `attachment; filename="vgx-bundle.tar.gz"`)
+		if err := s.WriteBundle(w); err != nil {
+			// Headers are gone; the truncated archive is the best signal left.
+			return
+		}
 	})
 
 	mux.HandleFunc("GET /v1/spans", func(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,9 @@ type serviceMetrics struct {
 	persistErrs  *telemetry.Counter
 	methodProbes *telemetry.CounterVec // vgx_service_probes_total{method}
 
+	httpRequests *telemetry.CounterVec   // vgx_http_requests_total{route}
+	httpSeconds  *telemetry.HistogramVec // vgx_http_request_seconds{route}
+
 	sched *sched.Metrics
 	store *store.Metrics
 	sur   *surrogate.Metrics
@@ -62,6 +65,9 @@ func newServiceMetrics(reg *telemetry.Registry) *serviceMetrics {
 
 		persistErrs:  reg.Counter("vgx_service_persist_errors_total", "Journal/trace/span writes that failed; results were still served."),
 		methodProbes: reg.CounterVec("vgx_service_probes_total", "Executed instrument probes, by extraction method.", "method"),
+
+		httpRequests: reg.CounterVec("vgx_http_requests_total", "HTTP requests served, by route pattern (closed set, never the raw path).", "route"),
+		httpSeconds:  reg.HistogramVec("vgx_http_request_seconds", "HTTP request latency, by route pattern.", telemetry.SecondsBuckets, "route"),
 
 		sched: sched.NewMetrics(reg),
 		store: store.NewMetrics(reg),

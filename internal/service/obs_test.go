@@ -1,0 +1,510 @@
+package service
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/alert"
+	"github.com/fastvg/fastvg/internal/fleet"
+	"github.com/fastvg/fastvg/internal/tsdb"
+)
+
+// obsRules is the deterministic rule pair the worker-count tests run:
+// one zero-ForS rate rule that both fires and resolves inside the
+// scripted scrape schedule, and one held threshold rule that walks
+// through pending before firing.
+func obsRules() []alert.Rule {
+	return []alert.Rule{
+		{
+			Name: "jobs-flowing", Severity: "info",
+			Expr: alert.Expr{Fn: "rate", Series: `vgx_service_jobs_total{kind="fast"}`, WindowS: 2},
+			Op:   ">", Threshold: 0,
+		},
+		{
+			Name: "jobs-over-five", Severity: "warning",
+			Expr: alert.Expr{Fn: "last", Series: "vgx_service_jobs_total", Agg: "sum"},
+			Op:   ">", Threshold: 5, ForS: 2,
+		},
+	}
+}
+
+// obsWorkload drives one service through the scripted schedule: three
+// concurrent distinct extractions before each of the first four virtual
+// seconds, then two quiet seconds, scraping after every step. Returns
+// the alert transitions in evaluation order.
+func obsWorkload(t *testing.T, svc *Service) []alert.Event {
+	t.Helper()
+	ctx := context.Background()
+	var events []alert.Event
+	for step := 1; step <= 6; step++ {
+		if step <= 4 {
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					if _, err := svc.Run(ctx, Request{Kind: KindFast, Sim: smallSim(seed)}); err != nil {
+						t.Errorf("job seed %d: %v", seed, err)
+					}
+				}(uint64(100*step + i))
+			}
+			wg.Wait()
+		}
+		events = append(events, svc.ScrapeNow(float64(step))...)
+	}
+	return events
+}
+
+// TestObsDeterminismAcrossWorkers is the observability determinism
+// property: the same scripted workload, scraped on the same virtual
+// schedule, must produce byte-identical tsdb query results and the
+// identical alert transition sequence at every worker-pool width. Under
+// -race this also exercises concurrent extraction against the scrape
+// path.
+func TestObsDeterminismAcrossWorkers(t *testing.T) {
+	queries := []tsdb.Query{
+		{Fn: "last", Series: "vgx_service_jobs_total"},
+		{Fn: "max", Series: "vgx_service_jobs_total", WindowS: 10},
+		{Fn: "rate", Series: `vgx_service_jobs_total{kind="fast"}`, WindowS: 4},
+		{Fn: "avg", Series: "vgx_service_inflight", WindowS: 10},
+		{Fn: "range", Series: "vgx_sched_submitted_total"},
+	}
+	var wantQueries []string
+	var wantEvents string
+	for _, workers := range []int{1, 2, 4, 8} {
+		svc, err := New(Config{Workers: workers, CacheSize: 64,
+			ScrapeInterval: -1, AlertRules: obsRules()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := obsWorkload(t, svc)
+		evJSON, err := json.Marshal(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotQueries []string
+		for _, q := range queries {
+			res, err := svc.TSDB().Query(q)
+			if err != nil {
+				t.Fatalf("workers=%d query %+v: %v", workers, q, err)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotQueries = append(gotQueries, string(b))
+		}
+		if err := svc.Close(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+
+		if wantQueries == nil {
+			wantQueries = gotQueries
+			wantEvents = string(evJSON)
+			// The baseline itself must be meaningful: jobs flowed, the
+			// rate rule both fired and resolved, the held rule fired.
+			if !strings.Contains(wantEvents, `"jobs-flowing"`) || !strings.Contains(wantEvents, "resolved") ||
+				!strings.Contains(wantEvents, `"jobs-over-five"`) {
+				t.Fatalf("baseline alert sequence incomplete: %s", wantEvents)
+			}
+			continue
+		}
+		for i, got := range gotQueries {
+			if got != wantQueries[i] {
+				t.Errorf("workers=%d query %d differs:\n got %s\nwant %s", workers, i, got, wantQueries[i])
+			}
+		}
+		if string(evJSON) != wantEvents {
+			t.Errorf("workers=%d alert sequence differs:\n got %s\nwant %s", workers, evJSON, wantEvents)
+		}
+	}
+}
+
+// TestObsAlertJournalSurvivesRestart checks the durability contract: a
+// firing alert journaled by one service incarnation is restored as
+// firing by the next, the full history is readable via
+// LoadAlertHistory, and the restored rule resolves (with a journaled
+// resolved transition) once its condition clears.
+func TestObsAlertJournalSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	rules := []alert.Rule{{
+		Name: "jobs-seen", Severity: "warning",
+		Expr: alert.Expr{Fn: "last", Series: "vgx_service_jobs_total", Agg: "sum"},
+		Op:   ">", Threshold: 0,
+	}}
+	cfg := Config{Workers: 1, DataDir: dir, ScrapeInterval: -1, AlertRules: rules}
+
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(context.Background(), Request{Kind: KindFast, Sim: smallSim(1)}); err != nil {
+		t.Fatal(err)
+	}
+	events := svc.ScrapeNow(5)
+	if len(events) != 1 || events[0].Rule != "jobs-seen" || events[0].State != "firing" {
+		t.Fatalf("first scrape events = %+v, want one jobs-seen firing", events)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal alone tells the story.
+	hist, err := LoadAlertHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].Rule != "jobs-seen" || hist[0].State != "firing" || hist[0].AtS != 5 {
+		t.Fatalf("journaled history = %+v, want the firing transition at t=5", hist)
+	}
+
+	// Restart: the rule comes back firing without re-announcing...
+	svc, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	var restored *alert.Status
+	for _, st := range svc.AlertEngine().Statuses() {
+		if st.Rule.Name == "jobs-seen" {
+			s := st
+			restored = &s
+		}
+	}
+	if restored == nil || restored.State != alert.StateFiring {
+		t.Fatalf("restored status = %+v, want jobs-seen firing", restored)
+	}
+
+	// ...and the fresh registry's zeroed counters resolve it on the next
+	// evaluation, emitting (and journaling) the resolved edge.
+	events = svc.ScrapeNow(10)
+	if len(events) != 1 || events[0].State != "resolved" {
+		t.Fatalf("post-restart scrape events = %+v, want one resolved", events)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = LoadAlertHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[1].State != "resolved" || hist[1].AtS != 10 {
+		t.Fatalf("history after restart = %+v, want firing then resolved", hist)
+	}
+}
+
+// TestObsE2EDriftAndSaturationAlerts is the acceptance scenario: a
+// durable service whose fleet drifts past tolerance and whose pool is
+// saturated into shedding must raise the default staleness and shed
+// alerts from its own scrapes — no custom rules, no external monitor.
+func TestObsE2EDriftAndSaturationAlerts(t *testing.T) {
+	svc, err := New(Config{
+		Workers: 1, MaxQueueDepth: 1, DataDir: t.TempDir(), ScrapeInterval: -1,
+		// A tight drift tolerance and an unreachable re-extraction
+		// threshold: spot-checks score enormous staleness and the
+		// scheduler never repairs it — a fleet falling behind by design.
+		Fleet: fleet.Policy{CheckInterval: 600, MaxShiftFrac: 1e-4, StaleThreshold: 1e5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	ctx := context.Background()
+
+	spec, err := fleet.ProfileSpec(fleet.ProfileWandering, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Fleet().Register(fleet.DeviceConfig{ID: "drifter", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	// First tick calibrates; later ticks spot-check against accumulated
+	// drift. With tolerance at 1e-4 of the window span, any visible
+	// wander scores far past the default rule's threshold of 3.
+	for i := 0; i < 8; i++ {
+		if _, err := svc.Fleet().Tick(ctx, 600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := svc.ScrapeNow(1)
+
+	// Saturate the pool and bounce one extraction off the admission gate
+	// between two scrapes, so the shed rate over the window is positive.
+	release := saturatePool(t, svc, 1)
+	if _, err := svc.Run(ctx, Request{Kind: KindFast, Sim: smallSim(42)}); err != ErrOverloaded {
+		release()
+		t.Fatalf("run under saturation: err = %v, want ErrOverloaded", err)
+	}
+	release()
+	events = append(events, svc.ScrapeNow(2)...)
+
+	firing := map[string]bool{}
+	for _, ev := range events {
+		if ev.State == "firing" {
+			firing[ev.Rule] = true
+		}
+	}
+	if !firing["fleet-staleness-worst"] {
+		t.Errorf("fleet-staleness-worst never fired; events = %+v, staleness = %v",
+			events, svc.Fleet().Status().WorstStaleness)
+	}
+	if !firing["service-shedding"] {
+		t.Errorf("service-shedding never fired; events = %+v", events)
+	}
+	for _, rule := range svc.AlertEngine().Firing() {
+		if rule == "service-persist-errors" {
+			t.Errorf("persist-errors firing on a healthy journal")
+		}
+	}
+}
+
+// TestObsBundleEndpoint pulls GET /debug/bundle from a warmed-up durable
+// daemon and verifies the artifact is a well-formed gzipped tar holding
+// every self-contained postmortem entry.
+func TestObsBundleEndpoint(t *testing.T) {
+	svc, err := New(Config{Workers: 1, DataDir: t.TempDir(), ScrapeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	if _, err := svc.Run(context.Background(), Request{Kind: KindFast, Sim: smallSim(3)}); err != nil {
+		t.Fatal(err)
+	}
+	svc.ScrapeNow(1)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Errorf("Content-Type = %q, want application/gzip", ct)
+	}
+
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[hdr.Name] = b
+	}
+
+	for _, name := range []string{
+		"vgx-bundle/build.json", "vgx-bundle/metrics.txt", "vgx-bundle/health.json",
+		"vgx-bundle/stats.json", "vgx-bundle/fleet.json", "vgx-bundle/tsdb.json",
+		"vgx-bundle/alerts.json", "vgx-bundle/spans.txt",
+	} {
+		if len(entries[name]) == 0 {
+			t.Errorf("bundle entry %s missing or empty; have %v", name, keysOf(entries))
+		}
+	}
+	var info struct {
+		GoVersion string `json:"goVersion"`
+		Durable   bool   `json:"durable"`
+		AlertsOn  bool   `json:"alertsOn"`
+	}
+	if err := json.Unmarshal(entries["vgx-bundle/build.json"], &info); err != nil {
+		t.Fatalf("build.json: %v", err)
+	}
+	if info.GoVersion == "" || !info.Durable || !info.AlertsOn {
+		t.Errorf("build.json manifest = %+v, want go version + durable + alerts on", info)
+	}
+	if !strings.Contains(string(entries["vgx-bundle/metrics.txt"]), "vgx_service_jobs_total") {
+		t.Error("metrics.txt lacks the job counter family")
+	}
+	var tsdbEntry struct {
+		Stats struct {
+			Series  int `json:"series"`
+			Scrapes int `json:"scrapes"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(entries["vgx-bundle/tsdb.json"], &tsdbEntry); err != nil {
+		t.Fatalf("tsdb.json: %v", err)
+	}
+	if tsdbEntry.Stats.Series == 0 || tsdbEntry.Stats.Scrapes != 1 {
+		t.Errorf("tsdb.json stats = %+v, want scraped series", tsdbEntry.Stats)
+	}
+}
+
+func keysOf(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestObsQueryAndAlertsAPI drives the two observability endpoints over
+// HTTP: a labelled rate query round-trips through the JSON shape, bad
+// queries 400, and the alert board lists every configured rule.
+func TestObsQueryAndAlertsAPI(t *testing.T) {
+	svc, err := New(Config{Workers: 2, CacheSize: 16, ScrapeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := svc.Run(ctx, Request{Kind: KindFast, Sim: smallSim(seed)}); err != nil {
+			t.Fatal(err)
+		}
+		svc.ScrapeNow(float64(seed))
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	var res struct {
+		Fn     string  `json:"fn"`
+		AtS    float64 `json:"atS"`
+		Values []struct {
+			Series string   `json:"series"`
+			Value  *float64 `json:"value"`
+		} `json:"values"`
+	}
+	doJSON(t, "GET", srv.URL+`/v1/query?fn=rate&series=vgx_service_jobs_total&window=2`,
+		nil, http.StatusOK, &res)
+	if res.Fn != "rate" || res.AtS != 3 {
+		t.Fatalf("query echo = %+v, want rate at t=3", res)
+	}
+	found := false
+	for _, v := range res.Values {
+		if v.Series == `vgx_service_jobs_total{kind="fast"}` {
+			found = true
+			if v.Value == nil || *v.Value <= 0 {
+				t.Errorf("fast job rate = %v, want positive", v.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no fast-kind series in %+v", res.Values)
+	}
+
+	for _, bad := range []string{
+		"/v1/query",                             // no selector
+		"/v1/query?fn=median&series=x",          // unknown fn
+		"/v1/query?fn=last&series=x&window=-1",  // negative window
+		"/v1/query?fn=quantile&series=x&q=nope", // unparsable q
+	} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	var board struct {
+		Alerts []alert.Status `json:"alerts"`
+		Firing []string       `json:"firing"`
+	}
+	doJSON(t, "GET", srv.URL+"/v1/alerts", nil, http.StatusOK, &board)
+	if len(board.Alerts) != len(alert.DefaultRules()) {
+		t.Errorf("alert board lists %d rules, want the %d defaults",
+			len(board.Alerts), len(alert.DefaultRules()))
+	}
+	if len(board.Firing) != 0 {
+		t.Errorf("quiet service firing %v, want none", board.Firing)
+	}
+}
+
+// TestRouteLabelBoundedCardinality pins the closed route set: every
+// label InstrumentHTTP can emit comes from a fixed template list, no
+// matter what path a client invents.
+func TestRouteLabelBoundedCardinality(t *testing.T) {
+	allowed := map[string]bool{
+		"/v1/jobs": true, "/v1/batch": true, "/v1/benchmarks": true,
+		"/v1/sessions": true, "/v1/surrogate": true, "/v1/surrogate/train": true,
+		"/v1/stats": true, "/v1/spans": true, "/v1/fleet": true,
+		"/v1/fleet/devices": true, "/v1/fleet/tick": true, "/v1/query": true,
+		"/v1/alerts": true, "/v1/healthz": true, "/healthz": true,
+		"/metrics": true, "/debug/bundle": true,
+		"/v1/jobs/{id}": true, "/v1/sessions/{id}": true, "/v1/spans/{hash}": true,
+		"/v1/fleet/devices/{id}": true, "/v1/fleet/devices/{id}/history": true,
+		"/v1/fleet/devices/{id}/recalibrate": true, "other": true,
+	}
+	cases := map[string]string{
+		"/v1/jobs":                            "/v1/jobs",
+		"/v1/jobs/job-000123":                 "/v1/jobs/{id}",
+		"/v1/sessions/sess-7":                 "/v1/sessions/{id}",
+		"/v1/spans/0a1b2c":                    "/v1/spans/{hash}",
+		"/v1/fleet/devices/lab-a":             "/v1/fleet/devices/{id}",
+		"/v1/fleet/devices/lab-a/history":     "/v1/fleet/devices/{id}/history",
+		"/v1/fleet/devices/lab-a/recalibrate": "/v1/fleet/devices/{id}/recalibrate",
+		"/debug/bundle":                       "/debug/bundle",
+		"/etc/passwd":                         "other",
+		"/v1/unknown":                         "other",
+		"":                                    "other",
+	}
+	for path, want := range cases {
+		if got := RouteLabel(path); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+	// Fuzz-ish sweep: whatever the path, the label stays in the set.
+	for i := 0; i < 200; i++ {
+		path := fmt.Sprintf("/v1/jobs/%d/../../x%d", i, i)
+		if !allowed[RouteLabel(path)] {
+			t.Fatalf("RouteLabel(%q) = %q escapes the closed set", path, RouteLabel(path))
+		}
+	}
+}
+
+// TestInstrumentHTTPCountsRoutes checks the middleware end to end: one
+// labelled counter increment per request, under the template label.
+func TestInstrumentHTTPCountsRoutes(t *testing.T) {
+	svc, err := New(Config{Workers: 1, ScrapeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.InstrumentHTTP(svc.Handler()))
+	defer srv.Close()
+
+	for _, path := range []string{"/v1/healthz", "/v1/healthz", "/v1/stats", "/v1/jobs/nope"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	expo := svc.Telemetry().Expose()
+	for _, want := range []string{
+		`vgx_http_requests_total{route="/v1/healthz"} 2`,
+		`vgx_http_requests_total{route="/v1/stats"} 1`,
+		`vgx_http_requests_total{route="/v1/jobs/{id}"} 1`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}

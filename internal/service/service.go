@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fastvg/fastvg/internal/alert"
 	"github.com/fastvg/fastvg/internal/autotune"
 	"github.com/fastvg/fastvg/internal/baseline"
 	"github.com/fastvg/fastvg/internal/core"
@@ -68,6 +69,24 @@ type Config struct {
 	// ErrOverloaded (HTTP 429) instead of queueing. Cache hits and
 	// coalesced joins are still served. 0 means never shed.
 	MaxQueueDepth int
+
+	// ScrapeInterval is the cadence of the background loop sampling the
+	// metric registry into the in-process tsdb (and evaluating alerts);
+	// 0 uses the 10s default, negative disables the loop entirely —
+	// scrapes then happen only on fleet ticks and explicit ScrapeNow
+	// calls, which is how the determinism tests drive the tsdb on the
+	// virtual clock.
+	ScrapeInterval time.Duration
+	// TSDBPoints is the per-series ring capacity of the tsdb; 0 uses the
+	// tsdb default (512 points, ~12 bytes each).
+	TSDBPoints int
+	// AlertRules replaces the default alert catalogue
+	// (alert.DefaultRules); nil keeps the default, an empty non-nil
+	// slice runs no rules.
+	AlertRules []alert.Rule
+	// DisableAlerts turns off rule evaluation entirely; the tsdb keeps
+	// scraping.
+	DisableAlerts bool
 }
 
 // ErrOverloaded rejects new extractions when the worker-pool queue is at
@@ -94,6 +113,10 @@ type Service struct {
 	metrics     *serviceMetrics
 	telemetryOn bool
 	maxQueue    int // shed threshold; 0 = never
+
+	// obs is the self-watching layer: tsdb + alert engine + scrape loop
+	// (see obs.go); always present after New.
+	obs *observability
 
 	// twins is the surrogate twin registry (see surrogate.go); twinMu guards
 	// the map only — each twin has its own job-duration mutex.
@@ -252,6 +275,12 @@ func New(cfg Config) (*Service, error) {
 	} else if cfg.RecordTraces {
 		return nil, errors.New("service: RecordTraces requires DataDir")
 	}
+	if err := s.initObs(cfg); err != nil {
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -275,6 +304,7 @@ func (s *Service) Fleet() *fleet.Manager { return s.fleet }
 // far must reach stable storage regardless (a straggler extraction that
 // finishes after the store closed just counts a persist error).
 func (s *Service) Close(ctx context.Context) error {
+	s.stopObs()
 	errDrain := s.pool.Close(ctx)
 	s.reg.CloseAll()
 	if s.store != nil {

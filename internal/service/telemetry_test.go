@@ -75,6 +75,16 @@ func TestMetricNameLint(t *testing.T) {
 	}
 	defer svc.Close(context.Background())
 
+	// Vec families materialise on first use; one instrumented request
+	// brings the vgx_http_* pair into the registry.
+	srv := httptest.NewServer(svc.InstrumentHTTP(svc.Handler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
 	nameRE := regexp.MustCompile(`^vgx(_[a-z0-9]+)+$`)
 	names := svc.Telemetry().Names()
 	if len(names) == 0 {
@@ -88,6 +98,7 @@ func TestMetricNameLint(t *testing.T) {
 	for _, prefix := range []string{
 		"vgx_sched_", "vgx_service_", "vgx_fleet_",
 		"vgx_surrogate_", "vgx_infogain_", "vgx_store_",
+		"vgx_tsdb_", "vgx_alerts_", "vgx_http_",
 	} {
 		found := false
 		for _, n := range names {

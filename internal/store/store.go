@@ -59,11 +59,16 @@ const (
 	// the request hash of the extraction it times — the newest tree per
 	// request supersedes older ones, and `vgxreplay -spans` dumps them.
 	KindSpan Kind = 7
+	// KindAlertEvent is one alert firing/resolved transition (audit log),
+	// keyed by rule name, data an internal/alert.Event. A restarted daemon
+	// replays these so an alert that was firing at kill -9 resumes firing
+	// instead of re-announcing; `vgxreplay -alerts` dumps the history.
+	KindAlertEvent Kind = 8
 )
 
 // Audit reports whether records of this kind accumulate as an event log
 // instead of superseding by key.
-func (k Kind) Audit() bool { return k == KindFleetEvent }
+func (k Kind) Audit() bool { return k == KindFleetEvent || k == KindAlertEvent }
 
 // Record is one journal entry.
 type Record struct {

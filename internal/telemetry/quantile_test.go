@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want NaN", q)
+	}
+
+	// 100 observations uniform in (0, 4]: 25 per bucket of width 1, 2, 4.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	// Bucket counts: (0,1]=25, (1,2]=25, (2,4]=50, (4,8]=0.
+	cases := []struct{ p, want float64 }{
+		{0.25, 1.0}, // exactly at the first bound
+		{0.5, 2.0},  // exactly at the second bound
+		{0.75, 3.0}, // halfway through the (2,4] bucket
+		{1.0, 4.0},
+		{0.125, 0.5}, // interpolates down to zero in the first bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+
+	// Out-of-range p clamps; NaN stays NaN.
+	if got := h.Quantile(-1); math.Abs(got-0) > 1e-9 {
+		t.Errorf("Quantile(-1) = %v, want 0", got)
+	}
+	if got := h.Quantile(2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Quantile(2) = %v, want 4", got)
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // lands in +Inf
+	// No finite upper bound to interpolate toward: report the highest
+	// finite bound as a lower-bound estimate.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile(0.99) with all mass in +Inf = %v, want 2", got)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{10, 20}
+	// 4 observations <= 10, 4 more in (10,20], 2 beyond.
+	cum := []float64{4, 8, 10}
+	if got, want := QuantileFromBuckets(bounds, cum, 0.5), 12.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("QuantileFromBuckets(0.5) = %v, want %v", got, want)
+	}
+	if got := QuantileFromBuckets(bounds, []float64{1}, 0.5); !math.IsNaN(got) {
+		t.Errorf("mismatched cum length = %v, want NaN", got)
+	}
+	if got := QuantileFromBuckets(bounds, []float64{0, 0, 0}, 0.5); !math.IsNaN(got) {
+		t.Errorf("zero-count buckets = %v, want NaN", got)
+	}
+}
+
+func TestSnapshotMatchesExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("vgx_test_total", "c")
+	g := reg.Gauge("vgx_test_gauge", "g", L("shard", "a"))
+	h := reg.Histogram("vgx_test_seconds", "h", []float64{1, 2})
+	reg.GaugeFunc("vgx_test_fn", "f", func() float64 { return 7 })
+
+	c.Add(3)
+	g.Set(2.5)
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	points := reg.Snapshot()
+	byKey := map[string]float64{}
+	for _, p := range points {
+		byKey[p.Key()] = p.Value
+	}
+	want := map[string]float64{
+		"vgx_test_total":                     3,
+		`vgx_test_gauge{shard="a"}`:          2.5,
+		"vgx_test_fn":                        7,
+		`vgx_test_seconds_bucket{le="1"}`:    1,
+		`vgx_test_seconds_bucket{le="2"}`:    2,
+		`vgx_test_seconds_bucket{le="+Inf"}`: 2,
+		"vgx_test_seconds_sum":               2,
+		"vgx_test_seconds_count":             2,
+	}
+	for k, v := range want {
+		got, ok := byKey[k]
+		if !ok || got != v {
+			t.Errorf("snapshot[%q] = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+	if len(points) != len(want) {
+		t.Errorf("snapshot has %d points, want %d: %+v", len(points), len(want), points)
+	}
+
+	// Deterministic order: two snapshots of the same registry are equal.
+	again := reg.Snapshot()
+	for i := range points {
+		if points[i] != again[i] {
+			t.Fatalf("snapshot order unstable at %d: %+v vs %+v", i, points[i], again[i])
+		}
+	}
+}

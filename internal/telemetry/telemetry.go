@@ -58,6 +58,11 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 type metric interface {
 	// expose appends one or more text-format lines for the series.
 	expose(b *strings.Builder, name, sig string)
+	// scrape emits the series' current samples as values: suffix is the
+	// sample-name suffix ("" or _bucket/_sum/_count), extra an extra
+	// label pair (le=... for buckets). The tsdb scraper consumes this —
+	// same samples as expose, without rendering text.
+	scrape(emit func(suffix, extra string, v float64))
 }
 
 // family groups every series registered under one metric name.
@@ -197,6 +202,10 @@ func (c *Counter) expose(b *strings.Builder, name, sig string) {
 	writeSample(b, name, sig, float64(c.v.Load()))
 }
 
+func (c *Counter) scrape(emit func(suffix, extra string, v float64)) {
+	emit("", "", float64(c.v.Load()))
+}
+
 // Counter registers and returns a counter series.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	c := &Counter{}
@@ -242,6 +251,10 @@ func (g *Gauge) expose(b *strings.Builder, name, sig string) {
 	writeSample(b, name, sig, g.Value())
 }
 
+func (g *Gauge) scrape(emit func(suffix, extra string, v float64)) {
+	emit("", "", g.Value())
+}
+
 // Gauge registers and returns a gauge series.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	g := &Gauge{}
@@ -257,6 +270,10 @@ type funcGauge struct {
 
 func (f funcGauge) expose(b *strings.Builder, name, sig string) {
 	writeSample(b, name, sig, f.fn())
+}
+
+func (f funcGauge) scrape(emit func(suffix, extra string, v float64)) {
+	emit("", "", f.fn())
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at scrape
@@ -331,6 +348,68 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the p-quantile of the observed distribution by
+// linear interpolation within the bucket the quantile falls in — the
+// same estimate Prometheus's histogram_quantile computes server-side,
+// available in-process for alert rules and dashboard columns. Edge
+// behaviour: NaN when the histogram is empty or p is NaN, the lowest
+// bound's bucket interpolates down to zero, and a quantile landing in
+// the +Inf bucket returns the highest finite bound (the estimate is a
+// lower bound there, not an extrapolation). p is clamped to [0, 1].
+func (h *Histogram) Quantile(p float64) float64 {
+	cum := make([]float64, len(h.bounds)+1)
+	var total uint64
+	for i := range h.bounds {
+		total += h.counts[i].Load()
+		cum[i] = float64(total)
+	}
+	total += h.inf.Load()
+	cum[len(h.bounds)] = float64(total)
+	return QuantileFromBuckets(h.bounds, cum, p)
+}
+
+// QuantileFromBuckets estimates the p-quantile from a cumulative bucket
+// snapshot: bounds are the finite upper bounds (sorted ascending) and
+// cum the cumulative counts per bucket with the +Inf bucket appended
+// (len(cum) == len(bounds)+1). Counts may be fractional — windowed
+// rates from the tsdb divide through time. Shared by Histogram.Quantile
+// and the tsdb quantile query so both report identical estimates.
+func QuantileFromBuckets(bounds []float64, cum []float64, p float64) float64 {
+	if len(cum) != len(bounds)+1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if !(total > 0) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * total
+	// First bucket whose cumulative count reaches the rank.
+	i := sort.SearchFloat64s(cum, rank)
+	if i >= len(bounds) {
+		// The +Inf bucket: no upper bound to interpolate toward.
+		if len(bounds) == 0 {
+			return math.NaN()
+		}
+		return bounds[len(bounds)-1]
+	}
+	lo, hi := 0.0, bounds[i]
+	prev := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+		prev = cum[i-1]
+	}
+	inBucket := cum[i] - prev
+	if !(inBucket > 0) {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-prev)/inBucket
+}
+
 func (h *Histogram) expose(b *strings.Builder, name, sig string) {
 	var cum uint64
 	for i, bound := range h.bounds {
@@ -342,6 +421,18 @@ func (h *Histogram) expose(b *strings.Builder, name, sig string) {
 	writeSample(b, name+"_bucket", joinSig(sig, `le="+Inf"`), float64(cum))
 	writeSample(b, name+"_sum", sig, h.Sum())
 	writeSample(b, name+"_count", sig, float64(h.count.Load()))
+}
+
+func (h *Histogram) scrape(emit func(suffix, extra string, v float64)) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		emit("_bucket", "le=\""+formatValue(bound)+"\"", float64(cum))
+	}
+	cum += h.inf.Load()
+	emit("_bucket", `le="+Inf"`, float64(cum))
+	emit("_sum", "", h.Sum())
+	emit("_count", "", float64(h.count.Load()))
 }
 
 // Histogram registers and returns a histogram series with the given

@@ -1,0 +1,79 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
+)
+
+// benchRegistry builds a registry of roughly the size a fully wired
+// daemon registers (~163 samples): a mix of counters, gauges and
+// histograms, some labelled.
+func benchRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 40; i++ {
+		reg.Counter(fmt.Sprintf("vgx_bench_c%02d_total", i), "c")
+	}
+	for i := 0; i < 40; i++ {
+		reg.Gauge(fmt.Sprintf("vgx_bench_g%02d", i), "g")
+	}
+	// 12 histograms x 7 samples (5 buckets + sum + count) = 84 samples.
+	for i := 0; i < 12; i++ {
+		h := reg.Histogram(fmt.Sprintf("vgx_bench_h%02d_seconds", i), "h",
+			[]float64{0.001, 0.01, 0.1, 1})
+		h.Observe(0.05)
+	}
+	return reg
+}
+
+func BenchmarkRingAppend(b *testing.B) {
+	s := newSeries(telemetry.SamplePoint{Name: "x", Family: "x", Type: "gauge"}, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.append(int64(i)*100, float64(i))
+	}
+}
+
+func BenchmarkScrape(b *testing.B) {
+	reg := benchRegistry()
+	db := New(reg, Options{Capacity: 512})
+	db.Scrape(0) // allocate all series up front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Scrape(float64(i+1) * 0.1)
+	}
+}
+
+func BenchmarkQueryRate(b *testing.B) {
+	reg := benchRegistry()
+	db := New(reg, Options{Capacity: 512})
+	for i := 0; i < 512; i++ {
+		db.Scrape(float64(i) * 10)
+	}
+	q := Query{Fn: FnRate, Series: "vgx_bench_c00_total", WindowS: 600}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryQuantile(b *testing.B) {
+	reg := benchRegistry()
+	db := New(reg, Options{Capacity: 512})
+	for i := 0; i < 512; i++ {
+		db.Scrape(float64(i) * 10)
+	}
+	q := Query{Fn: FnQuantile, Series: "vgx_bench_h00_seconds", WindowS: 600, Q: 0.99}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package tsdb is the in-process time-series store layered over the
+// internal/telemetry registry: a scraper samples every registered
+// series into fixed-size, delta-encoded ring buffers, and a small query
+// evaluator (query.go) answers instant and range questions over the
+// retained window — last/avg/min/max/sum, counter rates, histogram
+// quantiles. It is what turns the registry's "what is the value now"
+// into "how has it moved", with zero dependencies and bounded memory.
+//
+// Design constraints, in order:
+//
+//  1. Bounded memory. Every series is a ring of Capacity points; a
+//     point costs 12 bytes (a uint32 millisecond delta against the
+//     previous point plus a float64 value). A fully-wired daemon's
+//     ~500-sample registry at the default 512-point capacity retains
+//     its recent history in ~3 MB, forever, no matter the uptime.
+//  2. Caller-owned clock. Scrape takes the timestamp. A daemon's
+//     background loop passes wall-derived seconds; the determinism
+//     tests and fleet-tick hooks pass the virtual clock, so two
+//     processes replaying the same tick schedule hold byte-identical
+//     databases. The DB never reads time itself.
+//  3. Deterministic reads. Series iterate in sorted-key order and
+//     query results are emitted in that same order, so marshalled
+//     query responses from identical databases are byte-identical —
+//     the property the worker-count tests pin.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/fastvg/fastvg/internal/telemetry"
+)
+
+// Options tunes a DB; the zero value is production-reasonable.
+type Options struct {
+	// Capacity is the number of points each series ring retains;
+	// default 512. With a 10 s scrape cadence that is ~85 minutes of
+	// history per series.
+	Capacity int
+}
+
+// DB holds one ring series per registry sample. All methods are safe
+// for concurrent use.
+type DB struct {
+	reg *telemetry.Registry
+	cap int
+
+	mu      sync.Mutex
+	series  map[string]*Series
+	order   []string // sorted keys, rebuilt on insert
+	dirty   bool     // order needs re-sorting
+	lastMS  int64    // timestamp of the newest scrape
+	scrapes int64
+}
+
+// New builds an empty DB scraping reg.
+func New(reg *telemetry.Registry, opt Options) *DB {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 512
+	}
+	return &DB{reg: reg, cap: opt.Capacity, series: make(map[string]*Series)}
+}
+
+// Series is one sample's ring of (timestamp, value) points. Timestamps
+// are stored delta-encoded: an absolute int64 millisecond stamp for the
+// oldest retained point, then one uint32 millisecond delta per
+// successor — 12 bytes a point, bounded by construction.
+type Series struct {
+	Key    string // full sample key: name{sig}
+	Name   string // sample name (family plus histogram suffix)
+	Sig    string // label signature, "" when unlabelled
+	Family string // registered family name
+	Type   string // counter | gauge | histogram
+
+	firstMS int64 // absolute timestamp of the oldest point
+	lastMS  int64 // absolute timestamp of the newest point
+	head    int   // ring index of the oldest point
+	n       int
+	dt      []uint32 // per-slot delta (ms) from the previous point; oldest slot's is unused
+	val     []float64
+}
+
+func newSeries(p telemetry.SamplePoint, capacity int) *Series {
+	return &Series{Key: p.Key(), Name: p.Name, Sig: p.Sig, Family: p.Family, Type: p.Type,
+		dt: make([]uint32, capacity), val: make([]float64, capacity)}
+}
+
+// append records one point. Timestamps must be non-decreasing; a stale
+// or duplicate stamp is nudged one millisecond past the newest point so
+// the delta encoding never needs a sign.
+func (s *Series) append(ms int64, v float64) {
+	if s.n == 0 {
+		s.firstMS, s.lastMS = ms, ms
+		s.dt[0], s.val[0] = 0, v
+		s.n = 1
+		return
+	}
+	d := ms - s.lastMS
+	if d <= 0 {
+		d = 1
+		ms = s.lastMS + 1
+	}
+	if d > math.MaxUint32 {
+		d = math.MaxUint32 // ~49 days between scrapes: clamp, keep monotonicity
+		ms = s.lastMS + d
+	}
+	if s.n < len(s.dt) {
+		i := (s.head + s.n) % len(s.dt)
+		s.dt[i], s.val[i] = uint32(d), v
+		s.n++
+	} else {
+		// Overwrite the oldest slot with the newest point; the slot after
+		// it becomes the oldest, and its delta folds into firstMS.
+		next := (s.head + 1) % len(s.dt)
+		s.firstMS += int64(s.dt[next])
+		s.dt[s.head], s.val[s.head] = uint32(d), v
+		s.head = next
+	}
+	s.lastMS = ms
+}
+
+// Point is one decoded sample point. T is seconds on the scrape clock.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// points decodes the ring, oldest first, keeping only points with
+// timestamp >= fromMS. Pass math.MinInt64 for everything.
+func (s *Series) points(fromMS int64) []Point {
+	out := make([]Point, 0, s.n)
+	ms := s.firstMS
+	for k := 0; k < s.n; k++ {
+		i := (s.head + k) % len(s.dt)
+		if k > 0 {
+			ms += int64(s.dt[i])
+		}
+		if ms >= fromMS {
+			out = append(out, Point{T: float64(ms) / 1000, V: s.val[i]})
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int { return s.n }
+
+// Scrape samples every registry series at the given time (seconds on
+// the caller's clock — wall-derived or virtual) and appends one point
+// per sample. New samples (a CounterVec label seen for the first time)
+// grow the DB; series absent from this snapshot keep their history.
+func (db *DB) Scrape(atS float64) {
+	snap := db.reg.Snapshot()
+	ms := int64(math.Round(atS * 1000))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ms <= db.lastMS {
+		ms = db.lastMS + 1 // scrapes share the monotonic axis across series
+	}
+	db.lastMS = ms
+	db.scrapes++
+	for _, p := range snap {
+		key := p.Key()
+		sr := db.series[key]
+		if sr == nil {
+			sr = newSeries(p, db.cap)
+			db.series[key] = sr
+			db.order = append(db.order, key)
+			db.dirty = true
+		}
+		sr.append(ms, p.Value)
+	}
+}
+
+// sortedLocked returns the series keys in sorted order.
+func (db *DB) sortedLocked() []string {
+	if db.dirty {
+		sort.Strings(db.order)
+		db.dirty = false
+	}
+	return db.order
+}
+
+// Stats reports the DB's own accounting.
+type Stats struct {
+	Series      int     `json:"series"`
+	Points      int     `json:"points"`
+	Scrapes     int64   `json:"scrapes"`
+	LastScrapeS float64 `json:"lastScrapeS"`
+}
+
+// Stats returns a snapshot of the DB accounting.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := Stats{Series: len(db.series), Scrapes: db.scrapes, LastScrapeS: float64(db.lastMS) / 1000}
+	for _, s := range db.series {
+		st.Points += s.n
+	}
+	return st
+}
+
+// SeriesDump is one series' recent points, for the debug bundle.
+type SeriesDump struct {
+	Series string  `json:"series"`
+	Type   string  `json:"type"`
+	Points []Point `json:"points"`
+}
+
+// Dump returns every series' newest points (up to maxPoints each, 0 for
+// all), in sorted key order — the flight-recorder view of the database.
+func (db *DB) Dump(maxPoints int) []SeriesDump {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	keys := db.sortedLocked()
+	out := make([]SeriesDump, 0, len(keys))
+	for _, k := range keys {
+		s := db.series[k]
+		pts := s.points(math.MinInt64)
+		if maxPoints > 0 && len(pts) > maxPoints {
+			pts = pts[len(pts)-maxPoints:]
+		}
+		out = append(out, SeriesDump{Series: k, Type: s.Type, Points: pts})
+	}
+	return out
+}

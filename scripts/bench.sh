@@ -4,8 +4,9 @@
 # the durable-store / trace-replay benchmarks (BENCH_store.json), the
 # n-dot chain extraction benchmarks (BENCH_chain.json), the surrogate
 # digital-twin benchmarks (BENCH_surrogate.json), the active-probing
-# scheduler benchmarks (BENCH_infogain.json) and the telemetry overhead
-# benchmarks (BENCH_telemetry.json).
+# scheduler benchmarks (BENCH_infogain.json), the telemetry overhead
+# benchmarks (BENCH_telemetry.json) and the observability-store benchmarks
+# (BENCH_obs.json).
 #
 # Usage:
 #   scripts/bench.sh [-o BENCH_probe.json] [-f BENCH_fleet.json] [-t benchtime]
@@ -461,3 +462,53 @@ cat > "$telemetry_out" <<JSON
 }
 JSON
 echo "wrote $telemetry_out"
+# ---- observability store → BENCH_obs.json ---------------------------------
+# The tsdb acceptance gate: scraping the full ~164-sample registry into the
+# delta-encoded rings must cost well under 1% of a 10 s scrape interval,
+# ring appends stay allocation-free, and instant/range queries (the
+# /v1/query and alert-engine read path) stay in the microseconds.
+oraw=$(go test ./internal/tsdb/ -run '^$' \
+  -bench 'RingAppend|Scrape|QueryRate|QueryQuantile' \
+  -benchmem -benchtime "$benchtime" 2>&1)
+echo "$oraw"
+
+ofield()  { echo "$oraw" | awk -v b="$1" '$1 ~ "^Benchmark"b"(-|$)" {print $3; exit}'; }
+oallocs() { echo "$oraw" | awk -v b="$1" '$1 ~ "^Benchmark"b"(-|$)" {print $7; exit}'; }
+
+scrape_ns=$(ofield Scrape)
+# One scrape per 10 s interval: overhead = scrape_ns / 10e9 s, as percent.
+scrape_overhead_pct=$(awk -v ns="${scrape_ns:-0}" \
+  'BEGIN {printf "%.6f", 100 * ns / 10e9}')
+
+obs_out="BENCH_obs.json"
+cat > "$obs_out" <<JSON
+{
+  "schema": "fastvg-bench-obs/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "benchtime": "$benchtime",
+  "scenario": "in-process tsdb over a daemon-sized registry (~164 samples): one full scrape into 512-point delta-encoded rings, a single ring append, and the query read path (rate over a counter window, p99 over a histogram window)",
+  "units": {
+    "*_ns": "ns/op",
+    "*_allocs": "allocs/op",
+    "scrape_overhead_pct": "100 * scrape_ns / 10s — scrape cost as a share of the default 10 s scrape interval"
+  },
+  "targets": {
+    "scrape_overhead_pct": "< 1",
+    "ring_append_allocs": 0
+  },
+  "after": {
+    "ring_append_ns": $(ofield RingAppend),
+    "ring_append_allocs": $(oallocs RingAppend),
+    "scrape_ns": ${scrape_ns:-null},
+    "scrape_allocs": $(oallocs Scrape),
+    "query_rate_ns": $(ofield QueryRate),
+    "query_rate_allocs": $(oallocs QueryRate),
+    "query_quantile_ns": $(ofield QueryQuantile),
+    "query_quantile_allocs": $(oallocs QueryQuantile),
+    "scrape_overhead_pct": $scrape_overhead_pct
+  }
+}
+JSON
+echo "wrote $obs_out"

@@ -2,12 +2,15 @@ package fastvg
 
 import (
 	"context"
+	"errors"
 	"net/http"
 
+	"github.com/fastvg/fastvg/internal/alert"
 	"github.com/fastvg/fastvg/internal/fleet"
 	"github.com/fastvg/fastvg/internal/service"
 	"github.com/fastvg/fastvg/internal/telemetry"
 	"github.com/fastvg/fastvg/internal/trace"
+	"github.com/fastvg/fastvg/internal/tsdb"
 )
 
 // This file is the façade over the extraction service subsystem
@@ -195,3 +198,51 @@ func LoadSpans(dataDir string) ([]SpanRecord, error) { return service.LoadSpans(
 // at ServiceConfig.MaxQueueDepth; the HTTP API maps it to 429 with a
 // Retry-After header. Cache hits are still served under overload.
 var ErrServiceOverloaded = service.ErrOverloaded
+
+// IsOverloaded reports whether err is the load-shedding rejection — the
+// typed check callers use to decide "back off and retry" versus "fail":
+// overload is the one service error that is about the server's moment,
+// not the request's content. examples/serving shows the retry loop.
+func IsOverloaded(err error) bool { return errors.Is(err, service.ErrOverloaded) }
+
+// Alerting & history: every service scrapes its own metric registry into
+// an in-process time-series store (internal/tsdb — fixed-size,
+// delta-encoded rings, bounded memory) and evaluates a declarative SLO
+// rule catalogue (internal/alert) over it. Instant and range queries are
+// served at GET /v1/query, the alert board at GET /v1/alerts, and a
+// flight-recorder bundle (metrics + tsdb windows + alerts + span trees +
+// build info, one tar.gz) at GET /debug/bundle. On a durable service
+// alert transitions are journaled, so history survives kill -9; cmd/vgxtop
+// is the terminal dashboard over the same endpoints.
+
+// AlertRule is one declarative alert: an expression over the tsdb, a
+// comparison threshold and a for-duration.
+type AlertRule = alert.Rule
+
+// AlertExpr is one scalar-valued tsdb query inside a rule.
+type AlertExpr = alert.Expr
+
+// AlertEvent is one journaled firing/resolved transition.
+type AlertEvent = alert.Event
+
+// AlertStatus is one rule's current standing (GET /v1/alerts).
+type AlertStatus = alert.Status
+
+// DefaultAlertRules is the stock SLO catalogue a service runs when
+// ServiceConfig.AlertRules is nil: load shedding, fleet staleness,
+// persist errors, surrogate escalation ratio, pool saturation.
+func DefaultAlertRules() []AlertRule { return alert.DefaultRules() }
+
+// LoadAlertHistory reads the journaled alert transitions under a durable
+// service's data dir, oldest first — the vgxreplay -alerts path.
+func LoadAlertHistory(dataDir string) ([]AlertEvent, error) {
+	return service.LoadAlertHistory(dataDir)
+}
+
+// TSDBQuery is one instant/range query against a service's in-process
+// time-series store; TSDBResult its answer. The HTTP form is
+// GET /v1/query?fn=&series=&window=&q=.
+type TSDBQuery = tsdb.Query
+
+// TSDBResult is a tsdb query's evaluated answer.
+type TSDBResult = tsdb.Result
