@@ -14,6 +14,17 @@
 //
 //	vgxd -addr :8080 -data-dir /var/lib/vgxd -record-traces
 //
+// With -shards N the daemon runs N complete shard services — each with
+// its own worker pool, result cache, twin registry, fleet slice and
+// journal (<data-dir>/shard-i) — behind a stateless consistent-hash
+// front door serving the same API. Device, session and spec identities
+// hash onto the ring; batch and fleet work scatter-gathers; /metrics and
+// /v1/query merge per-shard series under a shard label. Changing -shards
+// against an existing data dir rebalances only the affected journal
+// ranges before serving:
+//
+//	vgxd -addr :8080 -shards 4 -data-dir /var/lib/vgxd
+//
 // Quickstart against a running daemon:
 //
 //	curl -s localhost:8080/v1/benchmarks
@@ -107,18 +118,45 @@ func main() {
 		scrapeInt = flag.Duration("scrape-interval", 10*time.Second, "metric-scrape cadence into the in-process tsdb (negative disables the loop)")
 		tsdbPts   = flag.Int("tsdb-points", 0, "per-series tsdb ring capacity (0 = 512)")
 		noAlerts  = flag.Bool("no-alerts", false, "disable the SLO alert rule engine (tsdb keeps scraping)")
+		shards    = flag.Int("shards", 1, "in-process shard workers behind the consistent-hash front door (1 = plain single service)")
 	)
 	flag.Parse()
 	logger := newLogger(*logFormat)
 	slog.SetDefault(logger)
 
-	svc, err := fastvg.NewService(fastvg.ServiceConfig{
+	base := fastvg.ServiceConfig{
 		Workers: *workers, CacheSize: *cache,
 		DataDir: *dataDir, RecordTraces: *traces,
 		MaxQueueDepth:  *maxQueue,
 		ScrapeInterval: *scrapeInt, TSDBPoints: *tsdbPts,
 		DisableAlerts: *noAlerts,
-	})
+	}
+
+	// Sharded mode: N complete shard services behind the consistent-hash
+	// router. Each shard journals under <data-dir>/shard-i; a shard-count
+	// change against an existing data dir rebalances the affected journal
+	// ranges before serving.
+	if *shards > 1 {
+		cluster, rep, err := fastvg.OpenCluster(fastvg.ClusterConfig{
+			Shards: *shards, DataDir: *dataDir, Base: base,
+		})
+		if err != nil {
+			logger.Error("startup failed", "err", err)
+			os.Exit(1)
+		}
+		if rep != nil {
+			logger.Info("rebalanced shards", "from", rep.From, "to", rep.To,
+				"movedKeys", len(rep.Moved), "movedRecords", rep.Records)
+		}
+		if *dataDir != "" {
+			logger.Info("durable mode", "dataDir", *dataDir, "shards", *shards)
+		}
+		serve(logger, fastvg.ClusterHandler(cluster), *addr, *drain, *logJobs, *pprofOn, nil,
+			func(ctx context.Context) error { return fastvg.CloseCluster(ctx, cluster) })
+		return
+	}
+
+	svc, err := fastvg.NewService(base)
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
@@ -127,7 +165,18 @@ func main() {
 		logger.Info("durable mode", "dataDir", *dataDir, "recordTraces", *traces)
 	}
 	handler := fastvg.ServiceHandler(svc)
-	if *pprofOn {
+	serve(logger, handler, *addr, *drain, *logJobs, *pprofOn, svc.InstrumentHTTP, svc.Close)
+}
+
+// serve runs the HTTP front end shared by single-service and sharded
+// modes: optional pprof mounting, optional access logging, an optional
+// outermost instrumentation wrapper (the single service's route-labelled
+// latency histograms; the sharded router carries its own metrics), and
+// the signal-driven graceful drain.
+func serve(logger *slog.Logger, handler http.Handler, addr string, drain time.Duration,
+	logJobs, pprofOn bool, instrument func(http.Handler) http.Handler,
+	closeFn func(context.Context) error) {
+	if pprofOn {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -138,21 +187,23 @@ func main() {
 		handler = mux
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
-	if *logJobs {
+	if logJobs {
 		handler = accessLog(logger, handler)
 	}
 	// Outermost so the route-labelled latency histogram times the whole
 	// stack, access logging included.
-	handler = svc.InstrumentHTTP(handler)
+	if instrument != nil {
+		handler = instrument(handler)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("serving extraction API", "addr", *addr, "workers", *workers, "maxQueueDepth", *maxQueue)
+	logger.Info("serving extraction API", "addr", addr)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -162,7 +213,7 @@ func main() {
 		os.Exit(1)
 	case sig := <-stop:
 		logger.Info("draining", "signal", sig.String())
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		// Stop accepting connections first, then drain the extraction
 		// scheduler (running jobs finish, queued jobs are released) and
@@ -171,7 +222,7 @@ func main() {
 			logger.Error("shutdown failed", "err", err)
 			os.Exit(1)
 		}
-		if err := svc.Close(ctx); err != nil {
+		if err := closeFn(ctx); err != nil {
 			logger.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}

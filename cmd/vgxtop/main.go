@@ -10,6 +10,14 @@
 //	vgxtop -addr localhost:8080 -interval 5s -window 300
 //	vgxtop -addr localhost:8080 -once        # one plain snapshot, no ANSI
 //
+// Against a sharded daemon (vgxd -shards N) the router's /v1/query
+// returns every shard's series under a shard label; vgxtop folds them
+// into one fleet view — rates sum across shards, gauges and quantiles
+// show the worst shard — and the header reports down shards. -shard N
+// pins the dashboard to one shard's verbatim series instead:
+//
+//	vgxtop -addr localhost:8080 -shard 2
+//
 // Latency columns are histogram-quantile estimates over the lookback
 // window (linear interpolation within the fixed buckets, the same
 // estimator the alert rules use). Rates are per-second increases across
@@ -35,13 +43,14 @@ func main() {
 		interval = flag.Duration("interval", 2*time.Second, "refresh cadence")
 		window   = flag.Float64("window", 60, "lookback window in seconds for rates and quantiles")
 		once     = flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+		shardSel = flag.Int("shard", -1, "pin queries to one shard of a sharded daemon (-1 = fleet view)")
 	)
 	flag.Parse()
 	base := *addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	c := &client{base: base, http: &http.Client{Timeout: 5 * time.Second}}
+	c := &client{base: base, http: &http.Client{Timeout: 5 * time.Second}, shard: *shardSel}
 
 	for {
 		screen, err := render(c, *window)
@@ -66,8 +75,9 @@ func main() {
 }
 
 type client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	shard int // >= 0 pins /v1/query to one shard of a sharded router
 }
 
 // getJSON fetches one endpoint into v.
@@ -94,6 +104,11 @@ type queryResult struct {
 }
 
 // query runs one instant query; missing series yield an empty map.
+// Against a sharded router the same logical series comes back once per
+// shard under a shard label; the shard label is stripped and the values
+// fold — rates and sums add across shards, everything else keeps the
+// worst (max) shard, which is what a one-line dashboard wants from
+// saturation, staleness and latency quantiles.
 func (c *client) query(fn, series string, windowS, q float64) (map[string]float64, float64, error) {
 	v := url.Values{"fn": {fn}, "series": {series}}
 	if windowS > 0 {
@@ -102,19 +117,56 @@ func (c *client) query(fn, series string, windowS, q float64) (map[string]float6
 	if fn == "quantile" {
 		v.Set("q", fmt.Sprintf("%g", q))
 	}
+	if c.shard >= 0 {
+		v.Set("shard", fmt.Sprintf("%d", c.shard))
+	}
 	var res queryResult
 	if err := c.getJSON("/v1/query?"+v.Encode(), &res); err != nil {
 		return nil, 0, err
 	}
+	sum := fn == "rate" || fn == "sum"
 	out := make(map[string]float64, len(res.Values))
 	for _, sv := range res.Values {
 		val := math.NaN()
 		if sv.Value != nil {
 			val = *sv.Value
 		}
-		out[labelOf(sv.Series)] = val
+		key := labelOf(stripShardLabel(sv.Series))
+		prev, seen := out[key]
+		switch {
+		case !seen || math.IsNaN(prev):
+			out[key] = val
+		case math.IsNaN(val):
+			// keep prev
+		case sum:
+			out[key] = prev + val
+		case val > prev:
+			out[key] = val
+		}
 	}
 	return out, res.AtS, nil
+}
+
+// stripShardLabel removes a shard="..." pair from a series signature so
+// per-shard copies of one logical series fold onto the same key.
+func stripShardLabel(series string) string {
+	i := strings.Index(series, `shard="`)
+	if i < 0 {
+		return series
+	}
+	j := strings.IndexByte(series[i+len(`shard="`):], '"')
+	if j < 0 {
+		return series
+	}
+	end := i + len(`shard="`) + j + 1
+	switch {
+	case end < len(series) && series[end] == ',':
+		end++ // shard="0",kind=... → drop the comma too
+	case i > 0 && series[i-1] == ',':
+		i-- // kind=...,shard="0" → drop the leading comma
+	}
+	out := series[:i] + series[end:]
+	return strings.TrimSuffix(out, "{}") // only label was shard
 }
 
 // labelOf extracts the first label value from a series key, or "" for a
@@ -164,6 +216,9 @@ type health struct {
 	Running  int     `json:"running"`
 	Sessions int     `json:"sessions"`
 	Fleet    int     `json:"fleet"`
+	// Sharded-router extras (absent from a single service).
+	Shards int   `json:"shards,omitempty"`
+	Down   []int `json:"down,omitempty"`
 }
 
 // render builds one dashboard frame.
@@ -173,8 +228,18 @@ func render(c *client, window float64) (string, error) {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "vgxd %s  up %s  workers %d  running %d  sessions %d  fleet %d\n",
+	fmt.Fprintf(&b, "vgxd %s  up %s  workers %d  running %d  sessions %d  fleet %d",
 		c.base, fmtDur(h.UptimeS), h.Workers, h.Running, h.Sessions, h.Fleet)
+	if h.Shards > 0 {
+		fmt.Fprintf(&b, "  shards %d", h.Shards)
+		if len(h.Down) > 0 {
+			fmt.Fprintf(&b, "  DOWN %v", h.Down)
+		}
+		if c.shard >= 0 {
+			fmt.Fprintf(&b, "  [viewing shard %d]", c.shard)
+		}
+	}
+	b.WriteString("\n")
 
 	// Alert board first: the reason to be looking at a dashboard.
 	var ab alertBoard

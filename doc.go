@@ -260,6 +260,37 @@
 // alerts that way, so alert sequences are deterministic at any worker
 // count, like every other subsystem here.
 //
+// # Sharded serving
+//
+// One service is one worker pool, one cache, one fleet slice, one
+// journal. NewCluster (internal/shard; vgxd -shards N) runs N complete
+// shard services behind a stateless consistent-hash front door:
+// placement is a pure function of (key, shard count) on a 256-vnode
+// ring, with sim and chain jobs routed by canonical spec hash — the
+// same identity the cache and twin registry key on, so a device's
+// cache entries, twins and journal ranges co-locate — fleet devices by
+// device ID, and sessions and job handles by the s<i>- prefix their
+// shard minted. The router scatter-gathers batches by ring owner and
+// merges in request order (results are byte-identical at any shard
+// count), coalesces concurrent identical submissions onto the one
+// in-flight extraction on the owning shard, relays a saturated shard's
+// 429 + Retry-After verbatim (IsOverloaded holds through Cluster.Run
+// and Submit), and merges observability: /metrics and /v1/query label
+// every series with its shard, /v1/healthz rolls up with down shards
+// listed, and vgxtop folds the labels back into one fleet view.
+//
+// Durable clusters (ClusterConfig.DataDir) journal per shard under
+// shard-<i>/ and record the shard count in cluster.json; OpenCluster
+// at a different count (or RebalanceShards offline) reshapes by
+// shipping exactly the journal records whose ring owner changed —
+// about 1/N of the data on a join, reported key-by-key in the
+// ClusterRebalanceReport — after which every previously served request
+// is a cache hit again and every device answers from its new home
+// shard with history intact. A shard dying takes out only its arc:
+// survivors keep serving while the victim's keys return 503, and a
+// restart warm-starts cache, fleet and alert state from the shard's
+// own journal. Single-process serving is exactly the 1-shard cluster.
+//
 // # Performance
 //
 // The probe hot path — one simulated getCurrent — is allocation-free in
@@ -283,8 +314,9 @@
 // full-window renders, BenchmarkProbeBare vs BenchmarkProbeCounted gates
 // telemetry overhead on the probe path at <2%); scripts/bench.sh runs
 // them and writes the BENCH_probe.json trajectory, whose "before" block
-// preserves the pre-batch-path baseline, plus BENCH_telemetry.json and
-// BENCH_obs.json (tsdb scrape/append/query cost). See README.md's
+// preserves the pre-batch-path baseline, plus BENCH_telemetry.json,
+// BENCH_obs.json (tsdb scrape/append/query cost) and BENCH_shard.json
+// (front-door throughput scaling across shard counts). See README.md's
 // Performance section for representative numbers.
 //
 // See examples/ for runnable programs: a quick start, quadruple-dot chain

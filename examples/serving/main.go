@@ -4,7 +4,11 @@
 // the repeat. A final act overloads a deliberately tiny daemon to show the
 // load-shedding contract from the client side: 429 + Retry-After, absorbed
 // by a bounded retry-with-backoff loop, and the same condition surfaced as
-// a typed error (fastvg.IsOverloaded) on the library path.
+// a typed error (fastvg.IsOverloaded) on the library path. The closing
+// act reruns the shedding contract through the sharded front door: a
+// 3-shard cluster behind the consistent-hash router, where Table 1
+// scatter-gathers across shards and a shard's 429 + Retry-After reaches
+// the client verbatim — never laundered into a router 5xx.
 //
 //	go run ./examples/serving
 package main
@@ -84,6 +88,7 @@ func main() {
 	_ = srv.Close()
 
 	overloadAct()
+	shardedAct()
 }
 
 // overloadAct runs a deliberately tiny daemon (one worker, two queue
@@ -159,6 +164,112 @@ func overloadAct() {
 		time.Sleep(3 * time.Millisecond)
 	}
 	log.Fatal("overload never triggered on the library path")
+}
+
+// shardedAct reruns the shedding contract through the sharded front
+// door: three deliberately tiny shards (one worker, two queue slots
+// each) behind the consistent-hash router. The contract must survive
+// the extra hop — Table 1 scatter-gathers across shards and merges in
+// request order, an overloaded shard's 429 + Retry-After reaches the
+// HTTP client verbatim (postJob treats any 5xx as fatal, so a router
+// that laundered the 429 would kill this example), and the library
+// path sees the same typed error through Cluster.Submit.
+func shardedAct() {
+	// Scatter-gather first, on comfortably provisioned shards: the router
+	// splits Table 1 by ring owner, the shards extract in parallel, and
+	// the merged reply preserves request order.
+	roomy, err := fastvg.NewCluster(fastvg.ClusterConfig{
+		Shards: 3,
+		Base:   fastvg.ServiceConfig{Workers: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: fastvg.ClusterHandler(roomy)}
+	go func() { _ = srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	var health fastvg.ClusterHealth
+	getJSON(base+"/v1/healthz", &health)
+	fmt.Printf("\nsharded front door on %s: %d shards, %d workers total\n",
+		base, health.Shards, health.Workers)
+
+	t0 := time.Now()
+	items := postBatch(base)
+	fmt.Printf("table 1 through the router: %d extractions scatter-gathered in %v\n",
+		len(items), time.Since(t0).Round(time.Millisecond))
+	_ = srv.Close()
+	if err := fastvg.CloseCluster(context.Background(), roomy); err != nil {
+		log.Fatal(err)
+	}
+
+	// Now the shedding contract, on deliberately tiny shards.
+	cluster, err := fastvg.NewCluster(fastvg.ClusterConfig{
+		Shards: 3,
+		Base:   fastvg.ServiceConfig{Workers: 1, MaxQueueDepth: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = fastvg.CloseCluster(context.Background(), cluster) }()
+	ln, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv = &http.Server{Handler: fastvg.ClusterHandler(cluster)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base = "http://" + ln.Addr().String()
+	fmt.Printf("overload through router: 3 shards of 1 worker + 2 queue slots on %s\n", base)
+
+	// A client fleet bursts past the cluster's 9 total slots; the shards
+	// that saturate shed, and the router relays each 429 untouched.
+	var wg sync.WaitGroup
+	var shed, accepted atomic.Int64
+	for seed := 2000; seed < 2030; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"kind":"baseline","sim":{"seed":%d,"pixels":400}}`, seed)
+			switch _, err := postJob(base, body); {
+			case errors.Is(err, errOverloaded):
+				shed.Add(1)
+			case err != nil:
+				log.Fatal(err) // a 5xx — including a mistranslated 429 — dies here
+			default:
+				accepted.Add(1)
+			}
+		}(seed)
+	}
+	wg.Wait()
+	fmt.Printf("burst of 30 through router: %d accepted, %d shed with 429 + Retry-After\n",
+		accepted.Load(), shed.Load())
+
+	// And the retry loop absorbs a router-relayed 429 exactly as before.
+	jv, err := postJobRetry(base, `{"kind":"fast","sim":{"seed":2099}}`, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retry-with-backoff through router: job %s accepted\n", jv.ID)
+
+	// Library path: the typed error crosses the routing layer too.
+	for seed := 3000; seed < 3200; seed++ {
+		_, err := cluster.Submit(context.Background(), fastvg.JobRequest{Kind: fastvg.JobBaseline,
+			Sim: &fastvg.SimSpec{Seed: uint64(seed), Pixels: 400}})
+		if fastvg.IsOverloaded(err) {
+			fmt.Println("library path: Cluster.Submit returned ErrServiceOverloaded (typed, retryable)")
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	log.Fatal("overload never triggered through the sharded router")
 }
 
 // errOverloaded is the client-side face of a 429: the request was valid,

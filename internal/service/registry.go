@@ -23,6 +23,15 @@ type Registry struct {
 	grids    map[int]*benchEntry
 	sessions map[string]*Session
 	nextID   int
+	idPrefix string // stamped on minted session IDs; see Config.InstanceID
+}
+
+// setIDPrefix makes minted session IDs carry the owning shard
+// ("s3-sess-0001"); the service wires Config.InstanceID through here.
+func (r *Registry) setIDPrefix(prefix string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idPrefix = prefix
 }
 
 // benchEntry generates a benchmark's CSD exactly once, even under
@@ -161,8 +170,12 @@ func (r *Registry) OpenSim(spec device.DoubleDotSpec) (*Session, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
+	id := fmt.Sprintf("sess-%04d", r.nextID)
+	if r.idPrefix != "" {
+		id = r.idPrefix + "-" + id
+	}
 	s := &Session{
-		id:   fmt.Sprintf("sess-%04d", r.nextID),
+		id:   id,
 		spec: spec,
 		inst: inst,
 		win:  win,

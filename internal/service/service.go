@@ -87,6 +87,19 @@ type Config struct {
 	// DisableAlerts turns off rule evaluation entirely; the tsdb keeps
 	// scraping.
 	DisableAlerts bool
+
+	// InstanceID, when set, prefixes every minted job and session ID
+	// ("s3-job-000001", "s3-sess-0001"). The shard router leans on this:
+	// IDs carry the shard that minted them, so routing a job poll or a
+	// session request needs no shared table — just the prefix.
+	InstanceID string
+	// EmuDwellScale, when positive, holds each job's worker slot for an
+	// extra EmuDwellScale × (virtual experiment seconds) of wall time
+	// after the extraction computes — emulating an instrument-attached
+	// node where probe dwell is real. Results are byte-identical with it
+	// on or off; the shard throughput benchmarks use it to reproduce the
+	// dwell-limited serving regime the paper targets.
+	EmuDwellScale float64
 }
 
 // ErrOverloaded rejects new extractions when the worker-pool queue is at
@@ -105,6 +118,8 @@ type Service struct {
 	traceDir   string       // empty when not recording traces
 	started    time.Time
 	jobHistory int
+	instanceID string  // Config.InstanceID: minted-ID prefix, "" outside a shard
+	emuDwell   float64 // Config.EmuDwellScale
 
 	// metrics is the registered metric surface (see metrics.go); always
 	// present. telemetryOn gates the timed parts — latency histograms,
@@ -234,12 +249,15 @@ func New(cfg Config) (*Service, error) {
 		fleet:       fleet.New(pool, cfg.Fleet),
 		started:     time.Now(),
 		jobHistory:  history,
+		instanceID:  cfg.InstanceID,
+		emuDwell:    cfg.EmuDwellScale,
 		metrics:     m,
 		telemetryOn: telemetryOn,
 		maxQueue:    cfg.MaxQueueDepth,
 		jobs:        make(map[string]*job),
 		twins:       make(map[string]*twin),
 	}
+	reg.setIDPrefix(cfg.InstanceID)
 	m.attachReaders(pool, s.cache)
 	if telemetryOn {
 		s.fleet.AttachTelemetry(m.fleetTelemetry())
@@ -393,7 +411,13 @@ func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStar
 			if onStart != nil {
 				onStart()
 			}
-			return s.runJob(jctx, nreq, hash)
+			res, err := s.runJob(jctx, nreq, hash)
+			if err == nil {
+				// Still inside the slot: an emulated instrument node is busy
+				// for the dwell, exactly like the hardware it stands in for.
+				err = s.emulateDwell(jctx, res)
+			}
+			return res, err
 		}).Wait()
 		if err != nil {
 			return nil, err
@@ -443,6 +467,23 @@ func (s *Service) execute(ctx context.Context, nreq Request, hash string, onStar
 	return res, nil
 }
 
+// emulateDwell sleeps Config.EmuDwellScale × the result's virtual
+// experiment time, bounded by ctx. A no-op at the default scale of 0.
+func (s *Service) emulateDwell(ctx context.Context, res *Result) error {
+	if s.emuDwell <= 0 || res == nil || res.ExperimentS <= 0 {
+		return nil
+	}
+	d := time.Duration(s.emuDwell * res.ExperimentS * float64(time.Second))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Submit schedules a request asynchronously and returns a job view
 // immediately; poll Job or block on Wait for the outcome.
 func (s *Service) Submit(ctx context.Context, req Request) (JobView, error) {
@@ -468,6 +509,9 @@ func (s *Service) Submit(ctx context.Context, req Request) (JobView, error) {
 	s.mu.Lock()
 	s.nextID++
 	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	if s.instanceID != "" {
+		j.id = s.instanceID + "-" + j.id
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()

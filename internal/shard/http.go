@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/fastvg/fastvg/internal/service"
+)
+
+// The router speaks the same JSON dialect as a shard (see service/api.go)
+// so clients cannot tell one process from eight.
+
+// decode parses a JSON body, rejecting unknown fields.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, err error) {
+	reply(w, code, map[string]any{"error": err.Error()})
+}
+
+// failErr maps errors crossing the front door onto status codes. A
+// shard's overload shed must leave the router exactly as it left the
+// shard — 429 with a Retry-After hint, never mangled into a 5xx — and a
+// killed shard is the router's own 503.
+func failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShardDown):
+		fail(w, http.StatusServiceUnavailable, err)
+	default:
+		fail(w, http.StatusBadRequest, err)
+	}
+}

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/fastvg/fastvg/internal/service"
+	"github.com/fastvg/fastvg/internal/store"
+)
+
+// Manifest is DataDir/cluster.json: the shard count the directory's
+// journals were last laid out for. Open compares it against the
+// requested count and rebalances the difference.
+type Manifest struct {
+	Shards int `json:"shards"`
+}
+
+const manifestName = "cluster.json"
+
+// ShardDir returns shard i's journal directory under the cluster data
+// dir.
+func ShardDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%d", i))
+}
+
+// ReadManifest reads DataDir/cluster.json; ok is false when the file
+// does not exist (a fresh data dir).
+func ReadManifest(dataDir string) (Manifest, bool, error) {
+	b, err := os.ReadFile(filepath.Join(dataDir, manifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("shard: bad %s: %w", manifestName, err)
+	}
+	return m, true, nil
+}
+
+// WriteManifest writes DataDir/cluster.json atomically.
+func WriteManifest(dataDir string, m Manifest) error {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dataDir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dataDir, manifestName))
+}
+
+// Move is one journaled key shipped between shards during a rebalance.
+type Move struct {
+	Kind store.Kind `json:"kind"`
+	Key  string     `json:"key"`
+	From int        `json:"from"`
+	To   int        `json:"to"`
+}
+
+// RebalanceReport is the proof of work: exactly which journal ranges
+// moved when the shard count changed. Everything not listed here was
+// left byte-untouched in its shard's journal — rebalance replays only
+// the moved devices' ranges, not whole journals.
+type RebalanceReport struct {
+	From  int    `json:"from"`  // previous shard count
+	To    int    `json:"to"`    // new shard count
+	Moved []Move `json:"moved"` // every shipped key, source order
+	// Records counts shipped journal records (audit keys ship every
+	// record under the key; state keys ship one).
+	Records int `json:"records"`
+	// SeededClocks lists new shards that received a fleet clock copy so
+	// their virtual time agrees with the devices shipped to them.
+	SeededClocks []int `json:"seededClocks,omitempty"`
+}
+
+// Rebalance reshapes a cluster data dir from `from` shards to `to`
+// shards by shipping journal ranges: for every persisted key it computes
+// the owner under the new ring and moves only the keys whose owner
+// changed — appends on the destination journal, a tombstone on the
+// source. Consistent hashing keeps that set small (~|from−to|/max of the
+// keys, all onto/off the changed shards).
+//
+// Placement mirrors the router exactly:
+//
+//   - cache entries re-derive their RouteKey from the journaled request;
+//     chain-pair results and span trees follow their request hash;
+//   - fleet device state and its audit events follow the device ID;
+//   - surrogate twins follow the identity in their key — "sim/<h>" is its
+//     own route key, "chain/<h>/<pair>" follows "chain/<h>",
+//     "fleet/<dev>/<pair>" follows the device;
+//   - fleet clocks and alert history stay per shard (a new shard that
+//     received devices gets a copy of the busiest clock so staleness
+//     arithmetic stays sane).
+//
+// The stores must not be open elsewhere; run before starting the
+// cluster (Open does).
+func Rebalance(dataDir string, from, to int) (*RebalanceReport, error) {
+	if from < 1 {
+		from = 1
+	}
+	if to < 1 {
+		to = 1
+	}
+	rep := &RebalanceReport{From: from, To: to}
+	if from == to {
+		return rep, nil
+	}
+	ring := NewRing(to)
+	max := from
+	if to > max {
+		max = to
+	}
+	stores := make([]*store.Store, max)
+	defer func() {
+		for _, st := range stores {
+			if st != nil {
+				st.Close()
+			}
+		}
+	}()
+	for i := 0; i < max; i++ {
+		st, err := store.Open(ShardDir(dataDir, i), store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		stores[i] = st
+	}
+
+	// Pass 1 over every source journal: decide each key's new owner.
+	// Request hashes learned from cache entries place the chain-pair and
+	// span records that share them.
+	hashOwner := make(map[string]int)
+	type clockInfo struct {
+		data []byte
+		now  float64
+	}
+	var bestClock clockInfo
+	hasClock := make([]bool, max)
+	hasDevices := make([]bool, max)
+
+	owner := func(src int, kind store.Kind, key string) (int, bool) {
+		switch kind {
+		case store.KindCacheEntry:
+			return hashOwner[key], true // filled below before use
+		case store.KindFleetDevice, store.KindFleetEvent:
+			return ring.Owner(key), true
+		case store.KindChainPair, store.KindSpan:
+			h := key
+			if i := strings.IndexByte(h, '/'); i >= 0 {
+				h = h[:i]
+			}
+			if dst, ok := hashOwner[h]; ok {
+				return dst, true
+			}
+			return src, true // orphan (evicted request): stays put
+		case store.KindSurrogateModel:
+			parts := strings.Split(key, "/")
+			switch {
+			case parts[0] == "sim":
+				return ring.Owner(key), true
+			case parts[0] == "chain" && len(parts) >= 2:
+				return ring.Owner("chain/" + parts[1]), true
+			case parts[0] == "fleet" && len(parts) >= 2:
+				return ring.Owner(parts[1]), true
+			}
+			return src, true
+		default:
+			// Clocks and alert history are per-process, not per-device.
+			return src, false
+		}
+	}
+
+	for src := 0; src < from; src++ {
+		for _, rec := range stores[src].Records(store.KindCacheEntry) {
+			var cr struct {
+				Request service.Request `json:"request"`
+			}
+			if json.Unmarshal(rec.Data, &cr) != nil {
+				hashOwner[rec.Key] = src // unreadable: leave in place
+				continue
+			}
+			rk, err := cr.Request.RouteKey()
+			if err != nil {
+				hashOwner[rec.Key] = src
+				continue
+			}
+			hashOwner[rec.Key] = ring.Owner(rk)
+		}
+		if recs := stores[src].Records(store.KindFleetClock); len(recs) > 0 {
+			hasClock[src] = true
+			var pc struct {
+				Now float64 `json:"now"`
+			}
+			data := recs[len(recs)-1].Data
+			_ = json.Unmarshal(data, &pc)
+			if bestClock.data == nil || pc.Now > bestClock.now {
+				bestClock = clockInfo{data: data, now: pc.Now}
+			}
+		}
+	}
+
+	// Pass 2: ship. Audit kinds move every record under the key, in
+	// journal order, so replayed history stays ordered on the
+	// destination.
+	kinds := []store.Kind{
+		store.KindCacheEntry, store.KindChainPair, store.KindSpan,
+		store.KindFleetDevice, store.KindFleetEvent, store.KindSurrogateModel,
+	}
+	for src := 0; src < from; src++ {
+		for _, kind := range kinds {
+			recs := stores[src].Records(kind)
+			movedKeys := make(map[string]int)
+			for _, rec := range recs {
+				dst, routable := owner(src, kind, rec.Key)
+				if !routable || dst == src {
+					continue
+				}
+				if err := stores[dst].Put(kind, rec.Key, rec.Data); err != nil {
+					return nil, fmt.Errorf("shard %d<-%d %v %q: %w", dst, src, kind, rec.Key, err)
+				}
+				rep.Records++
+				if _, seen := movedKeys[rec.Key]; !seen {
+					movedKeys[rec.Key] = dst
+					rep.Moved = append(rep.Moved, Move{Kind: kind, Key: rec.Key, From: src, To: dst})
+				}
+				hasDevices[dst] = hasDevices[dst] || kind == store.KindFleetDevice
+			}
+			// Tombstone each moved key once; for audit kinds this drops
+			// every shipped record under the key.
+			keys := make([]string, 0, len(movedKeys))
+			for k := range movedKeys {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if err := stores[src].Delete(kind, k); err != nil {
+					return nil, fmt.Errorf("shard %d del %v %q: %w", src, kind, k, err)
+				}
+			}
+		}
+	}
+
+	// A brand-new shard that received fleet devices needs a clock: copy
+	// the most-advanced source clock so shipped devices' staleness (now −
+	// last check) stays non-negative and the ID counter cannot re-mint a
+	// shipped device's auto ID.
+	for i := 0; i < max; i++ {
+		if hasDevices[i] && !hasClock[i] && bestClock.data != nil {
+			if err := stores[i].Put(store.KindFleetClock, "", bestClock.data); err != nil {
+				return nil, fmt.Errorf("shard %d clock seed: %w", i, err)
+			}
+			rep.SeededClocks = append(rep.SeededClocks, i)
+		}
+	}
+
+	// Compact everything: sources drop their tombstoned ranges from disk,
+	// destinations fold the shipped appends into their snapshots.
+	for i := 0; i < max; i++ {
+		if err := stores[i].Compact(); err != nil {
+			return nil, fmt.Errorf("shard %d compact: %w", i, err)
+		}
+	}
+	return rep, nil
+}

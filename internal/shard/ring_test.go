@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// testDevices is the property-test population: 1k device IDs in the
+// fleet's naming convention.
+func testDevices() []string {
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dev-%04d", i)
+	}
+	return keys
+}
+
+// Balance: at 1k devices over 8 shards every shard holds within ±10% of
+// its fair share — and the same bound holds at the smaller shard counts
+// the benchmarks sweep.
+func TestRingBalance(t *testing.T) {
+	keys := testDevices()
+	for _, n := range []int{2, 3, 4, 8} {
+		r := NewRing(n)
+		counts := make([]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for s, c := range counts {
+			dev := float64(c)/fair - 1
+			if dev < -0.10 || dev > 0.10 {
+				t.Errorf("n=%d shard %d holds %d keys (fair %.0f, %+.1f%%), outside ±10%%",
+					n, s, c, fair, 100*dev)
+			}
+		}
+	}
+}
+
+// Join: growing 8 → 9 shards moves at most 2/N of the keys, and every
+// key that moves lands on the new shard — nothing reshuffles between
+// the survivors.
+func TestRingMinimalRemapJoin(t *testing.T) {
+	keys := testDevices()
+	r8, r9 := NewRing(8), NewRing(9)
+	moved := 0
+	for _, k := range keys {
+		before, after := r8.Owner(k), r9.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != 8 {
+			t.Fatalf("key %s moved %d -> %d on join; moves must target the new shard", k, before, after)
+		}
+	}
+	if limit := 2 * len(keys) / 9; moved > limit {
+		t.Errorf("join moved %d/%d keys, limit 2/N = %d", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Error("join moved nothing; the new shard would start empty forever")
+	}
+}
+
+// Leave: shrinking 8 → 7 shards moves at most 2/N of the keys, and
+// every key that moves was on the departing shard — survivors keep
+// their entire slice.
+func TestRingMinimalRemapLeave(t *testing.T) {
+	keys := testDevices()
+	r8, r7 := NewRing(8), NewRing(7)
+	moved := 0
+	for _, k := range keys {
+		before, after := r8.Owner(k), r7.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if before != 7 {
+			t.Fatalf("key %s moved %d -> %d on leave; only the departing shard's keys may move", k, before, after)
+		}
+	}
+	if limit := 2 * len(keys) / 8; moved > limit {
+		t.Errorf("leave moved %d/%d keys, limit 2/N = %d", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Error("leave moved nothing; the departing shard's keys would be orphaned")
+	}
+}
+
+// Owner is a pure function of (key, N): concurrent lookups against one
+// ring and lookups against an independently built ring agree. Run with
+// -race this also locks in that Ring is immutable after construction.
+func TestRingDeterministicConcurrent(t *testing.T) {
+	keys := testDevices()
+	r := NewRing(8)
+	want := make([]int, len(keys))
+	for i, k := range keys {
+		want[i] = r.Owner(k)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := NewRing(8)
+			for i, k := range keys {
+				if got := r.Owner(k); got != want[i] {
+					t.Errorf("concurrent Owner(%s) = %d, want %d", k, got, want[i])
+					return
+				}
+				if got := local.Owner(k); got != want[i] {
+					t.Errorf("rebuilt ring Owner(%s) = %d, want %d", k, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

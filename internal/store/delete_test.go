@@ -1,0 +1,158 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Deleting a state-kind key removes it now and after a restart, while
+// untouched keys survive both.
+func TestDeleteStateKind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(KindCacheEntry, fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(KindCacheEntry, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindCacheEntry, "k1"); ok {
+		t.Fatal("k1 still readable after Delete")
+	}
+	if got := len(s.Records(KindCacheEntry)); got != 3 {
+		t.Fatalf("live records = %d, want 3", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tombstone replays over the log.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(KindCacheEntry, "k1"); ok {
+		t.Fatal("k1 resurrected by restart")
+	}
+	if b, ok := s2.Get(KindCacheEntry, "k2"); !ok || b[0] != 2 {
+		t.Fatalf("k2 = %v %v, want [2] true", b, ok)
+	}
+
+	// Re-putting a deleted key brings it back, including across compaction.
+	if err := s2.Put(KindCacheEntry, "k1", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s2.Get(KindCacheEntry, "k1"); !ok || b[0] != 9 {
+		t.Fatalf("k1 after re-put = %v %v, want [9] true", b, ok)
+	}
+}
+
+// Deleting an audit-kind key drops every retained event with that key
+// and leaves other keys' events in order, before and after a restart.
+func TestDeleteAuditKind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(KindFleetEvent, "dev-a", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(KindFleetEvent, "dev-b", []byte{byte(10 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(KindFleetEvent, "dev-a"); err != nil {
+		t.Fatal(err)
+	}
+	check := func(st *Store) {
+		t.Helper()
+		recs := st.Records(KindFleetEvent)
+		if len(recs) != 3 {
+			t.Fatalf("got %d events, want 3", len(recs))
+		}
+		for i, r := range recs {
+			if r.Key != "dev-b" || r.Data[0] != byte(10+i) {
+				t.Fatalf("event %d = %q %v", i, r.Key, r.Data)
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	check(s2)
+}
+
+// Deleting an absent key writes nothing: the log size stays put.
+func TestDeleteAbsentKeyIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(KindCacheEntry, "k", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().LogBytes
+	if err := s.Delete(KindCacheEntry, "missing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindSpan, "nothing-of-this-kind"); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().LogBytes; after != before {
+		t.Fatalf("no-op delete grew the log: %d -> %d", before, after)
+	}
+}
+
+// Compaction erases tombstones along with their targets: a snapshot is
+// rewritten from live state only, and the deleted key stays gone.
+func TestDeleteSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindCacheEntry, "gone", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindCacheEntry, "kept", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindCacheEntry, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(KindCacheEntry, "gone"); ok {
+		t.Fatal("deleted key survived compaction + restart")
+	}
+	if _, ok := s2.Get(KindCacheEntry, "kept"); !ok {
+		t.Fatal("live key lost in compaction")
+	}
+}

@@ -28,6 +28,14 @@ type Kind uint8
 // replaying it would duplicate every append-only audit record.
 const kindEpoch Kind = 0
 
+// kindTombstone is the store's internal deletion marker: the frame data
+// is the target kind (one byte) followed by the target key. Tombstones
+// live only in the log — a snapshot is rewritten from live state, so
+// compaction erases both the deleted records and the marker. Shard
+// rebalance is the writer: records shipped to another shard's journal
+// are tombstoned in the source so exactly one shard owns each key.
+const kindTombstone Kind = 255
+
 // The record kinds the repository persists.
 const (
 	// KindCacheEntry is one extraction-service result-cache entry; the key
@@ -336,6 +344,12 @@ func (s *Store) loadFile(path string, isLog bool) error {
 // apply merges one record into the in-memory state. Caller holds mu (or is
 // single-threaded in Open).
 func (s *Store) apply(rec Record) {
+	if rec.Kind == kindTombstone {
+		if len(rec.Data) >= 1 {
+			s.applyDelete(Kind(rec.Data[0]), string(rec.Data[1:]))
+		}
+		return
+	}
 	ks := s.kinds[rec.Kind]
 	if ks == nil {
 		ks = &kindState{}
@@ -369,12 +383,90 @@ func (ks *kindState) compactSlice() {
 	live := ks.entries[:0]
 	for _, e := range ks.entries {
 		if !e.dead {
-			ks.index[e.rec.Key] = len(live)
+			if ks.index != nil {
+				ks.index[e.rec.Key] = len(live)
+			}
 			live = append(live, e)
 		}
 	}
 	ks.entries = live
 	ks.dead = 0
+}
+
+// applyDelete removes kind/key from the in-memory state: the live record
+// for a state kind, every retained record with that key for an audit
+// kind. Caller holds mu (or is single-threaded in Open).
+func (s *Store) applyDelete(kind Kind, key string) {
+	ks := s.kinds[kind]
+	if ks == nil {
+		return
+	}
+	if kind.Audit() {
+		for i := range ks.entries {
+			if !ks.entries[i].dead && ks.entries[i].rec.Key == key {
+				ks.entries[i].dead = true
+				ks.dead++
+			}
+		}
+	} else if i, ok := ks.index[key]; ok {
+		ks.entries[i].dead = true
+		ks.dead++
+		delete(ks.index, key)
+	}
+	if ks.dead > len(ks.entries)/2 {
+		ks.compactSlice()
+	}
+}
+
+// Delete journals a tombstone for kind/key and drops the record from the
+// in-memory state — the live record for a state kind, every retained
+// record with that key for an audit kind. Deleting an absent key is a
+// no-op and writes nothing. The tombstone replays on restart and
+// disappears at the next compaction (snapshots hold only live state).
+func (s *Store) Delete(kind Kind, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	ks := s.kinds[kind]
+	if ks == nil {
+		return nil
+	}
+	present := false
+	if kind.Audit() {
+		for i := range ks.entries {
+			if !ks.entries[i].dead && ks.entries[i].rec.Key == key {
+				present = true
+				break
+			}
+		}
+	} else {
+		_, present = ks.index[key]
+	}
+	if !present {
+		return nil
+	}
+	data := append([]byte{byte(kind)}, key...)
+	rec := Record{Kind: kindTombstone, Data: data}
+	s.buf = s.buf[:0]
+	s.buf = AppendFrame(s.buf, appendRecordPayload(nil, rec))
+	if _, err := s.log.Write(s.buf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.logSize += int64(len(s.buf))
+	s.applyDelete(kind, key)
+	s.stats.Appends++
+	s.pending++
+	if s.met != nil {
+		s.met.Appends.Inc()
+		s.met.LogBytes.Set(float64(s.logSize))
+		s.met.Records.Set(float64(s.liveLocked()))
+	}
+	if s.pending >= s.opt.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
 }
 
 func (s *Store) liveCount() int {

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -184,34 +183,11 @@ func FilterFamilies(text string, drop func(name string) bool) string {
 	if err != nil {
 		return text
 	}
-	var b strings.Builder
+	kept := fams[:0]
 	for _, f := range fams {
-		if drop(f.Name) {
-			continue
-		}
-		b.WriteString("# HELP " + f.Name + " " + f.Help + "\n")
-		b.WriteString("# TYPE " + f.Name + " " + f.Type + "\n")
-		for _, s := range f.Samples {
-			b.WriteString(s.Name)
-			if len(s.Labels) > 0 {
-				keys := make([]string, 0, len(s.Labels))
-				for k := range s.Labels {
-					keys = append(keys, k)
-				}
-				sort.Strings(keys)
-				b.WriteByte('{')
-				for i, k := range keys {
-					if i > 0 {
-						b.WriteByte(',')
-					}
-					b.WriteString(k + `="` + escapeLabel(s.Labels[k]) + `"`)
-				}
-				b.WriteByte('}')
-			}
-			b.WriteByte(' ')
-			b.WriteString(formatValue(s.Value))
-			b.WriteByte('\n')
+		if !drop(f.Name) {
+			kept = append(kept, f)
 		}
 	}
-	return b.String()
+	return RenderFamilies(kept)
 }

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// RenderFamilies writes parsed families back out as Prometheus text, in
+// slice order with samples in slice order — the exact inverse of Parse.
+// Sample order is preserved rather than re-sorted because histogram
+// buckets carry meaning in their numeric le order. The shard router
+// merges per-shard scrapes this way: Parse each shard's exposition,
+// stamp a shard label on every sample, concatenate families in shard
+// order, and render one aggregate page whose format matches what a
+// single service emits.
+func RenderFamilies(fams []*Family) string {
+	var b strings.Builder
+	for _, f := range fams {
+		// Parse keeps the HELP text in its escaped wire form, so it goes
+		// back out verbatim — re-escaping would double the backslashes.
+		b.WriteString("# HELP " + f.Name + " " + f.Help + "\n")
+		b.WriteString("# TYPE " + f.Name + " " + f.Type + "\n")
+		for _, s := range f.Samples {
+			b.WriteString(renderSample(s))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// renderSample formats one `name{k="v",...} value` line with labels in
+// sorted key order.
+func renderSample(s Sample) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k + `="` + escapeLabel(s.Labels[k]) + `"`)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Value))
+	return b.String()
+}

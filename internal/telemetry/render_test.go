@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parse → RenderFamilies round-trips a live registry's exposition byte
+// for byte: same family order, same sorted series, same value
+// formatting. This is the property the shard router's merged /metrics
+// page leans on.
+func TestRenderRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vgx_test_total", "A counter.").Add(3)
+	reg.Gauge("vgx_test_gauge", "A labelled gauge.", L("kind", "fast")).Set(1.5)
+	reg.Gauge("vgx_test_gauge", "A labelled gauge.", L("kind", "baseline")).Set(-2)
+	reg.Histogram("vgx_test_seconds", "A histogram.", SecondsBuckets).Observe(0.004)
+
+	text := reg.Expose()
+	fams, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderFamilies(fams); got != text {
+		t.Fatalf("round trip diverged:\n--- expose ---\n%s--- render ---\n%s", text, got)
+	}
+}
+
+// Stamping an extra label on every sample before rendering — the router's
+// shard label — yields a page that parses back with the label present on
+// each sample and families intact.
+func TestRenderWithInjectedLabel(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vgx_test_total", "A counter.").Add(7)
+	reg.Gauge("vgx_test_gauge", "A labelled gauge.", L("kind", "fast")).Set(2)
+
+	fams, err := Parse(strings.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		for i := range f.Samples {
+			if f.Samples[i].Labels == nil {
+				f.Samples[i].Labels = map[string]string{}
+			}
+			f.Samples[i].Labels["shard"] = "3"
+		}
+	}
+	back, err := Parse(strings.NewReader(RenderFamilies(fams)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(fams) {
+		t.Fatalf("family count changed: %d -> %d", len(fams), len(back))
+	}
+	for _, f := range back {
+		for _, s := range f.Samples {
+			if s.Labels["shard"] != "3" {
+				t.Fatalf("sample %s lost the shard label: %v", s.Name, s.Labels)
+			}
+		}
+	}
+}

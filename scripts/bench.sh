@@ -5,8 +5,8 @@
 # n-dot chain extraction benchmarks (BENCH_chain.json), the surrogate
 # digital-twin benchmarks (BENCH_surrogate.json), the active-probing
 # scheduler benchmarks (BENCH_infogain.json), the telemetry overhead
-# benchmarks (BENCH_telemetry.json) and the observability-store benchmarks
-# (BENCH_obs.json).
+# benchmarks (BENCH_telemetry.json), the observability-store benchmarks
+# (BENCH_obs.json) and the sharded-serving benchmarks (BENCH_shard.json).
 #
 # Usage:
 #   scripts/bench.sh [-o BENCH_probe.json] [-f BENCH_fleet.json] [-t benchtime]
@@ -512,3 +512,69 @@ cat > "$obs_out" <<JSON
 }
 JSON
 echo "wrote $obs_out"
+# ---- sharded serving → BENCH_shard.json ------------------------------------
+# The sharded front-door acceptance gate: jobs/sec and per-job p99 as the
+# shard count grows 1 → 2 → 4 → 8 with one dwell-limited worker (one
+# emulated instrument) per shard, plus the scatter-gather batch path at
+# 1 vs 8 shards. Throughput at 8 shards must be ≥3× the 1-shard figure.
+# These iterations are dwell-bound (~1 s each at 1 shard), so the section
+# runs a fixed iteration count rather than the time-based -benchtime.
+shard_benchtime="${SHARD_BENCHTIME:-3x}"
+hraw=$(go test ./internal/shard/ -run '^$' -bench 'ShardThroughput|ScatterGather' \
+  -benchtime "$shard_benchtime" 2>&1)
+echo "$hraw"
+
+hmetric() { # hmetric <bench-path> <unit>
+  echo "$hraw" | awk -v b="$1" -v u="$2" \
+    '$1 ~ b"(-|$)" {for (i=2;i<NF;i++) if ($(i+1)==u) {print $i; exit}}'
+}
+
+tput1=$(hmetric "BenchmarkShardThroughput/shards-1" "jobs/s")
+tput8=$(hmetric "BenchmarkShardThroughput/shards-8" "jobs/s")
+sg1=$(hmetric "BenchmarkScatterGather/shards-1" "jobs/s")
+sg8=$(hmetric "BenchmarkScatterGather/shards-8" "jobs/s")
+
+shard_out="BENCH_shard.json"
+{
+  cat <<JSON
+{
+  "schema": "fastvg-bench-shard/1",
+  "generated": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "cpu": "${cpu:-unknown}",
+  "gomaxprocs": $(nproc),
+  "benchtime": "$shard_benchtime",
+  "scenario": "consistent-hash front door over N shards, one worker per shard with ~40 ms emulated instrument dwell per job; 24 concurrent jobs per iteration through Cluster.Run, and one 24-request batch per iteration through the scatter-gather path",
+  "units": {
+    "throughput.shards_N": "jobs/sec and per-job p99 ms through the router at N shards",
+    "throughput_speedup_8x": "jobs/s at 8 shards / jobs/s at 1 shard (target ≥ 3)",
+    "scatter_gather.shards_N": "batch jobs/sec: scattered by ring owner, merged in request order",
+    "scatter_gather_speedup_8x": "batch jobs/s at 8 shards / 1 shard"
+  },
+  "targets": {
+    "throughput_speedup_8x": ">= 3"
+  },
+  "after": {
+    "throughput": {
+JSON
+  first=1
+  for n in 1 2 4 8; do
+    [ "$first" = 1 ] && first=0 || echo ","
+    printf '      "shards_%d": { "jobs_per_s": %s, "p99_ms": %s }' "$n" \
+      "$(hmetric "BenchmarkShardThroughput/shards-$n" "jobs/s" | awk '{print $1+0}')" \
+      "$(hmetric "BenchmarkShardThroughput/shards-$n" "p99-ms" | awk '{print $1+0}')"
+  done
+  cat <<JSON
+
+    },
+    "throughput_speedup_8x": $(awk -v a="${tput1:-1}" -v b="${tput8:-0}" 'BEGIN {printf "%.2f", b / a}'),
+    "scatter_gather": {
+      "shards_1_jobs_per_s": ${sg1:-null},
+      "shards_8_jobs_per_s": ${sg8:-null}
+    },
+    "scatter_gather_speedup_8x": $(awk -v a="${sg1:-1}" -v b="${sg8:-0}" 'BEGIN {printf "%.2f", b / a}')
+  }
+}
+JSON
+} > "$shard_out"
+echo "wrote $shard_out"
